@@ -1,0 +1,71 @@
+// E1 — per-update checking time vs history length.
+//
+// Claim (the paper's headline): with bounded history encoding the cost of
+// checking a real-time constraint after an update does not depend on how
+// long the history already is; the naive full-history checker's cost grows
+// with it (here via the unbounded `once[0, inf]` constraint, which forces it
+// to rescan every stored state).
+//
+// Series: per-update time for history prefixes N in {100, 400, 1600, 6400}
+// (naive capped at 1600 — beyond that a single update takes too long, which
+// is itself the point).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace rtic {
+namespace {
+
+workload::Workload AlarmStream(std::size_t length) {
+  workload::AlarmParams params;
+  params.num_alarms = 30;
+  params.length = length;
+  params.deadline = 10;
+  params.raise_prob = 0.5;
+  params.late_prob = 0.05;
+  params.seed = 101;
+  return workload::MakeAlarmWorkload(params);
+}
+
+void BM_E1_PerUpdate(benchmark::State& state) {
+  const EngineKind engine = bench::EngineFromArg(state.range(0));
+  const std::size_t prefix = static_cast<std::size_t>(state.range(1));
+
+  // Enough stream after the prefix for the timed iterations.
+  workload::Workload w = AlarmStream(prefix + 4096);
+  auto monitor = bench::MakeMonitor(w, engine);
+  bench::FeedRange(monitor.get(), w, 0, prefix);
+
+  std::size_t next = prefix;
+  for (auto _ : state) {
+    if (next >= w.batches.size()) {
+      state.SkipWithError("stream exhausted");
+      break;
+    }
+    bench::CheckOk(monitor->ApplyUpdate(w.batches[next]), "ApplyUpdate");
+    ++next;
+  }
+  state.counters["history_len"] = static_cast<double>(prefix);
+  state.counters["storage_rows"] =
+      static_cast<double>(monitor->TotalStorageRows());
+}
+
+BENCHMARK(BM_E1_PerUpdate)
+    ->ArgNames({"engine", "history"})
+    // incremental: flat across every prefix
+    ->Args({0, 100})
+    ->Args({0, 400})
+    ->Args({0, 1600})
+    ->Args({0, 6400})
+    // naive: grows with the prefix (larger prefixes take minutes: capped)
+    ->Args({1, 100})
+    ->Args({1, 400})
+    ->Args({1, 1600})
+    ->Iterations(30)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rtic
+
+BENCHMARK_MAIN();

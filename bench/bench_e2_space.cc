@@ -1,0 +1,65 @@
+// E2 — storage vs history length.
+//
+// Claim: the auxiliary relations of the bounded history encoding occupy
+// space independent of the history's length (they depend only on the
+// constraint's metric bounds and the active data), while the naive checker's
+// stored history grows linearly with the number of states.
+//
+// Measured quantity: rows retained by the checker after the full run
+// (counter `storage_rows`), for history lengths in {250, 500, 1000, 2000}.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace rtic {
+namespace {
+
+workload::Workload AlarmStream(std::size_t length) {
+  workload::AlarmParams params;
+  params.num_alarms = 30;
+  params.length = length;
+  params.deadline = 50;
+  params.raise_prob = 0.5;
+  params.late_prob = 0.05;
+  params.seed = 202;
+  return workload::MakeAlarmWorkload(params);
+}
+
+void BM_E2_Space(benchmark::State& state) {
+  const EngineKind engine = bench::EngineFromArg(state.range(0));
+  const std::size_t length = static_cast<std::size_t>(state.range(1));
+  workload::Workload w = AlarmStream(length);
+
+  std::size_t storage_rows = 0;
+  for (auto _ : state) {
+    auto monitor = bench::MakeMonitor(w, engine);
+    bench::FeedRange(monitor.get(), w, 0, w.batches.size());
+    storage_rows = monitor->TotalStorageRows();
+    benchmark::DoNotOptimize(storage_rows);
+  }
+  state.counters["history_len"] = static_cast<double>(length);
+  state.counters["storage_rows"] = static_cast<double>(storage_rows);
+  state.counters["rows_per_state"] =
+      static_cast<double>(storage_rows) / static_cast<double>(length);
+}
+
+BENCHMARK(BM_E2_Space)
+    ->ArgNames({"engine", "history"})
+    ->Args({0, 250})
+    ->Args({0, 500})
+    ->Args({0, 1000})
+    ->Args({0, 2000})
+    ->Args({2, 250})
+    ->Args({2, 500})
+    ->Args({2, 1000})
+    ->Args({1, 250})
+    ->Args({1, 500})
+    ->Args({1, 1000})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rtic
+
+BENCHMARK_MAIN();

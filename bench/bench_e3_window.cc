@@ -1,0 +1,69 @@
+// E3 — cost vs metric bound (window width).
+//
+// Claim: bounded-history-encoding cost scales with the constraint's metric
+// bound b (the window the aux relations must summarize), NOT with the
+// history length. The naive checker re-scans the window's states on every
+// update, so it pays the window cost multiplied by the re-evaluation work.
+//
+// Series: per-update time and aux rows for deadline b in {5, 20, 80, 320},
+// over a fixed 1500-state alarm stream.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace rtic {
+namespace {
+
+workload::Workload AlarmStream(Timestamp deadline) {
+  workload::AlarmParams params;
+  params.num_alarms = 40;
+  params.length = 1500 + 64;
+  params.deadline = deadline;
+  params.raise_prob = 0.6;
+  params.late_prob = 0.05;
+  params.seed = 303;
+  return workload::MakeAlarmWorkload(params);
+}
+
+void BM_E3_Window(benchmark::State& state) {
+  const EngineKind engine = bench::EngineFromArg(state.range(0));
+  const Timestamp deadline = state.range(1);
+  workload::Workload w = AlarmStream(deadline);
+  // Only the deadline constraint: isolate the window effect.
+  w.constraints.resize(1);
+
+  auto monitor = bench::MakeMonitor(w, engine);
+  bench::FeedRange(monitor.get(), w, 0, 1500);
+
+  std::size_t next = 1500;
+  for (auto _ : state) {
+    if (next >= w.batches.size()) {
+      state.SkipWithError("stream exhausted");
+      break;
+    }
+    bench::CheckOk(monitor->ApplyUpdate(w.batches[next]), "ApplyUpdate");
+    ++next;
+  }
+  state.counters["window"] = static_cast<double>(deadline);
+  state.counters["storage_rows"] =
+      static_cast<double>(monitor->TotalStorageRows());
+}
+
+BENCHMARK(BM_E3_Window)
+    ->ArgNames({"engine", "window"})
+    ->Args({0, 5})
+    ->Args({0, 20})
+    ->Args({0, 80})
+    ->Args({0, 320})
+    ->Args({1, 5})
+    ->Args({1, 20})
+    ->Args({1, 80})
+    ->Args({1, 320})
+    ->Iterations(40)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rtic
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// E4 — cost vs active-domain size.
+//
+// Claim: per-update cost scales with the data touched per state (relation
+// sizes / active entities), for both checkers — the bounded encoding does
+// not change the data-complexity of constraint checking, it removes the
+// history-length factor. Series: per-update time for employee counts in
+// {10, 100, 1000, 5000}, payroll constraints, fixed 300-state prefix.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace rtic {
+namespace {
+
+workload::Workload PayrollStream(int employees) {
+  workload::PayrollParams params;
+  params.num_employees = employees;
+  params.length = 300 + 64;
+  params.update_prob = 0.9;
+  params.cut_prob = 0.02;
+  params.early_raise_prob = 0.01;
+  params.seed = 404;
+  return workload::MakePayrollWorkload(params);
+}
+
+void BM_E4_Domain(benchmark::State& state) {
+  const EngineKind engine = bench::EngineFromArg(state.range(0));
+  const int employees = static_cast<int>(state.range(1));
+  workload::Workload w = PayrollStream(employees);
+
+  auto monitor = bench::MakeMonitor(w, engine);
+  bench::FeedRange(monitor.get(), w, 0, 300);
+
+  std::size_t next = 300;
+  for (auto _ : state) {
+    if (next >= w.batches.size()) {
+      state.SkipWithError("stream exhausted");
+      break;
+    }
+    bench::CheckOk(monitor->ApplyUpdate(w.batches[next]), "ApplyUpdate");
+    ++next;
+  }
+  state.counters["employees"] = static_cast<double>(employees);
+  state.counters["storage_rows"] =
+      static_cast<double>(monitor->TotalStorageRows());
+}
+
+BENCHMARK(BM_E4_Domain)
+    ->ArgNames({"engine", "employees"})
+    ->Args({0, 10})
+    ->Args({0, 100})
+    ->Args({0, 1000})
+    ->Args({0, 5000})
+    ->Args({1, 10})
+    ->Args({1, 100})
+    ->Args({1, 1000})
+    ->Iterations(30)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rtic
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// E5 — feasibility and overhead of the active-DBMS (trigger) realization.
+//
+// Claim (follow-up work's thesis): the bounded history encoding can be
+// implemented as an ordinary ECA trigger program whose auxiliary relations
+// are regular database tables, at a modest constant-factor overhead over
+// the in-memory incremental engine. Series: per-update time for both
+// engines over the mixed library workload (three constraints of different
+// temporal shapes), plus the trigger engine's rule-firing count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace rtic {
+namespace {
+
+workload::Workload LibraryStream() {
+  workload::LibraryParams params;
+  params.num_patrons = 60;
+  params.num_books = 300;
+  params.length = 600 + 64;
+  params.loan_prob = 0.8;
+  params.nonmember_prob = 0.02;
+  params.late_return_prob = 0.03;
+  params.seed = 505;
+  return workload::MakeLibraryWorkload(params);
+}
+
+void BM_E5_EngineOverhead(benchmark::State& state) {
+  const EngineKind engine = bench::EngineFromArg(state.range(0));
+  workload::Workload w = LibraryStream();
+  auto monitor = bench::MakeMonitor(w, engine);
+  bench::FeedRange(monitor.get(), w, 0, 600);
+
+  std::size_t next = 600;
+  for (auto _ : state) {
+    if (next >= w.batches.size()) {
+      state.SkipWithError("stream exhausted");
+      break;
+    }
+    bench::CheckOk(monitor->ApplyUpdate(w.batches[next]), "ApplyUpdate");
+    ++next;
+  }
+  state.counters["storage_rows"] =
+      static_cast<double>(monitor->TotalStorageRows());
+  state.counters["violations"] =
+      static_cast<double>(monitor->total_violations());
+}
+
+BENCHMARK(BM_E5_EngineOverhead)
+    ->ArgNames({"engine"})
+    ->Arg(0)   // incremental
+    ->Arg(2)   // active (trigger program)
+    ->Arg(1)   // naive, for scale
+    ->Iterations(40)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rtic
+
+BENCHMARK_MAIN();

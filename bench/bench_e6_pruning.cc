@@ -1,0 +1,86 @@
+// E6 — ablation: dominance pruning.
+//
+// Claim: expiry alone does not give a bounded encoding — for `once[a, b]`
+// the anchor lists grow with the number of states inside the window (and
+// without bound when b = inf); dominance pruning caps them at one mature
+// anchor plus the immature tail (exactly 1 for a = 0 or b = inf).
+//
+// Series: aux timestamps retained and per-update time after a 1000-state
+// single-entity stream, for representative interval shapes, with pruning
+// kFull vs kExpiryOnly. Verdicts are identical under both policies (the
+// cross-engine test suite proves it); only the space differs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "engines/incremental/engine.h"
+#include "tl/parser.h"
+
+namespace rtic {
+namespace {
+
+/// Constraint `forall a: P(a) implies once[lo, hi] Q(a)` with Q(0..4)
+/// present at every state: the densest possible anchor stream.
+void BM_E6_Pruning(benchmark::State& state) {
+  const bool full = state.range(0) == 0;
+  const Timestamp lo = state.range(1);
+  const Timestamp hi = state.range(2) < 0 ? kTimeInfinity : state.range(2);
+
+  std::string text = "forall a: P(a) implies once[" + std::to_string(lo) +
+                     ", " +
+                     (hi == kTimeInfinity ? std::string("inf")
+                                          : std::to_string(hi)) +
+                     "] Q(a)";
+  tl::FormulaPtr constraint =
+      bench::CheckOk(tl::ParseFormula(text), "parse");
+  Schema schema({Column{"a", ValueType::kInt64}});
+  tl::PredicateCatalog catalog{{"P", schema}, {"Q", schema}};
+  IncrementalOptions options;
+  options.pruning = full ? PruningPolicy::kFull : PruningPolicy::kExpiryOnly;
+  auto engine = bench::CheckOk(
+      IncrementalEngine::Create(*constraint, catalog, options), "create");
+
+  Database db;
+  bench::CheckOk(db.CreateTable("P", schema), "P");
+  bench::CheckOk(db.CreateTable("Q", schema), "Q");
+  for (std::int64_t a = 0; a < 5; ++a) {
+    bench::CheckOk(
+        db.GetMutableTable("Q").value()->Insert(Tuple{Value::Int64(a)}),
+        "insert");
+    bench::CheckOk(
+        db.GetMutableTable("P").value()->Insert(Tuple{Value::Int64(a)}),
+        "insert");
+  }
+
+  Timestamp t = 0;
+  for (Timestamp i = 0; i < 1000; ++i) {
+    bench::CheckOk(engine->OnTransition(db, ++t), "prefix");
+  }
+  for (auto _ : state) {
+    bench::CheckOk(engine->OnTransition(db, ++t), "transition");
+  }
+  state.counters["aux_timestamps"] =
+      static_cast<double>(engine->AuxTimestampCount());
+  state.counters["per_valuation"] =
+      static_cast<double>(engine->AuxTimestampCount()) / 5.0;
+}
+
+BENCHMARK(BM_E6_Pruning)
+    ->ArgNames({"policy", "lo", "hi"})  // policy 0 = full, 1 = expiry-only
+    ->Args({0, 0, 100})
+    ->Args({1, 0, 100})
+    ->Args({0, 50, 100})
+    ->Args({1, 50, 100})
+    ->Args({0, 90, 100})
+    ->Args({1, 90, 100})
+    ->Args({0, 0, -1})   // [0, inf)
+    ->Args({1, 0, -1})
+    ->Args({0, 40, -1})  // [40, inf)
+    ->Args({1, 40, -1})
+    ->Iterations(50)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rtic
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// E7 — many constraints on one monitor.
+//
+// Claim: checking cost is additive in the registered constraints — each
+// compiles to its own auxiliary network and the monitor evaluates them
+// independently per transition. Series: per-update time for 1..32 copies
+// of the payroll constraint pair (distinct names, same text), incremental
+// engine.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace rtic {
+namespace {
+
+void BM_E7_MultiConstraint(benchmark::State& state) {
+  const int copies = static_cast<int>(state.range(0));
+
+  workload::PayrollParams params;
+  params.num_employees = 100;
+  params.length = 200 + 64;
+  params.update_prob = 0.9;
+  params.seed = 606;
+  workload::Workload w = workload::MakePayrollWorkload(params);
+
+  // Duplicate the constraint set `copies` times under fresh names.
+  std::vector<std::pair<std::string, std::string>> base = w.constraints;
+  w.constraints.clear();
+  for (int c = 0; c < copies; ++c) {
+    for (const auto& [name, text] : base) {
+      w.constraints.emplace_back(name + "_" + std::to_string(c), text);
+    }
+  }
+
+  auto monitor = bench::MakeMonitor(w, EngineKind::kIncremental);
+  bench::FeedRange(monitor.get(), w, 0, 200);
+
+  std::size_t next = 200;
+  for (auto _ : state) {
+    if (next >= w.batches.size()) {
+      state.SkipWithError("stream exhausted");
+      break;
+    }
+    bench::CheckOk(monitor->ApplyUpdate(w.batches[next]), "ApplyUpdate");
+    ++next;
+  }
+  state.counters["constraints"] =
+      static_cast<double>(monitor->ConstraintNames().size());
+  state.counters["storage_rows"] =
+      static_cast<double>(monitor->TotalStorageRows());
+}
+
+BENCHMARK(BM_E7_MultiConstraint)
+    ->ArgNames({"copies"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Iterations(30)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rtic
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// E8 — per-operator update microcosts.
+//
+// Claim: the per-transition maintenance cost of each temporal operator's
+// auxiliary relation is a small constant multiple of evaluating its body
+// once (previous: one body evaluation; once: body + anchor fold + prune;
+// since: lhs + rhs evaluations + survivor filter; historically: once over
+// the negated body; nesting adds one network node per operator). Series:
+// per-update time for each operator and for nesting depths 1..3, fixed
+// 60-entity stream, incremental engine.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "engines/incremental/engine.h"
+#include "tl/parser.h"
+
+namespace rtic {
+namespace {
+
+const char* OperatorConstraint(int which) {
+  switch (which) {
+    case 0:
+      return "forall a: P(a) implies previous Q(a)";
+    case 1:
+      return "forall a: P(a) implies once[0, 50] Q(a)";
+    case 2:
+      return "forall a: P(a) implies P(a) since[0, 50] Q(a)";
+    case 3:
+      return "forall a: P(a) implies historically[0, 50] Q(a)";
+    case 4:  // nesting depth 2
+      return "forall a: P(a) implies once[0, 50] previous Q(a)";
+    case 5:  // nesting depth 3
+      return "forall a: P(a) implies once[0, 50] previous (Q(a) since Q(a))";
+    default:
+      return "forall a: P(a) implies Q(a)";  // temporal-free baseline
+  }
+}
+
+void BM_E8_Operator(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  tl::FormulaPtr constraint =
+      bench::CheckOk(tl::ParseFormula(OperatorConstraint(which)), "parse");
+  Schema schema({Column{"a", ValueType::kInt64}});
+  tl::PredicateCatalog catalog{{"P", schema}, {"Q", schema}};
+  auto engine = bench::CheckOk(
+      IncrementalEngine::Create(*constraint, catalog), "create");
+
+  Database db;
+  bench::CheckOk(db.CreateTable("P", schema), "P");
+  bench::CheckOk(db.CreateTable("Q", schema), "Q");
+  for (std::int64_t a = 0; a < 60; ++a) {
+    bench::CheckOk(
+        db.GetMutableTable("Q").value()->Insert(Tuple{Value::Int64(a)}), "q");
+    if (a % 2 == 0) {
+      bench::CheckOk(
+          db.GetMutableTable("P").value()->Insert(Tuple{Value::Int64(a)}),
+          "p");
+    }
+  }
+
+  Timestamp t = 0;
+  for (int i = 0; i < 100; ++i) {
+    bench::CheckOk(engine->OnTransition(db, ++t), "prefix");
+  }
+  for (auto _ : state) {
+    bench::CheckOk(engine->OnTransition(db, ++t), "transition");
+  }
+  state.counters["aux_nodes"] =
+      static_cast<double>(engine->network().nodes.size());
+  state.counters["aux_timestamps"] =
+      static_cast<double>(engine->AuxTimestampCount());
+}
+
+BENCHMARK(BM_E8_Operator)
+    ->ArgNames({"op"})  // 0 prev, 1 once, 2 since, 3 hist, 4-5 nested,
+                        // 6 temporal-free baseline
+    ->DenseRange(0, 6)
+    ->Iterations(100)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rtic
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// E9 — bounded-future response constraints (extension).
+//
+// Claim: obligation tracking gives response constraints the same profile
+// the bounded history encoding gives past constraints — per-update cost and
+// space bounded by the window width and the trigger rate, independent of
+// history length. Series: per-update time and pending obligations for
+// response windows in {5, 20, 80, 320} over a fixed alarm stream, plus a
+// history-length sweep at fixed window.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace rtic {
+namespace {
+
+workload::Workload ResponseOnlyAlarmStream(Timestamp deadline,
+                                           std::size_t length) {
+  workload::AlarmParams params;
+  params.num_alarms = 40;
+  params.length = length;
+  params.deadline = deadline;
+  params.raise_prob = 0.6;
+  params.late_prob = 0.05;
+  params.seed = 909;
+  workload::Workload w = workload::MakeAlarmWorkload(params);
+  // Keep only the response constraint.
+  std::vector<std::pair<std::string, std::string>> kept;
+  for (auto& [name, text] : w.constraints) {
+    if (name == "raise_gets_ack") kept.emplace_back(name, text);
+  }
+  w.constraints = std::move(kept);
+  return w;
+}
+
+void BM_E9_ResponseWindow(benchmark::State& state) {
+  const Timestamp deadline = state.range(0);
+  workload::Workload w = ResponseOnlyAlarmStream(deadline, 1500 + 64);
+  auto monitor = bench::MakeMonitor(w, EngineKind::kIncremental);
+  bench::FeedRange(monitor.get(), w, 0, 1500);
+
+  std::size_t next = 1500;
+  for (auto _ : state) {
+    if (next >= w.batches.size()) {
+      state.SkipWithError("stream exhausted");
+      break;
+    }
+    bench::CheckOk(monitor->ApplyUpdate(w.batches[next]), "ApplyUpdate");
+    ++next;
+  }
+  state.counters["window"] = static_cast<double>(2 * deadline);
+  state.counters["pending"] =
+      static_cast<double>(monitor->TotalStorageRows());
+}
+
+BENCHMARK(BM_E9_ResponseWindow)
+    ->ArgNames({"deadline"})
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(80)
+    ->Arg(320)
+    ->Iterations(40)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_E9_ResponseHistoryLength(benchmark::State& state) {
+  const std::size_t prefix = static_cast<std::size_t>(state.range(0));
+  workload::Workload w = ResponseOnlyAlarmStream(10, prefix + 4096);
+  auto monitor = bench::MakeMonitor(w, EngineKind::kIncremental);
+  bench::FeedRange(monitor.get(), w, 0, prefix);
+
+  std::size_t next = prefix;
+  for (auto _ : state) {
+    if (next >= w.batches.size()) {
+      state.SkipWithError("stream exhausted");
+      break;
+    }
+    bench::CheckOk(monitor->ApplyUpdate(w.batches[next]), "ApplyUpdate");
+    ++next;
+  }
+  state.counters["history_len"] = static_cast<double>(prefix);
+  state.counters["pending"] =
+      static_cast<double>(monitor->TotalStorageRows());
+}
+
+BENCHMARK(BM_E9_ResponseHistoryLength)
+    ->ArgNames({"history"})
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Arg(6400)
+    ->Iterations(40)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rtic
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Alarm monitoring: the motivating real-time scenario. Alarms are raised
+// and must be acknowledged within a deadline; the constraint
+//
+//   forall a: Active(a) implies Active(a) since[0, D] Raise(a)
+//
+// ("an alarm may stay active only while anchored to a Raise at most D time
+// units ago") is checked incrementally after every transition — including
+// pure clock ticks, where a deadline can expire with no data change at all.
+//
+// The example runs a synthetic alarm stream in which a fraction of
+// acknowledgements arrive late, prints each violation as the monitor
+// catches it, and reports the bounded auxiliary-state statistics that make
+// this checking history-less.
+
+#include <cstdio>
+
+#include "monitor/monitor.h"
+#include "workload/generators.h"
+
+int main() {
+  rtic::workload::AlarmParams params;
+  params.num_alarms = 20;
+  params.length = 150;
+  params.deadline = 10;
+  params.raise_prob = 0.5;
+  params.late_prob = 0.15;
+  params.seed = 2026;
+  rtic::workload::Workload workload =
+      rtic::workload::MakeAlarmWorkload(params);
+
+  rtic::MonitorOptions options;
+  options.engine = rtic::EngineKind::kIncremental;
+  options.max_witnesses = 5;
+  rtic::ConstraintMonitor monitor(options);
+
+  for (const auto& [name, schema] : workload.schema) {
+    rtic::Status s = monitor.CreateTable(name, schema);
+    if (!s.ok()) {
+      std::printf("CreateTable: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const auto& [name, text] : workload.constraints) {
+    rtic::Status s = monitor.RegisterConstraint(name, text);
+    if (!s.ok()) {
+      std::printf("RegisterConstraint(%s): %s\n", name.c_str(),
+                  s.ToString().c_str());
+      return 1;
+    }
+    std::printf("registered %-28s %s\n", name.c_str(), text.c_str());
+  }
+  std::printf("\nrunning %zu transitions...\n\n", workload.batches.size());
+
+  std::size_t violations = 0;
+  for (const rtic::UpdateBatch& batch : workload.batches) {
+    auto result = monitor.ApplyUpdate(batch);
+    if (!result.ok()) {
+      std::printf("ApplyUpdate: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    for (const rtic::Violation& v : *result) {
+      std::printf("  %s\n", v.ToString().c_str());
+      ++violations;
+    }
+  }
+
+  std::printf(
+      "\nsummary: %zu transitions, %zu violations, final clock %lld\n",
+      monitor.transition_count(), violations,
+      static_cast<long long>(monitor.current_time()));
+  std::printf(
+      "bounded encoding: %zu auxiliary rows retained (vs %zu rows the "
+      "full-history baseline would store)\n",
+      monitor.TotalStorageRows(),
+      monitor.transition_count() * monitor.database().TotalRows());
+  return 0;
+}

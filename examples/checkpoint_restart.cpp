@@ -1,0 +1,111 @@
+// Checkpoint/restart: the operational payoff of bounded history encoding.
+//
+// A monitor that stored full history could only survive a restart by
+// replaying everything; the bounded encoding's state is small and
+// self-contained, so it can be checkpointed and restored directly. This
+// example runs half an alarm stream, checkpoints the checker, "restarts"
+// into a fresh engine, restores, and shows that the continuation produces
+// exactly the verdicts an uninterrupted engine produces — while the
+// checkpoint stays a few hundred bytes no matter how long the history ran.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engines/incremental/engine.h"
+#include "tl/parser.h"
+#include "workload/generators.h"
+
+namespace {
+
+using rtic::Database;
+using rtic::IncrementalEngine;
+using rtic::Timestamp;
+
+std::unique_ptr<IncrementalEngine> MakeEngine(
+    const rtic::workload::Workload& w, const std::string& text) {
+  rtic::tl::PredicateCatalog catalog;
+  for (const auto& [name, schema] : w.schema) catalog[name] = schema;
+  auto formula = rtic::tl::ParseFormula(text);
+  if (!formula.ok()) return nullptr;
+  auto engine = IncrementalEngine::Create(**formula, catalog);
+  if (!engine.ok()) return nullptr;
+  return std::move(engine).value();
+}
+
+}  // namespace
+
+int main() {
+  rtic::workload::AlarmParams params;
+  params.length = 400;
+  params.deadline = 10;
+  params.late_prob = 0.1;
+  params.seed = 99;
+  rtic::workload::Workload w =
+      rtic::workload::MakeAlarmWorkload(params);
+  const std::string constraint =
+      "forall a: Active(a) implies Active(a) since[0, 10] Raise(a)";
+
+  auto uninterrupted = MakeEngine(w, constraint);
+  auto first_half = MakeEngine(w, constraint);
+  if (!uninterrupted || !first_half) {
+    std::printf("engine construction failed\n");
+    return 1;
+  }
+
+  // Materialize states by replaying batches.
+  Database db;
+  for (const auto& [name, schema] : w.schema) {
+    (void)db.CreateTable(name, schema);
+  }
+
+  const std::size_t half = w.batches.size() / 2;
+  std::string checkpoint;
+  std::unique_ptr<IncrementalEngine> restored;
+  std::size_t divergences = 0;
+
+  for (std::size_t i = 0; i < w.batches.size(); ++i) {
+    const rtic::UpdateBatch& batch = w.batches[i];
+    if (!batch.Apply(&db).ok()) return 1;
+    Timestamp t = batch.timestamp();
+
+    auto v_ref = uninterrupted->OnTransition(db, t);
+    if (!v_ref.ok()) return 1;
+
+    if (i < half) {
+      if (!first_half->OnTransition(db, t).ok()) return 1;
+      if (i == half - 1) {
+        auto saved = first_half->SaveState();
+        if (!saved.ok()) {
+          std::printf("save failed: %s\n",
+                      saved.status().ToString().c_str());
+          return 1;
+        }
+        checkpoint = *saved;
+        std::printf("checkpoint taken after %zu states: %zu bytes "
+                    "(aux timestamps: %zu)\n",
+                    half, checkpoint.size(),
+                    first_half->AuxTimestampCount());
+        first_half.reset();  // "process exits"
+        restored = MakeEngine(w, constraint);
+        rtic::Status s = restored->LoadState(checkpoint);
+        if (!s.ok()) {
+          std::printf("restore failed: %s\n", s.ToString().c_str());
+          return 1;
+        }
+        std::printf("restored into a fresh engine; continuing...\n");
+      }
+    } else {
+      auto v_restored = restored->OnTransition(db, t);
+      if (!v_restored.ok()) return 1;
+      if (*v_restored != *v_ref) ++divergences;
+    }
+  }
+
+  std::printf("continuation states checked: %zu, divergences from the "
+              "uninterrupted engine: %zu\n",
+              w.batches.size() - half, divergences);
+  std::printf(divergences == 0 ? "checkpoint/restart is exact.\n"
+                               : "MISMATCH (bug!)\n");
+  return divergences == 0 ? 0 : 1;
+}

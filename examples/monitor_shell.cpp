@@ -1,0 +1,203 @@
+// monitor_shell: a line-oriented shell around ConstraintMonitor. Feed it a
+// script (stdin) of schema definitions, constraints, and timestamped
+// updates; it reports violations as they happen.
+//
+// Commands:
+//   table <name> <col>:<type> ...     -- create a table (types: int double
+//                                        string bool)
+//   constraint <name> <formula>       -- register a constraint
+//   at <t> [+Table(v, ...)|-Table(v, ...)] ...   -- commit a transition
+//   tick <t>                          -- commit an empty transition
+//   show                              -- dump the current database
+//   save <file> / load <file>         -- checkpoint / restore the monitor
+//   drop <name>                       -- unregister a constraint
+//   quit
+//
+// Example session:
+//   table Emp id:int salary:int
+//   constraint no_cut forall e, s, s0: Emp(e, s) and previous Emp(e, s0)
+//       implies s >= s0                  (one line in the actual input)
+//   at 1 +Emp(1, 100)
+//   at 2 -Emp(1, 100) +Emp(1, 90)       -- reports the violation
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "monitor/monitor.h"
+
+namespace {
+
+using rtic::Result;
+using rtic::Status;
+using rtic::Value;
+
+Result<Value> ParseValue(const std::string& token) {
+  if (token.empty()) return Status::InvalidArgument("empty value");
+  if (token == "true") return Value::Bool(true);
+  if (token == "false") return Value::Bool(false);
+  if (token.front() == '\'' && token.back() == '\'' && token.size() >= 2) {
+    return Value::String(token.substr(1, token.size() - 2));
+  }
+  if (token.find('.') != std::string::npos) {
+    try {
+      return Value::Double(std::stod(token));
+    } catch (...) {
+      return Status::InvalidArgument("bad double: " + token);
+    }
+  }
+  try {
+    return Value::Int64(std::stoll(token));
+  } catch (...) {
+    return Status::InvalidArgument("bad value: " + token);
+  }
+}
+
+/// Parses "+Table(v, v, ...)" / "-Table(...)" into a batch operation.
+Status ParseOp(const std::string& op, rtic::UpdateBatch* batch) {
+  if (op.size() < 4 || (op[0] != '+' && op[0] != '-')) {
+    return Status::InvalidArgument("operation must look like +Table(...): " +
+                                   op);
+  }
+  std::size_t open = op.find('(');
+  if (open == std::string::npos || op.back() != ')') {
+    return Status::InvalidArgument("missing parentheses: " + op);
+  }
+  std::string table = op.substr(1, open - 1);
+  std::string args = op.substr(open + 1, op.size() - open - 2);
+  std::vector<Value> values;
+  if (!args.empty()) {
+    for (const std::string& part : rtic::Split(args, ',')) {
+      auto v = ParseValue(std::string(rtic::Trim(part)));
+      if (!v.ok()) return v.status();
+      values.push_back(*v);
+    }
+  }
+  if (op[0] == '+') {
+    batch->Insert(table, rtic::Tuple(std::move(values)));
+  } else {
+    batch->Delete(table, rtic::Tuple(std::move(values)));
+  }
+  return Status::OK();
+}
+
+Status HandleLine(rtic::ConstraintMonitor* monitor, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty() || cmd[0] == '#') return Status::OK();
+
+  if (cmd == "table") {
+    std::string name;
+    in >> name;
+    std::vector<rtic::Column> columns;
+    std::string spec;
+    while (in >> spec) {
+      std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument("column spec must be name:type");
+      }
+      auto type = rtic::ValueTypeFromString(spec.substr(colon + 1));
+      if (!type.ok()) return type.status();
+      columns.push_back(rtic::Column{spec.substr(0, colon), *type});
+    }
+    auto schema = rtic::Schema::Make(std::move(columns));
+    if (!schema.ok()) return schema.status();
+    return monitor->CreateTable(name, *schema);
+  }
+
+  if (cmd == "constraint") {
+    std::string name;
+    in >> name;
+    std::string formula;
+    std::getline(in, formula);
+    return monitor->RegisterConstraint(name,
+                                       std::string(rtic::Trim(formula)));
+  }
+
+  if (cmd == "at" || cmd == "tick") {
+    long long t = 0;
+    if (!(in >> t)) return Status::InvalidArgument("missing timestamp");
+    rtic::UpdateBatch batch(t);
+    std::string op;
+    while (in >> op) {
+      RTIC_RETURN_IF_ERROR(ParseOp(op, &batch));
+    }
+    auto violations = monitor->ApplyUpdate(batch);
+    if (!violations.ok()) return violations.status();
+    for (const rtic::Violation& v : *violations) {
+      std::printf("!! %s\n", v.ToString().c_str());
+    }
+    return Status::OK();
+  }
+
+  if (cmd == "save" || cmd == "load") {
+    std::string path;
+    if (!(in >> path)) return Status::InvalidArgument("missing file path");
+    if (cmd == "save") {
+      auto state = monitor->SaveState();
+      if (!state.ok()) return state.status();
+      FILE* f = std::fopen(path.c_str(), "wb");
+      if (f == nullptr) return Status::Internal("cannot open " + path);
+      std::fwrite(state->data(), 1, state->size(), f);
+      std::fclose(f);
+      std::printf("saved %zu bytes to %s\n", state->size(), path.c_str());
+      return Status::OK();
+    }
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::Internal("cannot open " + path);
+    std::string data;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      data.append(buf, n);
+    }
+    std::fclose(f);
+    RTIC_RETURN_IF_ERROR(monitor->LoadState(data));
+    std::printf("restored monitor state from %s (clock %lld)\n",
+                path.c_str(),
+                static_cast<long long>(monitor->current_time()));
+    return Status::OK();
+  }
+
+  if (cmd == "drop") {
+    std::string name;
+    if (!(in >> name)) return Status::InvalidArgument("missing name");
+    return monitor->UnregisterConstraint(name);
+  }
+
+  if (cmd == "show") {
+    std::printf("%s", monitor->database().ToString().c_str());
+    std::printf("clock: %lld, aux rows: %zu\n",
+                static_cast<long long>(monitor->current_time()),
+                monitor->TotalStorageRows());
+    return Status::OK();
+  }
+
+  if (cmd == "quit" || cmd == "exit") {
+    return Status(rtic::StatusCode::kOutOfRange, "quit");  // sentinel
+  }
+  return Status::InvalidArgument("unknown command: " + cmd);
+}
+
+}  // namespace
+
+int main() {
+  rtic::ConstraintMonitor monitor;
+  std::string line;
+  bool tty = false;
+#ifdef __unix__
+  tty = isatty(0);
+#endif
+  if (tty) std::printf("rtic shell — 'quit' to exit\n");
+  while (std::getline(std::cin, line)) {
+    Status s = HandleLine(&monitor, line);
+    if (s.code() == rtic::StatusCode::kOutOfRange && s.message() == "quit") {
+      break;
+    }
+    if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Hash combination helper (boost::hash_combine recipe, 64-bit variant).
+
+#ifndef RTIC_COMMON_HASH_H_
+#define RTIC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace rtic {
+
+/// Mixes `value`'s hash into `seed` in place.
+template <typename T>
+void HashCombine(std::size_t* seed, const T& value) {
+  std::size_t h = std::hash<T>{}(value);
+  *seed ^= h + 0x9e3779b97f4a7c15ULL + (*seed << 12) + (*seed >> 4);
+}
+
+}  // namespace rtic
+
+#endif  // RTIC_COMMON_HASH_H_

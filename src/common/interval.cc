@@ -1,0 +1,30 @@
+#include "common/interval.h"
+
+#include <string>
+
+namespace rtic {
+
+Result<TimeInterval> TimeInterval::Make(Timestamp lo, Timestamp hi) {
+  if (lo < 0) {
+    return Status::InvalidArgument("interval lower bound must be >= 0, got " +
+                                   std::to_string(lo));
+  }
+  if (hi < lo) {
+    return Status::InvalidArgument(
+        "interval upper bound " + std::to_string(hi) +
+        " is below lower bound " + std::to_string(lo));
+  }
+  return TimeInterval(lo, hi);
+}
+
+std::string TimeInterval::ToString() const {
+  std::string out = "[" + std::to_string(lo_) + ", ";
+  if (unbounded()) {
+    out += "inf)";
+  } else {
+    out += std::to_string(hi_) + "]";
+  }
+  return out;
+}
+
+}  // namespace rtic

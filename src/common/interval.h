@@ -1,0 +1,72 @@
+// Metric time intervals [lo, hi] over integer timestamps, hi possibly +inf.
+// These are the interval subscripts of the metric temporal operators
+// previous[I], once[I], historically[I], since[I].
+
+#ifndef RTIC_COMMON_INTERVAL_H_
+#define RTIC_COMMON_INTERVAL_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/result.h"
+
+namespace rtic {
+
+/// Discrete timestamp. Histories carry strictly increasing timestamps; gaps
+/// larger than one model real-time clock advancement between states.
+using Timestamp = std::int64_t;
+
+/// Sentinel for an unbounded interval upper end.
+inline constexpr Timestamp kTimeInfinity =
+    std::numeric_limits<Timestamp>::max();
+
+/// Closed metric interval [lo, hi] with 0 <= lo <= hi <= kTimeInfinity.
+/// Temporal operators test whether a time *distance* (>= 0) lies inside.
+class TimeInterval {
+ public:
+  /// Constructs [0, inf), the default subscript of an unannotated operator.
+  constexpr TimeInterval() : lo_(0), hi_(kTimeInfinity) {}
+
+  /// Constructs [lo, hi]. Prefer Make() which validates.
+  constexpr TimeInterval(Timestamp lo, Timestamp hi) : lo_(lo), hi_(hi) {}
+
+  /// Validating factory: requires 0 <= lo <= hi.
+  static Result<TimeInterval> Make(Timestamp lo, Timestamp hi);
+
+  /// The full interval [0, inf).
+  static constexpr TimeInterval All() { return TimeInterval(); }
+
+  /// The point interval [d, d].
+  static constexpr TimeInterval Exactly(Timestamp d) {
+    return TimeInterval(d, d);
+  }
+
+  Timestamp lo() const { return lo_; }
+  Timestamp hi() const { return hi_; }
+
+  /// True iff the upper end is unbounded.
+  bool unbounded() const { return hi_ == kTimeInfinity; }
+
+  /// True iff distance d lies in [lo, hi].
+  bool Contains(Timestamp d) const { return d >= lo_ && d <= hi_; }
+
+  /// True iff every distance > d lies outside (d beyond the upper end).
+  /// Used for expiring aux-table entries.
+  bool Expired(Timestamp d) const { return !unbounded() && d > hi_; }
+
+  /// "[lo, hi]" or "[lo, inf)".
+  std::string ToString() const;
+
+  bool operator==(const TimeInterval& o) const {
+    return lo_ == o.lo_ && hi_ == o.hi_;
+  }
+
+ private:
+  Timestamp lo_;
+  Timestamp hi_;
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_COMMON_INTERVAL_H_

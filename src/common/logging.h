@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr. Not thread-safe by design (the library
+// is single-threaded); kept deliberately dependency-free.
+
+#ifndef RTIC_COMMON_LOGGING_H_
+#define RTIC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rtic {
+
+/// Log severity, ordered.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted (default: kWarning so
+/// library users are not spammed).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction if `level` passes the filter.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rtic
+
+#define RTIC_LOG(level)                                                  \
+  ::rtic::internal::LogMessage(::rtic::LogLevel::k##level, __FILE__,     \
+                               __LINE__)                                 \
+      .stream()
+
+#endif  // RTIC_COMMON_LOGGING_H_

@@ -1,0 +1,82 @@
+// Result<T>: value-or-Status, the fallible-return companion to Status.
+
+#ifndef RTIC_COMMON_RESULT_H_
+#define RTIC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rtic {
+
+/// Holds either a T (success) or a non-OK Status (failure).
+///
+/// Usage:
+///   Result<int> Parse(...);
+///   auto r = Parse(...);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Success: wraps a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure: wraps a non-OK status. Wrapping an OK status is a programming
+  /// error and degrades to an Internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The failure status; Status::OK() when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Dereference sugar: *result / result->member. Requires ok().
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace rtic
+
+/// Propagates failure from a Result-returning expression, otherwise binds the
+/// value to `lhs`. `lhs` may be a declaration ("auto x") or an lvalue.
+#define RTIC_ASSIGN_OR_RETURN(lhs, expr)                          \
+  RTIC_ASSIGN_OR_RETURN_IMPL_(                                    \
+      RTIC_STATUS_CONCAT_(_rtic_result, __LINE__), lhs, expr)
+
+#define RTIC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define RTIC_STATUS_CONCAT_(a, b) RTIC_STATUS_CONCAT_IMPL_(a, b)
+#define RTIC_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // RTIC_COMMON_RESULT_H_

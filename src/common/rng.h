@@ -1,0 +1,56 @@
+// Deterministic pseudo-random numbers for workloads and property tests.
+// xoshiro256** seeded via SplitMix64; identical sequences across platforms.
+
+#ifndef RTIC_COMMON_RNG_H_
+#define RTIC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rtic {
+
+/// Deterministic RNG. Same seed => same sequence on every platform, which
+/// the property-test suites and workload generators rely on.
+class Rng {
+ public:
+  /// Seeds the generator; every distinct seed yields an independent stream.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t Uniform(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  template <typename Container>
+  const typename Container::value_type& Choose(const Container& c) {
+    return c[Uniform(c.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (std::size_t i = v->size() - 1; i > 0; --i) {
+      std::size_t j = Uniform(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_COMMON_RNG_H_

@@ -1,0 +1,27 @@
+// Small string helpers shared by the parser, printers, and reports.
+
+#ifndef RTIC_COMMON_STRING_UTIL_H_
+#define RTIC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtic {
+
+/// Joins the elements with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Single-quotes a string literal, escaping embedded quotes and backslashes
+/// ("it's" -> "'it\'s'"), the inverse of the lexer's unescaping.
+std::string QuoteString(std::string_view s);
+
+}  // namespace rtic
+
+#endif  // RTIC_COMMON_STRING_UTIL_H_

@@ -1,0 +1,29 @@
+#include "engines/active/rule.h"
+
+#include <algorithm>
+
+namespace rtic {
+namespace active {
+
+bool Rule::Matches(const std::vector<std::string>& touched) const {
+  if (watched_tables_.empty()) return true;
+  for (const std::string& t : watched_tables_) {
+    if (std::find(touched.begin(), touched.end(), t) != touched.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<bool> Rule::CheckCondition(const RuleContext& ctx) const {
+  if (!condition_) return true;
+  return condition_(ctx);
+}
+
+Status Rule::RunAction(const RuleContext& ctx) const {
+  if (!action_) return Status::OK();
+  return action_(ctx);
+}
+
+}  // namespace active
+}  // namespace rtic

@@ -1,0 +1,92 @@
+// ECA (event-condition-action) rules: the active-DBMS abstraction that the
+// follow-up implementation route (Chomicki & Toman, TKDE'95) compiles
+// temporal constraints into. The substrate is generic — rules are ordinary
+// data with condition/action bodies — and is tested independently of the
+// constraint compiler.
+
+#ifndef RTIC_ENGINES_ACTIVE_RULE_H_
+#define RTIC_ENGINES_ACTIVE_RULE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace rtic {
+namespace active {
+
+/// Execution context handed to conditions and actions when a rule fires.
+struct RuleContext {
+  /// The user database state after the triggering transition (read-only).
+  const Database* state = nullptr;
+
+  /// Rule-engine-owned storage (auxiliary/materialized tables); actions
+  /// mutate it.
+  Database* store = nullptr;
+
+  /// The transition's timestamp and, if any, the previous one.
+  Timestamp now = 0;
+  Timestamp prev = 0;
+  bool has_prev = false;
+};
+
+/// A statement-level trigger: fires at commit when any watched table was
+/// touched (or unconditionally if no watch list), evaluates its condition,
+/// and runs its action. Rules fire in ascending priority order.
+class Rule {
+ public:
+  using Condition = std::function<Result<bool>(const RuleContext&)>;
+  using Action = std::function<Status(const RuleContext&)>;
+
+  Rule(std::string name, int priority)
+      : name_(std::move(name)), priority_(priority) {}
+
+  /// Restricts firing to transitions that touched one of `tables`
+  /// (statement-level events). No call = fire on every transition.
+  Rule& OnTables(std::vector<std::string> tables) {
+    watched_tables_ = std::move(tables);
+    return *this;
+  }
+
+  /// Guard; a rule without a condition always passes.
+  Rule& When(Condition condition) {
+    condition_ = std::move(condition);
+    return *this;
+  }
+
+  /// The rule body.
+  Rule& Do(Action action) {
+    action_ = std::move(action);
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+  int priority() const { return priority_; }
+  const std::vector<std::string>& watched_tables() const {
+    return watched_tables_;
+  }
+
+  /// True iff the rule's event specification matches `touched` tables.
+  bool Matches(const std::vector<std::string>& touched) const;
+
+  /// Evaluates the condition (true if none was set).
+  Result<bool> CheckCondition(const RuleContext& ctx) const;
+
+  /// Runs the action (no-op if none was set).
+  Status RunAction(const RuleContext& ctx) const;
+
+ private:
+  std::string name_;
+  int priority_;
+  std::vector<std::string> watched_tables_;
+  Condition condition_;
+  Action action_;
+};
+
+}  // namespace active
+}  // namespace rtic
+
+#endif  // RTIC_ENGINES_ACTIVE_RULE_H_

@@ -1,0 +1,67 @@
+#include "engines/active/rule_engine.h"
+
+#include <algorithm>
+
+namespace rtic {
+namespace active {
+
+Status RuleEngine::AddRule(Rule rule) {
+  for (const Rule& r : rules_) {
+    if (r.priority() == rule.priority() && r.name() == rule.name()) {
+      return Status::AlreadyExists("rule already registered: " + rule.name());
+    }
+  }
+  rules_.push_back(std::move(rule));
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const Rule& a, const Rule& b) {
+                     return a.priority() < b.priority();
+                   });
+  return Status::OK();
+}
+
+Result<int> RuleEngine::ProcessTransition(
+    const Database& state, Timestamp t,
+    const std::vector<std::string>& touched) {
+  if (in_transition_) {
+    return Status::FailedPrecondition(
+        "cascading rule activation is not supported");
+  }
+  if (has_prev_ && t <= prev_time_) {
+    return Status::InvalidArgument(
+        "timestamps must be strictly increasing: " + std::to_string(t) +
+        " after " + std::to_string(prev_time_));
+  }
+  in_transition_ = true;
+
+  RuleContext ctx;
+  ctx.state = &state;
+  ctx.store = &store_;
+  ctx.now = t;
+  ctx.prev = prev_time_;
+  ctx.has_prev = has_prev_;
+
+  int fired = 0;
+  for (const Rule& rule : rules_) {
+    if (!rule.Matches(touched)) continue;
+    Result<bool> pass = rule.CheckCondition(ctx);
+    if (!pass.ok()) {
+      in_transition_ = false;
+      return pass.status();
+    }
+    if (!pass.value()) continue;
+    Status s = rule.RunAction(ctx);
+    if (!s.ok()) {
+      in_transition_ = false;
+      return s;
+    }
+    ++fired;
+  }
+
+  has_prev_ = true;
+  prev_time_ = t;
+  in_transition_ = false;
+  return fired;
+}
+
+}  // namespace active
+}  // namespace rtic

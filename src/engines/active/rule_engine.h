@@ -1,0 +1,50 @@
+// RuleEngine: fires registered ECA rules at each transition commit, in
+// ascending priority order, against an engine-owned auxiliary store.
+
+#ifndef RTIC_ENGINES_ACTIVE_RULE_ENGINE_H_
+#define RTIC_ENGINES_ACTIVE_RULE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "engines/active/rule.h"
+
+namespace rtic {
+namespace active {
+
+/// Statement-level trigger processor. Not re-entrant: actions must not call
+/// ProcessTransition (no cascading rule activation; the constraint compiler
+/// never needs it and the engine rejects it).
+class RuleEngine {
+ public:
+  RuleEngine() = default;
+
+  /// Registers a rule. Duplicate (priority, name) pairs are rejected so the
+  /// firing order is total and reproducible.
+  Status AddRule(Rule rule);
+
+  /// Commits one transition: fires every rule whose event spec matches
+  /// `touched` (empty = pure clock tick; rules without a watch list still
+  /// fire). Returns the number of rules whose actions ran.
+  Result<int> ProcessTransition(const Database& state, Timestamp t,
+                                const std::vector<std::string>& touched = {});
+
+  /// The engine-owned storage (auxiliary tables created by the caller).
+  Database* mutable_store() { return &store_; }
+  const Database& store() const { return store_; }
+
+  /// Registered rules in firing order.
+  const std::vector<Rule>& rules() const { return rules_; }
+
+ private:
+  Database store_;
+  std::vector<Rule> rules_;
+  bool in_transition_ = false;
+  bool has_prev_ = false;
+  Timestamp prev_time_ = 0;
+};
+
+}  // namespace active
+}  // namespace rtic
+
+#endif  // RTIC_ENGINES_ACTIVE_RULE_ENGINE_H_

@@ -1,0 +1,65 @@
+// CheckerEngine: the interface every constraint-checking strategy
+// implements. Three implementations exist:
+//   * NaiveEngine       — stores the full history, re-evaluates from scratch
+//                         (the baseline the paper improves on),
+//   * IncrementalEngine — bounded history encoding (the contribution),
+//   * ActiveEngine      — ECA trigger programs on an active-DBMS substrate
+//                         (the implementation route of the follow-up work).
+// All three produce identical verdicts; the cross-engine property suite
+// checks this on randomized histories.
+
+#ifndef RTIC_ENGINES_CHECKER_ENGINE_H_
+#define RTIC_ENGINES_CHECKER_ENGINE_H_
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "ra/relation.h"
+#include "storage/database.h"
+
+namespace rtic {
+
+/// One registered constraint's checking strategy.
+class CheckerEngine {
+ public:
+  virtual ~CheckerEngine() = default;
+
+  /// Processes the next history state (timestamps strictly increasing).
+  /// Returns true iff the constraint HOLDS at this state.
+  virtual Result<bool> OnTransition(const Database& state, Timestamp t) = 0;
+
+  /// Counterexample valuations for the outermost universally quantified
+  /// variables at the most recent state. Meaningful after OnTransition
+  /// returned false; a zero-column relation if the constraint is not of
+  /// `forall ...:` shape. `state` must be the database state last passed to
+  /// OnTransition (the engine does not retain a snapshot of it).
+  virtual Result<Relation> CurrentCounterexamples(const Database& state) = 0;
+
+  /// Rows of auxiliary/history storage the engine currently retains — the
+  /// space measure of experiment E2.
+  virtual std::size_t StorageRows() const = 0;
+
+  /// Engine name for reports ("naive", "incremental", "active",
+  /// "response").
+  virtual const char* name() const = 0;
+
+  /// Serializes the engine's complete state to a portable checkpoint.
+  /// Supported by the bounded-state engines (incremental, response), whose
+  /// checkpoints stay small regardless of history length; Unimplemented for
+  /// engines whose state IS the history.
+  virtual Result<std::string> SaveState() const {
+    return Status::Unimplemented(std::string(name()) +
+                                 " engine does not support checkpointing");
+  }
+
+  /// Restores a SaveState() checkpoint produced by an engine compiled from
+  /// the same constraint. Replaces all current state.
+  virtual Status LoadState(const std::string& data) {
+    (void)data;
+    return Status::Unimplemented(std::string(name()) +
+                                 " engine does not support checkpointing");
+  }
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_ENGINES_CHECKER_ENGINE_H_

@@ -1,0 +1,299 @@
+#include "engines/incremental/engine.h"
+
+#include <utility>
+
+#include "storage/codec.h"
+#include "fo/witness.h"
+#include "tl/normalizer.h"
+
+namespace rtic {
+
+using tl::Formula;
+using tl::FormulaKind;
+
+Result<std::unique_ptr<IncrementalEngine>> IncrementalEngine::Create(
+    const Formula& constraint, const tl::PredicateCatalog& catalog,
+    IncrementalOptions options) {
+  tl::FormulaPtr normalized = tl::NormalizeForEngines(constraint);
+  RTIC_ASSIGN_OR_RETURN(tl::Analysis analysis,
+                        tl::Analyze(*normalized, catalog));
+  if (!analysis.IsClosed(*normalized)) {
+    return Status::InvalidArgument(
+        "constraint must be a closed formula; free variables remain");
+  }
+  RTIC_ASSIGN_OR_RETURN(inc::CompiledNetwork network,
+                        inc::CompileNetwork(*normalized, analysis));
+  return std::unique_ptr<IncrementalEngine>(
+      new IncrementalEngine(std::move(normalized), std::move(analysis),
+                            std::move(network), std::move(options)));
+}
+
+IncrementalEngine::IncrementalEngine(tl::FormulaPtr constraint,
+                                     tl::Analysis analysis,
+                                     inc::CompiledNetwork network,
+                                     IncrementalOptions options)
+    : constraint_(std::move(constraint)),
+      analysis_(std::move(analysis)),
+      network_(std::move(network)),
+      options_(std::move(options)) {
+  states_.resize(network_.nodes.size());
+  for (std::size_t i = 0; i < network_.nodes.size(); ++i) {
+    states_[i].current = Relation(network_.nodes[i].columns);
+    if (network_.nodes[i].node->kind() == FormulaKind::kPrevious) {
+      states_[i].prev_body = Relation(network_.nodes[i].columns);
+    }
+  }
+}
+
+fo::EvalContext IncrementalEngine::ContextFor(const Database& state) {
+  fo::EvalContext ctx;
+  ctx.db = &state;
+  ctx.analysis = &analysis_;
+  ctx.extra_constants = &options_.extra_constants;
+  ctx.domain = &domain_;
+  ctx.resolver = [this](const Formula& node) -> Result<Relation> {
+    auto it = network_.index.find(&node);
+    if (it == network_.index.end()) {
+      return Status::Internal("temporal node missing from compiled network");
+    }
+    return states_[it->second].current;
+  };
+  return ctx;
+}
+
+Status IncrementalEngine::UpdateNode(std::size_t i, const Database& state,
+                                     Timestamp t) {
+  const inc::CompiledNode& cn = network_.nodes[i];
+  NodeState& ns = states_[i];
+  fo::EvalContext ctx = ContextFor(state);
+
+  switch (cn.node->kind()) {
+    case FormulaKind::kPrevious: {
+      // Current satisfaction: the body held at the previous state and the
+      // clock gap lies in the interval.
+      if (has_prev_ && cn.node->interval().Contains(t - prev_time_)) {
+        ns.current = ns.prev_body;
+      } else {
+        ns.current = Relation(cn.columns);
+      }
+      // Remember the body's satisfaction *now* for the next transition.
+      Result<Relation> body_now = fo::Evaluate(cn.node->child(0), ctx);
+      if (!body_now.ok()) return body_now.status();
+      ns.prev_body = std::move(body_now).value();
+      return Status::OK();
+    }
+    case FormulaKind::kOnce: {
+      Result<Relation> body_now = fo::Evaluate(cn.node->child(0), ctx);
+      if (!body_now.ok()) return body_now.status();
+      for (const Tuple& row : body_now->rows()) {
+        ns.anchors[row].push_back(t);
+      }
+      break;
+    }
+    case FormulaKind::kSince: {
+      // Survivor filter: an anchor entry stays only while the lhs keeps
+      // holding for its valuation. New anchors need only the rhs now.
+      Result<Relation> lhs_now = fo::Evaluate(cn.node->child(0), ctx);
+      if (!lhs_now.ok()) return lhs_now.status();
+      for (auto it = ns.anchors.begin(); it != ns.anchors.end();) {
+        std::vector<Value> proj;
+        proj.reserve(cn.lhs_projection.size());
+        for (std::size_t c : cn.lhs_projection) {
+          proj.push_back(it->first.at(c));
+        }
+        if (lhs_now->Contains(Tuple(std::move(proj)))) {
+          ++it;
+        } else {
+          it = ns.anchors.erase(it);
+        }
+      }
+      Result<Relation> rhs_now = fo::Evaluate(cn.node->child(1), ctx);
+      if (!rhs_now.ok()) return rhs_now.status();
+      for (const Tuple& row : rhs_now->rows()) {
+        ns.anchors[row].push_back(t);
+      }
+      break;
+    }
+    default:
+      return Status::Internal("UpdateNode on non-temporal node");
+  }
+
+  // Shared once/since tail: prune anchors and publish the current relation.
+  ns.current = Relation(cn.columns);
+  for (auto it = ns.anchors.begin(); it != ns.anchors.end();) {
+    PruneTimestamps(&it->second, t, cn.node->interval(), options_.pruning);
+    if (it->second.empty()) {
+      it = ns.anchors.erase(it);
+      continue;
+    }
+    if (AnyInWindow(it->second, t, cn.node->interval())) {
+      ns.current.InsertUnchecked(it->first);
+    }
+    ++it;
+  }
+  return Status::OK();
+}
+
+Result<bool> IncrementalEngine::OnTransition(const Database& state,
+                                             Timestamp t) {
+  if (has_prev_ && t <= prev_time_) {
+    return Status::InvalidArgument(
+        "timestamps must be strictly increasing: " + std::to_string(t) +
+        " after " + std::to_string(prev_time_));
+  }
+  domain_.Absorb(state);
+  for (std::size_t i = 0; i < network_.nodes.size(); ++i) {
+    RTIC_RETURN_IF_ERROR(UpdateNode(i, state, t));
+  }
+  RTIC_ASSIGN_OR_RETURN(Relation verdict,
+                        fo::Evaluate(*constraint_, ContextFor(state)));
+  has_prev_ = true;
+  prev_time_ = t;
+  return verdict.AsBool();
+}
+
+Result<Relation> IncrementalEngine::CurrentCounterexamples(
+    const Database& state) {
+  if (!has_prev_) {
+    return Status::FailedPrecondition("no transitions processed yet");
+  }
+  return fo::ComputeCounterexamples(*constraint_, ContextFor(state));
+}
+
+std::size_t IncrementalEngine::StorageRows() const {
+  std::size_t n = AuxTimestampCount();
+  for (std::size_t i = 0; i < network_.nodes.size(); ++i) {
+    if (network_.nodes[i].node->kind() == FormulaKind::kPrevious) {
+      n += states_[i].prev_body.size();
+    }
+  }
+  return n;
+}
+
+std::size_t IncrementalEngine::AuxTimestampCount() const {
+  std::size_t n = 0;
+  for (const NodeState& ns : states_) {
+    for (const auto& [valuation, timestamps] : ns.anchors) {
+      n += timestamps.size();
+    }
+  }
+  return n;
+}
+
+std::size_t IncrementalEngine::AuxValuationCount() const {
+  std::size_t n = 0;
+  for (const NodeState& ns : states_) n += ns.anchors.size();
+  return n;
+}
+
+namespace {
+constexpr char kCheckpointMagic[] = "RTICINC1";
+}  // namespace
+
+Result<std::string> IncrementalEngine::SaveState() const {
+  StateWriter w;
+  w.WriteString(kCheckpointMagic);
+  w.WriteString(constraint_->ToString());
+  w.WriteInt(has_prev_ ? 1 : 0);
+  w.WriteInt(prev_time_);
+
+  std::vector<Value> domain_values = domain_.AllValues();
+  w.WriteSize(domain_values.size());
+  for (const Value& v : domain_values) w.WriteValue(v);
+
+  w.WriteSize(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const NodeState& ns = states_[i];
+    w.WriteSize(i);
+    w.WriteSize(ns.current.size());
+    for (const Tuple& row : ns.current.SortedRows()) w.WriteTuple(row);
+    w.WriteSize(ns.prev_body.size());
+    for (const Tuple& row : ns.prev_body.SortedRows()) w.WriteTuple(row);
+    w.WriteSize(ns.anchors.size());
+    for (const auto& [valuation, timestamps] : ns.anchors) {
+      w.WriteTuple(valuation);
+      w.WriteSize(timestamps.size());
+      for (Timestamp ts : timestamps) w.WriteInt(ts);
+    }
+  }
+  return w.str();
+}
+
+Status IncrementalEngine::LoadState(const std::string& data) {
+  StateReader r(data);
+  RTIC_ASSIGN_OR_RETURN(std::string magic, r.ReadString());
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not an rtic incremental checkpoint");
+  }
+  RTIC_ASSIGN_OR_RETURN(std::string constraint_text, r.ReadString());
+  if (constraint_text != constraint_->ToString()) {
+    return Status::FailedPrecondition(
+        "checkpoint was produced for a different constraint: " +
+        constraint_text);
+  }
+  RTIC_ASSIGN_OR_RETURN(std::int64_t has_prev, r.ReadInt());
+  RTIC_ASSIGN_OR_RETURN(Timestamp prev_time, r.ReadInt());
+
+  RTIC_ASSIGN_OR_RETURN(std::int64_t domain_count, r.ReadInt());
+  DomainTracker domain;
+  std::vector<Value> domain_values;
+  for (std::int64_t i = 0; i < domain_count; ++i) {
+    RTIC_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+    domain_values.push_back(std::move(v));
+  }
+  domain.AbsorbValues(domain_values);
+
+  RTIC_ASSIGN_OR_RETURN(std::int64_t node_count, r.ReadInt());
+  if (node_count != static_cast<std::int64_t>(network_.nodes.size())) {
+    return Status::InvalidArgument("checkpoint node count mismatch");
+  }
+  std::vector<NodeState> restored(states_.size());
+  for (std::int64_t n = 0; n < node_count; ++n) {
+    RTIC_ASSIGN_OR_RETURN(std::int64_t idx, r.ReadInt());
+    if (idx != n) return Status::InvalidArgument("checkpoint node order");
+    const inc::CompiledNode& cn = network_.nodes[static_cast<std::size_t>(n)];
+    NodeState& ns = restored[static_cast<std::size_t>(n)];
+
+    ns.current = Relation(cn.columns);
+    RTIC_ASSIGN_OR_RETURN(std::int64_t cur_rows, r.ReadInt());
+    for (std::int64_t i = 0; i < cur_rows; ++i) {
+      RTIC_ASSIGN_OR_RETURN(Tuple row, r.ReadTuple());
+      RTIC_RETURN_IF_ERROR(ns.current.Insert(std::move(row)));
+    }
+    ns.prev_body = Relation(cn.columns);
+    RTIC_ASSIGN_OR_RETURN(std::int64_t prev_rows, r.ReadInt());
+    for (std::int64_t i = 0; i < prev_rows; ++i) {
+      RTIC_ASSIGN_OR_RETURN(Tuple row, r.ReadTuple());
+      RTIC_RETURN_IF_ERROR(ns.prev_body.Insert(std::move(row)));
+    }
+    RTIC_ASSIGN_OR_RETURN(std::int64_t anchor_count, r.ReadInt());
+    for (std::int64_t i = 0; i < anchor_count; ++i) {
+      RTIC_ASSIGN_OR_RETURN(Tuple valuation, r.ReadTuple());
+      RTIC_ASSIGN_OR_RETURN(std::int64_t ts_count, r.ReadInt());
+      std::vector<Timestamp> timestamps;
+      timestamps.reserve(static_cast<std::size_t>(ts_count));
+      Timestamp last = std::numeric_limits<Timestamp>::min();
+      for (std::int64_t k = 0; k < ts_count; ++k) {
+        RTIC_ASSIGN_OR_RETURN(Timestamp ts, r.ReadInt());
+        if (ts <= last) {
+          return Status::InvalidArgument(
+              "checkpoint anchor timestamps not ascending");
+        }
+        last = ts;
+        timestamps.push_back(ts);
+      }
+      ns.anchors.emplace(std::move(valuation), std::move(timestamps));
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in checkpoint");
+  }
+
+  states_ = std::move(restored);
+  domain_ = std::move(domain);
+  has_prev_ = has_prev != 0;
+  prev_time_ = prev_time;
+  return Status::OK();
+}
+
+}  // namespace rtic

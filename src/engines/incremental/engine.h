@@ -1,0 +1,116 @@
+// IncrementalEngine: the paper's contribution — history-less checking of
+// metric past temporal constraints by bounded history encoding.
+//
+// For each temporal subformula the engine keeps an auxiliary structure:
+//   previous[I] φ : the body's satisfaction relation at the previous state;
+//   once[I] φ     : valuation -> pruned ascending anchor timestamps where φ
+//                   held;
+//   φ since[I] ψ  : valuation -> pruned anchors where ψ held, entries
+//                   dropped the moment φ fails for them.
+//
+// A transition to state D at time t updates the network bottom-up:
+// each node evaluates its body against D (child temporal nodes resolve to
+// their already-updated current relations), folds the result into its
+// anchors, prunes (expiry + dominance per PruningPolicy), and publishes its
+// current satisfaction relation. Finally the whole constraint is evaluated
+// with temporal leaves resolved from those relations. Nothing depends on
+// the history's length — only on the current state, the previous auxiliary
+// state, and the two timestamps.
+
+#ifndef RTIC_ENGINES_INCREMENTAL_ENGINE_H_
+#define RTIC_ENGINES_INCREMENTAL_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engines/checker_engine.h"
+#include "engines/incremental/compiler.h"
+#include "engines/incremental/pruning.h"
+#include "fo/eval.h"
+#include "tl/analyzer.h"
+#include "tl/ast.h"
+
+namespace rtic {
+
+/// Options controlling an IncrementalEngine.
+struct IncrementalOptions {
+  /// kFull is the paper's bounded encoding; kExpiryOnly is the E6 ablation.
+  PruningPolicy pruning = PruningPolicy::kFull;
+
+  /// Extra constants contributing to every state's active domain.
+  std::vector<Value> extra_constants;
+};
+
+/// Bounded-history-encoding checker.
+class IncrementalEngine : public CheckerEngine {
+ public:
+  /// Compiles `constraint` (closed) against `catalog`. The engine stores a
+  /// normalized clone (implies/historically eliminated).
+  static Result<std::unique_ptr<IncrementalEngine>> Create(
+      const tl::Formula& constraint, const tl::PredicateCatalog& catalog,
+      IncrementalOptions options = {});
+
+  Result<bool> OnTransition(const Database& state, Timestamp t) override;
+  Result<Relation> CurrentCounterexamples(const Database& state) override;
+  std::size_t StorageRows() const override;
+  const char* name() const override { return "incremental"; }
+
+  /// Total anchor timestamps retained across all aux tables (space metric
+  /// for E2/E6; StorageRows also counts previous-node relations).
+  std::size_t AuxTimestampCount() const;
+
+  /// Number of distinct valuations retained across all aux tables.
+  std::size_t AuxValuationCount() const;
+
+  /// The compiled network (introspection for tests and DESIGN docs).
+  const inc::CompiledNetwork& network() const { return network_; }
+
+  /// The normalized constraint the engine actually runs.
+  const tl::Formula& normalized_constraint() const { return *constraint_; }
+
+  /// Serializes the checker's complete state — clock, cumulative domain,
+  /// and every auxiliary structure — to a portable text checkpoint. Because
+  /// the encoding is bounded, the checkpoint is small regardless of how
+  /// much history has been processed; together with the constraint text it
+  /// is everything needed to resume monitoring after a restart, with no
+  /// history replay.
+  Result<std::string> SaveState() const override;
+
+  /// Restores a SaveState() checkpoint into an engine compiled from the
+  /// SAME constraint (validated against the checkpoint). Replaces all
+  /// current state; subsequent verdicts are identical to an uninterrupted
+  /// run.
+  Status LoadState(const std::string& data) override;
+
+ private:
+  /// Anchor map: valuation tuple (node columns) -> ascending timestamps.
+  using AnchorMap =
+      std::unordered_map<Tuple, std::vector<Timestamp>, TupleHash>;
+
+  /// Mutable per-node runtime state, parallel to network_.nodes.
+  struct NodeState {
+    Relation current;    // satisfaction at the current state
+    Relation prev_body;  // previous-state body satisfaction (kPrevious)
+    AnchorMap anchors;   // anchor timestamps (kOnce / kSince)
+  };
+
+  IncrementalEngine(tl::FormulaPtr constraint, tl::Analysis analysis,
+                    inc::CompiledNetwork network, IncrementalOptions options);
+
+  fo::EvalContext ContextFor(const Database& state);
+  Status UpdateNode(std::size_t i, const Database& state, Timestamp t);
+
+  tl::FormulaPtr constraint_;
+  tl::Analysis analysis_;
+  inc::CompiledNetwork network_;
+  IncrementalOptions options_;
+  std::vector<NodeState> states_;
+  DomainTracker domain_;  // history's active domain (quantification range)
+  bool has_prev_ = false;
+  Timestamp prev_time_ = 0;
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_ENGINES_INCREMENTAL_ENGINE_H_

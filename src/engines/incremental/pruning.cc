@@ -1,0 +1,46 @@
+#include "engines/incremental/pruning.h"
+
+#include <algorithm>
+
+namespace rtic {
+
+void PruneTimestamps(std::vector<Timestamp>* timestamps, Timestamp now,
+                     const TimeInterval& interval, PruningPolicy policy) {
+  std::vector<Timestamp>& ts = *timestamps;
+
+  // Expiry: drop anchors strictly older than the window (finite b only).
+  if (!interval.unbounded()) {
+    auto first_alive = std::lower_bound(ts.begin(), ts.end(),
+                                        now - interval.hi());
+    ts.erase(ts.begin(), first_alive);
+  }
+  if (policy == PruningPolicy::kExpiryOnly || ts.size() <= 1) return;
+
+  if (interval.unbounded()) {
+    // The earliest anchor dominates all later ones.
+    ts.erase(ts.begin() + 1, ts.end());
+    return;
+  }
+
+  // Dominance: keep only the newest mature anchor (age >= lo) plus every
+  // immature anchor. Ascending order => mature anchors form a prefix.
+  auto first_immature = std::upper_bound(ts.begin(), ts.end(),
+                                         now - interval.lo());
+  if (first_immature - ts.begin() >= 2) {
+    // Keep the last mature element only: erase [begin, first_immature - 1).
+    ts.erase(ts.begin(), first_immature - 1);
+  }
+}
+
+bool AnyInWindow(const std::vector<Timestamp>& timestamps, Timestamp now,
+                 const TimeInterval& interval) {
+  // Window of admissible anchors: [now - hi, now - lo].
+  Timestamp lo_bound =
+      interval.unbounded() ? std::numeric_limits<Timestamp>::min()
+                           : now - interval.hi();
+  Timestamp hi_bound = now - interval.lo();
+  auto it = std::lower_bound(timestamps.begin(), timestamps.end(), lo_bound);
+  return it != timestamps.end() && *it <= hi_bound;
+}
+
+}  // namespace rtic

@@ -1,0 +1,49 @@
+// Timestamp-list pruning for the bounded history encoding.
+//
+// Each auxiliary entry is (valuation -> ascending list of anchor timestamps).
+// At monitor time `now`, with operator interval [a, b], an anchor ts can be
+// dropped when no *future* query (at any t' >= now) distinguishes the aux
+// table with and without it:
+//
+//   * expiry    — now - ts > b: the anchor can never re-enter the window.
+//   * dominance — a later anchor ts' > ts that is already mature
+//     (now - ts' >= a) answers every future query ts could answer
+//     ([t'-b, t'-a] containing ts implies ts <= t'-a, and ts' <= now - a
+//     <= t'-a with ts' > ts >= t'-b — so ts' is inside too). Hence only the
+//     newest mature anchor and all immature anchors are kept.
+//   * unbounded b — the *earliest* anchor answers every query the others
+//     can (ts_min <= ts <= t'-a), so exactly one timestamp survives.
+//
+// Consequences (the paper's space claim, proved in the property tests):
+// after full pruning a list holds at most 1 + (#states in the last `a` time
+// units) timestamps, and exactly <= 1 when a = 0 or b = infinity — bounded by
+// the constraint's metric bounds, independent of history length.
+
+#ifndef RTIC_ENGINES_INCREMENTAL_PRUNING_H_
+#define RTIC_ENGINES_INCREMENTAL_PRUNING_H_
+
+#include <vector>
+
+#include "common/interval.h"
+
+namespace rtic {
+
+/// Which prunings the incremental engine applies (kFull is the paper's
+/// method; kExpiryOnly is the ablation of experiment E6).
+enum class PruningPolicy {
+  kExpiryOnly,  // drop only anchors that are past the window
+  kFull,        // expiry + dominance pruning (bounded history encoding)
+};
+
+/// Prunes `timestamps` (ascending, all <= now) in place per `policy`.
+void PruneTimestamps(std::vector<Timestamp>* timestamps, Timestamp now,
+                     const TimeInterval& interval, PruningPolicy policy);
+
+/// True iff some anchor lies in the query window [now-hi, now-lo].
+/// `timestamps` must be ascending.
+bool AnyInWindow(const std::vector<Timestamp>& timestamps, Timestamp now,
+                 const TimeInterval& interval);
+
+}  // namespace rtic
+
+#endif  // RTIC_ENGINES_INCREMENTAL_PRUNING_H_

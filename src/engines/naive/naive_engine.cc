@@ -1,0 +1,181 @@
+#include "engines/naive/naive_engine.h"
+
+#include <optional>
+#include <utility>
+
+#include "fo/witness.h"
+#include "ra/ops.h"
+
+namespace rtic {
+
+using tl::Formula;
+using tl::FormulaKind;
+
+Result<std::unique_ptr<NaiveEngine>> NaiveEngine::Create(
+    const Formula& constraint, const tl::PredicateCatalog& catalog,
+    std::vector<Value> extra_constants) {
+  tl::FormulaPtr clone = constraint.Clone();
+  RTIC_ASSIGN_OR_RETURN(tl::Analysis analysis,
+                        tl::Analyze(*clone, catalog));
+  if (!analysis.IsClosed(*clone)) {
+    return Status::InvalidArgument(
+        "constraint must be a closed formula; free variables remain");
+  }
+  return std::unique_ptr<NaiveEngine>(new NaiveEngine(
+      std::move(clone), std::move(analysis), std::move(extra_constants)));
+}
+
+fo::EvalContext NaiveEngine::ContextAt(std::size_t index, Memo* memo) {
+  fo::EvalContext ctx;
+  ctx.db = &log_.StateAt(index);
+  ctx.analysis = &analysis_;
+  ctx.extra_constants = &extra_constants_;
+  ctx.domain = &trackers_[index];
+  ctx.resolver = [this, index, memo](const Formula& node) {
+    return EvalTemporalAt(node, index, memo);
+  };
+  return ctx;
+}
+
+Result<Relation> NaiveEngine::Eval(const Formula& node, std::size_t index,
+                                   Memo* memo) {
+  return fo::Evaluate(node, ContextAt(index, memo));
+}
+
+Relation NaiveEngine::DomainRelationAt(const std::vector<Column>& columns,
+                                       std::size_t index) {
+  fo::EvalContext ctx;
+  ctx.db = &log_.StateAt(index);
+  ctx.analysis = &analysis_;
+  ctx.extra_constants = &extra_constants_;
+  ctx.domain = &trackers_[index];
+  Relation out = Relation::True();
+  for (const Column& col : columns) {
+    Relation d = ra::FromValues(col.name, col.type,
+                                fo::ActiveDomain(ctx, col.type));
+    out = ra::CrossProduct(out, d).value();
+  }
+  return out;
+}
+
+Result<Relation> NaiveEngine::EvalTemporalAt(const Formula& node,
+                                             std::size_t index, Memo* memo) {
+  auto key = std::make_pair(&node, index);
+  auto hit = memo->find(key);
+  if (hit != memo->end()) return hit->second;
+
+  const Timestamp now = log_.TimeAt(index);
+  const TimeInterval& interval = node.interval();
+  Relation result(analysis_.ColumnsFor(node));
+
+  switch (node.kind()) {
+    case FormulaKind::kPrevious: {
+      if (index > 0) {
+        Timestamp gap = now - log_.TimeAt(index - 1);
+        if (interval.Contains(gap)) {
+          RTIC_ASSIGN_OR_RETURN(result, Eval(node.child(0), index - 1, memo));
+        }
+      }
+      break;
+    }
+    case FormulaKind::kOnce: {
+      // ∪ over window states of the body's satisfaction there.
+      for (std::size_t j = index + 1; j-- > 0;) {
+        Timestamp dist = now - log_.TimeAt(j);
+        if (interval.Expired(dist)) break;
+        if (!interval.Contains(dist)) continue;
+        RTIC_ASSIGN_OR_RETURN(Relation at_j, Eval(node.child(0), j, memo));
+        RTIC_ASSIGN_OR_RETURN(result, ra::Union(result, at_j));
+      }
+      break;
+    }
+    case FormulaKind::kHistorically: {
+      // ν fails iff some window state falsifies the body there (complement
+      // w.r.t. that state's active domain); result is the current-state
+      // domain minus all such failures. Matches not once[I] not φ.
+      std::vector<Column> cols = analysis_.ColumnsFor(node);
+      Relation bad(cols);
+      for (std::size_t j = index + 1; j-- > 0;) {
+        Timestamp dist = now - log_.TimeAt(j);
+        if (interval.Expired(dist)) break;
+        if (!interval.Contains(dist)) continue;
+        RTIC_ASSIGN_OR_RETURN(Relation at_j, Eval(node.child(0), j, memo));
+        RTIC_ASSIGN_OR_RETURN(Relation comp_j,
+                              ra::Difference(DomainRelationAt(cols, j), at_j));
+        RTIC_ASSIGN_OR_RETURN(bad, ra::Union(bad, comp_j));
+      }
+      RTIC_ASSIGN_OR_RETURN(result,
+                            ra::Difference(DomainRelationAt(cols, index), bad));
+      break;
+    }
+    case FormulaKind::kSince: {
+      // Anchors j (rhs holds, distance in window) filtered by lhs having
+      // held at every state in (j, index]. phi_cap accumulates
+      // ∩_{k=j+1..index} lhs@k as j walks backwards.
+      std::optional<Relation> phi_cap;
+      for (std::size_t j = index + 1; j-- > 0;) {
+        Timestamp dist = now - log_.TimeAt(j);
+        if (interval.Expired(dist)) break;
+        if (interval.Contains(dist)) {
+          RTIC_ASSIGN_OR_RETURN(Relation contrib,
+                                Eval(node.child(1), j, memo));
+          if (j < index) {
+            RTIC_ASSIGN_OR_RETURN(contrib, ra::SemiJoin(contrib, *phi_cap));
+          }
+          RTIC_ASSIGN_OR_RETURN(result, ra::Union(result, contrib));
+        }
+        if (j > 0) {  // prepare cap for the next (earlier) anchor
+          RTIC_ASSIGN_OR_RETURN(Relation phi_j,
+                                Eval(node.child(0), j, memo));
+          if (phi_cap.has_value()) {
+            RTIC_ASSIGN_OR_RETURN(phi_cap, ra::Intersect(*phi_cap, phi_j));
+          } else {
+            phi_cap = std::move(phi_j);
+          }
+        }
+      }
+      break;
+    }
+    default:
+      return Status::Internal("EvalTemporalAt called on non-temporal node");
+  }
+  memo->emplace(key, result);
+  return result;
+}
+
+Result<Relation> NaiveEngine::EvaluateAt(const Formula& node,
+                                         std::size_t index) {
+  if (index >= log_.size()) {
+    return Status::OutOfRange("no history state " + std::to_string(index));
+  }
+  Memo memo;
+  return Eval(node, index, &memo);
+}
+
+Result<bool> NaiveEngine::OnTransition(const Database& state, Timestamp t) {
+  RTIC_RETURN_IF_ERROR(log_.Append(state, t));
+  DomainTracker tracker = trackers_.empty() ? DomainTracker() : trackers_.back();
+  tracker.Absorb(state);
+  trackers_.push_back(std::move(tracker));
+  RTIC_ASSIGN_OR_RETURN(Relation verdict,
+                        EvaluateAt(*constraint_, log_.size() - 1));
+  return verdict.AsBool();
+}
+
+Result<Relation> NaiveEngine::CurrentCounterexamples(
+    const Database& /*state*/) {
+  // The log already holds the latest state; the parameter is part of the
+  // interface for engines that do not retain snapshots.
+  if (log_.empty()) {
+    return Status::FailedPrecondition("no transitions processed yet");
+  }
+  Memo memo;
+  return fo::ComputeCounterexamples(*constraint_,
+                                    ContextAt(log_.size() - 1, &memo));
+}
+
+std::size_t NaiveEngine::StorageRows() const {
+  return log_.TotalStoredRows();
+}
+
+}  // namespace rtic

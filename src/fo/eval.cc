@@ -1,0 +1,519 @@
+#include "fo/eval.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "ra/ops.h"
+
+namespace rtic {
+namespace fo {
+
+namespace {
+
+using tl::CmpOp;
+using tl::Formula;
+using tl::FormulaKind;
+using tl::Term;
+
+class Evaluator {
+ public:
+  explicit Evaluator(const EvalContext& ctx) : ctx_(ctx) {}
+
+  /// Satisfaction relation of `f` over its sorted free variables.
+  Result<Relation> Eval(const Formula& f) {
+    switch (f.kind()) {
+      case FormulaKind::kBoolConst:
+        return f.bool_value() ? Relation::True() : Relation::False();
+      case FormulaKind::kAtom:
+        return EvalAtom(f);
+      case FormulaKind::kComparison:
+        return EvalComparison(f);
+      case FormulaKind::kNot:
+        // eval(¬φ) is exactly the falsification set of φ.
+        return BadSet(f.child(0));
+      case FormulaKind::kAnd:
+        return EvalAnd(f);
+      case FormulaKind::kOr:
+        return EvalOr(f);
+      case FormulaKind::kImplies: {
+        // Complement of the (generated, hence complete) falsification set
+        // over the quantification domain.
+        RTIC_ASSIGN_OR_RETURN(Relation bad, BadSet(f));
+        Relation domain = DomainRelation(ctx_.analysis->ColumnsFor(f));
+        return ra::Difference(domain, bad);
+      }
+      case FormulaKind::kExists: {
+        RTIC_ASSIGN_OR_RETURN(Relation body, Eval(f.child(0)));
+        return Canonicalize(std::move(body), f);
+      }
+      case FormulaKind::kForall: {
+        // ν ⊨ ∀x̄ φ iff no extension falsifies φ. The falsification set is
+        // generated bottom-up (no domain product unless φ is unsafe).
+        RTIC_ASSIGN_OR_RETURN(Relation bad, BadSet(f.child(0)));
+        std::vector<std::string> keep;
+        for (const Column& c : ctx_.analysis->ColumnsFor(f)) {
+          keep.push_back(c.name);
+        }
+        RTIC_ASSIGN_OR_RETURN(Relation bad_proj, ra::Project(bad, keep));
+        Relation domain = DomainRelation(ctx_.analysis->ColumnsFor(f));
+        return ra::Difference(domain, bad_proj);
+      }
+      case FormulaKind::kPrevious:
+      case FormulaKind::kOnce:
+      case FormulaKind::kHistorically:
+      case FormulaKind::kSince:
+        return EvalTemporal(f);
+      case FormulaKind::kEventually:
+        return FutureOperatorError();
+    }
+    return Status::Internal("unhandled formula kind");
+  }
+
+  /// Falsification set of `f`: ALL valuations over free(f) making f false,
+  /// complete even for values outside the quantification domain whenever f
+  /// is range-restricted in the falsifying direction (e.g. implications
+  /// whose antecedent generates the bindings). Falls back to a domain
+  /// complement otherwise.
+  Result<Relation> BadSet(const Formula& f) {
+    switch (f.kind()) {
+      case FormulaKind::kBoolConst:
+        return f.bool_value() ? Relation::False() : Relation::True();
+      case FormulaKind::kNot:
+        return Eval(f.child(0));
+      case FormulaKind::kImplies: {
+        // falsify(a → b) = satisfy a, then falsify b.
+        RTIC_ASSIGN_OR_RETURN(Relation current, Eval(f.child(0)));
+        RTIC_ASSIGN_OR_RETURN(
+            current,
+            ExtendToColumns(std::move(current), ctx_.analysis->ColumnsFor(f)));
+        RTIC_ASSIGN_OR_RETURN(current,
+                              FilterFalse(std::move(current), f.child(1)));
+        return Canonicalize(std::move(current), f);
+      }
+      case FormulaKind::kAnd: {
+        // falsify(a ∧ b) = falsify a ∪ falsify b (each extended).
+        RTIC_ASSIGN_OR_RETURN(Relation l, BadSet(f.child(0)));
+        RTIC_ASSIGN_OR_RETURN(Relation r, BadSet(f.child(1)));
+        std::vector<Column> target = ctx_.analysis->ColumnsFor(f);
+        RTIC_ASSIGN_OR_RETURN(l, ExtendToColumns(std::move(l), target));
+        RTIC_ASSIGN_OR_RETURN(r, ExtendToColumns(std::move(r), target));
+        RTIC_ASSIGN_OR_RETURN(l, Canonicalize(std::move(l), f));
+        RTIC_ASSIGN_OR_RETURN(r, Canonicalize(std::move(r), f));
+        return ra::Union(l, r);
+      }
+      case FormulaKind::kOr: {
+        // falsify(a ∨ b) = falsify a ∧ falsify b. When one side's variables
+        // cover the other's, generate the covering side's falsifications
+        // and filter by the other side failing — no domain product for
+        // shapes like `not antecedent or consequent`.
+        const Formula& a = f.child(0);
+        const Formula& b = f.child(1);
+        const auto& fa = ctx_.analysis->FreeVars(a);
+        const auto& fb = ctx_.analysis->FreeVars(b);
+        auto covers = [](const std::vector<std::string>& big,
+                         const std::vector<std::string>& small) {
+          for (const std::string& v : small) {
+            if (!std::binary_search(big.begin(), big.end(), v)) return false;
+          }
+          return true;
+        };
+        if (covers(fa, fb)) {
+          RTIC_ASSIGN_OR_RETURN(Relation bad, BadSet(a));
+          RTIC_ASSIGN_OR_RETURN(bad, FilterFalse(std::move(bad), b));
+          return Canonicalize(std::move(bad), f);
+        }
+        if (covers(fb, fa)) {
+          RTIC_ASSIGN_OR_RETURN(Relation bad, BadSet(b));
+          RTIC_ASSIGN_OR_RETURN(bad, FilterFalse(std::move(bad), a));
+          return Canonicalize(std::move(bad), f);
+        }
+        RTIC_ASSIGN_OR_RETURN(Relation l, BadSet(a));
+        RTIC_ASSIGN_OR_RETURN(Relation r, BadSet(b));
+        RTIC_ASSIGN_OR_RETURN(Relation joined, ra::NaturalJoin(l, r));
+        return Canonicalize(std::move(joined), f);
+      }
+      case FormulaKind::kForall: {
+        // falsify(∀x̄ φ) = ∃x̄ falsify(φ).
+        RTIC_ASSIGN_OR_RETURN(Relation bad, BadSet(f.child(0)));
+        return Canonicalize(std::move(bad), f);
+      }
+      case FormulaKind::kComparison:
+        return EvalComparison(f, /*negated=*/true);
+      case FormulaKind::kExists:
+      case FormulaKind::kAtom:
+      case FormulaKind::kPrevious:
+      case FormulaKind::kOnce:
+      case FormulaKind::kHistorically:
+      case FormulaKind::kSince: {
+        // Genuine complement: domain product minus the satisfaction set.
+        // (The analyzer warns when a constraint can reach this path.)
+        RTIC_ASSIGN_OR_RETURN(Relation sat, Eval(f));
+        Relation domain = DomainRelation(ctx_.analysis->ColumnsFor(f));
+        return ra::Difference(domain, sat);
+      }
+      case FormulaKind::kEventually:
+        return FutureOperatorError();
+    }
+    return Status::Internal("unhandled formula kind");
+  }
+
+ private:
+  // ---- filters: keep rows of `current` satisfying / falsifying `g` -------
+  // Requires free(g) ⊆ columns(current); callers extend first.
+
+  Result<Relation> FilterSat(Relation current, const Formula& g) {
+    switch (g.kind()) {
+      case FormulaKind::kBoolConst:
+        return g.bool_value() ? std::move(current)
+                              : Relation(current.columns());
+      case FormulaKind::kComparison:
+        return FilterByComparison(std::move(current), g, /*negated=*/false);
+      case FormulaKind::kNot:
+        return FilterFalse(std::move(current), g.child(0));
+      case FormulaKind::kAnd: {
+        RTIC_ASSIGN_OR_RETURN(current,
+                              FilterSat(std::move(current), g.child(0)));
+        return FilterSat(std::move(current), g.child(1));
+      }
+      case FormulaKind::kOr: {
+        RTIC_ASSIGN_OR_RETURN(Relation l, FilterSat(current, g.child(0)));
+        RTIC_ASSIGN_OR_RETURN(Relation r,
+                              FilterSat(std::move(current), g.child(1)));
+        return ra::Union(l, r);
+      }
+      case FormulaKind::kImplies: {
+        RTIC_ASSIGN_OR_RETURN(Relation l, FilterFalse(current, g.child(0)));
+        RTIC_ASSIGN_OR_RETURN(Relation r,
+                              FilterSat(std::move(current), g.child(1)));
+        return ra::Union(l, r);
+      }
+      case FormulaKind::kForall: {
+        RTIC_ASSIGN_OR_RETURN(Relation bad, BadSet(g.child(0)));
+        return ra::AntiJoin(current, bad);
+      }
+      case FormulaKind::kExists: {
+        RTIC_ASSIGN_OR_RETURN(Relation body, Eval(g.child(0)));
+        return ra::SemiJoin(current, body);
+      }
+      case FormulaKind::kAtom:
+      case FormulaKind::kPrevious:
+      case FormulaKind::kOnce:
+      case FormulaKind::kHistorically:
+      case FormulaKind::kSince: {
+        RTIC_ASSIGN_OR_RETURN(Relation sat, Eval(g));
+        return ra::SemiJoin(current, sat);
+      }
+      case FormulaKind::kEventually:
+        return FutureOperatorError();
+    }
+    return Status::Internal("unhandled formula kind");
+  }
+
+  Result<Relation> FilterFalse(Relation current, const Formula& g) {
+    switch (g.kind()) {
+      case FormulaKind::kBoolConst:
+        return g.bool_value() ? Relation(current.columns())
+                              : std::move(current);
+      case FormulaKind::kComparison:
+        return FilterByComparison(std::move(current), g, /*negated=*/true);
+      case FormulaKind::kNot:
+        return FilterSat(std::move(current), g.child(0));
+      case FormulaKind::kAnd: {
+        RTIC_ASSIGN_OR_RETURN(Relation l, FilterFalse(current, g.child(0)));
+        RTIC_ASSIGN_OR_RETURN(Relation r,
+                              FilterFalse(std::move(current), g.child(1)));
+        return ra::Union(l, r);
+      }
+      case FormulaKind::kOr: {
+        RTIC_ASSIGN_OR_RETURN(current,
+                              FilterFalse(std::move(current), g.child(0)));
+        return FilterFalse(std::move(current), g.child(1));
+      }
+      case FormulaKind::kImplies: {
+        RTIC_ASSIGN_OR_RETURN(current,
+                              FilterSat(std::move(current), g.child(0)));
+        return FilterFalse(std::move(current), g.child(1));
+      }
+      case FormulaKind::kForall: {
+        RTIC_ASSIGN_OR_RETURN(Relation bad, BadSet(g.child(0)));
+        return ra::SemiJoin(current, bad);
+      }
+      case FormulaKind::kExists: {
+        RTIC_ASSIGN_OR_RETURN(Relation body, Eval(g.child(0)));
+        return ra::AntiJoin(current, body);
+      }
+      case FormulaKind::kAtom:
+      case FormulaKind::kPrevious:
+      case FormulaKind::kOnce:
+      case FormulaKind::kHistorically:
+      case FormulaKind::kSince: {
+        RTIC_ASSIGN_OR_RETURN(Relation sat, Eval(g));
+        return ra::AntiJoin(current, sat);
+      }
+      case FormulaKind::kEventually:
+        return FutureOperatorError();
+    }
+    return Status::Internal("unhandled formula kind");
+  }
+
+  // ---- leaves -------------------------------------------------------------
+
+  static Status FutureOperatorError() {
+    return Status::InvalidArgument(
+        "the bounded-future operator `eventually` is only valid as the "
+        "consequent of a response constraint (forall ...: trigger implies "
+        "eventually[a, b] response)");
+  }
+
+  Result<Relation> EvalAtom(const Formula& f) {
+    RTIC_ASSIGN_OR_RETURN(const Table* table,
+                          ctx_.db->GetTable(f.predicate()));
+    std::vector<Column> columns = ctx_.analysis->ColumnsFor(f);
+    Relation out(columns);
+
+    // First table position of each output variable.
+    std::vector<std::size_t> var_pos(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      for (std::size_t i = 0; i < f.terms().size(); ++i) {
+        const Term& t = f.terms()[i];
+        if (t.is_variable() && t.name() == columns[c].name) {
+          var_pos[c] = i;
+          break;
+        }
+      }
+    }
+
+    for (const Tuple& row : table->rows()) {
+      bool match = true;
+      std::unordered_map<std::string, const Value*> binding;
+      for (std::size_t i = 0; i < f.terms().size() && match; ++i) {
+        const Term& t = f.terms()[i];
+        if (t.is_constant()) {
+          if (!(row.at(i) == t.value())) match = false;
+        } else {
+          auto [it, inserted] = binding.emplace(t.name(), &row.at(i));
+          if (!inserted && !(*it->second == row.at(i))) match = false;
+        }
+      }
+      if (!match) continue;
+      std::vector<Value> vals;
+      vals.reserve(columns.size());
+      for (std::size_t c = 0; c < columns.size(); ++c) {
+        vals.push_back(row.at(var_pos[c]));
+      }
+      out.InsertUnchecked(Tuple(std::move(vals)));
+    }
+    return out;
+  }
+
+  Result<Relation> EvalComparison(const Formula& f, bool negated = false) {
+    const Term& a = f.terms()[0];
+    const Term& b = f.terms()[1];
+    if (a.is_constant() && b.is_constant()) {
+      RTIC_ASSIGN_OR_RETURN(int c, CompareValues(a.value(), b.value()));
+      bool truth = tl::EvalCmp(f.cmp_op(), c) != negated;
+      return truth ? Relation::True() : Relation::False();
+    }
+    // Materialize over the (one or two) free variables, then filter.
+    std::vector<Column> columns = ctx_.analysis->ColumnsFor(f);
+    Relation domain = DomainRelation(columns);
+    return FilterByComparison(std::move(domain), f, negated);
+  }
+
+  Result<Relation> FilterByComparison(Relation rel, const Formula& cmp,
+                                      bool negated) {
+    Relation out(rel.columns());
+    for (const Tuple& row : rel.rows()) {
+      auto value_of = [&](const Term& t) -> const Value& {
+        if (t.is_constant()) return t.value();
+        return row.at(*rel.IndexOf(t.name()));
+      };
+      RTIC_ASSIGN_OR_RETURN(int c, CompareValues(value_of(cmp.terms()[0]),
+                                                 value_of(cmp.terms()[1])));
+      if (tl::EvalCmp(cmp.cmp_op(), c) != negated) out.InsertUnchecked(row);
+    }
+    return out;
+  }
+
+  Result<Relation> EvalTemporal(const Formula& f) {
+    if (!ctx_.resolver) {
+      return Status::FailedPrecondition(
+          "formula contains temporal operator " +
+          std::string(FormulaKindToString(f.kind())) +
+          " but no temporal resolver was provided");
+    }
+    RTIC_ASSIGN_OR_RETURN(Relation rel, ctx_.resolver(f));
+    return Canonicalize(std::move(rel), f);
+  }
+
+  // ---- composites ---------------------------------------------------------
+
+  static void FlattenAnd(const Formula& f, std::vector<const Formula*>* out) {
+    if (f.kind() == FormulaKind::kAnd) {
+      FlattenAnd(f.child(0), out);
+      FlattenAnd(f.child(1), out);
+    } else {
+      out->push_back(&f);
+    }
+  }
+
+  static bool IsGenerator(FormulaKind kind) {
+    switch (kind) {
+      case FormulaKind::kAtom:
+      case FormulaKind::kExists:
+      case FormulaKind::kOr:
+      case FormulaKind::kBoolConst:
+      case FormulaKind::kPrevious:
+      case FormulaKind::kOnce:
+      case FormulaKind::kHistorically:
+      case FormulaKind::kSince:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<Relation> EvalAnd(const Formula& f) {
+    std::vector<const Formula*> conjuncts;
+    FlattenAnd(f, &conjuncts);
+
+    // 1. Generators bind variables from data.
+    Relation current = Relation::True();
+    for (const Formula* c : conjuncts) {
+      if (!IsGenerator(c->kind())) continue;
+      RTIC_ASSIGN_OR_RETURN(Relation rel, Eval(*c));
+      RTIC_ASSIGN_OR_RETURN(current, ra::NaturalJoin(current, rel));
+    }
+
+    // 2. The rest (comparisons, negations, implications, universals) act as
+    //    filters over bound rows; genuinely unbound variables fall back to
+    //    a domain extension.
+    for (const Formula* c : conjuncts) {
+      if (IsGenerator(c->kind())) continue;
+      if (!Covered(current, *c)) {
+        RTIC_ASSIGN_OR_RETURN(
+            current, ExtendToColumns(std::move(current),
+                                     ctx_.analysis->ColumnsFor(*c)));
+      }
+      RTIC_ASSIGN_OR_RETURN(current, FilterSat(std::move(current), *c));
+    }
+
+    RTIC_ASSIGN_OR_RETURN(
+        current,
+        ExtendToColumns(std::move(current), ctx_.analysis->ColumnsFor(f)));
+    return Canonicalize(std::move(current), f);
+  }
+
+  Result<Relation> EvalOr(const Formula& f) {
+    RTIC_ASSIGN_OR_RETURN(Relation l, Eval(f.child(0)));
+    RTIC_ASSIGN_OR_RETURN(Relation r, Eval(f.child(1)));
+    std::vector<Column> target = ctx_.analysis->ColumnsFor(f);
+    RTIC_ASSIGN_OR_RETURN(l, ExtendToColumns(std::move(l), target));
+    RTIC_ASSIGN_OR_RETURN(r, ExtendToColumns(std::move(r), target));
+    RTIC_ASSIGN_OR_RETURN(l, Canonicalize(std::move(l), f));
+    RTIC_ASSIGN_OR_RETURN(r, Canonicalize(std::move(r), f));
+    return ra::Union(l, r);
+  }
+
+  // ---- plumbing -----------------------------------------------------------
+
+  const std::vector<Value>& Domain(ValueType type) {
+    auto it = domain_cache_.find(type);
+    if (it != domain_cache_.end()) return it->second;
+    std::vector<Value> values = ActiveDomain(ctx_, type);
+    return domain_cache_.emplace(type, std::move(values)).first->second;
+  }
+
+  Relation DomainRelation(const std::vector<Column>& columns) {
+    Relation out = Relation::True();
+    for (const Column& col : columns) {
+      Relation d = ra::FromValues(col.name, col.type, Domain(col.type));
+      out = ra::CrossProduct(out, d).value();
+    }
+    return out;
+  }
+
+  Result<Relation> Canonicalize(Relation rel, const Formula& node) {
+    std::vector<Column> want = ctx_.analysis->ColumnsFor(node);
+    if (rel.columns().size() == want.size()) {
+      bool same = true;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        if (!(rel.columns()[i] == want[i])) {
+          same = false;
+          break;
+        }
+      }
+      if (same) return rel;
+    }
+    std::vector<std::string> names;
+    names.reserve(want.size());
+    for (const Column& c : want) names.push_back(c.name);
+    return ra::Project(rel, names);
+  }
+
+  Result<Relation> ExtendToColumns(Relation rel,
+                                   const std::vector<Column>& target) {
+    for (const Column& col : target) {
+      if (rel.IndexOf(col.name).has_value()) continue;
+      Relation d = ra::FromValues(col.name, col.type, Domain(col.type));
+      RTIC_ASSIGN_OR_RETURN(rel, ra::CrossProduct(rel, d));
+    }
+    return rel;
+  }
+
+  bool Covered(const Relation& rel, const Formula& node) const {
+    for (const std::string& v : ctx_.analysis->FreeVars(node)) {
+      if (!rel.IndexOf(v).has_value()) return false;
+    }
+    return true;
+  }
+
+  const EvalContext& ctx_;
+  std::map<ValueType, std::vector<Value>> domain_cache_;
+};
+
+}  // namespace
+
+Result<Relation> Evaluate(const tl::Formula& formula, const EvalContext& ctx) {
+  if (ctx.db == nullptr || ctx.analysis == nullptr) {
+    return Status::InvalidArgument(
+        "EvalContext requires a database state and an analysis");
+  }
+  Evaluator evaluator(ctx);
+  return evaluator.Eval(formula);
+}
+
+Result<Relation> EvaluateFalsifications(const tl::Formula& formula,
+                                        const EvalContext& ctx) {
+  if (ctx.db == nullptr || ctx.analysis == nullptr) {
+    return Status::InvalidArgument(
+        "EvalContext requires a database state and an analysis");
+  }
+  Evaluator evaluator(ctx);
+  return evaluator.BadSet(formula);
+}
+
+std::vector<Value> ActiveDomain(const EvalContext& ctx, ValueType type) {
+  std::set<Value> values;
+  if (ctx.domain != nullptr) {
+    for (const Value& v : ctx.domain->Values(type)) values.insert(v);
+  } else if (ctx.db != nullptr) {
+    for (const Value& v : ctx.db->ActiveDomain(type)) values.insert(v);
+  }
+  if (ctx.analysis != nullptr) {
+    for (const Value& v : ctx.analysis->constants()) {
+      if (v.type() == type) values.insert(v);
+    }
+  }
+  if (ctx.extra_constants != nullptr) {
+    for (const Value& v : *ctx.extra_constants) {
+      if (v.type() == type) values.insert(v);
+    }
+  }
+  return std::vector<Value>(values.begin(), values.end());
+}
+
+}  // namespace fo
+}  // namespace rtic

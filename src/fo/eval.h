@@ -1,0 +1,84 @@
+// First-order evaluator: computes, for a formula and one database state, the
+// relation of satisfying valuations over the formula's free variables.
+//
+// Semantics: quantifiers and negation range over the *history's* active
+// domain (DomainTracker: every value seen in any state so far, plus the
+// formula's constants and registered extras). Temporal subformulas are
+// opaque leaves resolved via a callback, which lets the same code serve
+//   * the naive engine  (resolver recurses into the stored history), and
+//   * the incremental engine (resolver reads bounded auxiliary relations).
+//
+// Evaluation strategy (the safe-range discipline): conjunctions evaluate
+// their generator conjuncts (atoms, temporal leaves, disjunctions,
+// existentials) as joins, then apply the remaining conjuncts — comparisons,
+// negations, implications, universals — as satisfy/falsify *filters* over
+// the already-bound rows (selections, semi-joins, anti-joins). A domain
+// relation is materialized only when a formula is genuinely not
+// range-restricted (the analyzer warns about exactly those), so the common
+// `forall x̄: antecedent implies consequent` constraints never enumerate any
+// domain.
+
+#ifndef RTIC_FO_EVAL_H_
+#define RTIC_FO_EVAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "ra/relation.h"
+#include "storage/database.h"
+#include "storage/domain_tracker.h"
+#include "tl/analyzer.h"
+#include "tl/ast.h"
+
+namespace rtic {
+namespace fo {
+
+/// Returns the *current* satisfaction relation of a temporal subformula.
+/// The relation's columns must be exactly Analysis::ColumnsFor(node).
+using TemporalResolver =
+    std::function<Result<Relation>(const tl::Formula& node)>;
+
+/// Everything an evaluation needs besides the formula itself.
+struct EvalContext {
+  /// The database state to evaluate against.
+  const Database* db = nullptr;
+
+  /// Analysis of the exact formula tree being evaluated.
+  const tl::Analysis* analysis = nullptr;
+
+  /// Resolver for temporal leaves; may be null if the formula is
+  /// temporal-free.
+  TemporalResolver resolver;
+
+  /// The history's cumulative active domain. May be null, in which case the
+  /// current state's values are used (adequate only for safe formulas or
+  /// single-state evaluation).
+  const DomainTracker* domain = nullptr;
+
+  /// Additional constants contributing to the active domain. May be null.
+  const std::vector<Value>* extra_constants = nullptr;
+};
+
+/// Evaluates `formula` under `ctx`. The result's columns are
+/// ctx.analysis->ColumnsFor(formula) (sorted free variables); a closed
+/// formula yields a zero-column boolean relation.
+Result<Relation> Evaluate(const tl::Formula& formula, const EvalContext& ctx);
+
+/// Evaluates the FALSIFICATION set of `formula`: the valuations over its
+/// free variables making it false. For implication-shaped formulas this is
+/// generated bottom-up (antecedent bindings filtered by a failing
+/// consequent) and never materializes a domain product — the fast path for
+/// violation-witness extraction. Equal to Domain^k minus Evaluate(formula).
+Result<Relation> EvaluateFalsifications(const tl::Formula& formula,
+                                        const EvalContext& ctx);
+
+/// The quantification domain used by Evaluate for `type`: the tracker's
+/// values (or the current state's when no tracker is given), plus formula
+/// constants, plus extra constants.
+std::vector<Value> ActiveDomain(const EvalContext& ctx, ValueType type);
+
+}  // namespace fo
+}  // namespace rtic
+
+#endif  // RTIC_FO_EVAL_H_

@@ -1,0 +1,21 @@
+#include "fo/witness.h"
+
+#include "ra/ops.h"
+
+namespace rtic {
+namespace fo {
+
+Result<Relation> ComputeCounterexamples(const tl::Formula& root,
+                                        const EvalContext& ctx) {
+  const tl::Formula* body = &root;
+  while (body->kind() == tl::FormulaKind::kForall) {
+    body = &body->child(0);
+  }
+  // The falsification set is generated bottom-up (antecedent bindings with
+  // a failing consequent) — no active-domain product is materialized for
+  // the common implication-shaped constraints.
+  return EvaluateFalsifications(*body, ctx);
+}
+
+}  // namespace fo
+}  // namespace rtic

@@ -1,0 +1,27 @@
+// Counterexample extraction: when a constraint of the shape
+//   forall x1 ... xk: body
+// is violated, report the valuations of x1..xk falsifying the body.
+
+#ifndef RTIC_FO_WITNESS_H_
+#define RTIC_FO_WITNESS_H_
+
+#include "common/result.h"
+#include "fo/eval.h"
+#include "ra/relation.h"
+#include "tl/ast.h"
+
+namespace rtic {
+namespace fo {
+
+/// Strips the maximal prefix of `forall` quantifiers from `root`, evaluates
+/// the remaining body under `ctx`, and returns the valuations of the
+/// stripped variables that FALSIFY the body (active-domain complement).
+/// If `root` has no forall prefix, returns a zero-column relation that is
+/// TRUE iff the whole formula is false.
+Result<Relation> ComputeCounterexamples(const tl::Formula& root,
+                                        const EvalContext& ctx);
+
+}  // namespace fo
+}  // namespace rtic
+
+#endif  // RTIC_FO_WITNESS_H_

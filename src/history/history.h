@@ -1,0 +1,74 @@
+// History storage.
+//
+// HistoryLog keeps a *full snapshot* of every state — exactly the storage
+// profile of the naive (non-bounded) checking approach the paper argues
+// against; its memory accounting is what experiment E2 measures.
+//
+// DeltaLog keeps the initial state plus the update batches and can
+// re-materialize any state by replay (used by tests and workload tooling).
+
+#ifndef RTIC_HISTORY_HISTORY_H_
+#define RTIC_HISTORY_HISTORY_H_
+
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "storage/database.h"
+#include "storage/update_batch.h"
+
+namespace rtic {
+
+/// Sequence of timestamped full database snapshots.
+class HistoryLog {
+ public:
+  /// Appends a deep copy of `state` at time `t`. Timestamps must be strictly
+  /// increasing.
+  Status Append(const Database& state, Timestamp t);
+
+  /// Number of stored states.
+  std::size_t size() const { return states_.size(); }
+  bool empty() const { return states_.empty(); }
+
+  /// The i-th state / its timestamp. Requires i < size().
+  const Database& StateAt(std::size_t i) const { return states_[i]; }
+  Timestamp TimeAt(std::size_t i) const { return times_[i]; }
+
+  /// Timestamp of the newest state. Requires !empty().
+  Timestamp LatestTime() const { return times_.back(); }
+
+  /// Total rows stored across every snapshot — the naive approach's space.
+  std::size_t TotalStoredRows() const;
+
+ private:
+  std::vector<Database> states_;
+  std::vector<Timestamp> times_;
+};
+
+/// Initial state plus the batches that evolve it; states re-materialized on
+/// demand by replay.
+class DeltaLog {
+ public:
+  explicit DeltaLog(Database initial) : initial_(std::move(initial)) {}
+
+  /// Appends a batch. Timestamps must be strictly increasing.
+  Status Append(UpdateBatch batch);
+
+  /// Number of recorded transitions (states = transitions; the initial
+  /// database is the pre-history state, not a monitored state).
+  std::size_t size() const { return batches_.size(); }
+
+  const UpdateBatch& BatchAt(std::size_t i) const { return batches_[i]; }
+  const Database& initial() const { return initial_; }
+
+  /// The state after applying batches [0..i]. Requires i < size().
+  Result<Database> Materialize(std::size_t i) const;
+
+ private:
+  Database initial_;
+  std::vector<UpdateBatch> batches_;
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_HISTORY_HISTORY_H_

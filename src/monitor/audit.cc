@@ -1,0 +1,69 @@
+#include "monitor/audit.h"
+
+#include <memory>
+
+#include "engines/checker_engine.h"
+#include "engines/naive/naive_engine.h"
+#include "engines/response/response_engine.h"
+#include "tl/analyzer.h"
+#include "tl/parser.h"
+
+namespace rtic {
+
+std::string AuditReport::ToString() const {
+  if (violating_times.empty()) {
+    return constraint_name + ": no violations in " +
+           std::to_string(verdicts.size()) + " states";
+  }
+  std::string out = constraint_name + ": " +
+                    std::to_string(violating_times.size()) +
+                    " violating states at t=";
+  for (std::size_t i = 0; i < violating_times.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(violating_times[i]);
+  }
+  return out;
+}
+
+Result<std::vector<AuditReport>> AuditHistory(
+    const DeltaLog& log,
+    const std::vector<std::pair<std::string, std::string>>& constraints) {
+  tl::PredicateCatalog catalog;
+  for (const std::string& table : log.initial().TableNames()) {
+    catalog[table] = log.initial().GetTable(table).value()->schema();
+  }
+
+  std::vector<AuditReport> reports;
+  std::vector<std::unique_ptr<CheckerEngine>> engines;
+  for (const auto& [name, text] : constraints) {
+    RTIC_ASSIGN_OR_RETURN(tl::FormulaPtr formula, tl::ParseFormula(text));
+    std::unique_ptr<CheckerEngine> engine;
+    if (ResponseEngine::LooksLikeResponseConstraint(*formula)) {
+      RTIC_ASSIGN_OR_RETURN(engine,
+                            ResponseEngine::Create(*formula, catalog));
+    } else {
+      RTIC_ASSIGN_OR_RETURN(engine, NaiveEngine::Create(*formula, catalog));
+    }
+    engines.push_back(std::move(engine));
+    AuditReport report;
+    report.constraint_name = name;
+    reports.push_back(std::move(report));
+  }
+
+  Database db = log.initial();
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const UpdateBatch& batch = log.BatchAt(i);
+    RTIC_RETURN_IF_ERROR(batch.Apply(&db));
+    for (std::size_t c = 0; c < engines.size(); ++c) {
+      RTIC_ASSIGN_OR_RETURN(bool holds,
+                            engines[c]->OnTransition(db, batch.timestamp()));
+      reports[c].verdicts.push_back(holds);
+      if (!holds) {
+        reports[c].violating_times.push_back(batch.timestamp());
+      }
+    }
+  }
+  return reports;
+}
+
+}  // namespace rtic

@@ -1,0 +1,43 @@
+// Offline auditing: retrospective constraint checking over a *recorded*
+// history (a DeltaLog). Where the ConstraintMonitor answers "is the
+// constraint violated NOW" as updates stream in, AuditHistory answers
+// "at which past states was it violated" for forensics over a log —
+// using the naive full-history engine as the executable semantics
+// (response constraints route to the obligation engine).
+
+#ifndef RTIC_MONITOR_AUDIT_H_
+#define RTIC_MONITOR_AUDIT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "history/history.h"
+
+namespace rtic {
+
+/// Outcome of auditing one constraint across a history.
+struct AuditReport {
+  std::string constraint_name;
+
+  /// Verdict per history state (index-aligned with the log's transitions).
+  std::vector<bool> verdicts;
+
+  /// Timestamps of the violating states, ascending.
+  std::vector<Timestamp> violating_times;
+
+  /// "name: 3 violations at t=..." / "name: no violations".
+  std::string ToString() const;
+};
+
+/// Replays `log` from its initial database and evaluates every constraint
+/// (name, source text) at every state. Schemas come from the log's initial
+/// database.
+Result<std::vector<AuditReport>> AuditHistory(
+    const DeltaLog& log,
+    const std::vector<std::pair<std::string, std::string>>& constraints);
+
+}  // namespace rtic
+
+#endif  // RTIC_MONITOR_AUDIT_H_

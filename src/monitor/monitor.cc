@@ -1,0 +1,378 @@
+#include "monitor/monitor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "engines/active/compiler.h"
+#include "engines/incremental/engine.h"
+#include "engines/naive/naive_engine.h"
+#include "engines/response/response_engine.h"
+#include "storage/codec.h"
+#include "tl/parser.h"
+
+namespace rtic {
+
+const char* EngineKindToString(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kIncremental:
+      return "incremental";
+    case EngineKind::kNaive:
+      return "naive";
+    case EngineKind::kActive:
+      return "active";
+  }
+  return "?";
+}
+
+std::string Violation::ToString() const {
+  std::string out = "violation of '" + constraint_name + "' at time " +
+                    std::to_string(timestamp);
+  if (!witnesses.empty()) {
+    out += "; witnesses";
+    if (!witness_columns.empty()) {
+      out += " (";
+      for (std::size_t i = 0; i < witness_columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += witness_columns[i];
+      }
+      out += ")";
+    }
+    out += ":";
+    for (const Tuple& w : witnesses) {
+      out += " " + w.ToString();
+    }
+  }
+  return out;
+}
+
+std::string ConstraintStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s: %zu states, %zu violations, mean %.1f us, max %lld us, "
+                "%zu aux rows",
+                name.c_str(), transitions, violations, MeanCheckMicros(),
+                static_cast<long long>(max_check_micros), storage_rows);
+  return buf;
+}
+
+/// A registered constraint: source text, formula, and its checker.
+struct ConstraintMonitor::Registered {
+  std::string name;
+  std::string text;
+  tl::FormulaPtr formula;
+  std::vector<std::string> warnings;
+  std::unique_ptr<CheckerEngine> engine;
+  std::size_t transitions = 0;
+  std::size_t violations = 0;
+  std::int64_t total_check_micros = 0;
+  std::int64_t max_check_micros = 0;
+};
+
+ConstraintMonitor::ConstraintMonitor(MonitorOptions options)
+    : options_(std::move(options)) {}
+
+ConstraintMonitor::~ConstraintMonitor() = default;
+
+Status ConstraintMonitor::CreateTable(const std::string& name,
+                                      Schema schema) {
+  if (transition_count_ > 0) {
+    return Status::FailedPrecondition(
+        "tables must be created before the first update");
+  }
+  return db_.CreateTable(name, std::move(schema));
+}
+
+Status ConstraintMonitor::RegisterConstraint(const std::string& name,
+                                             const std::string& text) {
+  RTIC_ASSIGN_OR_RETURN(tl::FormulaPtr formula, tl::ParseFormula(text));
+  RTIC_RETURN_IF_ERROR(RegisterConstraintFormula(name, *formula));
+  constraints_.back()->text = text;
+  return Status::OK();
+}
+
+Status ConstraintMonitor::RegisterConstraintFormula(
+    const std::string& name, const tl::Formula& formula) {
+  for (const auto& c : constraints_) {
+    if (c->name == name) {
+      return Status::AlreadyExists("constraint already registered: " + name);
+    }
+  }
+
+  tl::PredicateCatalog catalog;
+  for (const std::string& table : db_.TableNames()) {
+    catalog[table] = db_.GetTable(table).value()->schema();
+  }
+
+  // Analyze once up front so registration reports language errors and
+  // warnings even before an engine compiles its own clone.
+  RTIC_ASSIGN_OR_RETURN(tl::Analysis analysis,
+                        tl::Analyze(formula, catalog));
+  if (!analysis.IsClosed(formula)) {
+    return Status::InvalidArgument("constraint '" + name +
+                                   "' must be a closed formula");
+  }
+
+  auto reg = std::make_unique<Registered>();
+  reg->name = name;
+  reg->formula = formula.Clone();
+  reg->text = reg->formula->ToString();
+  reg->warnings = analysis.warnings();
+
+  // Bounded-future response constraints have a single engine regardless of
+  // the configured kind: obligation tracking with delayed verdicts (the
+  // violation is attributed to the state where the window closes unmet).
+  if (ResponseEngine::LooksLikeResponseConstraint(formula)) {
+    ResponseOptions opts;
+    opts.extra_constants = options_.domain_constants;
+    RTIC_ASSIGN_OR_RETURN(reg->engine,
+                          ResponseEngine::Create(formula, catalog, opts));
+    constraints_.push_back(std::move(reg));
+    return Status::OK();
+  }
+
+  switch (options_.engine) {
+    case EngineKind::kIncremental: {
+      IncrementalOptions opts;
+      opts.pruning = options_.pruning;
+      opts.extra_constants = options_.domain_constants;
+      RTIC_ASSIGN_OR_RETURN(
+          reg->engine, IncrementalEngine::Create(formula, catalog, opts));
+      break;
+    }
+    case EngineKind::kNaive: {
+      RTIC_ASSIGN_OR_RETURN(
+          reg->engine,
+          NaiveEngine::Create(formula, catalog, options_.domain_constants));
+      break;
+    }
+    case EngineKind::kActive: {
+      ActiveOptions opts;
+      opts.pruning = options_.pruning;
+      opts.extra_constants = options_.domain_constants;
+      RTIC_ASSIGN_OR_RETURN(reg->engine,
+                            ActiveEngine::Create(formula, catalog, opts));
+      break;
+    }
+  }
+  constraints_.push_back(std::move(reg));
+  return Status::OK();
+}
+
+Status ConstraintMonitor::UnregisterConstraint(const std::string& name) {
+  for (auto it = constraints_.begin(); it != constraints_.end(); ++it) {
+    if ((*it)->name == name) {
+      constraints_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such constraint: " + name);
+}
+
+Result<std::vector<Violation>> ConstraintMonitor::ApplyUpdate(
+    const UpdateBatch& batch) {
+  if (transition_count_ > 0 && batch.timestamp() <= current_time_) {
+    return Status::InvalidArgument(
+        "batch timestamp " + std::to_string(batch.timestamp()) +
+        " does not advance the clock past " + std::to_string(current_time_));
+  }
+  RTIC_RETURN_IF_ERROR(batch.Apply(&db_));
+  current_time_ = batch.timestamp();
+  ++transition_count_;
+
+  std::vector<Violation> violations;
+  for (const auto& c : constraints_) {
+    auto started = std::chrono::steady_clock::now();
+    RTIC_ASSIGN_OR_RETURN(bool holds,
+                          c->engine->OnTransition(db_, current_time_));
+    std::int64_t micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    ++c->transitions;
+    c->total_check_micros += micros;
+    c->max_check_micros = std::max(c->max_check_micros, micros);
+    if (holds) continue;
+    ++c->violations;
+
+    Violation v;
+    v.constraint_name = c->name;
+    v.timestamp = current_time_;
+    RTIC_ASSIGN_OR_RETURN(Relation counterexamples,
+                          c->engine->CurrentCounterexamples(db_));
+    for (const Column& col : counterexamples.columns()) {
+      v.witness_columns.push_back(col.name);
+    }
+    std::vector<Tuple> rows = counterexamples.SortedRows();
+    if (rows.size() > options_.max_witnesses) {
+      rows.resize(options_.max_witnesses);
+    }
+    v.witnesses = std::move(rows);
+    violations.push_back(std::move(v));
+    ++total_violations_;
+  }
+  return violations;
+}
+
+Result<std::vector<Violation>> ConstraintMonitor::Tick(Timestamp t) {
+  return ApplyUpdate(UpdateBatch(t));
+}
+
+std::vector<std::string> ConstraintMonitor::ConstraintNames() const {
+  std::vector<std::string> out;
+  out.reserve(constraints_.size());
+  for (const auto& c : constraints_) out.push_back(c->name);
+  return out;
+}
+
+Result<std::vector<std::string>> ConstraintMonitor::WarningsFor(
+    const std::string& name) const {
+  for (const auto& c : constraints_) {
+    if (c->name == name) return c->warnings;
+  }
+  return Status::NotFound("no such constraint: " + name);
+}
+
+std::vector<ConstraintStats> ConstraintMonitor::Stats() const {
+  std::vector<ConstraintStats> out;
+  out.reserve(constraints_.size());
+  for (const auto& c : constraints_) {
+    ConstraintStats s;
+    s.name = c->name;
+    s.transitions = c->transitions;
+    s.violations = c->violations;
+    s.total_check_micros = c->total_check_micros;
+    s.max_check_micros = c->max_check_micros;
+    s.storage_rows = c->engine->StorageRows();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t ConstraintMonitor::TotalStorageRows() const {
+  std::size_t n = 0;
+  for (const auto& c : constraints_) n += c->engine->StorageRows();
+  return n;
+}
+
+namespace {
+constexpr char kMonitorMagic[] = "RTICMON1";
+}  // namespace
+
+Result<std::string> ConstraintMonitor::SaveState() const {
+  StateWriter w;
+  w.WriteString(kMonitorMagic);
+  w.WriteInt(static_cast<std::int64_t>(transition_count_));
+  w.WriteInt(current_time_);
+  w.WriteInt(static_cast<std::int64_t>(total_violations_));
+
+  // Database: tables with schema and rows.
+  std::vector<std::string> tables = db_.TableNames();
+  w.WriteSize(tables.size());
+  for (const std::string& name : tables) {
+    const Table* table = db_.GetTable(name).value();
+    w.WriteString(name);
+    w.WriteSize(table->schema().size());
+    for (const Column& col : table->schema().columns()) {
+      w.WriteString(col.name);
+      w.WriteInt(static_cast<std::int64_t>(col.type));
+    }
+    w.WriteSize(table->size());
+    std::vector<Tuple> rows(table->rows().begin(), table->rows().end());
+    std::sort(rows.begin(), rows.end());
+    for (const Tuple& row : rows) w.WriteTuple(row);
+  }
+
+  // Constraint checkers.
+  w.WriteSize(constraints_.size());
+  for (const auto& c : constraints_) {
+    w.WriteString(c->name);
+    RTIC_ASSIGN_OR_RETURN(std::string engine_state, c->engine->SaveState());
+    w.WriteString(engine_state);
+  }
+  return w.str();
+}
+
+Status ConstraintMonitor::LoadState(const std::string& data) {
+  StateReader r(data);
+  RTIC_ASSIGN_OR_RETURN(std::string magic, r.ReadString());
+  if (magic != kMonitorMagic) {
+    return Status::InvalidArgument("not an rtic monitor checkpoint");
+  }
+  RTIC_ASSIGN_OR_RETURN(std::int64_t transition_count, r.ReadInt());
+  RTIC_ASSIGN_OR_RETURN(Timestamp current_time, r.ReadInt());
+  RTIC_ASSIGN_OR_RETURN(std::int64_t total_violations, r.ReadInt());
+
+  // Rebuild the database against the registered schemas.
+  Database restored_db;
+  RTIC_ASSIGN_OR_RETURN(std::int64_t table_count, r.ReadInt());
+  for (std::int64_t i = 0; i < table_count; ++i) {
+    RTIC_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    RTIC_ASSIGN_OR_RETURN(std::int64_t col_count, r.ReadInt());
+    std::vector<Column> columns;
+    for (std::int64_t c = 0; c < col_count; ++c) {
+      RTIC_ASSIGN_OR_RETURN(std::string col_name, r.ReadString());
+      RTIC_ASSIGN_OR_RETURN(std::int64_t type, r.ReadInt());
+      if (type < 0 || type > static_cast<std::int64_t>(ValueType::kBool)) {
+        return Status::InvalidArgument("bad column type in checkpoint");
+      }
+      columns.push_back(Column{col_name, static_cast<ValueType>(type)});
+    }
+    RTIC_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(columns)));
+    // Validate against the live catalog.
+    RTIC_ASSIGN_OR_RETURN(const Table* live, db_.GetTable(name));
+    if (!(live->schema() == schema)) {
+      return Status::FailedPrecondition(
+          "checkpoint schema for table " + name +
+          " does not match the registered schema");
+    }
+    RTIC_RETURN_IF_ERROR(restored_db.CreateTable(name, schema));
+    Table* table = restored_db.GetMutableTable(name).value();
+    RTIC_ASSIGN_OR_RETURN(std::int64_t row_count, r.ReadInt());
+    for (std::int64_t k = 0; k < row_count; ++k) {
+      RTIC_ASSIGN_OR_RETURN(Tuple row, r.ReadTuple());
+      Result<bool> ins = table->Insert(std::move(row));
+      if (!ins.ok()) return ins.status();
+    }
+  }
+  if (table_count != static_cast<std::int64_t>(db_.TableNames().size())) {
+    return Status::FailedPrecondition(
+        "checkpoint table count does not match the registered tables");
+  }
+
+  RTIC_ASSIGN_OR_RETURN(std::int64_t constraint_count, r.ReadInt());
+  if (constraint_count != static_cast<std::int64_t>(constraints_.size())) {
+    return Status::FailedPrecondition(
+        "checkpoint constraint count does not match registration");
+  }
+  std::vector<std::string> engine_states;
+  for (std::int64_t i = 0; i < constraint_count; ++i) {
+    RTIC_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    if (name != constraints_[static_cast<std::size_t>(i)]->name) {
+      return Status::FailedPrecondition(
+          "checkpoint constraint order/name mismatch at '" + name + "'");
+    }
+    RTIC_ASSIGN_OR_RETURN(std::string engine_state, r.ReadString());
+    engine_states.push_back(std::move(engine_state));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in checkpoint");
+  }
+
+  // Validation done; apply engine states (these validate constraint texts
+  // themselves) and only then commit the monitor-level fields.
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    RTIC_RETURN_IF_ERROR(
+        constraints_[i]->engine->LoadState(engine_states[i]));
+    constraints_[i]->transitions = 0;
+    constraints_[i]->violations = 0;
+    constraints_[i]->total_check_micros = 0;
+    constraints_[i]->max_check_micros = 0;
+  }
+  db_ = std::move(restored_db);
+  transition_count_ = static_cast<std::size_t>(transition_count);
+  current_time_ = current_time;
+  total_violations_ = static_cast<std::size_t>(total_violations);
+  return Status::OK();
+}
+
+}  // namespace rtic

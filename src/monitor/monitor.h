@@ -1,0 +1,176 @@
+// ConstraintMonitor: the library's public entry point.
+//
+//   ConstraintMonitor monitor;                        // incremental engine
+//   monitor.CreateTable("Emp", schema);
+//   monitor.RegisterConstraint("no_pay_cut",
+//       "forall e, s, s0: Emp(e, s) and previous Emp(e, s0) implies "
+//       "s >= s0");
+//   UpdateBatch batch(/*timestamp=*/17);
+//   batch.Insert("Emp", {Value::Int64(1), Value::Int64(50000)});
+//   auto violations = monitor.ApplyUpdate(batch);     // [] or reports
+//
+// Each ApplyUpdate commits one history state (timestamps strictly
+// increasing) and checks every registered constraint at that state,
+// returning violation reports with counterexample witnesses.
+
+#ifndef RTIC_MONITOR_MONITOR_H_
+#define RTIC_MONITOR_MONITOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engines/checker_engine.h"
+#include "engines/incremental/pruning.h"
+#include "storage/update_batch.h"
+#include "tl/analyzer.h"
+#include "tl/ast.h"
+
+namespace rtic {
+
+/// Which checking strategy newly registered constraints use.
+enum class EngineKind {
+  kIncremental,  // bounded history encoding (default; the paper's method)
+  kNaive,        // full-history re-evaluation (baseline)
+  kActive,       // ECA trigger programs on the active-DBMS substrate
+};
+
+/// Stable engine-kind name ("incremental", "naive", "active").
+const char* EngineKindToString(EngineKind kind);
+
+/// Monitor-wide configuration.
+struct MonitorOptions {
+  EngineKind engine = EngineKind::kIncremental;
+
+  /// Pruning policy for incremental/active engines.
+  PruningPolicy pruning = PruningPolicy::kFull;
+
+  /// Extra constants always part of the active domain (useful when a
+  /// constraint must quantify over values not yet stored anywhere).
+  std::vector<Value> domain_constants;
+
+  /// Maximum counterexample rows reported per violation.
+  std::size_t max_witnesses = 10;
+};
+
+/// Cumulative checking statistics for one registered constraint.
+struct ConstraintStats {
+  std::string name;
+  std::size_t transitions = 0;      // states this checker has processed
+  std::size_t violations = 0;       // states at which it was violated
+  std::int64_t total_check_micros = 0;  // cumulative OnTransition wall time
+  std::int64_t max_check_micros = 0;    // worst single check
+  std::size_t storage_rows = 0;     // aux/history rows currently retained
+
+  /// Mean per-state check time in microseconds (0 before any state).
+  double MeanCheckMicros() const {
+    return transitions == 0
+               ? 0.0
+               : static_cast<double>(total_check_micros) /
+                     static_cast<double>(transitions);
+  }
+
+  /// One-line report.
+  std::string ToString() const;
+};
+
+/// One constraint violation at one history state.
+struct Violation {
+  std::string constraint_name;
+  Timestamp timestamp = 0;
+
+  /// Names of the violated constraint's outermost forall variables (empty
+  /// when the constraint is not of `forall ...:` shape).
+  std::vector<std::string> witness_columns;
+
+  /// Up to MonitorOptions::max_witnesses counterexample valuations.
+  std::vector<Tuple> witnesses;
+
+  /// Human-readable one-line report.
+  std::string ToString() const;
+};
+
+/// The monitor: owns the evolving database and one checker per constraint.
+class ConstraintMonitor {
+ public:
+  explicit ConstraintMonitor(MonitorOptions options = {});
+  ~ConstraintMonitor();
+
+  ConstraintMonitor(const ConstraintMonitor&) = delete;
+  ConstraintMonitor& operator=(const ConstraintMonitor&) = delete;
+
+  /// Creates a monitored table.
+  Status CreateTable(const std::string& name, Schema schema);
+
+  /// Parses, analyzes, and compiles a constraint. Constraints registered
+  /// after updates have been applied see only subsequent history (their
+  /// temporal operators start from an empty past).
+  Status RegisterConstraint(const std::string& name, const std::string& text);
+
+  /// Same, from an already-built formula.
+  Status RegisterConstraintFormula(const std::string& name,
+                                   const tl::Formula& formula);
+
+  /// Stops checking a constraint and discards its auxiliary state.
+  Status UnregisterConstraint(const std::string& name);
+
+  /// Commits one transition: applies the batch (timestamp must exceed the
+  /// previous one), checks every constraint, returns the violations.
+  Result<std::vector<Violation>> ApplyUpdate(const UpdateBatch& batch);
+
+  /// Pure clock tick: a transition that changes no tuples. Real-time
+  /// constraints can newly fail as deadlines expire even without updates.
+  Result<std::vector<Violation>> Tick(Timestamp t);
+
+  /// The current database state.
+  const Database& database() const { return db_; }
+
+  /// Timestamp of the last committed transition (0 before the first).
+  Timestamp current_time() const { return current_time_; }
+
+  /// Number of transitions committed.
+  std::size_t transition_count() const { return transition_count_; }
+
+  /// Registered constraint names, in registration order.
+  std::vector<std::string> ConstraintNames() const;
+
+  /// Analyzer warnings produced when `name` was registered.
+  Result<std::vector<std::string>> WarningsFor(const std::string& name) const;
+
+  /// Total auxiliary/history rows retained across all constraint checkers
+  /// (the space metric of experiment E2).
+  std::size_t TotalStorageRows() const;
+
+  /// Violations accumulated since construction (all constraints).
+  std::size_t total_violations() const { return total_violations_; }
+
+  /// Per-constraint checking statistics, in registration order.
+  std::vector<ConstraintStats> Stats() const;
+
+  /// Serializes the whole monitor — current database, clock, and every
+  /// constraint checker's state — to a portable checkpoint. Requires every
+  /// registered constraint to use a checkpointable engine (incremental or
+  /// response); fails with Unimplemented otherwise.
+  Result<std::string> SaveState() const;
+
+  /// Restores a SaveState() checkpoint into a monitor with the SAME tables
+  /// and constraints registered (names and schemas are validated).
+  /// Replaces the database and all checker state; per-constraint timing
+  /// statistics restart from zero.
+  Status LoadState(const std::string& data);
+
+ private:
+  struct Registered;
+
+  MonitorOptions options_;
+  Database db_;
+  Timestamp current_time_ = 0;
+  std::size_t transition_count_ = 0;
+  std::size_t total_violations_ = 0;
+  std::vector<std::unique_ptr<Registered>> constraints_;
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_MONITOR_MONITOR_H_

@@ -1,0 +1,231 @@
+#include "ra/ops.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rtic {
+namespace ra {
+
+namespace {
+
+/// Positions of the columns common to a and b, plus b's non-common columns.
+struct JoinPlan {
+  std::vector<std::size_t> a_key;       // key column positions in a
+  std::vector<std::size_t> b_key;       // matching key positions in b
+  std::vector<std::size_t> b_rest;      // b columns not in a
+};
+
+Result<JoinPlan> PlanJoin(const Relation& a, const Relation& b) {
+  JoinPlan plan;
+  std::unordered_set<std::size_t> b_used;
+  for (std::size_t i = 0; i < a.columns().size(); ++i) {
+    auto j = b.IndexOf(a.columns()[i].name);
+    if (!j.has_value()) continue;
+    if (a.columns()[i].type != b.columns()[*j].type) {
+      return Status::InvalidArgument("join column " + a.columns()[i].name +
+                                     " has mismatched types");
+    }
+    plan.a_key.push_back(i);
+    plan.b_key.push_back(*j);
+    b_used.insert(*j);
+  }
+  for (std::size_t j = 0; j < b.columns().size(); ++j) {
+    if (b_used.find(j) == b_used.end()) plan.b_rest.push_back(j);
+  }
+  return plan;
+}
+
+Tuple ExtractKey(const Tuple& row, const std::vector<std::size_t>& positions) {
+  std::vector<Value> vals;
+  vals.reserve(positions.size());
+  for (std::size_t p : positions) vals.push_back(row.at(p));
+  return Tuple(std::move(vals));
+}
+
+/// Hash index: join key -> rows of b.
+std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> BuildIndex(
+    const Relation& b, const std::vector<std::size_t>& key) {
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
+  for (const Tuple& row : b.rows()) {
+    index[ExtractKey(row, key)].push_back(&row);
+  }
+  return index;
+}
+
+/// Maps b's column order onto a's order for Union/Difference/Intersect.
+/// Fails unless b's columns are a name+type permutation of a's.
+Result<std::vector<std::size_t>> AlignColumns(const Relation& a,
+                                              const Relation& b) {
+  if (a.columns().size() != b.columns().size()) {
+    return Status::InvalidArgument(
+        "relations have different arities: " +
+        std::to_string(a.columns().size()) + " vs " +
+        std::to_string(b.columns().size()));
+  }
+  std::vector<std::size_t> b_pos(a.columns().size());
+  for (std::size_t i = 0; i < a.columns().size(); ++i) {
+    auto j = b.IndexOf(a.columns()[i].name);
+    if (!j.has_value()) {
+      return Status::InvalidArgument("column " + a.columns()[i].name +
+                                     " missing from right-hand relation");
+    }
+    if (b.columns()[*j].type != a.columns()[i].type) {
+      return Status::InvalidArgument("column " + a.columns()[i].name +
+                                     " has mismatched types");
+    }
+    b_pos[i] = *j;
+  }
+  return b_pos;
+}
+
+Tuple Reorder(const Tuple& row, const std::vector<std::size_t>& positions) {
+  std::vector<Value> vals;
+  vals.reserve(positions.size());
+  for (std::size_t p : positions) vals.push_back(row.at(p));
+  return Tuple(std::move(vals));
+}
+
+}  // namespace
+
+Result<Relation> NaturalJoin(const Relation& a, const Relation& b) {
+  RTIC_ASSIGN_OR_RETURN(JoinPlan plan, PlanJoin(a, b));
+  std::vector<Column> out_cols = a.columns();
+  for (std::size_t j : plan.b_rest) out_cols.push_back(b.columns()[j]);
+  Relation out(std::move(out_cols));
+
+  // Iterate the smaller side against an index on the larger when keys exist.
+  auto index = BuildIndex(b, plan.b_key);
+  for (const Tuple& arow : a.rows()) {
+    auto it = index.find(ExtractKey(arow, plan.a_key));
+    if (it == index.end()) continue;
+    for (const Tuple* brow : it->second) {
+      std::vector<Value> vals = arow.values();
+      vals.reserve(vals.size() + plan.b_rest.size());
+      for (std::size_t j : plan.b_rest) vals.push_back(brow->at(j));
+      out.InsertUnchecked(Tuple(std::move(vals)));
+    }
+  }
+  return out;
+}
+
+Result<Relation> AntiJoin(const Relation& a, const Relation& b) {
+  RTIC_ASSIGN_OR_RETURN(JoinPlan plan, PlanJoin(a, b));
+  Relation out(a.columns());
+  std::unordered_set<Tuple, TupleHash> keys;
+  for (const Tuple& brow : b.rows()) {
+    keys.insert(ExtractKey(brow, plan.b_key));
+  }
+  for (const Tuple& arow : a.rows()) {
+    if (keys.find(ExtractKey(arow, plan.a_key)) == keys.end()) {
+      out.InsertUnchecked(arow);
+    }
+  }
+  return out;
+}
+
+Result<Relation> SemiJoin(const Relation& a, const Relation& b) {
+  RTIC_ASSIGN_OR_RETURN(JoinPlan plan, PlanJoin(a, b));
+  Relation out(a.columns());
+  std::unordered_set<Tuple, TupleHash> keys;
+  for (const Tuple& brow : b.rows()) {
+    keys.insert(ExtractKey(brow, plan.b_key));
+  }
+  for (const Tuple& arow : a.rows()) {
+    if (keys.find(ExtractKey(arow, plan.a_key)) != keys.end()) {
+      out.InsertUnchecked(arow);
+    }
+  }
+  return out;
+}
+
+Result<Relation> Union(const Relation& a, const Relation& b) {
+  RTIC_ASSIGN_OR_RETURN(std::vector<std::size_t> b_pos, AlignColumns(a, b));
+  Relation out(a.columns());
+  for (const Tuple& row : a.rows()) out.InsertUnchecked(row);
+  for (const Tuple& row : b.rows()) out.InsertUnchecked(Reorder(row, b_pos));
+  return out;
+}
+
+Result<Relation> Difference(const Relation& a, const Relation& b) {
+  RTIC_ASSIGN_OR_RETURN(std::vector<std::size_t> b_pos, AlignColumns(a, b));
+  std::unordered_set<Tuple, TupleHash> b_rows;
+  for (const Tuple& row : b.rows()) b_rows.insert(Reorder(row, b_pos));
+  Relation out(a.columns());
+  for (const Tuple& row : a.rows()) {
+    if (b_rows.find(row) == b_rows.end()) out.InsertUnchecked(row);
+  }
+  return out;
+}
+
+Result<Relation> Intersect(const Relation& a, const Relation& b) {
+  RTIC_ASSIGN_OR_RETURN(std::vector<std::size_t> b_pos, AlignColumns(a, b));
+  std::unordered_set<Tuple, TupleHash> b_rows;
+  for (const Tuple& row : b.rows()) b_rows.insert(Reorder(row, b_pos));
+  Relation out(a.columns());
+  for (const Tuple& row : a.rows()) {
+    if (b_rows.find(row) != b_rows.end()) out.InsertUnchecked(row);
+  }
+  return out;
+}
+
+Result<Relation> Project(const Relation& a,
+                         const std::vector<std::string>& columns) {
+  std::vector<std::size_t> positions;
+  std::vector<Column> out_cols;
+  positions.reserve(columns.size());
+  for (const std::string& name : columns) {
+    auto i = a.IndexOf(name);
+    if (!i.has_value()) {
+      return Status::InvalidArgument("project: no such column: " + name);
+    }
+    positions.push_back(*i);
+    out_cols.push_back(a.columns()[*i]);
+  }
+  RTIC_ASSIGN_OR_RETURN(Relation out, Relation::Make(std::move(out_cols)));
+  for (const Tuple& row : a.rows()) {
+    out.InsertUnchecked(Reorder(row, positions));
+  }
+  return out;
+}
+
+Result<Relation> Rename(const Relation& a,
+                        const std::map<std::string, std::string>& mapping) {
+  std::vector<Column> out_cols = a.columns();
+  for (auto& col : out_cols) {
+    auto it = mapping.find(col.name);
+    if (it != mapping.end()) col.name = it->second;
+  }
+  RTIC_ASSIGN_OR_RETURN(Relation out, Relation::Make(std::move(out_cols)));
+  for (const Tuple& row : a.rows()) out.InsertUnchecked(row);
+  return out;
+}
+
+Relation Select(const Relation& a,
+                const std::function<bool(const Tuple&)>& pred) {
+  Relation out(a.columns());
+  for (const Tuple& row : a.rows()) {
+    if (pred(row)) out.InsertUnchecked(row);
+  }
+  return out;
+}
+
+Result<Relation> CrossProduct(const Relation& a, const Relation& b) {
+  for (const Column& c : b.columns()) {
+    if (a.IndexOf(c.name).has_value()) {
+      return Status::InvalidArgument("cross product: shared column " + c.name);
+    }
+  }
+  return NaturalJoin(a, b);  // no common columns => cross product
+}
+
+Relation FromValues(const std::string& name, ValueType type,
+                    const std::vector<Value>& values) {
+  Relation out({Column{name, type}});
+  for (const Value& v : values) {
+    out.InsertUnchecked(Tuple{v});
+  }
+  return out;
+}
+
+}  // namespace ra
+}  // namespace rtic

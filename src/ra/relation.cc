@@ -1,0 +1,85 @@
+#include "ra/relation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rtic {
+
+Result<Relation> Relation::Make(std::vector<Column> columns) {
+  std::unordered_set<std::string> seen;
+  for (const Column& c : columns) {
+    if (!seen.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate relation column: " + c.name);
+    }
+  }
+  return Relation(std::move(columns));
+}
+
+Relation Relation::True() {
+  Relation r;
+  r.rows_.insert(Tuple{});
+  return r;
+}
+
+std::optional<std::size_t> Relation::IndexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Relation::ColumnNames() const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.name);
+  return out;
+}
+
+Status Relation::Insert(Tuple row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) +
+        " does not match relation arity " + std::to_string(columns_.size()));
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (row.at(i).type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          "row value " + row.at(i).ToString() + " at column " +
+          columns_[i].name + " has wrong type");
+    }
+  }
+  rows_.insert(std::move(row));
+  return Status::OK();
+}
+
+std::vector<Tuple> Relation::SortedRows() const {
+  std::vector<Tuple> out(rows_.begin(), rows_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Relation::operator==(const Relation& o) const {
+  if (columns_.size() != o.columns_.size()) return false;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (!(columns_[i] == o.columns_[i])) return false;
+  }
+  return rows_ == o.rows_;
+}
+
+std::string Relation::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ": ";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ") {\n";
+  for (const Tuple& t : SortedRows()) {
+    out += "  " + t.ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rtic

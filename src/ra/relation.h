@@ -1,0 +1,84 @@
+// Relation: an intermediate query result — named, typed columns plus a set of
+// rows. Formula evaluation represents "the set of satisfying valuations" as a
+// Relation whose columns are the formula's free variables.
+//
+// Zero-column relations encode booleans: the empty relation is FALSE and the
+// relation containing the single empty tuple is TRUE. Closed formulas
+// evaluate to one of these two.
+
+#ifndef RTIC_RA_RELATION_H_
+#define RTIC_RA_RELATION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace rtic {
+
+/// Named-column row set under set semantics.
+class Relation {
+ public:
+  /// Empty relation with no columns (boolean FALSE).
+  Relation() = default;
+
+  /// Empty relation with the given columns.
+  explicit Relation(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Validating factory: rejects duplicate column names.
+  static Result<Relation> Make(std::vector<Column> columns);
+
+  /// The zero-column TRUE relation (one empty tuple).
+  static Relation True();
+
+  /// The zero-column FALSE relation (no tuples).
+  static Relation False() { return Relation(); }
+
+  const std::vector<Column>& columns() const { return columns_; }
+  std::size_t arity() const { return columns_.size(); }
+
+  /// Index of column `name`, or nullopt.
+  std::optional<std::size_t> IndexOf(const std::string& name) const;
+
+  /// Column names in order.
+  std::vector<std::string> ColumnNames() const;
+
+  std::size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// For zero-column relations: boolean reading. For others: "non-empty".
+  bool AsBool() const { return !rows_.empty(); }
+
+  /// Adds a row after arity/type checking.
+  Status Insert(Tuple row);
+
+  /// Adds a row without checking (hot path; caller guarantees conformance).
+  void InsertUnchecked(Tuple row) { rows_.insert(std::move(row)); }
+
+  bool Contains(const Tuple& row) const {
+    return rows_.find(row) != rows_.end();
+  }
+
+  const std::unordered_set<Tuple, TupleHash>& rows() const { return rows_; }
+
+  /// Rows in sorted order (deterministic output for tests and reports).
+  std::vector<Tuple> SortedRows() const;
+
+  /// Same columns (names, types, order) and same row set.
+  bool operator==(const Relation& o) const;
+
+  /// Multi-line debug dump with sorted rows.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_set<Tuple, TupleHash> rows_;
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_RA_RELATION_H_

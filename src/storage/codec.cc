@@ -1,0 +1,181 @@
+#include "storage/codec.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtic {
+
+void StateWriter::WriteInt(std::int64_t v) {
+  out_ += std::to_string(v);
+  out_ += ' ';
+}
+
+void StateWriter::WriteString(std::string_view s) {
+  out_ += std::to_string(s.size());
+  out_ += ':';
+  out_ += s;
+  out_ += ' ';
+}
+
+void StateWriter::WriteValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+      out_ += "i:";
+      out_ += std::to_string(v.AsInt64());
+      break;
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "d:%a", v.AsDouble());
+      out_ += buf;
+      break;
+    }
+    case ValueType::kString:
+      out_ += "s:";
+      out_ += std::to_string(v.AsString().size());
+      out_ += ':';
+      out_ += v.AsString();
+      break;
+    case ValueType::kBool:
+      out_ += v.AsBool() ? "b:1" : "b:0";
+      break;
+  }
+  out_ += ' ';
+}
+
+void StateWriter::WriteTuple(const Tuple& t) {
+  WriteSize(t.size());
+  for (const Value& v : t.values()) WriteValue(v);
+}
+
+void StateReader::SkipSpace() {
+  while (pos_ < data_.size() &&
+         std::isspace(static_cast<unsigned char>(data_[pos_]))) {
+    ++pos_;
+  }
+}
+
+bool StateReader::AtEnd() {
+  SkipSpace();
+  return pos_ >= data_.size();
+}
+
+Result<std::string> StateReader::NextToken() {
+  SkipSpace();
+  if (pos_ >= data_.size()) {
+    return Status::InvalidArgument("checkpoint truncated");
+  }
+  std::size_t start = pos_;
+  while (pos_ < data_.size() &&
+         !std::isspace(static_cast<unsigned char>(data_[pos_]))) {
+    ++pos_;
+  }
+  return std::string(data_.substr(start, pos_ - start));
+}
+
+Result<std::int64_t> StateReader::ReadInt() {
+  RTIC_ASSIGN_OR_RETURN(std::string token, NextToken());
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad integer token: " + token);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+Result<std::string> StateReader::ReadString() {
+  // <len>:<raw bytes> — raw bytes may contain whitespace, so parse by
+  // length, not by token.
+  SkipSpace();
+  std::size_t colon = data_.find(':', pos_);
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("bad string token (no length)");
+  }
+  std::string len_str(data_.substr(pos_, colon - pos_));
+  errno = 0;
+  char* end = nullptr;
+  long long len = std::strtoll(len_str.c_str(), &end, 10);
+  if (errno != 0 || end == len_str.c_str() || *end != '\0' || len < 0) {
+    return Status::InvalidArgument("bad string length: " + len_str);
+  }
+  std::size_t body = colon + 1;
+  if (body + static_cast<std::size_t>(len) > data_.size()) {
+    return Status::InvalidArgument("string extends past checkpoint end");
+  }
+  pos_ = body + static_cast<std::size_t>(len);
+  return std::string(data_.substr(body, static_cast<std::size_t>(len)));
+}
+
+Result<Value> StateReader::ReadValue() {
+  SkipSpace();
+  if (pos_ + 2 > data_.size() || data_[pos_ + 1] != ':') {
+    return Status::InvalidArgument("bad value token");
+  }
+  char tag = data_[pos_];
+  pos_ += 2;
+  switch (tag) {
+    case 'i': {
+      std::size_t start = pos_;
+      while (pos_ < data_.size() &&
+             !std::isspace(static_cast<unsigned char>(data_[pos_]))) {
+        ++pos_;
+      }
+      std::string token(data_.substr(start, pos_ - start));
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno != 0 || end == token.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad int value: " + token);
+      }
+      return Value::Int64(v);
+    }
+    case 'd': {
+      std::size_t start = pos_;
+      while (pos_ < data_.size() &&
+             !std::isspace(static_cast<unsigned char>(data_[pos_]))) {
+        ++pos_;
+      }
+      std::string token(data_.substr(start, pos_ - start));
+      char* end = nullptr;
+      double v = std::strtod(token.c_str(), &end);
+      if (end == token.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double value: " + token);
+      }
+      return Value::Double(v);
+    }
+    case 's': {
+      RTIC_ASSIGN_OR_RETURN(std::string s, ReadString());
+      return Value::String(std::move(s));
+    }
+    case 'b': {
+      if (pos_ >= data_.size()) {
+        return Status::InvalidArgument("bad bool value");
+      }
+      char c = data_[pos_++];
+      if (c != '0' && c != '1') {
+        return Status::InvalidArgument("bad bool value");
+      }
+      return Value::Bool(c == '1');
+    }
+    default:
+      return Status::InvalidArgument(std::string("unknown value tag: ") +
+                                     tag);
+  }
+}
+
+Result<Tuple> StateReader::ReadTuple() {
+  RTIC_ASSIGN_OR_RETURN(std::int64_t arity, ReadInt());
+  if (arity < 0 || arity > 1'000'000) {
+    return Status::InvalidArgument("bad tuple arity");
+  }
+  std::vector<Value> values;
+  values.reserve(static_cast<std::size_t>(arity));
+  for (std::int64_t i = 0; i < arity; ++i) {
+    RTIC_ASSIGN_OR_RETURN(Value v, ReadValue());
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+}  // namespace rtic

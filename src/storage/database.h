@@ -1,0 +1,58 @@
+// Database: a catalog of named tables — one logical database *state*.
+// Histories are sequences of such states; Database is copyable so the naive
+// engine can snapshot it.
+
+#ifndef RTIC_STORAGE_DATABASE_H_
+#define RTIC_STORAGE_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace rtic {
+
+/// One database state: named tables plus schema catalog. Copy = deep
+/// snapshot.
+class Database {
+ public:
+  Database() = default;
+
+  /// Creates an empty table. Fails if the name already exists.
+  Status CreateTable(const std::string& name, Schema schema);
+
+  /// True iff a table with this name exists.
+  bool HasTable(const std::string& name) const;
+
+  /// Looks up a table; NotFound if absent.
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  /// Drops a table; NotFound if absent.
+  Status DropTable(const std::string& name);
+
+  /// Names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Total number of rows across all tables (storage-cost accounting).
+  std::size_t TotalRows() const;
+
+  /// All distinct values of the given type occurring anywhere in the
+  /// database — the per-state active domain used by quantifier and negation
+  /// semantics.
+  std::vector<Value> ActiveDomain(ValueType type) const;
+
+  bool operator==(const Database& o) const { return tables_ == o.tables_; }
+
+  /// Multi-line debug dump of every table.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_STORAGE_DATABASE_H_

@@ -1,0 +1,36 @@
+#include "storage/domain_tracker.h"
+
+namespace rtic {
+
+void DomainTracker::Absorb(const Database& db) {
+  for (const std::string& name : db.TableNames()) {
+    const Table* table = db.GetTable(name).value();
+    for (const Tuple& row : table->rows()) {
+      for (const Value& v : row.values()) values_.insert(v);
+    }
+  }
+}
+
+void DomainTracker::AbsorbValues(const std::vector<Value>& values) {
+  for (const Value& v : values) values_.insert(v);
+}
+
+std::vector<Value> DomainTracker::Values(ValueType type) const {
+  std::vector<Value> out;
+  for (const Value& v : values_) {
+    if (v.type() == type) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Value> DomainTracker::AllValues() const {
+  return std::vector<Value>(values_.begin(), values_.end());
+}
+
+bool DomainTracker::Contains(const Value& v) const {
+  return values_.find(v) != values_.end();
+}
+
+std::size_t DomainTracker::size() const { return values_.size(); }
+
+}  // namespace rtic

@@ -1,0 +1,53 @@
+// DomainTracker: the cumulative active domain of a history — every value
+// that has appeared in any monitored state so far, bucketed by type.
+//
+// Quantifiers and negation in constraint formulas range over this set (plus
+// the formula's constants). Using the *history's* domain rather than the
+// current state's is essential: a temporal subformula's satisfaction
+// relation may carry values that have since left the database (e.g. an old
+// salary), and those valuations must still be able to falsify a constraint.
+//
+// For range-restricted (safe) constraints the evaluator never consults the
+// tracker; it exists so that unsafe formulas get well-defined, engine-
+// independent semantics. Its size grows with data diversity, not history
+// length, and is excluded from the bounded-encoding space accounting.
+
+#ifndef RTIC_STORAGE_DOMAIN_TRACKER_H_
+#define RTIC_STORAGE_DOMAIN_TRACKER_H_
+
+#include <set>
+#include <vector>
+
+#include "storage/database.h"
+#include "types/value.h"
+
+namespace rtic {
+
+/// Monotonically growing per-type value sets.
+class DomainTracker {
+ public:
+  /// Adds every value occurring in `db`.
+  void Absorb(const Database& db);
+
+  /// Adds explicit values (formula constants, registered domain values).
+  void AbsorbValues(const std::vector<Value>& values);
+
+  /// All tracked values of `type`, sorted.
+  std::vector<Value> Values(ValueType type) const;
+
+  /// Every tracked value, sorted (checkpoint serialization).
+  std::vector<Value> AllValues() const;
+
+  /// Membership test.
+  bool Contains(const Value& v) const;
+
+  /// Total tracked values across all types.
+  std::size_t size() const;
+
+ private:
+  std::set<Value> values_;
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_STORAGE_DOMAIN_TRACKER_H_

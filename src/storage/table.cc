@@ -1,0 +1,34 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace rtic {
+
+Result<bool> Table::Insert(Tuple tuple) {
+  if (!tuple.Matches(schema_)) {
+    return Status::InvalidArgument("tuple " + tuple.ToString() +
+                                   " does not match schema " +
+                                   schema_.ToString() + " of table " + name_);
+  }
+  return rows_.insert(std::move(tuple)).second;
+}
+
+bool Table::Erase(const Tuple& tuple) { return rows_.erase(tuple) > 0; }
+
+bool Table::Contains(const Tuple& tuple) const {
+  return rows_.find(tuple) != rows_.end();
+}
+
+std::string Table::ToString() const {
+  std::vector<Tuple> sorted(rows_.begin(), rows_.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = name_ + schema_.ToString() + " {\n";
+  for (const Tuple& t : sorted) {
+    out += "  " + t.ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rtic

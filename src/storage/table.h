@@ -1,0 +1,60 @@
+// Table: an in-memory relation under set semantics with schema enforcement.
+
+#ifndef RTIC_STORAGE_TABLE_H_
+#define RTIC_STORAGE_TABLE_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace rtic {
+
+/// A named, typed relation. Set semantics: inserting an existing tuple or
+/// erasing a missing one is a no-op (reported via the bool return).
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  std::size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Inserts a tuple after type-checking it against the schema.
+  /// Returns true if newly inserted, false if already present.
+  Result<bool> Insert(Tuple tuple);
+
+  /// Erases a tuple. Returns true if it was present.
+  bool Erase(const Tuple& tuple);
+
+  /// Membership test (exact match).
+  bool Contains(const Tuple& tuple) const;
+
+  /// Removes all rows.
+  void Clear() { rows_.clear(); }
+
+  /// Row iteration (unspecified order).
+  const std::unordered_set<Tuple, TupleHash>& rows() const { return rows_; }
+
+  bool operator==(const Table& o) const {
+    return schema_ == o.schema_ && rows_ == o.rows_;
+  }
+
+  /// Multi-line debug dump: name, schema, rows in sorted order.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::unordered_set<Tuple, TupleHash> rows_;
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_STORAGE_TABLE_H_

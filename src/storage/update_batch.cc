@@ -1,0 +1,85 @@
+#include "storage/update_batch.h"
+
+#include <set>
+
+namespace rtic {
+
+void UpdateBatch::Insert(const std::string& table, Tuple tuple) {
+  inserts_[table].push_back(std::move(tuple));
+}
+
+void UpdateBatch::Delete(const std::string& table, Tuple tuple) {
+  deletes_[table].push_back(std::move(tuple));
+}
+
+bool UpdateBatch::IsEmpty() const {
+  return inserts_.empty() && deletes_.empty();
+}
+
+std::size_t UpdateBatch::OperationCount() const {
+  std::size_t n = 0;
+  for (const auto& [t, v] : inserts_) n += v.size();
+  for (const auto& [t, v] : deletes_) n += v.size();
+  return n;
+}
+
+std::vector<std::string> UpdateBatch::TouchedTables() const {
+  std::set<std::string> names;
+  for (const auto& [t, v] : inserts_) names.insert(t);
+  for (const auto& [t, v] : deletes_) names.insert(t);
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+Status UpdateBatch::Apply(Database* db) const {
+  // Validate everything before mutating so a failed Apply has no effect.
+  for (const auto& [name, tuples] : deletes_) {
+    RTIC_ASSIGN_OR_RETURN(const Table* table, db->GetTable(name));
+    for (const Tuple& t : tuples) {
+      if (!t.Matches(table->schema())) {
+        return Status::InvalidArgument(
+            "delete tuple " + t.ToString() + " does not match schema of " +
+            name);
+      }
+    }
+  }
+  for (const auto& [name, tuples] : inserts_) {
+    RTIC_ASSIGN_OR_RETURN(const Table* table, db->GetTable(name));
+    for (const Tuple& t : tuples) {
+      if (!t.Matches(table->schema())) {
+        return Status::InvalidArgument(
+            "insert tuple " + t.ToString() + " does not match schema of " +
+            name);
+      }
+    }
+  }
+  for (const auto& [name, tuples] : deletes_) {
+    Table* table = db->GetMutableTable(name).value();
+    for (const Tuple& t : tuples) table->Erase(t);
+  }
+  for (const auto& [name, tuples] : inserts_) {
+    Table* table = db->GetMutableTable(name).value();
+    for (const Tuple& t : tuples) {
+      Result<bool> r = table->Insert(t);
+      if (!r.ok()) return r.status();
+    }
+  }
+  return Status::OK();
+}
+
+std::string UpdateBatch::ToString() const {
+  std::string out = "batch@" + std::to_string(timestamp_) + " {\n";
+  for (const auto& [name, tuples] : deletes_) {
+    for (const Tuple& t : tuples) {
+      out += "  -" + name + t.ToString() + "\n";
+    }
+  }
+  for (const auto& [name, tuples] : inserts_) {
+    for (const Tuple& t : tuples) {
+      out += "  +" + name + t.ToString() + "\n";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rtic

@@ -1,0 +1,66 @@
+// UpdateBatch: the delta that advances a history from one state to the next —
+// a timestamp plus per-table insert and delete sets (a "transaction").
+
+#ifndef RTIC_STORAGE_UPDATE_BATCH_H_
+#define RTIC_STORAGE_UPDATE_BATCH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace rtic {
+
+/// One transition's worth of changes. Semantics of Apply():
+///   1. deletes are removed first (deleting an absent tuple is a no-op),
+///   2. inserts are added (inserting a present tuple is a no-op).
+/// A tuple listed in both sets therefore ends up present.
+class UpdateBatch {
+ public:
+  UpdateBatch() = default;
+  explicit UpdateBatch(Timestamp timestamp) : timestamp_(timestamp) {}
+
+  Timestamp timestamp() const { return timestamp_; }
+  void set_timestamp(Timestamp t) { timestamp_ = t; }
+
+  /// Queues a tuple insertion into `table`.
+  void Insert(const std::string& table, Tuple tuple);
+
+  /// Queues a tuple deletion from `table`.
+  void Delete(const std::string& table, Tuple tuple);
+
+  /// True iff no changes are queued (a pure clock tick).
+  bool IsEmpty() const;
+
+  /// Total queued operations.
+  std::size_t OperationCount() const;
+
+  /// Tables this batch touches, sorted.
+  std::vector<std::string> TouchedTables() const;
+
+  const std::map<std::string, std::vector<Tuple>>& inserts() const {
+    return inserts_;
+  }
+  const std::map<std::string, std::vector<Tuple>>& deletes() const {
+    return deletes_;
+  }
+
+  /// Applies the batch to `db` (deletes, then inserts). Fails without
+  /// side effects on unknown tables or schema-mismatched tuples.
+  Status Apply(Database* db) const;
+
+  /// Debug form listing every operation.
+  std::string ToString() const;
+
+ private:
+  Timestamp timestamp_ = 0;
+  std::map<std::string, std::vector<Tuple>> inserts_;
+  std::map<std::string, std::vector<Tuple>> deletes_;
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_STORAGE_UPDATE_BATCH_H_

@@ -1,0 +1,280 @@
+#include "tl/ast.h"
+
+#include "tl/printer.h"
+
+namespace rtic {
+namespace tl {
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.is_variable_ = true;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Term Term::Const(Value value) {
+  Term t;
+  t.is_variable_ = false;
+  t.value_ = std::move(value);
+  return t;
+}
+
+bool Term::operator==(const Term& o) const {
+  if (is_variable_ != o.is_variable_) return false;
+  if (is_variable_) return name_ == o.name_;
+  return value_ == o.value_;
+}
+
+std::string Term::ToString() const {
+  return is_variable_ ? name_ : value_.ToString();
+}
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(CmpOp op, int three_way) {
+  switch (op) {
+    case CmpOp::kEq:
+      return three_way == 0;
+    case CmpOp::kNe:
+      return three_way != 0;
+    case CmpOp::kLt:
+      return three_way < 0;
+    case CmpOp::kLe:
+      return three_way <= 0;
+    case CmpOp::kGt:
+      return three_way > 0;
+    case CmpOp::kGe:
+      return three_way >= 0;
+  }
+  return false;
+}
+
+CmpOp NegateCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+  }
+  return op;
+}
+
+const char* FormulaKindToString(FormulaKind kind) {
+  switch (kind) {
+    case FormulaKind::kBoolConst:
+      return "bool";
+    case FormulaKind::kAtom:
+      return "atom";
+    case FormulaKind::kComparison:
+      return "comparison";
+    case FormulaKind::kNot:
+      return "not";
+    case FormulaKind::kAnd:
+      return "and";
+    case FormulaKind::kOr:
+      return "or";
+    case FormulaKind::kImplies:
+      return "implies";
+    case FormulaKind::kExists:
+      return "exists";
+    case FormulaKind::kForall:
+      return "forall";
+    case FormulaKind::kPrevious:
+      return "previous";
+    case FormulaKind::kOnce:
+      return "once";
+    case FormulaKind::kHistorically:
+      return "historically";
+    case FormulaKind::kSince:
+      return "since";
+    case FormulaKind::kEventually:
+      return "eventually";
+  }
+  return "?";
+}
+
+bool IsTemporal(FormulaKind kind) {
+  return kind == FormulaKind::kPrevious || kind == FormulaKind::kOnce ||
+         kind == FormulaKind::kHistorically || kind == FormulaKind::kSince;
+}
+
+bool IsFutureTemporal(FormulaKind kind) {
+  return kind == FormulaKind::kEventually;
+}
+
+FormulaPtr Formula::True() {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kBoolConst;
+  f->bool_value_ = true;
+  return f;
+}
+
+FormulaPtr Formula::False() {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kBoolConst;
+  f->bool_value_ = false;
+  return f;
+}
+
+FormulaPtr Formula::Atom(std::string predicate, std::vector<Term> terms) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kAtom;
+  f->predicate_ = std::move(predicate);
+  f->terms_ = std::move(terms);
+  return f;
+}
+
+FormulaPtr Formula::Comparison(Term lhs, CmpOp op, Term rhs) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kComparison;
+  f->cmp_op_ = op;
+  f->terms_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+FormulaPtr Formula::Not(FormulaPtr child) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kNot;
+  f->children_.push_back(std::move(child));
+  return f;
+}
+
+FormulaPtr Formula::And(FormulaPtr lhs, FormulaPtr rhs) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kAnd;
+  f->children_.push_back(std::move(lhs));
+  f->children_.push_back(std::move(rhs));
+  return f;
+}
+
+FormulaPtr Formula::Or(FormulaPtr lhs, FormulaPtr rhs) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kOr;
+  f->children_.push_back(std::move(lhs));
+  f->children_.push_back(std::move(rhs));
+  return f;
+}
+
+FormulaPtr Formula::Implies(FormulaPtr lhs, FormulaPtr rhs) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kImplies;
+  f->children_.push_back(std::move(lhs));
+  f->children_.push_back(std::move(rhs));
+  return f;
+}
+
+FormulaPtr Formula::Exists(std::vector<std::string> vars, FormulaPtr body) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kExists;
+  f->bound_vars_ = std::move(vars);
+  f->children_.push_back(std::move(body));
+  return f;
+}
+
+FormulaPtr Formula::Forall(std::vector<std::string> vars, FormulaPtr body) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kForall;
+  f->bound_vars_ = std::move(vars);
+  f->children_.push_back(std::move(body));
+  return f;
+}
+
+FormulaPtr Formula::Previous(TimeInterval interval, FormulaPtr body) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kPrevious;
+  f->interval_ = interval;
+  f->children_.push_back(std::move(body));
+  return f;
+}
+
+FormulaPtr Formula::Once(TimeInterval interval, FormulaPtr body) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kOnce;
+  f->interval_ = interval;
+  f->children_.push_back(std::move(body));
+  return f;
+}
+
+FormulaPtr Formula::Historically(TimeInterval interval, FormulaPtr body) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kHistorically;
+  f->interval_ = interval;
+  f->children_.push_back(std::move(body));
+  return f;
+}
+
+FormulaPtr Formula::Eventually(TimeInterval interval, FormulaPtr body) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kEventually;
+  f->interval_ = interval;
+  f->children_.push_back(std::move(body));
+  return f;
+}
+
+FormulaPtr Formula::Since(TimeInterval interval, FormulaPtr lhs,
+                          FormulaPtr rhs) {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = FormulaKind::kSince;
+  f->interval_ = interval;
+  f->children_.push_back(std::move(lhs));
+  f->children_.push_back(std::move(rhs));
+  return f;
+}
+
+FormulaPtr Formula::Clone() const {
+  auto f = FormulaPtr(new Formula());
+  f->kind_ = kind_;
+  f->bool_value_ = bool_value_;
+  f->predicate_ = predicate_;
+  f->terms_ = terms_;
+  f->cmp_op_ = cmp_op_;
+  f->bound_vars_ = bound_vars_;
+  f->interval_ = interval_;
+  f->children_.reserve(children_.size());
+  for (const auto& c : children_) f->children_.push_back(c->Clone());
+  return f;
+}
+
+bool Formula::Equals(const Formula& o) const {
+  if (kind_ != o.kind_) return false;
+  if (bool_value_ != o.bool_value_) return false;
+  if (predicate_ != o.predicate_) return false;
+  if (!(terms_ == o.terms_)) return false;
+  if (cmp_op_ != o.cmp_op_) return false;
+  if (bound_vars_ != o.bound_vars_) return false;
+  if (!(interval_ == o.interval_)) return false;
+  if (children_.size() != o.children_.size()) return false;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*o.children_[i])) return false;
+  }
+  return true;
+}
+
+std::string Formula::ToString() const { return PrintFormula(*this); }
+
+}  // namespace tl
+}  // namespace rtic

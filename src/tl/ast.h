@@ -1,0 +1,168 @@
+// Abstract syntax of the constraint language: first-order metric past
+// temporal logic (Past MTL) over database atoms.
+//
+//   φ ::= R(t̄) | t ⊙ t | true | false
+//       | not φ | φ and φ | φ or φ | φ implies φ
+//       | exists x̄: φ | forall x̄: φ
+//       | previous[I] φ | once[I] φ | historically[I] φ | φ since[I] φ
+//
+// Formulas are immutable trees owned through unique_ptr; Clone() produces
+// deep copies. Engines identify temporal subformulas by node address, so a
+// compiled engine owns its own clone of the (normalized) constraint.
+
+#ifndef RTIC_TL_AST_H_
+#define RTIC_TL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "types/value.h"
+
+namespace rtic {
+namespace tl {
+
+/// A term: either a variable or a typed constant.
+class Term {
+ public:
+  /// Variable reference.
+  static Term Var(std::string name);
+
+  /// Typed constant.
+  static Term Const(Value value);
+
+  bool is_variable() const { return is_variable_; }
+  bool is_constant() const { return !is_variable_; }
+
+  /// Variable name; requires is_variable().
+  const std::string& name() const { return name_; }
+
+  /// Constant value; requires is_constant().
+  const Value& value() const { return value_; }
+
+  bool operator==(const Term& o) const;
+
+  /// Source form: variable name or constant literal.
+  std::string ToString() const;
+
+ private:
+  bool is_variable_ = false;
+  std::string name_;
+  Value value_;
+};
+
+/// Comparison operators usable between terms.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Token text of a comparison operator ("=", "!=", "<", "<=", ">", ">=").
+const char* CmpOpToString(CmpOp op);
+
+/// Applies the comparison to an already-computed three-way result.
+bool EvalCmp(CmpOp op, int three_way);
+
+/// The negated operator (kEq <-> kNe, kLt <-> kGe, kLe <-> kGt).
+CmpOp NegateCmp(CmpOp op);
+
+/// Node discriminator.
+enum class FormulaKind {
+  kBoolConst,     // true / false
+  kAtom,          // R(t1, ..., tk)
+  kComparison,    // t1 op t2
+  kNot,           // not φ
+  kAnd,           // φ and ψ
+  kOr,            // φ or ψ
+  kImplies,       // φ implies ψ
+  kExists,        // exists x1..xk: φ
+  kForall,        // forall x1..xk: φ
+  kPrevious,      // previous[I] φ
+  kOnce,          // once[I] φ        (◆_I)
+  kHistorically,  // historically[I] φ (■_I)
+  kSince,         // φ since[I] ψ
+  kEventually,    // eventually[I] φ  (◇_I, bounded future; response
+                  // constraints only — see engines/response)
+};
+
+/// Stable name of a formula kind (for diagnostics).
+const char* FormulaKindToString(FormulaKind kind);
+
+/// True for the four PAST metric temporal kinds (eventually is future).
+bool IsTemporal(FormulaKind kind);
+
+/// True for the bounded-future kind (kEventually).
+bool IsFutureTemporal(FormulaKind kind);
+
+class Formula;
+using FormulaPtr = std::unique_ptr<Formula>;
+
+/// Immutable formula tree node.
+class Formula {
+ public:
+  // -- Factories ----------------------------------------------------------
+  static FormulaPtr True();
+  static FormulaPtr False();
+  static FormulaPtr Atom(std::string predicate, std::vector<Term> terms);
+  static FormulaPtr Comparison(Term lhs, CmpOp op, Term rhs);
+  static FormulaPtr Not(FormulaPtr child);
+  static FormulaPtr And(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Or(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Implies(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Exists(std::vector<std::string> vars, FormulaPtr body);
+  static FormulaPtr Forall(std::vector<std::string> vars, FormulaPtr body);
+  static FormulaPtr Previous(TimeInterval interval, FormulaPtr body);
+  static FormulaPtr Once(TimeInterval interval, FormulaPtr body);
+  static FormulaPtr Historically(TimeInterval interval, FormulaPtr body);
+  static FormulaPtr Since(TimeInterval interval, FormulaPtr lhs,
+                          FormulaPtr rhs);
+  static FormulaPtr Eventually(TimeInterval interval, FormulaPtr body);
+
+  // -- Accessors (each requires the matching kind) -------------------------
+  FormulaKind kind() const { return kind_; }
+
+  /// kBoolConst payload.
+  bool bool_value() const { return bool_value_; }
+
+  /// kAtom payload.
+  const std::string& predicate() const { return predicate_; }
+  const std::vector<Term>& terms() const { return terms_; }
+
+  /// kComparison payload: terms()[0] op terms()[1].
+  CmpOp cmp_op() const { return cmp_op_; }
+
+  /// Quantifier payload.
+  const std::vector<std::string>& bound_vars() const { return bound_vars_; }
+
+  /// Temporal payload.
+  const TimeInterval& interval() const { return interval_; }
+
+  /// Children. Unary kinds: child(0). Binary: child(0), child(1).
+  /// since: child(0)=lhs, child(1)=rhs.
+  std::size_t num_children() const { return children_.size(); }
+  const Formula& child(std::size_t i) const { return *children_[i]; }
+
+  /// Deep copy.
+  FormulaPtr Clone() const;
+
+  /// Structural equality (kind, payloads, children).
+  bool Equals(const Formula& o) const;
+
+  /// Parseable source form (see printer.cc for the grammar's precedence).
+  std::string ToString() const;
+
+ private:
+  Formula() = default;
+
+  FormulaKind kind_ = FormulaKind::kBoolConst;
+  bool bool_value_ = false;
+  std::string predicate_;
+  std::vector<Term> terms_;
+  CmpOp cmp_op_ = CmpOp::kEq;
+  std::vector<std::string> bound_vars_;
+  TimeInterval interval_;
+  std::vector<FormulaPtr> children_;
+};
+
+}  // namespace tl
+}  // namespace rtic
+
+#endif  // RTIC_TL_AST_H_

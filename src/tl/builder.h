@@ -1,0 +1,141 @@
+// Fluent C++ construction of constraint formulas — the programmatic
+// alternative to the textual language, for applications that generate
+// constraints (the benchmark harness, config-driven policies, ...):
+//
+//   using namespace rtic::tl::build;
+//   FormulaPtr f = Forall({"e", "s", "s0"},
+//       (Atom("Emp", {V("e"), V("s")}) &&
+//        Previous(Atom("Emp", {V("e"), V("s0")})))
+//       >>= Ge(V("s"), V("s0")));
+//
+// Operators: && (and), || (or), ! (not), >>= (implies; chosen for its
+// right-associativity matching the language). All helpers are thin wrappers
+// over the Formula factories, so built trees are indistinguishable from
+// parsed ones.
+
+#ifndef RTIC_TL_BUILDER_H_
+#define RTIC_TL_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tl/ast.h"
+
+namespace rtic {
+namespace tl {
+namespace build {
+
+// ---- terms -----------------------------------------------------------------
+
+/// Variable term.
+inline Term V(std::string name) { return Term::Var(std::move(name)); }
+
+/// Constant terms.
+inline Term C(std::int64_t v) { return Term::Const(Value::Int64(v)); }
+inline Term C(double v) { return Term::Const(Value::Double(v)); }
+inline Term C(const char* v) { return Term::Const(Value::String(v)); }
+inline Term C(std::string v) {
+  return Term::Const(Value::String(std::move(v)));
+}
+inline Term C(bool v) { return Term::Const(Value::Bool(v)); }
+
+// ---- leaves -----------------------------------------------------------------
+
+inline FormulaPtr True() { return Formula::True(); }
+inline FormulaPtr False() { return Formula::False(); }
+
+inline FormulaPtr Atom(std::string predicate, std::vector<Term> terms) {
+  return Formula::Atom(std::move(predicate), std::move(terms));
+}
+
+inline FormulaPtr Eq(Term a, Term b) {
+  return Formula::Comparison(std::move(a), CmpOp::kEq, std::move(b));
+}
+inline FormulaPtr Ne(Term a, Term b) {
+  return Formula::Comparison(std::move(a), CmpOp::kNe, std::move(b));
+}
+inline FormulaPtr Lt(Term a, Term b) {
+  return Formula::Comparison(std::move(a), CmpOp::kLt, std::move(b));
+}
+inline FormulaPtr Le(Term a, Term b) {
+  return Formula::Comparison(std::move(a), CmpOp::kLe, std::move(b));
+}
+inline FormulaPtr Gt(Term a, Term b) {
+  return Formula::Comparison(std::move(a), CmpOp::kGt, std::move(b));
+}
+inline FormulaPtr Ge(Term a, Term b) {
+  return Formula::Comparison(std::move(a), CmpOp::kGe, std::move(b));
+}
+
+// ---- connectives -------------------------------------------------------------
+
+inline FormulaPtr operator&&(FormulaPtr a, FormulaPtr b) {
+  return Formula::And(std::move(a), std::move(b));
+}
+inline FormulaPtr operator||(FormulaPtr a, FormulaPtr b) {
+  return Formula::Or(std::move(a), std::move(b));
+}
+inline FormulaPtr operator!(FormulaPtr a) {
+  return Formula::Not(std::move(a));
+}
+/// Implication; >>= is right-associative like `implies`.
+inline FormulaPtr operator>>=(FormulaPtr a, FormulaPtr b) {
+  return Formula::Implies(std::move(a), std::move(b));
+}
+
+inline FormulaPtr Implies(FormulaPtr a, FormulaPtr b) {
+  return Formula::Implies(std::move(a), std::move(b));
+}
+
+// ---- quantifiers ---------------------------------------------------------------
+
+inline FormulaPtr Forall(std::vector<std::string> vars, FormulaPtr body) {
+  return Formula::Forall(std::move(vars), std::move(body));
+}
+inline FormulaPtr Exists(std::vector<std::string> vars, FormulaPtr body) {
+  return Formula::Exists(std::move(vars), std::move(body));
+}
+
+// ---- temporal operators -----------------------------------------------------------
+
+inline FormulaPtr Previous(FormulaPtr body) {
+  return Formula::Previous(TimeInterval::All(), std::move(body));
+}
+inline FormulaPtr Previous(TimeInterval i, FormulaPtr body) {
+  return Formula::Previous(i, std::move(body));
+}
+inline FormulaPtr Once(FormulaPtr body) {
+  return Formula::Once(TimeInterval::All(), std::move(body));
+}
+inline FormulaPtr Once(TimeInterval i, FormulaPtr body) {
+  return Formula::Once(i, std::move(body));
+}
+inline FormulaPtr Historically(FormulaPtr body) {
+  return Formula::Historically(TimeInterval::All(), std::move(body));
+}
+inline FormulaPtr Historically(TimeInterval i, FormulaPtr body) {
+  return Formula::Historically(i, std::move(body));
+}
+inline FormulaPtr Since(FormulaPtr lhs, FormulaPtr rhs) {
+  return Formula::Since(TimeInterval::All(), std::move(lhs), std::move(rhs));
+}
+inline FormulaPtr Since(TimeInterval i, FormulaPtr lhs, FormulaPtr rhs) {
+  return Formula::Since(i, std::move(lhs), std::move(rhs));
+}
+
+/// Interval shorthand: Within(10) = [0, 10]; Window(2, 10) = [2, 10];
+/// After(3) = [3, inf).
+inline TimeInterval Within(Timestamp hi) { return TimeInterval(0, hi); }
+inline TimeInterval Window(Timestamp lo, Timestamp hi) {
+  return TimeInterval(lo, hi);
+}
+inline TimeInterval After(Timestamp lo) {
+  return TimeInterval(lo, kTimeInfinity);
+}
+
+}  // namespace build
+}  // namespace tl
+}  // namespace rtic
+
+#endif  // RTIC_TL_BUILDER_H_

@@ -1,0 +1,230 @@
+#include "tl/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace rtic {
+namespace tl {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kKeyword:
+      return "keyword";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kDouble:
+      return "double";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "not",  "and",  "or",       "implies",      "forall", "exists",
+      "previous", "once", "historically", "since", "eventually",
+      "true",  "false", "inf"};
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+
+  auto push = [&](TokenKind kind, std::size_t offset, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comment: "--" to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    std::size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word = input.substr(start, i - start);
+      if (Keywords().count(word) > 0) {
+        push(TokenKind::kKeyword, start, std::move(word));
+      } else {
+        push(TokenKind::kIdent, start, std::move(word));
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      ++i;  // consume first digit or '-'
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      bool is_double = false;
+      if (i < n && input[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      std::string num = input.substr(start, i - start);
+      Token t;
+      t.offset = start;
+      t.text = num;
+      if (is_double) {
+        t.kind = TokenKind::kDouble;
+        t.double_value = std::stod(num);
+      } else {
+        t.kind = TokenKind::kInt;
+        try {
+          t.int_value = std::stoll(num);
+        } catch (const std::out_of_range&) {
+          return Status::InvalidArgument("integer literal out of range: " +
+                                         num);
+        }
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\\' && i + 1 < n) {
+          text += input[i + 1];
+          i += 2;
+          continue;
+        }
+        if (input[i] == '\'') {
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      push(TokenKind::kString, start, std::move(text));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, start);
+        ++i;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        continue;
+      case ':':
+        push(TokenKind::kColon, start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+          continue;
+        }
+        return Status::InvalidArgument("unexpected '!' at offset " +
+                                       std::to_string(start));
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        continue;
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace tl
+}  // namespace rtic

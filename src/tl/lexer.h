@@ -1,0 +1,63 @@
+// Lexer for the constraint language. Produces a flat token stream; the
+// recursive-descent parser consumes it. `--` starts a comment to end of line.
+
+#ifndef RTIC_TL_LEXER_H_
+#define RTIC_TL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rtic {
+namespace tl {
+
+/// Token categories. Keywords are lexed as kKeyword with the keyword text in
+/// `text` (not, and, or, implies, forall, exists, previous, once,
+/// historically, since, true, false, inf).
+enum class TokenKind {
+  kIdent,
+  kKeyword,
+  kInt,       // integer literal (int_value)
+  kDouble,    // floating literal (double_value)
+  kString,    // quoted string literal, unescaped (text)
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kComma,     // ,
+  kColon,     // :
+  kEq,        // =
+  kNe,        // !=
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kEnd,       // end of input
+};
+
+/// Readable token-kind name for error messages.
+const char* TokenKindToString(TokenKind kind);
+
+/// One lexed token with its source offset (byte position, for diagnostics).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::size_t offset = 0;
+
+  /// True for kKeyword with the given spelling.
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+};
+
+/// Tokenizes `input`. The returned vector always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace tl
+}  // namespace rtic
+
+#endif  // RTIC_TL_LEXER_H_

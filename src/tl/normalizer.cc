@@ -1,0 +1,84 @@
+#include "tl/normalizer.h"
+
+namespace rtic {
+namespace tl {
+
+namespace {
+
+/// Rebuilds `f` with children produced by `rewrite` (post-order transform).
+template <typename Fn>
+FormulaPtr Rebuild(const Formula& f, const Fn& rewrite) {
+  switch (f.kind()) {
+    case FormulaKind::kBoolConst:
+      return f.bool_value() ? Formula::True() : Formula::False();
+    case FormulaKind::kAtom:
+      return Formula::Atom(f.predicate(), f.terms());
+    case FormulaKind::kComparison:
+      return Formula::Comparison(f.terms()[0], f.cmp_op(), f.terms()[1]);
+    case FormulaKind::kNot:
+      return Formula::Not(rewrite(f.child(0)));
+    case FormulaKind::kAnd:
+      return Formula::And(rewrite(f.child(0)), rewrite(f.child(1)));
+    case FormulaKind::kOr:
+      return Formula::Or(rewrite(f.child(0)), rewrite(f.child(1)));
+    case FormulaKind::kImplies:
+      return Formula::Implies(rewrite(f.child(0)), rewrite(f.child(1)));
+    case FormulaKind::kExists:
+      return Formula::Exists(f.bound_vars(), rewrite(f.child(0)));
+    case FormulaKind::kForall:
+      return Formula::Forall(f.bound_vars(), rewrite(f.child(0)));
+    case FormulaKind::kPrevious:
+      return Formula::Previous(f.interval(), rewrite(f.child(0)));
+    case FormulaKind::kOnce:
+      return Formula::Once(f.interval(), rewrite(f.child(0)));
+    case FormulaKind::kHistorically:
+      return Formula::Historically(f.interval(), rewrite(f.child(0)));
+    case FormulaKind::kSince:
+      return Formula::Since(f.interval(), rewrite(f.child(0)),
+                            rewrite(f.child(1)));
+    case FormulaKind::kEventually:
+      return Formula::Eventually(f.interval(), rewrite(f.child(0)));
+  }
+  return f.Clone();
+}
+
+}  // namespace
+
+FormulaPtr EliminateImplies(const Formula& formula) {
+  auto rec = [](const Formula& f) { return EliminateImplies(f); };
+  if (formula.kind() == FormulaKind::kImplies) {
+    return Formula::Or(Formula::Not(EliminateImplies(formula.child(0))),
+                       EliminateImplies(formula.child(1)));
+  }
+  return Rebuild(formula, rec);
+}
+
+FormulaPtr RewriteHistorically(const Formula& formula) {
+  auto rec = [](const Formula& f) { return RewriteHistorically(f); };
+  if (formula.kind() == FormulaKind::kHistorically) {
+    return Formula::Not(Formula::Once(
+        formula.interval(),
+        Formula::Not(RewriteHistorically(formula.child(0)))));
+  }
+  return Rebuild(formula, rec);
+}
+
+FormulaPtr SimplifyDoubleNegation(const Formula& formula) {
+  auto rec = [](const Formula& f) { return SimplifyDoubleNegation(f); };
+  if (formula.kind() == FormulaKind::kNot &&
+      formula.child(0).kind() == FormulaKind::kNot) {
+    return SimplifyDoubleNegation(formula.child(0).child(0));
+  }
+  return Rebuild(formula, rec);
+}
+
+FormulaPtr NormalizeForEngines(const Formula& formula) {
+  // `implies` is kept: the evaluator handles it natively and its
+  // falsification set is generated from the antecedent (the fast path);
+  // rewriting it into `not ... or ...` would force domain complements.
+  FormulaPtr step = RewriteHistorically(formula);
+  return SimplifyDoubleNegation(*step);
+}
+
+}  // namespace tl
+}  // namespace rtic

@@ -1,0 +1,37 @@
+// Semantics-preserving rewrites that prepare a constraint for the
+// incremental (bounded-history-encoding) compiler:
+//   * historically-rewrite:     historically[I] φ  =>  not once[I] not φ
+//   * double-negation removal:  not not φ     =>  φ
+// `implies` is deliberately NOT eliminated: the evaluator's falsification
+// sets are generated from implication antecedents (the safe-range fast
+// path), which an `(not φ) or ψ` rewrite would destroy. EliminateImplies
+// remains available as a standalone utility.
+//
+// The naive engine evaluates the *original* formula, so the equivalence of
+// normalized and original semantics is independently testable.
+
+#ifndef RTIC_TL_NORMALIZER_H_
+#define RTIC_TL_NORMALIZER_H_
+
+#include "tl/ast.h"
+
+namespace rtic {
+namespace tl {
+
+/// Returns an equivalent formula using only {bool, atom, comparison, not,
+/// and, or, exists, forall, previous, once, since}.
+FormulaPtr NormalizeForEngines(const Formula& formula);
+
+/// Rewrites `φ implies ψ` to `(not φ) or ψ` throughout.
+FormulaPtr EliminateImplies(const Formula& formula);
+
+/// Rewrites `historically[I] φ` to `not once[I] not φ` throughout.
+FormulaPtr RewriteHistorically(const Formula& formula);
+
+/// Removes `not not φ` throughout.
+FormulaPtr SimplifyDoubleNegation(const Formula& formula);
+
+}  // namespace tl
+}  // namespace rtic
+
+#endif  // RTIC_TL_NORMALIZER_H_

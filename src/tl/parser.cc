@@ -1,0 +1,298 @@
+#include "tl/parser.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "tl/lexer.h"
+
+namespace rtic {
+namespace tl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<FormulaPtr> Parse() {
+    RTIC_ASSIGN_OR_RETURN(FormulaPtr f, ParseImplies());
+    if (!AtEnd()) {
+      return Error("unexpected trailing input starting with " +
+                   Describe(Peek()));
+    }
+    return f;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;  // kEnd sentinel
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  static std::string Describe(const Token& t) {
+    std::string out = TokenKindToString(t.kind);
+    if (!t.text.empty()) out += " '" + t.text + "'";
+    return out;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("parse error at offset " +
+                                   std::to_string(Peek().offset) + ": " + msg);
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(std::string("expected ") + TokenKindToString(kind) +
+                   ", found " + Describe(Peek()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  // implies := or ('implies' implies)?      right-associative
+  Result<FormulaPtr> ParseImplies() {
+    RTIC_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseOr());
+    if (Peek().IsKeyword("implies")) {
+      Advance();
+      RTIC_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseImplies());
+      return Formula::Implies(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // or := and ('or' and)*
+  Result<FormulaPtr> ParseOr() {
+    RTIC_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseAnd());
+    while (Peek().IsKeyword("or")) {
+      Advance();
+      RTIC_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseAnd());
+      lhs = Formula::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // and := since ('and' since)*
+  Result<FormulaPtr> ParseAnd() {
+    RTIC_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseSince());
+    while (Peek().IsKeyword("and")) {
+      Advance();
+      RTIC_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseSince());
+      lhs = Formula::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // since := unary ('since' interval? unary)*     left-associative
+  Result<FormulaPtr> ParseSince() {
+    RTIC_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseUnary());
+    while (Peek().IsKeyword("since")) {
+      Advance();
+      RTIC_ASSIGN_OR_RETURN(TimeInterval interval, ParseOptionalInterval());
+      RTIC_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseUnary());
+      lhs = Formula::Since(interval, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FormulaPtr> ParseUnary() {
+    const Token& t = Peek();
+    if (t.IsKeyword("not")) {
+      Advance();
+      RTIC_ASSIGN_OR_RETURN(FormulaPtr body, ParseUnary());
+      return Formula::Not(std::move(body));
+    }
+    if (t.IsKeyword("previous") || t.IsKeyword("once") ||
+        t.IsKeyword("historically") || t.IsKeyword("eventually")) {
+      std::string op = t.text;
+      Advance();
+      RTIC_ASSIGN_OR_RETURN(TimeInterval interval, ParseOptionalInterval());
+      RTIC_ASSIGN_OR_RETURN(FormulaPtr body, ParseUnary());
+      if (op == "previous") return Formula::Previous(interval, std::move(body));
+      if (op == "once") return Formula::Once(interval, std::move(body));
+      if (op == "eventually") {
+        return Formula::Eventually(interval, std::move(body));
+      }
+      return Formula::Historically(interval, std::move(body));
+    }
+    if (t.IsKeyword("forall") || t.IsKeyword("exists")) {
+      bool is_forall = t.text == "forall";
+      Advance();
+      std::vector<std::string> vars;
+      for (;;) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Error("expected variable name in quantifier, found " +
+                       Describe(Peek()));
+        }
+        vars.push_back(Advance().text);
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      RTIC_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+      RTIC_ASSIGN_OR_RETURN(FormulaPtr body, ParseImplies());
+      if (is_forall) return Formula::Forall(std::move(vars), std::move(body));
+      return Formula::Exists(std::move(vars), std::move(body));
+    }
+    return ParsePrimary();
+  }
+
+  Result<FormulaPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kLParen) {
+      Advance();
+      RTIC_ASSIGN_OR_RETURN(FormulaPtr f, ParseImplies());
+      RTIC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return f;
+    }
+    // Atom: IDENT '(' ... ')'.
+    if (t.kind == TokenKind::kIdent && Peek(1).kind == TokenKind::kLParen) {
+      std::string predicate = Advance().text;
+      Advance();  // '('
+      std::vector<Term> terms;
+      if (Peek().kind != TokenKind::kRParen) {
+        for (;;) {
+          RTIC_ASSIGN_OR_RETURN(Term term, ParseTerm());
+          terms.push_back(std::move(term));
+          if (Peek().kind == TokenKind::kComma) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      RTIC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return Formula::Atom(std::move(predicate), std::move(terms));
+    }
+    // Bare true/false (when not part of a comparison).
+    if ((t.IsKeyword("true") || t.IsKeyword("false")) &&
+        !IsCmpToken(Peek(1).kind)) {
+      bool v = t.text == "true";
+      Advance();
+      return v ? Formula::True() : Formula::False();
+    }
+    // Comparison: term op term.
+    RTIC_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    std::optional<CmpOp> op = TakeCmpOp();
+    if (!op.has_value()) {
+      return Error("expected comparison operator after term '" +
+                   lhs.ToString() + "'");
+    }
+    RTIC_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    return Formula::Comparison(std::move(lhs), *op, std::move(rhs));
+  }
+
+  static bool IsCmpToken(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kEq:
+      case TokenKind::kNe:
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGt:
+      case TokenKind::kGe:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  std::optional<CmpOp> TakeCmpOp() {
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        Advance();
+        return CmpOp::kEq;
+      case TokenKind::kNe:
+        Advance();
+        return CmpOp::kNe;
+      case TokenKind::kLt:
+        Advance();
+        return CmpOp::kLt;
+      case TokenKind::kLe:
+        Advance();
+        return CmpOp::kLe;
+      case TokenKind::kGt:
+        Advance();
+        return CmpOp::kGt;
+      case TokenKind::kGe:
+        Advance();
+        return CmpOp::kGe;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIdent: {
+        std::string name = Advance().text;
+        return Term::Var(std::move(name));
+      }
+      case TokenKind::kInt: {
+        std::int64_t v = Advance().int_value;
+        return Term::Const(Value::Int64(v));
+      }
+      case TokenKind::kDouble: {
+        double v = Advance().double_value;
+        return Term::Const(Value::Double(v));
+      }
+      case TokenKind::kString: {
+        std::string v = Advance().text;
+        return Term::Const(Value::String(std::move(v)));
+      }
+      case TokenKind::kKeyword:
+        if (t.text == "true" || t.text == "false") {
+          bool v = Advance().text == "true";
+          return Term::Const(Value::Bool(v));
+        }
+        break;
+      default:
+        break;
+    }
+    return Error("expected term, found " + Describe(Peek()));
+  }
+
+  // interval := '[' INT ',' (INT | 'inf') ']'; absent => [0, inf].
+  Result<TimeInterval> ParseOptionalInterval() {
+    if (Peek().kind != TokenKind::kLBracket) return TimeInterval::All();
+    Advance();
+    if (Peek().kind != TokenKind::kInt) {
+      return Error("expected integer interval bound, found " +
+                   Describe(Peek()));
+    }
+    Timestamp lo = Advance().int_value;
+    RTIC_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+    Timestamp hi;
+    if (Peek().IsKeyword("inf")) {
+      Advance();
+      hi = kTimeInfinity;
+    } else if (Peek().kind == TokenKind::kInt) {
+      hi = Advance().int_value;
+    } else {
+      return Error("expected integer or 'inf' interval bound, found " +
+                   Describe(Peek()));
+    }
+    RTIC_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+    RTIC_ASSIGN_OR_RETURN(TimeInterval interval, TimeInterval::Make(lo, hi));
+    return interval;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FormulaPtr> ParseFormula(const std::string& input) {
+  RTIC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace tl
+}  // namespace rtic

@@ -1,0 +1,31 @@
+// Recursive-descent parser for the constraint language.
+//
+// Precedence, loosest to tightest:
+//   implies (right-assoc)  <  or  <  and  <  since (left-assoc)  <  unary
+// Unary operators (not, previous, once, historically) and quantifiers bind
+// tightly; quantifier bodies extend maximally to the right after the colon:
+//
+//   forall e, s: Emp(e, s) implies s >= 0
+//   forall a: Ack(a) implies once[0, 10] Raise(a)
+//   forall x: Open(x) since[1, inf] Init(x) implies Live(x)
+//
+// Intervals: [lo, hi] with hi an integer or `inf`; omitted means [0, inf].
+
+#ifndef RTIC_TL_PARSER_H_
+#define RTIC_TL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "tl/ast.h"
+
+namespace rtic {
+namespace tl {
+
+/// Parses a complete formula; fails on trailing input.
+Result<FormulaPtr> ParseFormula(const std::string& input);
+
+}  // namespace tl
+}  // namespace rtic
+
+#endif  // RTIC_TL_PARSER_H_

@@ -1,0 +1,120 @@
+#include "tl/printer.h"
+
+#include "tl/ast.h"
+
+namespace rtic {
+namespace tl {
+
+namespace {
+
+// Binding strength. A child is parenthesized when its own precedence is
+// lower than what its context requires.
+//   implies: 1,  or: 2,  and: 3,  since: 4,  unary: 5,  primary: 6.
+// Quantifier bodies extend maximally to the right, so a quantifier used as
+// an operand of anything tighter than implies needs parentheses: level 1.
+int Precedence(const Formula& f) {
+  switch (f.kind()) {
+    case FormulaKind::kImplies:
+      return 1;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      return 1;
+    case FormulaKind::kOr:
+      return 2;
+    case FormulaKind::kAnd:
+      return 3;
+    case FormulaKind::kSince:
+      return 4;
+    case FormulaKind::kNot:
+    case FormulaKind::kPrevious:
+    case FormulaKind::kOnce:
+    case FormulaKind::kHistorically:
+    case FormulaKind::kEventually:
+      return 5;
+    case FormulaKind::kBoolConst:
+    case FormulaKind::kAtom:
+    case FormulaKind::kComparison:
+      return 6;
+  }
+  return 6;
+}
+
+std::string IntervalSuffix(const TimeInterval& interval) {
+  if (interval == TimeInterval::All()) return "";
+  std::string out = "[" + std::to_string(interval.lo()) + ", ";
+  if (interval.unbounded()) {
+    out += "inf]";
+  } else {
+    out += std::to_string(interval.hi()) + "]";
+  }
+  return out;
+}
+
+std::string Print(const Formula& f, int min_prec);
+
+std::string PrintChild(const Formula& f, int min_prec) {
+  std::string s = Print(f, min_prec);
+  if (Precedence(f) < min_prec) return "(" + s + ")";
+  return s;
+}
+
+std::string Print(const Formula& f, int /*min_prec*/) {
+  switch (f.kind()) {
+    case FormulaKind::kBoolConst:
+      return f.bool_value() ? "true" : "false";
+    case FormulaKind::kAtom: {
+      std::string out = f.predicate() + "(";
+      for (std::size_t i = 0; i < f.terms().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += f.terms()[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case FormulaKind::kComparison:
+      return f.terms()[0].ToString() + " " + CmpOpToString(f.cmp_op()) + " " +
+             f.terms()[1].ToString();
+    case FormulaKind::kNot:
+      return "not " + PrintChild(f.child(0), 5);
+    case FormulaKind::kAnd:
+      return PrintChild(f.child(0), 3) + " and " + PrintChild(f.child(1), 4);
+    case FormulaKind::kOr:
+      return PrintChild(f.child(0), 2) + " or " + PrintChild(f.child(1), 3);
+    case FormulaKind::kImplies:
+      return PrintChild(f.child(0), 2) + " implies " +
+             PrintChild(f.child(1), 1);
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      std::string out = f.kind() == FormulaKind::kExists ? "exists " : "forall ";
+      for (std::size_t i = 0; i < f.bound_vars().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += f.bound_vars()[i];
+      }
+      out += ": " + PrintChild(f.child(0), 1);
+      return out;
+    }
+    case FormulaKind::kPrevious:
+      return "previous" + IntervalSuffix(f.interval()) + " " +
+             PrintChild(f.child(0), 5);
+    case FormulaKind::kOnce:
+      return "once" + IntervalSuffix(f.interval()) + " " +
+             PrintChild(f.child(0), 5);
+    case FormulaKind::kHistorically:
+      return "historically" + IntervalSuffix(f.interval()) + " " +
+             PrintChild(f.child(0), 5);
+    case FormulaKind::kEventually:
+      return "eventually" + IntervalSuffix(f.interval()) + " " +
+             PrintChild(f.child(0), 5);
+    case FormulaKind::kSince:
+      return PrintChild(f.child(0), 5) + " since" +
+             IntervalSuffix(f.interval()) + " " + PrintChild(f.child(1), 5);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PrintFormula(const Formula& formula) { return Print(formula, 1); }
+
+}  // namespace tl
+}  // namespace rtic

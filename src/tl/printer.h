@@ -1,0 +1,20 @@
+// Pretty-printer: produces source text that reparses to a structurally equal
+// formula (round-trip property is tested).
+
+#ifndef RTIC_TL_PRINTER_H_
+#define RTIC_TL_PRINTER_H_
+
+#include <string>
+
+namespace rtic {
+namespace tl {
+
+class Formula;
+
+/// Source form with minimal parentheses.
+std::string PrintFormula(const Formula& formula);
+
+}  // namespace tl
+}  // namespace rtic
+
+#endif  // RTIC_TL_PRINTER_H_

@@ -1,0 +1,48 @@
+#include "types/schema.h"
+
+#include <unordered_set>
+
+namespace rtic {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+Result<Schema> Schema::Make(std::vector<Column> columns) {
+  std::unordered_set<std::string> seen;
+  for (const Column& c : columns) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("schema column with empty name");
+    }
+    if (!seen.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate schema column: " + c.name);
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+std::optional<std::size_t> Schema::IndexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Schema::Names() const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.name);
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ": ";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rtic

@@ -1,0 +1,59 @@
+// Schema: the typed column layout of a table or relation.
+
+#ifndef RTIC_TYPES_SCHEMA_H_
+#define RTIC_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace rtic {
+
+/// One named, typed column.
+struct Column {
+  std::string name;
+  ValueType type;
+
+  bool operator==(const Column& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// Ordered list of uniquely named columns.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Constructs from columns. Prefer Make(), which checks name uniqueness.
+  explicit Schema(std::vector<Column> columns);
+
+  /// Validating factory: rejects duplicate or empty column names.
+  static Result<Schema> Make(std::vector<Column> columns);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  std::size_t size() const { return columns_.size(); }
+  bool empty() const { return columns_.empty(); }
+
+  const Column& column(std::size_t i) const { return columns_[i]; }
+
+  /// Index of the column with `name`, or nullopt.
+  std::optional<std::size_t> IndexOf(const std::string& name) const;
+
+  /// All column names in order.
+  std::vector<std::string> Names() const;
+
+  bool operator==(const Schema& o) const { return columns_ == o.columns_; }
+
+  /// "(a: int, b: string)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_TYPES_SCHEMA_H_

@@ -1,0 +1,43 @@
+#include "types/tuple.h"
+
+#include "common/hash.h"
+
+namespace rtic {
+
+bool Tuple::operator<(const Tuple& o) const {
+  std::size_t n = std::min(values_.size(), o.values_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (values_[i] < o.values_[i]) return true;
+    if (o.values_[i] < values_[i]) return false;
+  }
+  return values_.size() < o.values_.size();
+}
+
+std::size_t Tuple::Hash() const {
+  std::size_t seed = values_.size();
+  for (const Value& v : values_) {
+    std::size_t h = v.Hash();
+    HashCombine(&seed, h);
+  }
+  return seed;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool Tuple::Matches(const Schema& schema) const {
+  if (values_.size() != schema.size()) return false;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i].type() != schema.column(i).type) return false;
+  }
+  return true;
+}
+
+}  // namespace rtic

@@ -1,0 +1,53 @@
+// Tuple: an immutable row of Values, hashable for set-semantics tables.
+
+#ifndef RTIC_TYPES_TUPLE_H_
+#define RTIC_TYPES_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace rtic {
+
+/// A row of values. Tables and relations store Tuples under set semantics;
+/// equality/hash are element-wise and type-exact.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& at(std::size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const Tuple& o) const { return values_ == o.values_; }
+  bool operator!=(const Tuple& o) const { return !(*this == o); }
+
+  /// Lexicographic order (using Value's total order).
+  bool operator<(const Tuple& o) const;
+
+  std::size_t Hash() const;
+
+  /// "(1, 'a', true)".
+  std::string ToString() const;
+
+  /// True iff arity and per-position types match `schema`.
+  bool Matches(const Schema& schema) const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// std::hash adapter for unordered containers.
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_TYPES_TUPLE_H_

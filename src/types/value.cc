@@ -1,0 +1,97 @@
+#include "types/value.h"
+
+#include <functional>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace rtic {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+Result<ValueType> ValueTypeFromString(const std::string& name) {
+  if (name == "int") return ValueType::kInt64;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  if (name == "bool") return ValueType::kBool;
+  return Status::InvalidArgument("unknown type name: " + name);
+}
+
+bool IsNumeric(ValueType type) {
+  return type == ValueType::kInt64 || type == ValueType::kDouble;
+}
+
+double Value::AsNumeric() const {
+  if (type() == ValueType::kInt64) return static_cast<double>(AsInt64());
+  return AsDouble();
+}
+
+bool Value::operator<(const Value& o) const {
+  if (data_.index() != o.data_.index()) return data_.index() < o.data_.index();
+  return data_ < o.data_;
+}
+
+std::size_t Value::Hash() const {
+  std::size_t seed = data_.index();
+  switch (type()) {
+    case ValueType::kInt64:
+      HashCombine(&seed, AsInt64());
+      break;
+    case ValueType::kDouble:
+      HashCombine(&seed, AsDouble());
+      break;
+    case ValueType::kString:
+      HashCombine(&seed, AsString());
+      break;
+    case ValueType::kBool:
+      HashCombine(&seed, AsBool());
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      std::string s = std::to_string(AsDouble());
+      return s;
+    }
+    case ValueType::kString:
+      return QuoteString(AsString());
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+  }
+  return "?";
+}
+
+Result<int> CompareValues(const Value& a, const Value& b) {
+  if (a.type() == b.type()) {
+    if (a == b) return 0;
+    return a < b ? -1 : 1;
+  }
+  if (IsNumeric(a.type()) && IsNumeric(b.type())) {
+    double x = a.AsNumeric();
+    double y = b.AsNumeric();
+    if (x == y) return 0;
+    return x < y ? -1 : 1;
+  }
+  return Status::InvalidArgument(
+      "cannot compare " + std::string(ValueTypeToString(a.type())) + " with " +
+      std::string(ValueTypeToString(b.type())));
+}
+
+}  // namespace rtic

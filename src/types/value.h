@@ -1,0 +1,86 @@
+// Value: a dynamically typed scalar (int64, double, string, bool) stored in
+// relations and appearing as constants in constraint formulas.
+
+#ifndef RTIC_TYPES_VALUE_H_
+#define RTIC_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace rtic {
+
+/// Scalar type tags, also used by Schema columns.
+enum class ValueType { kInt64 = 0, kDouble = 1, kString = 2, kBool = 3 };
+
+/// Stable name of a type ("int", "double", "string", "bool").
+const char* ValueTypeToString(ValueType type);
+
+/// Parses a type name as produced by ValueTypeToString.
+Result<ValueType> ValueTypeFromString(const std::string& name);
+
+/// True iff the type is kInt64 or kDouble (comparisons may mix these two).
+bool IsNumeric(ValueType type);
+
+/// Immutable dynamically typed scalar. Equality and hashing are exact and
+/// type-sensitive; ordering first compares type tags, then payloads, so that
+/// heterogeneous sets of values have a total order.
+class Value {
+ public:
+  /// Default-constructs int64 0 (needed by containers; avoid relying on it).
+  Value() : data_(std::int64_t{0}) {}
+
+  static Value Int64(std::int64_t v) { return Value(Payload(v)); }
+  static Value Double(double v) { return Value(Payload(v)); }
+  static Value String(std::string v) { return Value(Payload(std::move(v))); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+
+  /// The runtime type tag.
+  ValueType type() const { return static_cast<ValueType>(data_.index()); }
+
+  /// Typed accessors; each requires the matching type().
+  std::int64_t AsInt64() const { return std::get<std::int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+
+  /// Numeric view: int64 widened to double. Requires IsNumeric(type()).
+  double AsNumeric() const;
+
+  /// Exact, type-sensitive equality (Int64(1) != Double(1.0)).
+  bool operator==(const Value& o) const { return data_ == o.data_; }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Total order: by type tag first, then payload.
+  bool operator<(const Value& o) const;
+
+  /// Hash consistent with operator==.
+  std::size_t Hash() const;
+
+  /// Display form; strings are quoted ('abc'), bools are true/false.
+  std::string ToString() const;
+
+ private:
+  using Payload = std::variant<std::int64_t, double, std::string, bool>;
+  explicit Value(Payload p) : data_(std::move(p)) {}
+
+  Payload data_;
+};
+
+/// std::hash adapter for unordered containers.
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Three-way comparison of two values under formula semantics:
+///   - same type: natural order;
+///   - int64 vs double: numeric comparison after widening;
+///   - otherwise: error (the analyzer should have rejected the formula).
+/// Returns <0, 0, >0.
+Result<int> CompareValues(const Value& a, const Value& b);
+
+}  // namespace rtic
+
+#endif  // RTIC_TYPES_VALUE_H_

@@ -1,0 +1,242 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace rtic {
+namespace workload {
+
+namespace {
+
+Schema IntSchema1(const std::string& a) {
+  return Schema({Column{a, ValueType::kInt64}});
+}
+
+Schema IntSchema2(const std::string& a, const std::string& b) {
+  return Schema({Column{a, ValueType::kInt64}, Column{b, ValueType::kInt64}});
+}
+
+Tuple T1(std::int64_t a) { return Tuple{Value::Int64(a)}; }
+Tuple T2(std::int64_t a, std::int64_t b) {
+  return Tuple{Value::Int64(a), Value::Int64(b)};
+}
+
+/// Tracks event-table rows inserted in the previous batch so the next batch
+/// clears them (events are visible only in the state where they occur).
+class EventClearer {
+ public:
+  void Emit(UpdateBatch* batch, const std::string& table, Tuple row) {
+    batch->Insert(table, row);
+    pending_.emplace_back(table, std::move(row));
+  }
+
+  void ClearInto(UpdateBatch* batch) {
+    for (auto& [table, row] : pending_) {
+      batch->Delete(table, std::move(row));
+    }
+    pending_.clear();
+  }
+
+ private:
+  std::vector<std::pair<std::string, Tuple>> pending_;
+};
+
+}  // namespace
+
+Workload MakeAlarmWorkload(const AlarmParams& params) {
+  Workload w;
+  w.schema["Raise"] = IntSchema1("alarm");
+  w.schema["Ack"] = IntSchema1("alarm");
+  w.schema["Active"] = IntSchema1("alarm");
+
+  const std::string deadline = std::to_string(params.deadline);
+  w.constraints = {
+      // An alarm may stay active only while a Raise within the deadline
+      // anchors it: Active continuously since a recent Raise.
+      {"alarm_acked_within_deadline",
+       "forall a: Active(a) implies Active(a) since[0, " + deadline +
+           "] Raise(a)"},
+      {"ack_has_recent_raise",
+       "forall a: Ack(a) implies once[0, " +
+           std::to_string(3 * params.deadline) + "] Raise(a)"},
+      {"no_ack_without_raise",
+       "forall a: Ack(a) implies once[0, inf] Raise(a)"},
+      // The same deadline stated future-first (a response constraint with
+      // delayed verdicts): every raise must be answered within the window.
+      {"raise_gets_ack",
+       "forall a: Raise(a) implies eventually[0, " +
+           std::to_string(2 * params.deadline) + "] Ack(a)"},
+  };
+
+  Rng rng(params.seed);
+  EventClearer events;
+  Timestamp now = 0;
+  std::map<std::int64_t, Timestamp> ack_due;  // active alarm -> ack time
+  std::set<std::int64_t> active;
+
+  for (std::size_t i = 0; i < params.length; ++i) {
+    now += rng.UniformInt(1, std::max<Timestamp>(1, params.max_gap));
+    UpdateBatch batch(now);
+    events.ClearInto(&batch);
+
+    // Acknowledge due alarms.
+    std::vector<std::int64_t> due;
+    for (const auto& [alarm, when] : ack_due) {
+      if (when <= now) due.push_back(alarm);
+    }
+    for (std::int64_t alarm : due) {
+      events.Emit(&batch, "Ack", T1(alarm));
+      batch.Delete("Active", T1(alarm));
+      active.erase(alarm);
+      ack_due.erase(alarm);
+    }
+
+    // Possibly raise a new alarm.
+    if (rng.Bernoulli(params.raise_prob) &&
+        active.size() < static_cast<std::size_t>(params.num_alarms)) {
+      std::int64_t alarm;
+      do {
+        alarm = rng.UniformInt(0, params.num_alarms - 1);
+      } while (active.count(alarm) > 0);
+      events.Emit(&batch, "Raise", T1(alarm));
+      batch.Insert("Active", T1(alarm));
+      active.insert(alarm);
+      Timestamp delay =
+          rng.Bernoulli(params.late_prob)
+              ? rng.UniformInt(params.deadline + 1, 2 * params.deadline)
+              : rng.UniformInt(1, std::max<Timestamp>(1, params.deadline - 1));
+      ack_due[alarm] = now + delay;
+    }
+
+    w.batches.push_back(std::move(batch));
+  }
+  return w;
+}
+
+Workload MakePayrollWorkload(const PayrollParams& params) {
+  Workload w;
+  w.schema["Emp"] = IntSchema2("id", "salary");
+  w.schema["Raise"] = IntSchema1("id");
+
+  w.constraints = {
+      {"no_pay_cut",
+       "forall e, s, s0: Emp(e, s) and previous Emp(e, s0) implies s >= s0"},
+      {"raise_spacing",
+       "forall e: Raise(e) implies not once[1, " +
+           std::to_string(params.raise_window) + "] Raise(e)"},
+  };
+
+  Rng rng(params.seed);
+  EventClearer events;
+  Timestamp now = 0;
+  std::map<std::int64_t, std::int64_t> salary;
+  std::map<std::int64_t, Timestamp> last_raise;
+
+  // Initial staffing happens in the first batch.
+  for (std::size_t i = 0; i < params.length; ++i) {
+    now += rng.UniformInt(1, std::max<Timestamp>(1, params.max_gap));
+    UpdateBatch batch(now);
+    events.ClearInto(&batch);
+
+    if (i == 0) {
+      for (int e = 0; e < params.num_employees; ++e) {
+        std::int64_t s = 30000 + rng.UniformInt(0, 40000);
+        salary[e] = s;
+        batch.Insert("Emp", T2(e, s));
+      }
+    } else if (rng.Bernoulli(params.update_prob)) {
+      std::int64_t e = rng.UniformInt(0, params.num_employees - 1);
+      std::int64_t old = salary[e];
+      bool cut = rng.Bernoulli(params.cut_prob);
+      std::int64_t next =
+          cut ? old - rng.UniformInt(1, 1000) : old + rng.UniformInt(1, 1000);
+      batch.Delete("Emp", T2(e, old));
+      batch.Insert("Emp", T2(e, next));
+      salary[e] = next;
+      if (!cut) {
+        // Respect the raise window unless injecting an early-raise
+        // violation.
+        auto it = last_raise.find(e);
+        bool too_soon =
+            it != last_raise.end() && now - it->second <= params.raise_window;
+        if (!too_soon || rng.Bernoulli(params.early_raise_prob)) {
+          events.Emit(&batch, "Raise", T1(e));
+          last_raise[e] = now;
+        }
+      }
+    }
+    w.batches.push_back(std::move(batch));
+  }
+  return w;
+}
+
+Workload MakeLibraryWorkload(const LibraryParams& params) {
+  Workload w;
+  w.schema["Member"] = IntSchema1("patron");
+  w.schema["Loan"] = IntSchema2("patron", "book");
+  w.schema["Out"] = IntSchema2("patron", "book");
+
+  w.constraints = {
+      {"members_only", "forall p, b: Loan(p, b) implies Member(p)"},
+      {"no_quick_reloan",
+       "forall p, b: Loan(p, b) implies not once[1, " +
+           std::to_string(params.reloan_window) + "] Loan(p, b)"},
+      {"return_deadline",
+       "forall p, b: Out(p, b) implies Out(p, b) since[0, 30] Loan(p, b)"},
+  };
+
+  Rng rng(params.seed);
+  EventClearer events;
+  Timestamp now = 0;
+  std::set<std::pair<std::int64_t, std::int64_t>> out;
+  std::map<std::pair<std::int64_t, std::int64_t>, Timestamp> return_due;
+  const int members = std::max(1, params.num_patrons / 2);
+
+  for (std::size_t i = 0; i < params.length; ++i) {
+    now += rng.UniformInt(1, std::max<Timestamp>(1, params.max_gap));
+    UpdateBatch batch(now);
+    events.ClearInto(&batch);
+
+    if (i == 0) {
+      // Patrons [0, members) are members; the rest are not.
+      for (int p = 0; p < members; ++p) batch.Insert("Member", T1(p));
+    }
+
+    // Returns.
+    std::vector<std::pair<std::int64_t, std::int64_t>> due;
+    for (const auto& [key, when] : return_due) {
+      if (when <= now) due.push_back(key);
+    }
+    for (const auto& key : due) {
+      batch.Delete("Out", T2(key.first, key.second));
+      out.erase(key);
+      return_due.erase(key);
+    }
+
+    // A new loan.
+    if (i > 0 && rng.Bernoulli(params.loan_prob)) {
+      bool rogue = rng.Bernoulli(params.nonmember_prob);
+      std::int64_t p = rogue
+                           ? rng.UniformInt(members, params.num_patrons - 1)
+                           : rng.UniformInt(0, members - 1);
+      std::int64_t b = rng.UniformInt(0, params.num_books - 1);
+      auto key = std::make_pair(p, b);
+      if (out.count(key) == 0) {
+        events.Emit(&batch, "Loan", T2(p, b));
+        batch.Insert("Out", T2(p, b));
+        out.insert(key);
+        Timestamp delay = rng.Bernoulli(params.late_return_prob)
+                              ? rng.UniformInt(31, 45)
+                              : rng.UniformInt(1, 25);
+        return_due[key] = now + delay;
+      }
+    }
+    w.batches.push_back(std::move(batch));
+  }
+  return w;
+}
+
+}  // namespace workload
+}  // namespace rtic

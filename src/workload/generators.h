@@ -1,0 +1,83 @@
+// Synthetic history generators for examples, tests, and the benchmark
+// harness. Each generator is deterministic in its seed and produces a
+// Workload bundle: table schemas, constraint texts, and a timestamped
+// batch stream. Violation-injection probabilities default to small non-zero
+// values; setting them to 0 yields violation-free histories (a property the
+// test suite checks).
+
+#ifndef RTIC_WORKLOAD_GENERATORS_H_
+#define RTIC_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/update_batch.h"
+#include "types/schema.h"
+
+namespace rtic {
+namespace workload {
+
+/// A ready-to-run scenario: schemas + constraints + update stream.
+struct Workload {
+  /// Tables to create before the first batch.
+  std::map<std::string, Schema> schema;
+
+  /// Constraints to register: (name, constraint-language text).
+  std::vector<std::pair<std::string, std::string>> constraints;
+
+  /// The history, timestamps strictly increasing.
+  std::vector<UpdateBatch> batches;
+};
+
+/// Alarm monitoring: alarms are raised (event Raise, state Active) and must
+/// be acknowledged (event Ack) within `deadline` time units. A fraction of
+/// alarms miss the deadline, violating `alarm_acked_within_deadline`.
+struct AlarmParams {
+  int num_alarms = 50;          // alarm id space
+  std::size_t length = 200;     // number of transitions
+  Timestamp deadline = 10;      // ack deadline (the constraint's window)
+  double raise_prob = 0.4;      // chance a new alarm is raised per state
+  double late_prob = 0.05;      // chance a raised alarm overruns the deadline
+  Timestamp max_gap = 3;        // clock gap per transition in [1, max_gap]
+  std::uint64_t seed = 42;
+};
+Workload MakeAlarmWorkload(const AlarmParams& params);
+
+/// Payroll auditing: Emp(id, salary) evolves; Raise(id) marks raises.
+/// Constraints: salaries never decrease; raises are at least
+/// `raise_window` apart. `cut_prob` / `early_raise_prob` inject violations.
+struct PayrollParams {
+  int num_employees = 100;
+  std::size_t length = 200;
+  double update_prob = 0.6;       // chance some salary changes per state
+  double cut_prob = 0.02;         // violation: salary decreases
+  double early_raise_prob = 0.02; // violation: raise too soon after raise
+  Timestamp raise_window = 30;
+  Timestamp max_gap = 3;
+  std::uint64_t seed = 42;
+};
+Workload MakePayrollWorkload(const PayrollParams& params);
+
+/// Library circulation: members borrow books (event Loan, state Out) and
+/// must return them within 30 time units; the same (patron, book) pair may
+/// not be re-borrowed within `reloan_window`; only members may borrow.
+struct LibraryParams {
+  int num_patrons = 50;
+  int num_books = 200;
+  std::size_t length = 200;
+  double loan_prob = 0.7;        // chance of a loan per state
+  double nonmember_prob = 0.02;  // violation: non-member borrows
+  double late_return_prob = 0.03;  // violation: return past 30
+  Timestamp reloan_window = 7;
+  Timestamp max_gap = 3;
+  std::uint64_t seed = 42;
+};
+Workload MakeLibraryWorkload(const LibraryParams& params);
+
+}  // namespace workload
+}  // namespace rtic
+
+#endif  // RTIC_WORKLOAD_GENERATORS_H_

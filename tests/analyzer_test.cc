@@ -1,0 +1,289 @@
+// Tests for the static analyzer: free variables, type inference, safety
+// checks, warnings; and for the normalizer rewrites.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tl/analyzer.h"
+#include "tl/normalizer.h"
+#include "tl/parser.h"
+
+namespace rtic {
+namespace tl {
+namespace {
+
+using rtic::testing::Unwrap;
+
+PredicateCatalog TestCatalog() {
+  PredicateCatalog catalog;
+  catalog["Emp"] = Schema({Column{"id", ValueType::kInt64},
+                           Column{"salary", ValueType::kInt64}});
+  catalog["Name"] = Schema({Column{"id", ValueType::kInt64},
+                            Column{"name", ValueType::kString}});
+  catalog["Temp"] = Schema({Column{"sensor", ValueType::kInt64},
+                            Column{"celsius", ValueType::kDouble}});
+  catalog["Flag"] = Schema({Column{"on", ValueType::kBool}});
+  catalog["P"] = Schema({Column{"x", ValueType::kInt64}});
+  catalog["Q"] = Schema({Column{"x", ValueType::kInt64}});
+  catalog["R"] = Schema({Column{"x", ValueType::kInt64},
+                         Column{"y", ValueType::kInt64}});
+  return catalog;
+}
+
+Analysis AnalyzeText(const std::string& text, const Formula** root_out,
+                     FormulaPtr* keep) {
+  *keep = Unwrap(ParseFormula(text));
+  *root_out = keep->get();
+  return Unwrap(Analyze(**keep, TestCatalog()));
+}
+
+// ---- free variables ----------------------------------------------------------
+
+TEST(AnalyzerTest, FreeVarsOfAtomsAndComparisons) {
+  FormulaPtr f;
+  const Formula* root;
+  Analysis a = AnalyzeText("R(x, y) and x < 5", &root, &f);
+  EXPECT_EQ(a.FreeVars(*root), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(a.FreeVars(root->child(0)),
+            (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(a.FreeVars(root->child(1)), (std::vector<std::string>{"x"}));
+}
+
+TEST(AnalyzerTest, QuantifiersBindVariables) {
+  FormulaPtr f;
+  const Formula* root;
+  Analysis a = AnalyzeText("exists y: R(x, y)", &root, &f);
+  EXPECT_EQ(a.FreeVars(*root), (std::vector<std::string>{"x"}));
+  EXPECT_FALSE(a.IsClosed(*root));
+
+  Analysis b = AnalyzeText("forall x: exists y: R(x, y)", &root, &f);
+  EXPECT_TRUE(b.IsClosed(*root));
+}
+
+TEST(AnalyzerTest, RepeatedVariableInAtom) {
+  FormulaPtr f;
+  const Formula* root;
+  Analysis a = AnalyzeText("R(x, x)", &root, &f);
+  EXPECT_EQ(a.FreeVars(*root), (std::vector<std::string>{"x"}));
+}
+
+TEST(AnalyzerTest, ColumnsForUsesInferredTypes) {
+  FormulaPtr f;
+  const Formula* root;
+  Analysis a = AnalyzeText("Name(i, n)", &root, &f);
+  std::vector<Column> cols = a.ColumnsFor(*root);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0].name, "i");
+  EXPECT_EQ(cols[0].type, ValueType::kInt64);
+  EXPECT_EQ(cols[1].name, "n");
+  EXPECT_EQ(cols[1].type, ValueType::kString);
+}
+
+// ---- type inference ------------------------------------------------------------
+
+TEST(AnalyzerTest, InfersFromAtomPositions) {
+  FormulaPtr f;
+  const Formula* root;
+  Analysis a = AnalyzeText("Emp(e, s) and s > 1000", &root, &f);
+  EXPECT_EQ(a.var_types().at("e"), ValueType::kInt64);
+  EXPECT_EQ(a.var_types().at("s"), ValueType::kInt64);
+}
+
+TEST(AnalyzerTest, InfersThroughComparisons) {
+  // y only appears compared with a string constant.
+  FormulaPtr f;
+  const Formula* root;
+  Analysis a = AnalyzeText("exists y: Name(i, n) and y = 'boss' and n = y",
+                           &root, &f);
+  EXPECT_EQ(a.var_types().at("y"), ValueType::kString);
+}
+
+TEST(AnalyzerTest, TypeConflictAcrossAtomsFails) {
+  FormulaPtr f = Unwrap(ParseFormula("Emp(e, v) and Name(e, v)"));
+  auto r = Analyze(*f, TestCatalog());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(AnalyzerTest, IncomparableTypesFail) {
+  FormulaPtr f = Unwrap(ParseFormula("Name(i, n) and n > 5"));
+  EXPECT_FALSE(Analyze(*f, TestCatalog()).ok());
+}
+
+TEST(AnalyzerTest, NumericMixingIsAllowed) {
+  FormulaPtr f = Unwrap(ParseFormula("Temp(s, c) and c > 20"));
+  EXPECT_TRUE(Analyze(*f, TestCatalog()).ok());
+}
+
+TEST(AnalyzerTest, BoolOrderingComparisonFails) {
+  FormulaPtr f = Unwrap(ParseFormula("Flag(b) and b > false"));
+  EXPECT_FALSE(Analyze(*f, TestCatalog()).ok());
+  FormulaPtr g = Unwrap(ParseFormula("Flag(b) and b = true"));
+  EXPECT_TRUE(Analyze(*g, TestCatalog()).ok());
+}
+
+TEST(AnalyzerTest, UninferrableVariableFails) {
+  FormulaPtr f = Unwrap(ParseFormula("exists z: z = z"));
+  EXPECT_FALSE(Analyze(*f, TestCatalog()).ok());
+}
+
+TEST(AnalyzerTest, ConstantMustMatchColumnType) {
+  FormulaPtr f = Unwrap(ParseFormula("Emp(1, 'x')"));
+  EXPECT_FALSE(Analyze(*f, TestCatalog()).ok());
+  FormulaPtr g = Unwrap(ParseFormula("Emp(1, 100)"));
+  EXPECT_TRUE(Analyze(*g, TestCatalog()).ok());
+}
+
+// ---- structural checks ----------------------------------------------------------
+
+TEST(AnalyzerTest, UnknownPredicateFails) {
+  FormulaPtr f = Unwrap(ParseFormula("Nope(x)"));
+  auto r = Analyze(*f, TestCatalog());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Nope"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ArityMismatchFails) {
+  FormulaPtr f = Unwrap(ParseFormula("Emp(x)"));
+  EXPECT_FALSE(Analyze(*f, TestCatalog()).ok());
+  FormulaPtr g = Unwrap(ParseFormula("P(x, y)"));
+  EXPECT_FALSE(Analyze(*g, TestCatalog()).ok());
+}
+
+TEST(AnalyzerTest, DuplicateQuantifiedVariableFails) {
+  FormulaPtr f = Unwrap(ParseFormula("forall x, x: P(x)"));
+  EXPECT_FALSE(Analyze(*f, TestCatalog()).ok());
+}
+
+TEST(AnalyzerTest, UnsafeSinceFails) {
+  // free(lhs) ⊄ free(rhs): y occurs only on the left.
+  FormulaPtr f = Unwrap(ParseFormula("R(x, y) since P(x)"));
+  auto r = Analyze(*f, TestCatalog());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unsafe since"), std::string::npos);
+}
+
+TEST(AnalyzerTest, SafeSincePasses) {
+  FormulaPtr f = Unwrap(ParseFormula("P(x) since R(x, y)"));
+  EXPECT_TRUE(Analyze(*f, TestCatalog()).ok());
+  FormulaPtr g = Unwrap(ParseFormula("P(x) since Q(x)"));
+  EXPECT_TRUE(Analyze(*g, TestCatalog()).ok());
+}
+
+// ---- warnings --------------------------------------------------------------------
+
+TEST(AnalyzerTest, ShadowingWarns) {
+  FormulaPtr f;
+  const Formula* root;
+  Analysis a = AnalyzeText("forall x: P(x) and (exists x: Q(x))", &root, &f);
+  ASSERT_FALSE(a.warnings().empty());
+  EXPECT_NE(a.warnings()[0].find("shadows"), std::string::npos);
+}
+
+TEST(AnalyzerTest, UnusedQuantifiedVariableWarns) {
+  // The inner y is bound but unused; it is typed via the outer occurrence
+  // (variable names have one type per constraint).
+  FormulaPtr f;
+  const Formula* root;
+  Analysis a = AnalyzeText("P(y) and (exists y: Q(3))", &root, &f);
+  bool found = false;
+  for (const std::string& w : a.warnings()) {
+    if (w.find("does not occur") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AnalyzerTest, UnusedAndUntypedQuantifiedVariableFails) {
+  // An unused quantified variable with no other occurrence cannot be typed.
+  FormulaPtr f = Unwrap(ParseFormula("forall x, y: P(x) implies Q(x)"));
+  EXPECT_FALSE(Analyze(*f, TestCatalog()).ok());
+}
+
+TEST(AnalyzerTest, NonRangeRestrictedExistentialWarns) {
+  FormulaPtr f;
+  const Formula* root;
+  Analysis a = AnalyzeText("exists x: not P(x)", &root, &f);
+  bool found = false;
+  for (const std::string& w : a.warnings()) {
+    if (w.find("range-restricted") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AnalyzerTest, RangeRestrictedExistentialDoesNotWarn) {
+  FormulaPtr f;
+  const Formula* root;
+  Analysis a = AnalyzeText("exists x: P(x) and not Q(x)", &root, &f);
+  for (const std::string& w : a.warnings()) {
+    EXPECT_EQ(w.find("range-restricted"), std::string::npos) << w;
+  }
+}
+
+TEST(AnalyzerTest, CollectsConstants) {
+  FormulaPtr f;
+  const Formula* root;
+  Analysis a = AnalyzeText("Emp(e, 100) and e != 7", &root, &f);
+  ASSERT_EQ(a.constants().size(), 2u);
+}
+
+// ---- Normalizer -------------------------------------------------------------------
+
+TEST(NormalizerTest, EliminateImplies) {
+  FormulaPtr f = Unwrap(ParseFormula("P(x) implies Q(x)"));
+  FormulaPtr n = EliminateImplies(*f);
+  FormulaPtr want = Unwrap(ParseFormula("not P(x) or Q(x)"));
+  EXPECT_TRUE(n->Equals(*want)) << n->ToString();
+}
+
+TEST(NormalizerTest, EliminateImpliesIsRecursive) {
+  FormulaPtr f = Unwrap(ParseFormula("once (P(x) implies Q(x))"));
+  FormulaPtr n = EliminateImplies(*f);
+  FormulaPtr want = Unwrap(ParseFormula("once (not P(x) or Q(x))"));
+  EXPECT_TRUE(n->Equals(*want)) << n->ToString();
+}
+
+TEST(NormalizerTest, RewriteHistorically) {
+  FormulaPtr f = Unwrap(ParseFormula("historically[2, 9] P(x)"));
+  FormulaPtr n = RewriteHistorically(*f);
+  FormulaPtr want = Unwrap(ParseFormula("not once[2, 9] not P(x)"));
+  EXPECT_TRUE(n->Equals(*want)) << n->ToString();
+}
+
+TEST(NormalizerTest, SimplifyDoubleNegation) {
+  FormulaPtr f = Unwrap(ParseFormula("not not P(x)"));
+  EXPECT_TRUE(SimplifyDoubleNegation(*f)->Equals(
+      *Unwrap(ParseFormula("P(x)"))));
+  FormulaPtr g = Unwrap(ParseFormula("not not not P(x)"));
+  EXPECT_TRUE(SimplifyDoubleNegation(*g)->Equals(
+      *Unwrap(ParseFormula("not P(x)"))));
+}
+
+TEST(NormalizerTest, NormalizeForEnginesRemovesHistoricallyKeepsImplies) {
+  FormulaPtr f = Unwrap(ParseFormula(
+      "forall x: P(x) implies historically[0, 5] (Q(x) implies R(x, x))"));
+  FormulaPtr n = NormalizeForEngines(*f);
+  // historically is compiled away; implies survives (the evaluator's
+  // fast falsification path depends on it).
+  bool saw_implies = false;
+  std::function<void(const Formula&)> check = [&](const Formula& node) {
+    if (node.kind() == FormulaKind::kImplies) saw_implies = true;
+    EXPECT_NE(node.kind(), FormulaKind::kHistorically);
+    for (std::size_t i = 0; i < node.num_children(); ++i) {
+      check(node.child(i));
+    }
+  };
+  check(*n);
+  EXPECT_TRUE(saw_implies);
+}
+
+TEST(NormalizerTest, PreservesIntervals) {
+  FormulaPtr f = Unwrap(ParseFormula("historically[3, 7] P(x)"));
+  FormulaPtr n = NormalizeForEngines(*f);
+  // not once[3,7] not P(x)
+  ASSERT_EQ(n->kind(), FormulaKind::kNot);
+  ASSERT_EQ(n->child(0).kind(), FormulaKind::kOnce);
+  EXPECT_EQ(n->child(0).interval(), TimeInterval(3, 7));
+}
+
+}  // namespace
+}  // namespace tl
+}  // namespace rtic

@@ -1,0 +1,131 @@
+// Tests for offline history auditing: agreement with the online monitor,
+// response-constraint routing, and report formatting.
+
+#include <gtest/gtest.h>
+
+#include "monitor/audit.h"
+#include "monitor/monitor.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace rtic {
+namespace {
+
+using testing::I;
+using testing::IntSchema;
+using testing::T;
+using testing::Unwrap;
+
+DeltaLog RecordedPayCutHistory() {
+  Database initial;
+  RTIC_EXPECT_OK(initial.CreateTable("Emp", IntSchema({"id", "salary"})));
+  DeltaLog log(initial);
+
+  UpdateBatch hire(1);
+  hire.Insert("Emp", T(I(1), I(100)));
+  RTIC_EXPECT_OK(log.Append(hire));
+
+  UpdateBatch raise(4);
+  raise.Delete("Emp", T(I(1), I(100)));
+  raise.Insert("Emp", T(I(1), I(120)));
+  RTIC_EXPECT_OK(log.Append(raise));
+
+  UpdateBatch cut(7);
+  cut.Delete("Emp", T(I(1), I(120)));
+  cut.Insert("Emp", T(I(1), I(80)));
+  RTIC_EXPECT_OK(log.Append(cut));
+  return log;
+}
+
+TEST(AuditTest, FindsViolatingStates) {
+  DeltaLog log = RecordedPayCutHistory();
+  std::vector<AuditReport> reports = Unwrap(AuditHistory(
+      log, {{"no_pay_cut",
+             "forall e, s, s0: Emp(e, s) and previous Emp(e, s0) implies "
+             "s >= s0"}}));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].verdicts, (std::vector<bool>{true, true, false}));
+  EXPECT_EQ(reports[0].violating_times, (std::vector<Timestamp>{7}));
+  EXPECT_NE(reports[0].ToString().find("t=7"), std::string::npos);
+}
+
+TEST(AuditTest, MultipleConstraintsAudited) {
+  DeltaLog log = RecordedPayCutHistory();
+  std::vector<AuditReport> reports = Unwrap(AuditHistory(
+      log, {{"no_pay_cut",
+             "forall e, s, s0: Emp(e, s) and previous Emp(e, s0) implies "
+             "s >= s0"},
+            {"someone_employed", "exists e, s: Emp(e, s)"}}));
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].violating_times.size(), 1u);
+  EXPECT_TRUE(reports[1].violating_times.empty());
+}
+
+TEST(AuditTest, ResponseConstraintsRoute) {
+  Database initial;
+  RTIC_EXPECT_OK(initial.CreateTable("Raise", IntSchema({"a"})));
+  RTIC_EXPECT_OK(initial.CreateTable("Ack", IntSchema({"a"})));
+  DeltaLog log(initial);
+  UpdateBatch raise(1);
+  raise.Insert("Raise", T(I(9)));
+  RTIC_EXPECT_OK(log.Append(raise));
+  UpdateBatch clear(2);
+  clear.Delete("Raise", T(I(9)));
+  RTIC_EXPECT_OK(log.Append(clear));
+  RTIC_EXPECT_OK(log.Append(UpdateBatch(20)));  // window [1, 6] closed
+
+  std::vector<AuditReport> reports = Unwrap(AuditHistory(
+      log, {{"respond",
+             "forall a: Raise(a) implies eventually[0, 5] Ack(a)"}}));
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].violating_times, (std::vector<Timestamp>{20}));
+}
+
+TEST(AuditTest, AgreesWithOnlineMonitorOnWorkload) {
+  workload::AlarmParams params;
+  params.length = 60;
+  params.num_alarms = 10;
+  params.late_prob = 0.3;
+  params.seed = 5;
+  workload::Workload w = workload::MakeAlarmWorkload(params);
+
+  // Record the workload into a delta log.
+  Database initial;
+  for (const auto& [name, schema] : w.schema) {
+    RTIC_EXPECT_OK(initial.CreateTable(name, schema));
+  }
+  DeltaLog log(initial);
+  for (const UpdateBatch& b : w.batches) RTIC_EXPECT_OK(log.Append(b));
+
+  // Online run.
+  ConstraintMonitor monitor;
+  for (const auto& [name, schema] : w.schema) {
+    RTIC_EXPECT_OK(monitor.CreateTable(name, schema));
+  }
+  for (const auto& [name, text] : w.constraints) {
+    RTIC_EXPECT_OK(monitor.RegisterConstraint(name, text));
+  }
+  std::map<std::string, std::vector<Timestamp>> online;
+  for (const UpdateBatch& b : w.batches) {
+    for (const Violation& v : Unwrap(monitor.ApplyUpdate(b))) {
+      online[v.constraint_name].push_back(v.timestamp);
+    }
+  }
+
+  // Offline audit must flag exactly the same states per constraint.
+  std::vector<AuditReport> reports =
+      Unwrap(AuditHistory(log, w.constraints));
+  for (const AuditReport& r : reports) {
+    EXPECT_EQ(r.violating_times, online[r.constraint_name])
+        << r.constraint_name;
+  }
+}
+
+TEST(AuditTest, BadConstraintFails) {
+  DeltaLog log = RecordedPayCutHistory();
+  EXPECT_FALSE(AuditHistory(log, {{"bad", "Nope(x)"}}).ok());
+  EXPECT_FALSE(AuditHistory(log, {{"bad", "("}}).ok());
+}
+
+}  // namespace
+}  // namespace rtic

@@ -1,0 +1,105 @@
+// Tests for the fluent formula builder: built trees are structurally equal
+// to their parsed counterparts and interoperate with the monitor.
+
+#include <gtest/gtest.h>
+
+#include "monitor/monitor.h"
+#include "tests/test_util.h"
+#include "tl/builder.h"
+#include "tl/parser.h"
+
+namespace rtic {
+namespace tl {
+namespace {
+
+using namespace rtic::tl::build;  // NOLINT: the builder is designed for this
+using rtic::testing::I;
+using rtic::testing::IntSchema;
+using rtic::testing::T;
+using rtic::testing::Unwrap;
+
+void ExpectSameAsParsed(const FormulaPtr& built, const std::string& text) {
+  FormulaPtr parsed = Unwrap(ParseFormula(text));
+  EXPECT_TRUE(built->Equals(*parsed))
+      << "built:  " << built->ToString() << "\nparsed: " << text;
+}
+
+TEST(BuilderTest, AtomsAndComparisons) {
+  ExpectSameAsParsed(Atom("P", {V("x"), C(int64_t{5})}), "P(x, 5)");
+  ExpectSameAsParsed(Eq(V("x"), C("abc")), "x = 'abc'");
+  ExpectSameAsParsed(Ge(V("s"), V("s0")), "s >= s0");
+  ExpectSameAsParsed(Lt(C(1.5), V("t")), "1.5 < t");
+  ExpectSameAsParsed(Ne(V("b"), C(true)), "b != true");
+}
+
+TEST(BuilderTest, Connectives) {
+  ExpectSameAsParsed(Atom("P", {V("x")}) && Atom("Q", {V("x")}),
+                     "P(x) and Q(x)");
+  ExpectSameAsParsed(Atom("P", {V("x")}) || !Atom("Q", {V("x")}),
+                     "P(x) or not Q(x)");
+  ExpectSameAsParsed(
+      (Atom("P", {V("x")}) >>= Atom("Q", {V("x")})),
+      "P(x) implies Q(x)");
+}
+
+TEST(BuilderTest, OperatorPrecedenceMatchesLanguage) {
+  // && binds tighter than >>= in C++ just like `and` vs `implies`.
+  FormulaPtr built =
+      (Atom("A", {}) && Atom("B", {}) >>= Atom("C", {}) || Atom("D", {}));
+  ExpectSameAsParsed(built, "A() and B() implies C() or D()");
+}
+
+TEST(BuilderTest, QuantifiersAndTemporal) {
+  ExpectSameAsParsed(Forall({"x"}, Atom("P", {V("x")})), "forall x: P(x)");
+  ExpectSameAsParsed(Exists({"x", "y"}, Atom("R", {V("x"), V("y")})),
+                     "exists x, y: R(x, y)");
+  ExpectSameAsParsed(Previous(Atom("P", {V("x")})), "previous P(x)");
+  ExpectSameAsParsed(Once(Within(10), Atom("P", {V("x")})),
+                     "once[0, 10] P(x)");
+  ExpectSameAsParsed(Historically(Window(2, 5), Atom("P", {V("x")})),
+                     "historically[2, 5] P(x)");
+  ExpectSameAsParsed(
+      Since(After(3), Atom("P", {V("x")}), Atom("Q", {V("x")})),
+      "P(x) since[3, inf] Q(x)");
+}
+
+TEST(BuilderTest, RealisticConstraint) {
+  FormulaPtr built = Forall(
+      {"e", "s", "s0"},
+      (Atom("Emp", {V("e"), V("s")}) &&
+       Previous(Atom("Emp", {V("e"), V("s0")}))) >>=
+          Ge(V("s"), V("s0")));
+  ExpectSameAsParsed(built,
+                     "forall e, s, s0: Emp(e, s) and previous Emp(e, s0) "
+                     "implies s >= s0");
+}
+
+TEST(BuilderTest, BuiltFormulaWorksInMonitor) {
+  ConstraintMonitor monitor;
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(monitor.CreateTable("Q", IntSchema({"a"})));
+  FormulaPtr constraint =
+      Forall({"a"}, Atom("P", {V("a")}) >>=
+                        Once(Within(5), Atom("Q", {V("a")})));
+  RTIC_ASSERT_OK(monitor.RegisterConstraintFormula("built", *constraint));
+
+  UpdateBatch b1(1);
+  b1.Insert("Q", T(I(1)));
+  EXPECT_TRUE(Unwrap(monitor.ApplyUpdate(b1)).empty());
+  UpdateBatch b2(8);
+  b2.Delete("Q", T(I(1)));  // Q(1) left the state at t=1's aftermath
+  b2.Insert("P", T(I(1)));
+  std::vector<Violation> v = Unwrap(monitor.ApplyUpdate(b2));
+  ASSERT_EQ(v.size(), 1u);  // Q(1) was 7 > 5 time units ago
+  EXPECT_EQ(v[0].witnesses[0], T(I(1)));
+}
+
+TEST(BuilderTest, IntervalHelpers) {
+  EXPECT_EQ(Within(7), TimeInterval(0, 7));
+  EXPECT_EQ(Window(2, 9), TimeInterval(2, 9));
+  EXPECT_EQ(After(4), TimeInterval(4, kTimeInfinity));
+}
+
+}  // namespace
+}  // namespace tl
+}  // namespace rtic

@@ -1,0 +1,196 @@
+// Tests for incremental-engine checkpointing: the codec, round-trip
+// resumption (a restored engine behaves exactly like an uninterrupted one),
+// and validation of malformed/mismatched checkpoints.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engines/incremental/engine.h"
+#include "storage/codec.h"
+#include "tests/engine_test_util.h"
+
+namespace rtic {
+namespace {
+
+using testing::BuildState;
+using testing::I;
+using testing::PQRSchemas;
+using testing::ScenarioStep;
+using testing::T;
+using testing::Unwrap;
+
+// ---- codec ---------------------------------------------------------------------
+
+TEST(SnapshotCodecTest, IntRoundTrip) {
+  StateWriter w;
+  w.WriteInt(0);
+  w.WriteInt(-42);
+  w.WriteInt(1'234'567'890'123LL);
+  StateReader r(w.str());
+  EXPECT_EQ(Unwrap(r.ReadInt()), 0);
+  EXPECT_EQ(Unwrap(r.ReadInt()), -42);
+  EXPECT_EQ(Unwrap(r.ReadInt()), 1'234'567'890'123LL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SnapshotCodecTest, ValueRoundTripAllTypes) {
+  std::vector<Value> values{
+      Value::Int64(-7),      Value::Double(0.1),
+      Value::Double(-1e300), Value::String(""),
+      Value::String("with space and\nnewline"),
+      Value::String("123:456 s:9"),  // adversarial: looks like tokens
+      Value::Bool(true),     Value::Bool(false)};
+  StateWriter w;
+  for (const Value& v : values) w.WriteValue(v);
+  StateReader r(w.str());
+  for (const Value& v : values) {
+    EXPECT_EQ(Unwrap(r.ReadValue()), v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SnapshotCodecTest, DoubleIsExact) {
+  double tricky = 0.1 + 0.2;  // not representable exactly in decimal
+  StateWriter w;
+  w.WriteValue(Value::Double(tricky));
+  StateReader r(w.str());
+  EXPECT_EQ(Unwrap(r.ReadValue()).AsDouble(), tricky);
+}
+
+TEST(SnapshotCodecTest, TupleRoundTrip) {
+  Tuple t{Value::Int64(1), Value::String("a b"), Value::Bool(false)};
+  StateWriter w;
+  w.WriteTuple(t);
+  w.WriteTuple(Tuple{});
+  StateReader r(w.str());
+  EXPECT_EQ(Unwrap(r.ReadTuple()), t);
+  EXPECT_EQ(Unwrap(r.ReadTuple()), Tuple{});
+}
+
+TEST(SnapshotCodecTest, MalformedInputsRejected) {
+  EXPECT_FALSE(StateReader("").ReadInt().ok());
+  EXPECT_FALSE(StateReader("abc").ReadInt().ok());
+  EXPECT_FALSE(StateReader("x:1").ReadValue().ok());
+  EXPECT_FALSE(StateReader("s:99:short").ReadValue().ok());
+  EXPECT_FALSE(StateReader("b:2").ReadValue().ok());
+  EXPECT_FALSE(StateReader("d:zzz").ReadValue().ok());
+  EXPECT_FALSE(StateReader("3 i:1").ReadTuple().ok());  // arity short
+}
+
+// ---- engine save / load ------------------------------------------------------------
+
+std::unique_ptr<IncrementalEngine> MakeDeadlineEngine() {
+  tl::FormulaPtr f = Unwrap(tl::ParseFormula(
+      "forall a: P(a) implies P(a) since[2, 9] Q(a)"));
+  tl::PredicateCatalog catalog;
+  for (const auto& [name, schema] : PQRSchemas()) catalog[name] = schema;
+  return Unwrap(IncrementalEngine::Create(*f, catalog));
+}
+
+std::vector<ScenarioStep> DeadlineHistory(std::uint64_t seed,
+                                          std::size_t length,
+                                          Timestamp start = 0) {
+  Rng rng(seed);
+  std::vector<ScenarioStep> steps;
+  Timestamp t = start;
+  for (std::size_t i = 0; i < length; ++i) {
+    t += rng.UniformInt(1, 3);
+    ScenarioStep step{t, {}};
+    for (std::int64_t a = 0; a <= 2; ++a) {
+      if (rng.Bernoulli(0.5)) step.tables["P"].push_back(T(I(a)));
+      if (rng.Bernoulli(0.3)) step.tables["Q"].push_back(T(I(a)));
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+TEST(CheckpointTest, RestoredEngineContinuesIdentically) {
+  const auto schemas = PQRSchemas();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto original = MakeDeadlineEngine();
+    std::vector<ScenarioStep> prefix = DeadlineHistory(seed, 20);
+    for (const ScenarioStep& step : prefix) {
+      Database state = Unwrap(BuildState(schemas, step));
+      (void)Unwrap(original->OnTransition(state, step.t));
+    }
+
+    // Checkpoint, then restore into a FRESH engine.
+    std::string checkpoint = Unwrap(original->SaveState());
+    auto restored = MakeDeadlineEngine();
+    RTIC_ASSERT_OK(restored->LoadState(checkpoint));
+    EXPECT_EQ(restored->AuxTimestampCount(), original->AuxTimestampCount());
+    EXPECT_EQ(restored->StorageRows(), original->StorageRows());
+
+    // Both engines process a continuation; verdicts must match exactly.
+    std::vector<ScenarioStep> continuation =
+        DeadlineHistory(seed * 31, 20, prefix.back().t);
+    for (const ScenarioStep& step : continuation) {
+      Database state = Unwrap(BuildState(schemas, step));
+      bool v1 = Unwrap(original->OnTransition(state, step.t));
+      bool v2 = Unwrap(restored->OnTransition(state, step.t));
+      ASSERT_EQ(v1, v2) << "divergence after restore, seed " << seed
+                        << " t=" << step.t;
+    }
+  }
+}
+
+TEST(CheckpointTest, CheckpointIsSmallRegardlessOfHistory) {
+  const auto schemas = PQRSchemas();
+  auto engine = MakeDeadlineEngine();
+  std::size_t size_after_short = 0;
+  std::vector<ScenarioStep> steps = DeadlineHistory(7, 400);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    Database state = Unwrap(BuildState(schemas, steps[i]));
+    (void)Unwrap(engine->OnTransition(state, steps[i].t));
+    if (i == 49) size_after_short = Unwrap(engine->SaveState()).size();
+  }
+  std::size_t size_after_long = Unwrap(engine->SaveState()).size();
+  // 8x more history, bounded state: comparable checkpoint size.
+  EXPECT_LT(size_after_long, size_after_short * 3);
+}
+
+TEST(CheckpointTest, WrongConstraintRejected) {
+  const auto schemas = PQRSchemas();
+  auto engine = MakeDeadlineEngine();
+  Database state = Unwrap(BuildState(schemas, ScenarioStep{1, {}}));
+  (void)Unwrap(engine->OnTransition(state, 1));
+  std::string checkpoint = Unwrap(engine->SaveState());
+
+  tl::FormulaPtr other = Unwrap(tl::ParseFormula("once P(1)"));
+  tl::PredicateCatalog catalog;
+  for (const auto& [name, schema] : schemas) catalog[name] = schema;
+  auto mismatched = Unwrap(IncrementalEngine::Create(*other, catalog));
+  Status s = mismatched->LoadState(checkpoint);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, CorruptCheckpointsRejected) {
+  const auto schemas = PQRSchemas();
+  auto engine = MakeDeadlineEngine();
+  Database state = Unwrap(BuildState(
+      schemas, ScenarioStep{1, {{"Q", {T(I(0))}}, {"P", {T(I(0))}}}}));
+  (void)Unwrap(engine->OnTransition(state, 1));
+  std::string good = Unwrap(engine->SaveState());
+
+  auto fresh = MakeDeadlineEngine();
+  EXPECT_FALSE(fresh->LoadState("garbage").ok());
+  EXPECT_FALSE(fresh->LoadState("").ok());
+  EXPECT_FALSE(
+      fresh->LoadState(good.substr(0, good.size() / 2)).ok());  // truncated
+  EXPECT_FALSE(fresh->LoadState(good + " 99").ok());            // trailing
+  // A failed load leaves the engine usable.
+  Database state2 = Unwrap(BuildState(schemas, ScenarioStep{2, {}}));
+  EXPECT_TRUE(fresh->OnTransition(state2, 2).ok());
+}
+
+TEST(CheckpointTest, FreshEngineCheckpointRoundTrips) {
+  auto engine = MakeDeadlineEngine();
+  std::string checkpoint = Unwrap(engine->SaveState());
+  auto other = MakeDeadlineEngine();
+  RTIC_ASSERT_OK(other->LoadState(checkpoint));
+}
+
+}  // namespace
+}  // namespace rtic

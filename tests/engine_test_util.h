@@ -1,0 +1,109 @@
+// Scenario helpers shared by the engine test suites: describe a history as
+// full per-state table contents, run it through any checker engine, collect
+// the verdict sequence.
+
+#ifndef RTIC_TESTS_ENGINE_TEST_UTIL_H_
+#define RTIC_TESTS_ENGINE_TEST_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engines/active/compiler.h"
+#include "engines/checker_engine.h"
+#include "engines/incremental/engine.h"
+#include "engines/naive/naive_engine.h"
+#include "monitor/monitor.h"
+#include "tests/test_util.h"
+#include "tl/parser.h"
+
+namespace rtic {
+namespace testing {
+
+/// One history state: a timestamp plus the FULL contents of every table.
+struct ScenarioStep {
+  Timestamp t;
+  std::map<std::string, std::vector<Tuple>> tables;
+};
+
+/// Builds a database state with `schemas` and the step's contents.
+inline Result<Database> BuildState(
+    const std::map<std::string, Schema>& schemas, const ScenarioStep& step) {
+  Database db;
+  for (const auto& [name, schema] : schemas) {
+    RTIC_RETURN_IF_ERROR(db.CreateTable(name, schema));
+  }
+  for (const auto& [name, rows] : step.tables) {
+    RTIC_ASSIGN_OR_RETURN(Table * t, db.GetMutableTable(name));
+    for (const Tuple& row : rows) {
+      Result<bool> r = t->Insert(row);
+      if (!r.ok()) return r.status();
+    }
+  }
+  return db;
+}
+
+/// Instantiates a checker of the given kind for `constraint_text`.
+inline Result<std::unique_ptr<CheckerEngine>> MakeEngine(
+    EngineKind kind, const std::string& constraint_text,
+    const std::map<std::string, Schema>& schemas,
+    PruningPolicy pruning = PruningPolicy::kFull) {
+  RTIC_ASSIGN_OR_RETURN(tl::FormulaPtr formula,
+                        tl::ParseFormula(constraint_text));
+  tl::PredicateCatalog catalog;
+  for (const auto& [name, schema] : schemas) catalog[name] = schema;
+  switch (kind) {
+    case EngineKind::kNaive: {
+      RTIC_ASSIGN_OR_RETURN(std::unique_ptr<NaiveEngine> e,
+                            NaiveEngine::Create(*formula, catalog));
+      return std::unique_ptr<CheckerEngine>(std::move(e));
+    }
+    case EngineKind::kIncremental: {
+      IncrementalOptions options;
+      options.pruning = pruning;
+      RTIC_ASSIGN_OR_RETURN(
+          std::unique_ptr<IncrementalEngine> e,
+          IncrementalEngine::Create(*formula, catalog, options));
+      return std::unique_ptr<CheckerEngine>(std::move(e));
+    }
+    case EngineKind::kActive: {
+      ActiveOptions options;
+      options.pruning = pruning;
+      RTIC_ASSIGN_OR_RETURN(std::unique_ptr<ActiveEngine> e,
+                            ActiveEngine::Create(*formula, catalog, options));
+      return std::unique_ptr<CheckerEngine>(std::move(e));
+    }
+  }
+  return Status::InvalidArgument("unknown engine kind");
+}
+
+/// Runs the scenario, returning the per-state verdicts.
+inline Result<std::vector<bool>> RunScenario(
+    EngineKind kind, const std::string& constraint_text,
+    const std::map<std::string, Schema>& schemas,
+    const std::vector<ScenarioStep>& steps,
+    PruningPolicy pruning = PruningPolicy::kFull) {
+  RTIC_ASSIGN_OR_RETURN(
+      std::unique_ptr<CheckerEngine> engine,
+      MakeEngine(kind, constraint_text, schemas, pruning));
+  std::vector<bool> verdicts;
+  for (const ScenarioStep& step : steps) {
+    RTIC_ASSIGN_OR_RETURN(Database state, BuildState(schemas, step));
+    RTIC_ASSIGN_OR_RETURN(bool holds, engine->OnTransition(state, step.t));
+    verdicts.push_back(holds);
+  }
+  return verdicts;
+}
+
+/// Shorthand: unary int tables P, Q and binary R.
+inline std::map<std::string, Schema> PQRSchemas() {
+  return {{"P", IntSchema({"a"})},
+          {"Q", IntSchema({"a"})},
+          {"R", IntSchema({"a", "b"})}};
+}
+
+}  // namespace testing
+}  // namespace rtic
+
+#endif  // RTIC_TESTS_ENGINE_TEST_UTIL_H_

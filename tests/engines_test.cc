@@ -1,0 +1,371 @@
+// Table-driven semantics tests for the temporal operators, executed against
+// ALL THREE engines (naive full-history, incremental bounded-encoding,
+// active trigger program). Every case's verdict sequence is hand-computed
+// from the Past-MTL semantics; the three engines must each reproduce it.
+
+#include <gtest/gtest.h>
+
+#include "engines/incremental/engine.h"
+#include "tests/engine_test_util.h"
+
+namespace rtic {
+namespace {
+
+using testing::I;
+using testing::PQRSchemas;
+using testing::RunScenario;
+using testing::ScenarioStep;
+using testing::T;
+using testing::Unwrap;
+
+/// A named scenario with its expected verdicts.
+struct Case {
+  const char* name;
+  const char* constraint;
+  std::vector<ScenarioStep> steps;
+  std::vector<bool> want;
+};
+
+std::vector<Case> BuildSemanticsCases();
+
+/// Stable storage: test parameters hold indices into this corpus.
+const std::vector<Case>& SemanticsCases() {
+  static const std::vector<Case>* cases =
+      new std::vector<Case>(BuildSemanticsCases());
+  return *cases;
+}
+
+std::vector<Case> BuildSemanticsCases() {
+  std::vector<Case> cases;
+
+  // -- previous ---------------------------------------------------------------
+  cases.push_back(
+      {"previous_basic", "previous P(1)",
+       {{1, {{"P", {T(I(1))}}}}, {2, {}}, {3, {{"P", {T(I(1))}}}}},
+       {false, true, false}});
+
+  cases.push_back(
+      {"previous_metric_gap", "previous[2, 3] P(1)",
+       {{1, {{"P", {T(I(1))}}}},
+        {2, {{"P", {T(I(1))}}}},   // gap 1: outside [2,3]
+        {5, {{"P", {T(I(1))}}}},   // gap 3: inside, P held at t=2
+        {7, {{"P", {T(I(1))}}}}},  // gap 2: inside, P held at t=5
+       {false, false, true, true}});
+
+  cases.push_back(
+      {"previous_gap_too_large", "previous[0, 1] P(1)",
+       {{1, {{"P", {T(I(1))}}}}, {5, {}}},
+       {false, false}});
+
+  // -- once -------------------------------------------------------------------
+  cases.push_back(
+      {"once_window_expiry", "once[0, 3] P(1)",
+       {{1, {{"P", {T(I(1))}}}}, {3, {}}, {4, {}}, {5, {}}, {8, {}}},
+       {true, true, true, false, false}});
+
+  cases.push_back(
+      {"once_delayed_activation", "once[2, 4] P(1)",
+       {{1, {{"P", {T(I(1))}}}}, {2, {}}, {3, {}}, {5, {}}, {6, {}}},
+       {false, false, true, true, false}});
+
+  cases.push_back(
+      {"once_unbounded", "once[0, inf] P(1)",
+       {{1, {}}, {2, {{"P", {T(I(1))}}}}, {9, {}}, {100, {}}},
+       {false, true, true, true}});
+
+  cases.push_back(
+      {"once_anchor_refresh", "once[0, 2] P(1)",
+       {{1, {{"P", {T(I(1))}}}},
+        {2, {}},
+        {3, {}},
+        {4, {{"P", {T(I(1))}}}},
+        {6, {}},
+        {7, {}}},
+       {true, true, true, true, true, false}});
+
+  cases.push_back(
+      {"once_point_interval", "once[2, 2] P(1)",
+       {{1, {{"P", {T(I(1))}}}}, {2, {}}, {3, {}}, {4, {}}},
+       {false, false, true, false}});
+
+  // -- historically -------------------------------------------------------------
+  cases.push_back(
+      {"historically_window", "historically[0, 2] P(1)",
+       {{1, {{"P", {T(I(1))}}}},
+        {2, {{"P", {T(I(1))}}}},
+        {3, {}},
+        {4, {{"P", {T(I(1))}}}},
+        {6, {{"P", {T(I(1))}}}}},
+       {true, true, false, false, true}});
+
+  cases.push_back(
+      {"historically_vacuous_start", "historically[2, inf] P(1)",
+       {{1, {{"P", {T(I(1))}}}},
+        {2, {{"P", {T(I(1))}}}},   // no state at distance >= 2 yet
+        {3, {{"P", {T(I(1))}}}},   // t=1 at distance 2: P(1) held
+        {4, {}}},                  // t=1 (d3), t=2 (d2): both held
+       {true, true, true, true}});
+
+  cases.push_back(
+      {"historically_fails_on_gap_in_body", "historically[0, inf] P(1)",
+       {{1, {{"P", {T(I(1))}}}}, {2, {}}, {3, {{"P", {T(I(1))}}}}},
+       {true, false, false}});
+
+  // -- since ----------------------------------------------------------------------
+  cases.push_back(
+      {"since_basic_continuity", "P(1) since[0, inf] Q(1)",
+       {{1, {{"P", {T(I(1))}}}},
+        {2, {{"Q", {T(I(1))}}}},
+        {3, {{"P", {T(I(1))}}}},
+        {4, {}},
+        {5, {{"P", {T(I(1))}}}}},
+       {false, true, true, false, false}});
+
+  cases.push_back(
+      {"since_metric_window", "P(1) since[2, 5] Q(1)",
+       {{1, {{"Q", {T(I(1))}}}},
+        {2, {{"P", {T(I(1))}}}},
+        {3, {{"P", {T(I(1))}}}},
+        {6, {{"P", {T(I(1))}}}},
+        {7, {{"P", {T(I(1))}}}}},
+       {false, false, true, true, false}});
+
+  cases.push_back(
+      {"since_lhs_failure_kills_anchor", "P(1) since[1, 3] Q(1)",
+       {{1, {{"Q", {T(I(1))}}, {"P", {T(I(1))}}}},
+        {2, {{"Q", {T(I(1))}}}},  // P fails: anchor@1 dies, new anchor@2
+        {3, {{"P", {T(I(1))}}}},
+        {5, {{"P", {T(I(1))}}}},
+        {6, {{"P", {T(I(1))}}}}},
+       {false, false, true, true, false}});
+
+  cases.push_back(
+      {"since_anchor_at_current_state", "P(1) since[0, 4] Q(1)",
+       {{1, {{"Q", {T(I(1))}}}},     // anchor at the current state: no P
+                                     // needed
+        {2, {}},                     // P(1) fails: anchor dies
+        {3, {{"Q", {T(I(1))}}}}},    // fresh anchor
+       {true, false, true}});
+
+  // -- quantified constraints ---------------------------------------------------
+  cases.push_back(
+      {"forall_salary_pattern",
+       "forall a, b: R(a, b) implies previous R(a, b)",
+       // t=1 already violates: there is no previous state at all.
+       {{1, {{"R", {T(I(1), I(10))}}}},
+        {2, {{"R", {T(I(1), I(10))}}}},
+        {3, {{"R", {T(I(1), I(10)), T(I(2), I(20))}}}}},
+       {false, true, false}});
+
+  cases.push_back(
+      {"forall_recent_once",
+       "forall a, b: R(a, b) implies once[0, 2] P(a)",
+       {{1, {{"P", {T(I(1))}}}},
+        {2, {{"R", {T(I(1), I(2))}}}},
+        {4, {{"R", {T(I(1), I(2))}}}}},
+       {true, true, false}});
+
+  cases.push_back(
+      {"deadline_via_since",
+       "forall a: P(a) implies P(a) since[0, 3] Q(a)",
+       {{1, {{"Q", {T(I(1))}}, {"P", {T(I(1))}}}},
+        {2, {{"P", {T(I(1))}}}},
+        {4, {{"P", {T(I(1))}}}},
+        {5, {{"P", {T(I(1))}}}},   // 4 time units since Q: violation
+        {6, {}}},                  // no active entity: vacuously fine
+       {true, true, true, false, true}});
+
+  cases.push_back(
+      {"per_entity_windows",
+       "forall a: P(a) implies once[0, 2] Q(a)",
+       {{1, {{"Q", {T(I(1))}}}},
+        {2, {{"P", {T(I(1))}}, {"Q", {T(I(2))}}}},
+        {3, {{"P", {T(I(1)), T(I(2))}}}},      // 1 ok (d2), 2 ok (d1)
+        {4, {{"P", {T(I(1))}}}},               // Q(1) was 3 ago: violation
+        {5, {{"P", {T(I(2))}}}}},              // Q(2) was 3 ago: violation
+       {true, true, true, false, false}});
+
+  // -- nested temporal operators ---------------------------------------------------
+  cases.push_back(
+      {"once_of_previous", "once[0, 2] previous P(1)",
+       {{1, {{"P", {T(I(1))}}}}, {2, {}}, {3, {}}, {5, {}}},
+       {false, true, true, false}});
+
+  cases.push_back(
+      {"previous_of_once", "previous once[0, inf] P(1)",
+       {{1, {{"P", {T(I(1))}}}}, {2, {}}, {3, {}}},
+       {false, true, true}});
+
+  cases.push_back(
+      {"since_of_once",
+       "P(1) since[0, 2] once[0, 1] Q(1)",
+       // once[0,1] Q(1): holds at t where Q held within 1.
+       {{1, {{"Q", {T(I(1))}}, {"P", {T(I(1))}}}},   // inner T, anchor@1
+        {2, {{"P", {T(I(1))}}}},                     // inner T (d1): anchor@2
+        {3, {{"P", {T(I(1))}}}},                     // inner F; anchor@2 d1: T
+        {5, {{"P", {T(I(1))}}}}},                    // anchors d>=3: F
+       {true, true, true, false}});
+
+  // -- booleans / degenerate ---------------------------------------------------------
+  cases.push_back({"constant_true", "true", {{1, {}}, {2, {}}}, {true, true}});
+
+  cases.push_back(
+      {"once_false_never_holds", "once[0, inf] false",
+       {{1, {}}, {2, {}}},
+       {false, false}});
+
+  cases.push_back(
+      {"historically_true_always_holds", "historically[0, inf] true",
+       {{1, {}}, {5, {}}},
+       {true, true}});
+
+  // Negated temporal inside a guarded conjunction.
+  cases.push_back(
+      {"no_quick_repeat", "forall a: P(a) implies not once[1, 2] P(a)",
+       {{1, {{"P", {T(I(1))}}}},
+        {2, {{"P", {T(I(1))}}}},    // P(1) also 1 ago: violation
+        {4, {{"P", {T(I(1))}}}},    // P(1) 2 ago: violation
+        {7, {{"P", {T(I(1))}}}}},   // last P(1) 3 ago: fine
+       {true, false, false, true}});
+
+  return cases;
+}
+
+struct EngineCase {
+  EngineKind kind;
+  std::size_t case_index;
+};
+
+class OperatorSemanticsTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(OperatorSemanticsTest, VerdictSequenceMatchesHandComputation) {
+  const Case& c = SemanticsCases()[GetParam().case_index];
+  SCOPED_TRACE(std::string(c.name) + " on " +
+               EngineKindToString(GetParam().kind));
+  std::vector<bool> got = Unwrap(
+      RunScenario(GetParam().kind, c.constraint, PQRSchemas(), c.steps));
+  EXPECT_EQ(got, c.want) << "constraint: " << c.constraint;
+}
+
+std::vector<EngineCase> AllEngineCases() {
+  std::vector<EngineCase> out;
+  for (EngineKind kind :
+       {EngineKind::kNaive, EngineKind::kIncremental, EngineKind::kActive}) {
+    for (std::size_t i = 0; i < SemanticsCases().size(); ++i) {
+      out.push_back({kind, i});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnginesAllCases, OperatorSemanticsTest,
+    ::testing::ValuesIn(AllEngineCases()),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return std::string(EngineKindToString(info.param.kind)) + "_" +
+             SemanticsCases()[info.param.case_index].name;
+    });
+
+// ---- incremental-engine specifics: the bounded-encoding claims ----------------
+
+TEST(IncrementalEngineTest, CompiledNetworkIsPostOrder) {
+  tl::FormulaPtr f = Unwrap(
+      tl::ParseFormula("once[0, 5] previous P(1) and (P(2) since Q(2))"));
+  tl::PredicateCatalog catalog{{"P", testing::IntSchema({"a"})},
+                               {"Q", testing::IntSchema({"a"})}};
+  auto engine = Unwrap(IncrementalEngine::Create(*f, catalog));
+  const inc::CompiledNetwork& net = engine->network();
+  ASSERT_EQ(net.nodes.size(), 3u);
+  // Child (previous) precedes parent (once); since is independent.
+  EXPECT_EQ(net.nodes[0].node->kind(), tl::FormulaKind::kPrevious);
+  EXPECT_EQ(net.nodes[1].node->kind(), tl::FormulaKind::kOnce);
+  EXPECT_EQ(net.nodes[2].node->kind(), tl::FormulaKind::kSince);
+}
+
+TEST(IncrementalEngineTest, HistoricallyCompilesViaOnce) {
+  tl::FormulaPtr f = Unwrap(tl::ParseFormula("historically[0, 5] P(1)"));
+  tl::PredicateCatalog catalog{{"P", testing::IntSchema({"a"})}};
+  auto engine = Unwrap(IncrementalEngine::Create(*f, catalog));
+  ASSERT_EQ(engine->network().nodes.size(), 1u);
+  EXPECT_EQ(engine->network().nodes[0].node->kind(), tl::FormulaKind::kOnce);
+}
+
+TEST(IncrementalEngineTest, AuxSpaceStaysBoundedOnLongHistory) {
+  tl::FormulaPtr f =
+      Unwrap(tl::ParseFormula("forall a: P(a) implies once[0, 5] Q(a)"));
+  tl::PredicateCatalog catalog{{"P", testing::IntSchema({"a"})},
+                               {"Q", testing::IntSchema({"a"})}};
+  auto engine = Unwrap(IncrementalEngine::Create(*f, catalog));
+
+  std::map<std::string, Schema> schemas{{"P", testing::IntSchema({"a"})},
+                                        {"Q", testing::IntSchema({"a"})}};
+  std::size_t max_aux = 0;
+  for (Timestamp t = 1; t <= 500; ++t) {
+    ScenarioStep step{t, {}};
+    // Q(a) for a = t % 4 at every state; P queries them.
+    step.tables["Q"] = {T(I(t % 4))};
+    step.tables["P"] = {T(I((t + 1) % 4))};
+    Database state = Unwrap(testing::BuildState(schemas, step));
+    (void)Unwrap(engine->OnTransition(state, t));
+    max_aux = std::max(max_aux, engine->AuxTimestampCount());
+  }
+  // With lo = 0, dominance pruning keeps exactly one timestamp per
+  // valuation, and only 4 valuations exist.
+  EXPECT_LE(max_aux, 4u);
+}
+
+TEST(IncrementalEngineTest, ExpiryOnlyAblationGrowsWithUnboundedWindow) {
+  tl::FormulaPtr f =
+      Unwrap(tl::ParseFormula("forall a: P(a) implies once[0, inf] Q(a)"));
+  tl::PredicateCatalog catalog{{"P", testing::IntSchema({"a"})},
+                               {"Q", testing::IntSchema({"a"})}};
+  IncrementalOptions options;
+  options.pruning = PruningPolicy::kExpiryOnly;
+  auto ablated = Unwrap(IncrementalEngine::Create(*f, catalog, options));
+  auto pruned = Unwrap(IncrementalEngine::Create(*f, catalog));
+
+  std::map<std::string, Schema> schemas{{"P", testing::IntSchema({"a"})},
+                                        {"Q", testing::IntSchema({"a"})}};
+  for (Timestamp t = 1; t <= 100; ++t) {
+    ScenarioStep step{t, {{"Q", {T(I(1))}}}};
+    Database state = Unwrap(testing::BuildState(schemas, step));
+    bool a = Unwrap(ablated->OnTransition(state, t));
+    bool b = Unwrap(pruned->OnTransition(state, t));
+    EXPECT_EQ(a, b) << "policies must agree on verdicts";
+  }
+  EXPECT_EQ(ablated->AuxTimestampCount(), 100u) << "no pruning: one per state";
+  EXPECT_EQ(pruned->AuxTimestampCount(), 1u) << "earliest anchor suffices";
+}
+
+TEST(IncrementalEngineTest, RejectsNonMonotonicTimestamps) {
+  tl::FormulaPtr f = Unwrap(tl::ParseFormula("once P(1)"));
+  tl::PredicateCatalog catalog{{"P", testing::IntSchema({"a"})}};
+  auto engine = Unwrap(IncrementalEngine::Create(*f, catalog));
+  Database empty;
+  RTIC_ASSERT_OK(empty.CreateTable("P", testing::IntSchema({"a"})));
+  (void)Unwrap(engine->OnTransition(empty, 5));
+  EXPECT_FALSE(engine->OnTransition(empty, 5).ok());
+  EXPECT_FALSE(engine->OnTransition(empty, 3).ok());
+  EXPECT_TRUE(engine->OnTransition(empty, 6).ok());
+}
+
+TEST(IncrementalEngineTest, RejectsOpenFormulas) {
+  tl::FormulaPtr f = Unwrap(tl::ParseFormula("P(a)"));
+  tl::PredicateCatalog catalog{{"P", testing::IntSchema({"a"})}};
+  EXPECT_FALSE(IncrementalEngine::Create(*f, catalog).ok());
+}
+
+TEST(IncrementalEngineTest, StorageCountsPreviousNodes) {
+  tl::FormulaPtr f = Unwrap(
+      tl::ParseFormula("forall a: P(a) implies previous P(a)"));
+  tl::PredicateCatalog catalog{{"P", testing::IntSchema({"a"})}};
+  auto engine = Unwrap(IncrementalEngine::Create(*f, catalog));
+  std::map<std::string, Schema> schemas{{"P", testing::IntSchema({"a"})}};
+  ScenarioStep step{1, {{"P", {T(I(1)), T(I(2)), T(I(3))}}}};
+  Database state = Unwrap(testing::BuildState(schemas, step));
+  (void)Unwrap(engine->OnTransition(state, 1));
+  EXPECT_EQ(engine->StorageRows(), 3u);  // prev_body holds 3 valuations
+}
+
+}  // namespace
+}  // namespace rtic

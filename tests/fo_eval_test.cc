@@ -1,0 +1,322 @@
+// Tests for the first-order evaluator on single database states: each
+// connective, the safe-range (domain-free) paths, the falsification sets,
+// and counterexample extraction.
+
+#include <gtest/gtest.h>
+
+#include "fo/eval.h"
+#include "fo/witness.h"
+#include "tests/test_util.h"
+#include "tl/parser.h"
+
+namespace rtic {
+namespace {
+
+using rtic::testing::I;
+using rtic::testing::IntRelation;
+using rtic::testing::IntSchema;
+using rtic::testing::S;
+using rtic::testing::T;
+using rtic::testing::Unwrap;
+
+/// Fixture: a small personnel database.
+///   Emp(id, salary):  (1, 100), (2, 200), (3, 300)
+///   Mgr(id):          (2)
+///   Name(id, name):   (1, 'ann'), (2, 'bob')
+class FoEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RTIC_ASSERT_OK(db_.CreateTable("Emp", IntSchema({"id", "salary"})));
+    RTIC_ASSERT_OK(db_.CreateTable("Mgr", IntSchema({"id"})));
+    RTIC_ASSERT_OK(db_.CreateTable(
+        "Name", Schema({Column{"id", ValueType::kInt64},
+                        Column{"name", ValueType::kString}})));
+    Table* emp = Unwrap(db_.GetMutableTable("Emp"));
+    RTIC_ASSERT_OK(emp->Insert(T(I(1), I(100))).status());
+    RTIC_ASSERT_OK(emp->Insert(T(I(2), I(200))).status());
+    RTIC_ASSERT_OK(emp->Insert(T(I(3), I(300))).status());
+    RTIC_ASSERT_OK(
+        Unwrap(db_.GetMutableTable("Mgr"))->Insert(T(I(2))).status());
+    Table* name = Unwrap(db_.GetMutableTable("Name"));
+    RTIC_ASSERT_OK(name->Insert(T(I(1), S("ann"))).status());
+    RTIC_ASSERT_OK(name->Insert(T(I(2), S("bob"))).status());
+  }
+
+  tl::PredicateCatalog Catalog() {
+    tl::PredicateCatalog catalog;
+    for (const std::string& name : db_.TableNames()) {
+      catalog[name] = Unwrap(db_.GetTable(name))->schema();
+    }
+    return catalog;
+  }
+
+  /// Parses, analyzes, and evaluates `text` against the fixture state.
+  Relation Eval(const std::string& text) {
+    formula_ = Unwrap(tl::ParseFormula(text));
+    analysis_ = Unwrap(tl::Analyze(*formula_, Catalog()));
+    fo::EvalContext ctx;
+    ctx.db = &db_;
+    ctx.analysis = &analysis_;
+    return Unwrap(fo::Evaluate(*formula_, ctx));
+  }
+
+  bool EvalBool(const std::string& text) {
+    Relation r = Eval(text);
+    EXPECT_EQ(r.arity(), 0u) << text << " is not closed";
+    return r.AsBool();
+  }
+
+  Relation Counterexamples(const std::string& text) {
+    formula_ = Unwrap(tl::ParseFormula(text));
+    analysis_ = Unwrap(tl::Analyze(*formula_, Catalog()));
+    fo::EvalContext ctx;
+    ctx.db = &db_;
+    ctx.analysis = &analysis_;
+    return Unwrap(fo::ComputeCounterexamples(*formula_, ctx));
+  }
+
+  Database db_;
+  tl::FormulaPtr formula_;
+  tl::Analysis analysis_;
+};
+
+// ---- leaves ------------------------------------------------------------------
+
+TEST_F(FoEvalTest, AtomScan) {
+  EXPECT_EQ(Eval("Mgr(x)"), IntRelation({"x"}, {{2}}));
+}
+
+TEST_F(FoEvalTest, AtomWithConstant) {
+  EXPECT_EQ(Eval("Emp(e, 200)"), IntRelation({"e"}, {{2}}));
+  EXPECT_TRUE(Eval("Emp(e, 999)").empty());
+}
+
+TEST_F(FoEvalTest, AtomWithRepeatedVariable) {
+  Table* emp = Unwrap(db_.GetMutableTable("Emp"));
+  RTIC_ASSERT_OK(emp->Insert(T(I(7), I(7))).status());
+  EXPECT_EQ(Eval("Emp(x, x)"), IntRelation({"x"}, {{7}}));
+}
+
+TEST_F(FoEvalTest, ClosedAtomIsBoolean) {
+  EXPECT_TRUE(EvalBool("Mgr(2)"));
+  EXPECT_FALSE(EvalBool("Mgr(1)"));
+}
+
+TEST_F(FoEvalTest, BoolConstants) {
+  EXPECT_TRUE(EvalBool("true"));
+  EXPECT_FALSE(EvalBool("false"));
+}
+
+TEST_F(FoEvalTest, ConstantComparison) {
+  EXPECT_TRUE(EvalBool("3 > 2"));
+  EXPECT_FALSE(EvalBool("2 != 2"));
+  EXPECT_TRUE(EvalBool("'a' < 'b'"));
+}
+
+// ---- conjunction: generators + filters ------------------------------------------
+
+TEST_F(FoEvalTest, JoinOnSharedVariable) {
+  EXPECT_EQ(Eval("Emp(x, s) and Mgr(x)"), IntRelation({"s", "x"}, {{200, 2}}));
+}
+
+TEST_F(FoEvalTest, ComparisonFiltersBoundRows) {
+  EXPECT_EQ(Eval("Emp(x, s) and s > 150"),
+            IntRelation({"s", "x"}, {{200, 2}, {300, 3}}));
+}
+
+TEST_F(FoEvalTest, VariableToVariableComparison) {
+  EXPECT_EQ(Eval("Emp(x, s) and Emp(y, t) and s < t and x != y").size(), 3u);
+}
+
+TEST_F(FoEvalTest, NegatedAtomViaAntiJoin) {
+  EXPECT_EQ(Eval("Emp(x, s) and not Mgr(x)"),
+            IntRelation({"s", "x"}, {{100, 1}, {300, 3}}));
+}
+
+TEST_F(FoEvalTest, NegatedConjunctionInsideAnd) {
+  // not (Mgr(x) and s = 200) keeps employees that are not (manager w/ 200).
+  EXPECT_EQ(Eval("Emp(x, s) and not (Mgr(x) and s = 200)"),
+            IntRelation({"s", "x"}, {{100, 1}, {300, 3}}));
+}
+
+TEST_F(FoEvalTest, ImpliesInsideAndActsAsFilter) {
+  // Mgr(x) implies s = 200: holds for non-managers and for 2/200.
+  EXPECT_EQ(Eval("Emp(x, s) and (Mgr(x) implies s = 200)").size(), 3u);
+  EXPECT_EQ(Eval("Emp(x, s) and (Mgr(x) implies s = 999)").size(), 2u);
+}
+
+// ---- disjunction -----------------------------------------------------------------
+
+TEST_F(FoEvalTest, UnionOfSameColumns) {
+  EXPECT_EQ(Eval("Mgr(x) or Emp(x, 100)"), IntRelation({"x"}, {{1}, {2}}));
+}
+
+TEST_F(FoEvalTest, ClosedOr) {
+  EXPECT_TRUE(EvalBool("Mgr(2) or Mgr(9)"));
+  EXPECT_FALSE(EvalBool("Mgr(8) or Mgr(9)"));
+}
+
+// ---- quantifiers -----------------------------------------------------------------
+
+TEST_F(FoEvalTest, ExistsProjects) {
+  EXPECT_EQ(Eval("exists s: Emp(x, s) and s >= 200"),
+            IntRelation({"x"}, {{2}, {3}}));
+}
+
+TEST_F(FoEvalTest, ClosedExists) {
+  EXPECT_TRUE(EvalBool("exists x: Mgr(x)"));
+  EXPECT_FALSE(EvalBool("exists x: Emp(x, 150)"));
+}
+
+TEST_F(FoEvalTest, ForallOverImplication) {
+  EXPECT_TRUE(EvalBool("forall x, s: Emp(x, s) implies s >= 100"));
+  EXPECT_FALSE(EvalBool("forall x, s: Emp(x, s) implies s >= 150"));
+}
+
+TEST_F(FoEvalTest, ForallWithConjunctionAntecedent) {
+  EXPECT_TRUE(EvalBool("forall x, s: Emp(x, s) and Mgr(x) implies s = 200"));
+}
+
+TEST_F(FoEvalTest, NestedQuantifiers) {
+  // Every manager has a name.
+  EXPECT_TRUE(EvalBool("forall x: Mgr(x) implies (exists n: Name(x, n))"));
+  // Not every employee has a name (3 has none).
+  EXPECT_FALSE(
+      EvalBool("forall x, s: Emp(x, s) implies (exists n: Name(x, n))"));
+}
+
+TEST_F(FoEvalTest, ForallReturnsRelationWhenOpen) {
+  // For which salaries s does every employee with salary s satisfy Mgr?
+  Relation r = Eval("forall x: Emp(x, s) implies Mgr(x)");
+  // s ranges over the active domain; all s except 100 and 300 qualify
+  // (s=200 -> emp 2 is a manager; s not a salary -> vacuous).
+  EXPECT_TRUE(r.Contains(T(I(200))));
+  EXPECT_FALSE(r.Contains(T(I(100))));
+  EXPECT_FALSE(r.Contains(T(I(300))));
+  EXPECT_TRUE(r.Contains(T(I(1))));  // vacuously true
+}
+
+// ---- negation --------------------------------------------------------------------
+
+TEST_F(FoEvalTest, StandaloneNotUsesDomainComplement) {
+  Relation r = Eval("not Mgr(x)");
+  // Complement over the active int domain: {1,2,3,100,200,300} minus {2}.
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_FALSE(r.Contains(T(I(2))));
+  EXPECT_TRUE(r.Contains(T(I(100))));
+}
+
+TEST_F(FoEvalTest, ClosedNegations) {
+  EXPECT_TRUE(EvalBool("not Mgr(3)"));
+  EXPECT_FALSE(EvalBool("not (exists x: Mgr(x))"));
+  EXPECT_TRUE(EvalBool("not not Mgr(2)"));
+}
+
+TEST_F(FoEvalTest, DeMorganEquivalence) {
+  EXPECT_EQ(EvalBool("not (Mgr(2) and Mgr(3))"),
+            EvalBool("not Mgr(2) or not Mgr(3)"));
+  EXPECT_EQ(EvalBool("not (Mgr(2) or Mgr(3))"),
+            EvalBool("not Mgr(2) and not Mgr(3)"));
+}
+
+TEST_F(FoEvalTest, ImpliesEquivalentToNotOr) {
+  for (const char* lhs : {"Mgr(2)", "Mgr(3)"}) {
+    for (const char* rhs : {"Mgr(2)", "Mgr(3)"}) {
+      std::string imp = std::string(lhs) + " implies " + rhs;
+      std::string nor = std::string("not ") + lhs + " or " + rhs;
+      EXPECT_EQ(EvalBool(imp), EvalBool(nor)) << imp;
+    }
+  }
+}
+
+// ---- mixed-type evaluation ----------------------------------------------------
+
+TEST_F(FoEvalTest, StringColumnsEvaluate) {
+  Relation r = Eval("Name(x, n) and n = 'bob'");
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(T(S("bob"), I(2))));
+}
+
+// ---- error paths ----------------------------------------------------------------
+
+TEST_F(FoEvalTest, TemporalWithoutResolverFails) {
+  formula_ = Unwrap(tl::ParseFormula("once Mgr(x)"));
+  analysis_ = Unwrap(tl::Analyze(*formula_, Catalog()));
+  fo::EvalContext ctx;
+  ctx.db = &db_;
+  ctx.analysis = &analysis_;
+  auto r = fo::Evaluate(*formula_, ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FoEvalTest, MissingContextFails) {
+  formula_ = Unwrap(tl::ParseFormula("true"));
+  fo::EvalContext ctx;
+  EXPECT_FALSE(fo::Evaluate(*formula_, ctx).ok());
+}
+
+// ---- counterexamples ---------------------------------------------------------
+
+TEST_F(FoEvalTest, CounterexamplesForViolatedForall) {
+  Relation c = Counterexamples("forall x, s: Emp(x, s) implies s >= 150");
+  EXPECT_EQ(c.size(), 1u);
+  // Columns sorted: s, x.
+  EXPECT_TRUE(c.Contains(T(I(100), I(1))));
+}
+
+TEST_F(FoEvalTest, CounterexamplesEmptyWhenSatisfied) {
+  Relation c = Counterexamples("forall x, s: Emp(x, s) implies s >= 100");
+  EXPECT_TRUE(c.empty());
+}
+
+TEST_F(FoEvalTest, CounterexamplesForNestedForalls) {
+  Relation c =
+      Counterexamples("forall x: forall s: Emp(x, s) implies s >= 150");
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST_F(FoEvalTest, CounterexamplesForNonForallIsBoolean) {
+  Relation c = Counterexamples("exists x: Mgr(x)");
+  EXPECT_EQ(c.arity(), 0u);
+  EXPECT_FALSE(c.AsBool());  // formula holds -> no counterexample
+}
+
+// ---- domain handling -----------------------------------------------------------
+
+TEST_F(FoEvalTest, TrackerWidensQuantificationDomain) {
+  // 777 is not a formula constant and not in the current state, so only a
+  // tracker that once absorbed it can make the existential true.
+  formula_ = Unwrap(tl::ParseFormula("exists x: not Mgr(x) and x > 500"));
+  analysis_ = Unwrap(tl::Analyze(*formula_, Catalog()));
+
+  fo::EvalContext ctx;
+  ctx.db = &db_;
+  ctx.analysis = &analysis_;
+  EXPECT_FALSE(Unwrap(fo::Evaluate(*formula_, ctx)).AsBool());
+
+  DomainTracker tracker;
+  tracker.Absorb(db_);
+  tracker.AbsorbValues({I(777)});
+  ctx.domain = &tracker;
+  EXPECT_TRUE(Unwrap(fo::Evaluate(*formula_, ctx)).AsBool());
+}
+
+TEST_F(FoEvalTest, FormulaConstantsJoinTheDomain) {
+  // 42 occurs in the formula, so the existential can reach it.
+  EXPECT_TRUE(EvalBool("exists x: x = 42"));
+}
+
+TEST_F(FoEvalTest, ExtraConstantsJoinTheDomain) {
+  formula_ = Unwrap(tl::ParseFormula("exists x: not Mgr(x) and not Emp(x, x)"));
+  analysis_ = Unwrap(tl::Analyze(*formula_, Catalog()));
+  std::vector<Value> extras{I(555)};
+  fo::EvalContext ctx;
+  ctx.db = &db_;
+  ctx.analysis = &analysis_;
+  ctx.extra_constants = &extras;
+  EXPECT_TRUE(Unwrap(fo::Evaluate(*formula_, ctx)).AsBool());
+}
+
+}  // namespace
+}  // namespace rtic

@@ -1,0 +1,203 @@
+// Random Past-MTL formula generation shared by the property-test suites
+// (cross-engine agreement, printer round-trips, normalizer preservation).
+
+#ifndef RTIC_TESTS_FORMULA_GEN_H_
+#define RTIC_TESTS_FORMULA_GEN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "tl/ast.h"
+
+namespace rtic {
+namespace testing {
+
+using tl::Formula;
+using tl::FormulaPtr;
+
+/// Random Past-MTL formula generator. Every generated formula over variable
+/// set V has free variables exactly V, which guarantees analyzability
+/// (single int type; since-safety by construction).
+class FormulaGen {
+ public:
+  explicit FormulaGen(Rng* rng) : rng_(rng) {}
+
+  FormulaPtr Gen(const std::vector<std::string>& vars, int depth) {
+    if (depth <= 0 || rng_->Bernoulli(0.15)) return Leaf(vars);
+    switch (rng_->Uniform(8)) {
+      case 0:
+        return Formula::Not(Gen(vars, depth - 1));
+      case 1:
+      case 2: {  // binary boolean with a variable split
+        auto [l, r] = Split(vars);
+        FormulaPtr lhs = Gen(l, depth - 1);
+        FormulaPtr rhs = Gen(r, depth - 1);
+        switch (rng_->Uniform(3)) {
+          case 0:
+            return Formula::And(std::move(lhs), std::move(rhs));
+          case 1:
+            return Formula::Or(std::move(lhs), std::move(rhs));
+          default:
+            return Formula::Implies(std::move(lhs), std::move(rhs));
+        }
+      }
+      case 3:
+        return Formula::Previous(RandomInterval(), Gen(vars, depth - 1));
+      case 4:
+        return Formula::Once(RandomInterval(), Gen(vars, depth - 1));
+      case 5:
+        return Formula::Historically(RandomInterval(), Gen(vars, depth - 1));
+      case 6: {  // since: free(lhs) ⊆ free(rhs) by construction
+        FormulaPtr rhs = Gen(vars, depth - 1);
+        FormulaPtr lhs = Gen(Subset(vars), depth - 1);
+        return Formula::Since(RandomInterval(), std::move(lhs),
+                              std::move(rhs));
+      }
+      default: {  // existential wrapper keeping the frees
+        FormulaPtr body = ExistsLeaf(vars);
+        return body;
+      }
+    }
+  }
+
+ private:
+  tl::Term Var(const std::string& name) { return tl::Term::Var(name); }
+  tl::Term Const() {
+    return tl::Term::Const(Value::Int64(rng_->UniformInt(0, 2)));
+  }
+
+  FormulaPtr Leaf(const std::vector<std::string>& vars) {
+    if (vars.empty()) {
+      switch (rng_->Uniform(4)) {
+        case 0:
+          return Formula::Atom("P", {Const()});
+        case 1:
+          return Formula::Atom("Q", {Const()});
+        case 2:
+          return rng_->Bernoulli(0.5) ? Formula::True() : Formula::False();
+        default:
+          return Formula::Comparison(Const(), RandomCmp(), Const());
+      }
+    }
+    if (vars.size() == 1) {
+      const std::string& x = vars[0];
+      switch (rng_->Uniform(5)) {
+        case 0:
+          return Formula::Atom("P", {Var(x)});
+        case 1:
+          return Formula::Atom("Q", {Var(x)});
+        case 2:
+          return Formula::Atom("R", {Var(x), Var(x)});
+        case 3:
+          return Formula::Comparison(Var(x), RandomCmp(), Const());
+        default:
+          return ExistsLeaf(vars);
+      }
+    }
+    // Two variables.
+    const std::string& x = vars[0];
+    const std::string& y = vars[1];
+    switch (rng_->Uniform(4)) {
+      case 0:
+        return Formula::Atom("R", {Var(x), Var(y)});
+      case 1:
+        return Formula::Atom("R", {Var(y), Var(x)});
+      case 2:
+        return Formula::Comparison(Var(x), RandomCmp(), Var(y));
+      default:
+        return Formula::And(Formula::Atom("P", {Var(x)}),
+                            Formula::Atom("Q", {Var(y)}));
+    }
+  }
+
+  /// exists z: R(v, z) (or R(z, z) for no vars) — a quantified leaf whose
+  /// free variables are exactly `vars`.
+  FormulaPtr ExistsLeaf(const std::vector<std::string>& vars) {
+    if (vars.empty()) {
+      return Formula::Exists(
+          {"z"}, Formula::Atom("R", {Var("z"), Var("z")}));
+    }
+    const std::string& v = vars[rng_->Uniform(vars.size())];
+    FormulaPtr atom = rng_->Bernoulli(0.5)
+                          ? Formula::Atom("R", {Var(v), Var("z")})
+                          : Formula::Atom("R", {Var("z"), Var(v)});
+    FormulaPtr body = Formula::Exists({"z"}, std::move(atom));
+    if (vars.size() == 1) return body;
+    // Both variables must stay free: conjoin an atom over the other one.
+    const std::string& other = vars[0] == v ? vars[1] : vars[0];
+    return Formula::And(std::move(body), Formula::Atom("P", {Var(other)}));
+  }
+
+  tl::CmpOp RandomCmp() {
+    static const tl::CmpOp kOps[] = {tl::CmpOp::kEq, tl::CmpOp::kNe,
+                                     tl::CmpOp::kLt, tl::CmpOp::kLe,
+                                     tl::CmpOp::kGt, tl::CmpOp::kGe};
+    return kOps[rng_->Uniform(6)];
+  }
+
+  TimeInterval RandomInterval() {
+    Timestamp lo = rng_->UniformInt(0, 3);
+    if (rng_->Bernoulli(0.25)) return TimeInterval(lo, kTimeInfinity);
+    return TimeInterval(lo, lo + rng_->UniformInt(0, 4));
+  }
+
+  /// Splits vars into two subsets whose union is vars.
+  std::pair<std::vector<std::string>, std::vector<std::string>> Split(
+      const std::vector<std::string>& vars) {
+    std::vector<std::string> l, r;
+    for (const std::string& v : vars) {
+      switch (rng_->Uniform(3)) {
+        case 0:
+          l.push_back(v);
+          break;
+        case 1:
+          r.push_back(v);
+          break;
+        default:
+          l.push_back(v);
+          r.push_back(v);
+          break;
+      }
+    }
+    return {l, r};
+  }
+
+  std::vector<std::string> Subset(const std::vector<std::string>& vars) {
+    std::vector<std::string> out;
+    for (const std::string& v : vars) {
+      if (rng_->Bernoulli(0.6)) out.push_back(v);
+    }
+    return out;
+  }
+
+  Rng* rng_;
+};
+
+/// A random closed constraint in one of the common shapes.
+FormulaPtr RandomConstraint(Rng* rng) {
+  FormulaGen gen(rng);
+  switch (rng->Uniform(4)) {
+    case 0:
+      return Formula::Forall(
+          {"x", "y"},
+          Formula::Implies(
+              Formula::Atom("R", {tl::Term::Var("x"), tl::Term::Var("y")}),
+              gen.Gen({"x", "y"}, 3)));
+    case 1:
+      return Formula::Forall(
+          {"x"}, Formula::Implies(Formula::Atom("P", {tl::Term::Var("x")}),
+                                  gen.Gen({"x"}, 3)));
+    case 2:
+      return Formula::Not(Formula::Exists({"x"}, gen.Gen({"x"}, 2)));
+    default:
+      return gen.Gen({}, 3);
+  }
+}
+
+
+}  // namespace testing
+}  // namespace rtic
+
+#endif  // RTIC_TESTS_FORMULA_GEN_H_

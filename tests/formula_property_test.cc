@@ -1,0 +1,100 @@
+// Randomized language-level property tests:
+//   * print-parse round trip: every generated formula survives
+//     PrintFormula -> ParseFormula structurally intact;
+//   * normalizer preservation: NormalizeForEngines (and EliminateImplies)
+//     keep the semantics — the naive engine run on the original and on the
+//     normalized constraint produces identical verdict sequences.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/engine_test_util.h"
+#include "tests/formula_gen.h"
+#include "tl/normalizer.h"
+#include "tl/parser.h"
+
+namespace rtic {
+namespace {
+
+using testing::BuildState;
+using testing::FormulaGen;
+using testing::I;
+using testing::PQRSchemas;
+using testing::RandomConstraint;
+using testing::ScenarioStep;
+using testing::T;
+using testing::Unwrap;
+using tl::FormulaPtr;
+
+class FormulaPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FormulaPropertyTest, PrintParseRoundTrip) {
+  Rng rng(GetParam() * 7919);
+  FormulaGen gen(&rng);
+  for (int round = 0; round < 25; ++round) {
+    FormulaPtr f;
+    switch (rng.Uniform(3)) {
+      case 0:
+        f = gen.Gen({"x"}, 4);
+        break;
+      case 1:
+        f = gen.Gen({"x", "y"}, 4);
+        break;
+      default:
+        f = RandomConstraint(&rng);
+        break;
+    }
+    std::string printed = f->ToString();
+    auto reparsed = tl::ParseFormula(printed);
+    ASSERT_TRUE(reparsed.ok())
+        << "printed form does not reparse: " << printed << "\n"
+        << reparsed.status().ToString();
+    EXPECT_TRUE(f->Equals(**reparsed))
+        << "round trip changed structure:\n  " << printed << "\n  "
+        << (*reparsed)->ToString();
+    EXPECT_EQ(printed, (*reparsed)->ToString());
+  }
+}
+
+TEST_P(FormulaPropertyTest, NormalizationPreservesVerdicts) {
+  Rng rng(GetParam() * 104729);
+  const auto schemas = PQRSchemas();
+  tl::PredicateCatalog catalog;
+  for (const auto& [name, schema] : schemas) catalog[name] = schema;
+
+  for (int round = 0; round < 2; ++round) {
+    FormulaPtr original = RandomConstraint(&rng);
+    FormulaPtr normalized = tl::NormalizeForEngines(*original);
+    FormulaPtr no_implies = tl::EliminateImplies(*original);
+    SCOPED_TRACE("constraint: " + original->ToString());
+
+    auto e_orig = Unwrap(NaiveEngine::Create(*original, catalog));
+    auto e_norm = Unwrap(NaiveEngine::Create(*normalized, catalog));
+    auto e_noimp = Unwrap(NaiveEngine::Create(*no_implies, catalog));
+
+    Timestamp t = 0;
+    for (int i = 0; i < 8; ++i) {
+      t += rng.UniformInt(1, 3);
+      ScenarioStep step{t, {}};
+      for (std::int64_t a = 0; a <= 2; ++a) {
+        if (rng.Bernoulli(0.4)) step.tables["P"].push_back(T(I(a)));
+        if (rng.Bernoulli(0.4)) step.tables["Q"].push_back(T(I(a)));
+        for (std::int64_t b = 0; b <= 2; ++b) {
+          if (rng.Bernoulli(0.3)) step.tables["R"].push_back(T(I(a), I(b)));
+        }
+      }
+      Database state = Unwrap(BuildState(schemas, step));
+      bool v1 = Unwrap(e_orig->OnTransition(state, t));
+      bool v2 = Unwrap(e_norm->OnTransition(state, t));
+      bool v3 = Unwrap(e_noimp->OnTransition(state, t));
+      ASSERT_EQ(v1, v2) << "NormalizeForEngines changed semantics at t=" << t;
+      ASSERT_EQ(v1, v3) << "EliminateImplies changed semantics at t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormulaPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace rtic

@@ -1,0 +1,151 @@
+// Engine tests over non-integer data: string keys, double measurements,
+// bool flags — making sure no int-only assumption hides in the encoding,
+// the anchors, the codec, or the witnesses.
+
+#include <gtest/gtest.h>
+
+#include "monitor/monitor.h"
+#include "tests/engine_test_util.h"
+
+namespace rtic {
+namespace {
+
+using testing::B;
+using testing::D;
+using testing::I;
+using testing::S;
+using testing::T;
+using testing::Unwrap;
+
+std::map<std::string, Schema> MixedSchemas() {
+  return {
+      {"Session", Schema({Column{"user", ValueType::kString}})},
+      {"Login", Schema({Column{"user", ValueType::kString}})},
+      {"Reading", Schema({Column{"sensor", ValueType::kString},
+                          Column{"celsius", ValueType::kDouble}})},
+      {"Enabled", Schema({Column{"sensor", ValueType::kString},
+                          Column{"on", ValueType::kBool}})},
+  };
+}
+
+class MixedTypesTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  std::unique_ptr<ConstraintMonitor> MakeMonitor(
+      const std::string& name, const std::string& constraint) {
+    MonitorOptions options;
+    options.engine = GetParam();
+    auto monitor = std::make_unique<ConstraintMonitor>(options);
+    for (const auto& [table, schema] : MixedSchemas()) {
+      RTIC_EXPECT_OK(monitor->CreateTable(table, schema));
+    }
+    Status s = monitor->RegisterConstraint(name, constraint);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return monitor;
+  }
+};
+
+TEST_P(MixedTypesTest, StringKeyedSessionsRequireRecentLogin) {
+  auto monitor = MakeMonitor(
+      "session_needs_login",
+      "forall u: Session(u) implies Session(u) since[0, 30] Login(u)");
+
+  UpdateBatch login(1);
+  login.Insert("Login", T(S("ada")));
+  login.Insert("Session", T(S("ada")));
+  EXPECT_TRUE(Unwrap(monitor->ApplyUpdate(login)).empty());
+
+  UpdateBatch quiet(10);
+  quiet.Delete("Login", T(S("ada")));
+  EXPECT_TRUE(Unwrap(monitor->ApplyUpdate(quiet)).empty());
+
+  // The session outlives the 30-unit login window.
+  EXPECT_TRUE(Unwrap(monitor->Tick(31)).empty());
+  std::vector<Violation> v = Unwrap(monitor->Tick(40));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].witnesses[0], T(S("ada")));
+}
+
+TEST_P(MixedTypesTest, DoubleThresholdWithStringKeys) {
+  auto monitor = MakeMonitor(
+      "no_overheat_while_on",
+      "forall s, c: Reading(s, c) and Enabled(s, true) implies c < 90.5");
+
+  UpdateBatch ok_state(1);
+  ok_state.Insert("Enabled", T(S("boiler"), B(true)));
+  ok_state.Insert("Reading", T(S("boiler"), D(89.0)));
+  EXPECT_TRUE(Unwrap(monitor->ApplyUpdate(ok_state)).empty());
+
+  UpdateBatch hot(2);
+  hot.Delete("Reading", T(S("boiler"), D(89.0)));
+  hot.Insert("Reading", T(S("boiler"), D(91.25)));
+  std::vector<Violation> v = Unwrap(monitor->ApplyUpdate(hot));
+  ASSERT_EQ(v.size(), 1u);
+  // Columns sorted: c, s.
+  EXPECT_EQ(v[0].witnesses[0], T(D(91.25), S("boiler")));
+
+  // Disabled sensors may run hot.
+  UpdateBatch off(3);
+  off.Delete("Enabled", T(S("boiler"), B(true)));
+  off.Insert("Enabled", T(S("boiler"), B(false)));
+  EXPECT_TRUE(Unwrap(monitor->ApplyUpdate(off)).empty());
+}
+
+TEST_P(MixedTypesTest, StringOnceWindow) {
+  auto monitor = MakeMonitor(
+      "login_not_too_old",
+      "forall u: Session(u) implies once[0, 5] Login(u)");
+
+  UpdateBatch b1(1);
+  b1.Insert("Login", T(S("grace hopper")));  // spaces stress the codec path
+  EXPECT_TRUE(Unwrap(monitor->ApplyUpdate(b1)).empty());
+
+  UpdateBatch b2(4);
+  b2.Delete("Login", T(S("grace hopper")));
+  b2.Insert("Session", T(S("grace hopper")));
+  EXPECT_TRUE(Unwrap(monitor->ApplyUpdate(b2)).empty());
+
+  std::vector<Violation> v = Unwrap(monitor->Tick(9));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].witnesses[0], T(S("grace hopper")));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, MixedTypesTest,
+    ::testing::Values(EngineKind::kIncremental, EngineKind::kNaive,
+                      EngineKind::kActive),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      return EngineKindToString(info.param);
+    });
+
+TEST(MixedTypesCheckpointTest, StringAnchorsSurviveCheckpoint) {
+  MonitorOptions options;
+  ConstraintMonitor a(options);
+  for (const auto& [table, schema] : MixedSchemas()) {
+    RTIC_EXPECT_OK(a.CreateTable(table, schema));
+  }
+  RTIC_EXPECT_OK(a.RegisterConstraint(
+      "c", "forall u: Session(u) implies once[0, 5] Login(u)"));
+  UpdateBatch b1(1);
+  b1.Insert("Login", T(S("user with spaces")));
+  (void)Unwrap(a.ApplyUpdate(b1));
+
+  std::string checkpoint = Unwrap(a.SaveState());
+
+  ConstraintMonitor b(options);
+  for (const auto& [table, schema] : MixedSchemas()) {
+    RTIC_EXPECT_OK(b.CreateTable(table, schema));
+  }
+  RTIC_EXPECT_OK(b.RegisterConstraint(
+      "c", "forall u: Session(u) implies once[0, 5] Login(u)"));
+  RTIC_ASSERT_OK(b.LoadState(checkpoint));
+
+  UpdateBatch b2(4);
+  b2.Delete("Login", T(S("user with spaces")));
+  b2.Insert("Session", T(S("user with spaces")));
+  EXPECT_TRUE(Unwrap(b.ApplyUpdate(b2)).empty());  // anchor survived
+  std::vector<Violation> v = Unwrap(b.Tick(9));
+  ASSERT_EQ(v.size(), 1u);  // and expires on schedule
+}
+
+}  // namespace
+}  // namespace rtic

@@ -1,0 +1,156 @@
+// Tests for monitor-wide checkpointing: database + clock + every checker's
+// state survive a save/restore round trip; continuation matches an
+// uninterrupted monitor; validation rejects mismatched monitors.
+
+#include <gtest/gtest.h>
+
+#include "monitor/monitor.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace rtic {
+namespace {
+
+using testing::I;
+using testing::IntSchema;
+using testing::T;
+using testing::Unwrap;
+
+std::unique_ptr<ConstraintMonitor> AlarmMonitor(
+    const workload::Workload& w) {
+  auto monitor = std::make_unique<ConstraintMonitor>();
+  for (const auto& [name, schema] : w.schema) {
+    RTIC_EXPECT_OK(monitor->CreateTable(name, schema));
+  }
+  for (const auto& [name, text] : w.constraints) {
+    RTIC_EXPECT_OK(monitor->RegisterConstraint(name, text));
+  }
+  return monitor;
+}
+
+TEST(MonitorCheckpointTest, ContinuationMatchesUninterruptedRun) {
+  workload::AlarmParams params;
+  params.length = 120;
+  params.num_alarms = 12;
+  params.late_prob = 0.2;
+  params.seed = 21;
+  workload::Workload w = workload::MakeAlarmWorkload(params);
+
+  auto reference = AlarmMonitor(w);
+  auto first = AlarmMonitor(w);
+  std::unique_ptr<ConstraintMonitor> second;
+
+  const std::size_t half = w.batches.size() / 2;
+  for (std::size_t i = 0; i < w.batches.size(); ++i) {
+    std::vector<Violation> ref = Unwrap(reference->ApplyUpdate(w.batches[i]));
+    if (i < half) {
+      std::vector<Violation> got = Unwrap(first->ApplyUpdate(w.batches[i]));
+      ASSERT_EQ(got.size(), ref.size()) << "prefix diverged at step " << i;
+      if (i == half - 1) {
+        std::string checkpoint = Unwrap(first->SaveState());
+        first.reset();
+        second = AlarmMonitor(w);
+        RTIC_ASSERT_OK(second->LoadState(checkpoint));
+        EXPECT_EQ(second->current_time(), reference->current_time());
+        EXPECT_EQ(second->transition_count(), reference->transition_count());
+        EXPECT_EQ(second->database().TotalRows(),
+                  reference->database().TotalRows());
+      }
+    } else {
+      std::vector<Violation> got = Unwrap(second->ApplyUpdate(w.batches[i]));
+      ASSERT_EQ(got.size(), ref.size())
+          << "continuation diverged at step " << i;
+      for (std::size_t v = 0; v < got.size(); ++v) {
+        EXPECT_EQ(got[v].constraint_name, ref[v].constraint_name);
+        EXPECT_EQ(got[v].witnesses, ref[v].witnesses);
+      }
+    }
+  }
+  EXPECT_EQ(second->total_violations(), reference->total_violations());
+}
+
+TEST(MonitorCheckpointTest, NaiveEngineMonitorCannotCheckpoint) {
+  MonitorOptions options;
+  options.engine = EngineKind::kNaive;
+  ConstraintMonitor monitor(options);
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(
+      monitor.RegisterConstraint("c", "forall a: P(a) implies once P(a)"));
+  auto r = monitor.SaveState();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(MonitorCheckpointTest, MismatchedMonitorsRejected) {
+  ConstraintMonitor a;
+  RTIC_ASSERT_OK(a.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(
+      a.RegisterConstraint("c", "forall a: P(a) implies once P(a)"));
+  UpdateBatch b1(1);
+  b1.Insert("P", T(I(1)));
+  (void)Unwrap(a.ApplyUpdate(b1));
+  std::string checkpoint = Unwrap(a.SaveState());
+
+  // Missing constraint.
+  ConstraintMonitor no_constraint;
+  RTIC_ASSERT_OK(no_constraint.CreateTable("P", IntSchema({"a"})));
+  EXPECT_FALSE(no_constraint.LoadState(checkpoint).ok());
+
+  // Different table schema.
+  ConstraintMonitor wrong_schema;
+  RTIC_ASSERT_OK(wrong_schema.CreateTable("P", IntSchema({"a", "b"})));
+  RTIC_ASSERT_OK(wrong_schema.RegisterConstraint(
+      "c", "forall a, b: P(a, b) implies once P(a, b)"));
+  EXPECT_FALSE(wrong_schema.LoadState(checkpoint).ok());
+
+  // Different constraint text (engine-level validation).
+  ConstraintMonitor wrong_constraint;
+  RTIC_ASSERT_OK(wrong_constraint.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(wrong_constraint.RegisterConstraint(
+      "c", "forall a: P(a) implies once[0, 5] P(a)"));
+  EXPECT_FALSE(wrong_constraint.LoadState(checkpoint).ok());
+
+  // Garbage.
+  ConstraintMonitor ok_monitor;
+  RTIC_ASSERT_OK(ok_monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(
+      ok_monitor.RegisterConstraint("c", "forall a: P(a) implies once P(a)"));
+  EXPECT_FALSE(ok_monitor.LoadState("junk").ok());
+  // And the matching monitor loads fine.
+  RTIC_ASSERT_OK(ok_monitor.LoadState(checkpoint));
+  EXPECT_EQ(ok_monitor.current_time(), 1);
+  EXPECT_TRUE(ok_monitor.database().GetTable("P").value()->Contains(T(I(1))));
+}
+
+TEST(MonitorCheckpointTest, ResponseConstraintStateSurvives) {
+  ConstraintMonitor a;
+  RTIC_ASSERT_OK(a.CreateTable("Raise", IntSchema({"x"})));
+  RTIC_ASSERT_OK(a.CreateTable("Ack", IntSchema({"x"})));
+  RTIC_ASSERT_OK(a.RegisterConstraint(
+      "respond", "forall x: Raise(x) implies eventually[0, 6] Ack(x)"));
+  UpdateBatch raise(1);
+  raise.Insert("Raise", T(I(3)));
+  (void)Unwrap(a.ApplyUpdate(raise));
+  UpdateBatch clear(2);
+  clear.Delete("Raise", T(I(3)));
+  (void)Unwrap(a.ApplyUpdate(clear));
+
+  std::string checkpoint = Unwrap(a.SaveState());
+
+  ConstraintMonitor b;
+  RTIC_ASSERT_OK(b.CreateTable("Raise", IntSchema({"x"})));
+  RTIC_ASSERT_OK(b.CreateTable("Ack", IntSchema({"x"})));
+  RTIC_ASSERT_OK(b.RegisterConstraint(
+      "respond", "forall x: Raise(x) implies eventually[0, 6] Ack(x)"));
+  RTIC_ASSERT_OK(b.LoadState(checkpoint));
+
+  // The restored monitor still remembers the outstanding obligation: the
+  // window [1, 7] closes unmet at t=8.
+  EXPECT_TRUE(Unwrap(b.Tick(6)).empty());
+  std::vector<Violation> v = Unwrap(b.Tick(8));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].witnesses[0], T(I(3)));
+}
+
+}  // namespace
+}  // namespace rtic

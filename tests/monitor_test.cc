@@ -1,0 +1,261 @@
+// Tests for the ConstraintMonitor facade: registration, update application,
+// violation reporting with witnesses, clock ticks, engine selection, and
+// error paths.
+
+#include <gtest/gtest.h>
+
+#include "monitor/monitor.h"
+#include "tests/test_util.h"
+
+namespace rtic {
+namespace {
+
+using testing::I;
+using testing::IntSchema;
+using testing::S;
+using testing::T;
+using testing::Unwrap;
+
+class MonitorTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  MonitorOptions Options() {
+    MonitorOptions options;
+    options.engine = GetParam();
+    return options;
+  }
+};
+
+TEST_P(MonitorTest, EndToEndPayCutDetection) {
+  ConstraintMonitor monitor(Options());
+  RTIC_ASSERT_OK(monitor.CreateTable("Emp", IntSchema({"id", "salary"})));
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "no_pay_cut",
+      "forall e, s, s0: Emp(e, s) and previous Emp(e, s0) implies s >= s0"));
+
+  UpdateBatch hire(1);
+  hire.Insert("Emp", T(I(1), I(100)));
+  EXPECT_TRUE(Unwrap(monitor.ApplyUpdate(hire)).empty());
+
+  UpdateBatch cut(2);
+  cut.Delete("Emp", T(I(1), I(100)));
+  cut.Insert("Emp", T(I(1), I(90)));
+  std::vector<Violation> v = Unwrap(monitor.ApplyUpdate(cut));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].constraint_name, "no_pay_cut");
+  EXPECT_EQ(v[0].timestamp, 2);
+  EXPECT_EQ(v[0].witness_columns,
+            (std::vector<std::string>{"e", "s", "s0"}));
+  ASSERT_EQ(v[0].witnesses.size(), 1u);
+  EXPECT_EQ(v[0].witnesses[0], T(I(1), I(90), I(100)));
+  EXPECT_EQ(monitor.total_violations(), 1u);
+}
+
+TEST_P(MonitorTest, TickCanCauseDeadlineViolation) {
+  ConstraintMonitor monitor(Options());
+  RTIC_ASSERT_OK(monitor.CreateTable("Active", IntSchema({"a"})));
+  RTIC_ASSERT_OK(monitor.CreateTable("Raise", IntSchema({"a"})));
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "deadline",
+      "forall a: Active(a) implies Active(a) since[0, 5] Raise(a)"));
+
+  UpdateBatch raise(1);
+  raise.Insert("Raise", T(I(7)));
+  raise.Insert("Active", T(I(7)));
+  EXPECT_TRUE(Unwrap(monitor.ApplyUpdate(raise)).empty());
+
+  UpdateBatch clear_event(2);
+  clear_event.Delete("Raise", T(I(7)));
+  EXPECT_TRUE(Unwrap(monitor.ApplyUpdate(clear_event)).empty());
+
+  // Nothing changes, but the clock passes the deadline.
+  EXPECT_TRUE(Unwrap(monitor.Tick(6)).empty());
+  std::vector<Violation> v = Unwrap(monitor.Tick(7));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].witnesses[0], T(I(7)));
+}
+
+TEST_P(MonitorTest, MultipleConstraintsReportIndependently) {
+  ConstraintMonitor monitor(Options());
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(monitor.CreateTable("Q", IntSchema({"a"})));
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "p_needs_q", "forall a: P(a) implies Q(a)"));
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "q_once_p", "forall a: Q(a) implies once P(a)"));
+  EXPECT_EQ(monitor.ConstraintNames(),
+            (std::vector<std::string>{"p_needs_q", "q_once_p"}));
+
+  UpdateBatch b(1);
+  b.Insert("P", T(I(1)));  // violates p_needs_q
+  b.Insert("Q", T(I(2)));  // violates q_once_p
+  std::vector<Violation> v = Unwrap(monitor.ApplyUpdate(b));
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].constraint_name, "p_needs_q");
+  EXPECT_EQ(v[1].constraint_name, "q_once_p");
+}
+
+TEST_P(MonitorTest, WitnessLimitIsApplied) {
+  MonitorOptions options = Options();
+  options.max_witnesses = 2;
+  ConstraintMonitor monitor(options);
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "never_p", "forall a: P(a) implies false"));
+  UpdateBatch b(1);
+  for (int i = 0; i < 5; ++i) b.Insert("P", T(I(i)));
+  std::vector<Violation> v = Unwrap(monitor.ApplyUpdate(b));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].witnesses.size(), 2u);
+}
+
+TEST_P(MonitorTest, RegistrationErrors) {
+  ConstraintMonitor monitor(Options());
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  // Parse error.
+  EXPECT_FALSE(monitor.RegisterConstraint("bad", "P(").ok());
+  // Unknown predicate.
+  EXPECT_FALSE(monitor.RegisterConstraint("bad", "forall a: Zz(a)").ok());
+  // Open formula.
+  EXPECT_FALSE(monitor.RegisterConstraint("bad", "P(a)").ok());
+  // Duplicate name.
+  RTIC_ASSERT_OK(monitor.RegisterConstraint("ok", "forall a: P(a) implies true"));
+  EXPECT_EQ(
+      monitor.RegisterConstraint("ok", "forall a: P(a) implies true").code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST_P(MonitorTest, TimestampsMustAdvance) {
+  ConstraintMonitor monitor(Options());
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  (void)Unwrap(monitor.ApplyUpdate(UpdateBatch(5)));
+  EXPECT_FALSE(monitor.ApplyUpdate(UpdateBatch(5)).ok());
+  EXPECT_FALSE(monitor.ApplyUpdate(UpdateBatch(4)).ok());
+  EXPECT_TRUE(monitor.ApplyUpdate(UpdateBatch(6)).ok());
+  EXPECT_EQ(monitor.current_time(), 6);
+  EXPECT_EQ(monitor.transition_count(), 2u);
+}
+
+TEST_P(MonitorTest, TablesLockedAfterFirstUpdate) {
+  ConstraintMonitor monitor(Options());
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  (void)Unwrap(monitor.ApplyUpdate(UpdateBatch(1)));
+  EXPECT_EQ(monitor.CreateTable("Q", IntSchema({"a"})).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_P(MonitorTest, WarningsSurfaceAtRegistration) {
+  ConstraintMonitor monitor(Options());
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "warned", "not (exists a: not P(a))"));
+  std::vector<std::string> warnings = Unwrap(monitor.WarningsFor("warned"));
+  EXPECT_FALSE(warnings.empty());
+  EXPECT_FALSE(monitor.WarningsFor("unknown").ok());
+}
+
+TEST_P(MonitorTest, DomainConstantsWidenQuantification) {
+  MonitorOptions options = Options();
+  options.domain_constants = {I(10), I(11)};
+  ConstraintMonitor monitor(options);
+  RTIC_ASSERT_OK(monitor.CreateTable("Seen", IntSchema({"a"})));
+  // "every registered id has been seen" — ids live only in the options.
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "all_seen", "not (exists a: a >= 10 and a <= 11 and not Seen(a))"));
+  UpdateBatch b1(1);
+  b1.Insert("Seen", T(I(10)));
+  std::vector<Violation> v = Unwrap(monitor.ApplyUpdate(b1));
+  EXPECT_EQ(v.size(), 1u);  // 11 not seen
+  UpdateBatch b2(2);
+  b2.Insert("Seen", T(I(11)));
+  EXPECT_TRUE(Unwrap(monitor.ApplyUpdate(b2)).empty());
+}
+
+TEST_P(MonitorTest, ViolationToStringIsReadable) {
+  ConstraintMonitor monitor(Options());
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(
+      monitor.RegisterConstraint("never", "forall a: P(a) implies false"));
+  UpdateBatch b(3);
+  b.Insert("P", T(I(9)));
+  std::vector<Violation> v = Unwrap(monitor.ApplyUpdate(b));
+  ASSERT_EQ(v.size(), 1u);
+  std::string s = v[0].ToString();
+  EXPECT_NE(s.find("never"), std::string::npos);
+  EXPECT_NE(s.find("time 3"), std::string::npos);
+  EXPECT_NE(s.find("(9)"), std::string::npos);
+}
+
+TEST_P(MonitorTest, StorageAccountingIsVisible) {
+  ConstraintMonitor monitor(Options());
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "c", "forall a: P(a) implies once[0, inf] P(a)"));
+  UpdateBatch b(1);
+  b.Insert("P", T(I(1)));
+  (void)Unwrap(monitor.ApplyUpdate(b));
+  EXPECT_GT(monitor.TotalStorageRows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, MonitorTest,
+    ::testing::Values(EngineKind::kIncremental, EngineKind::kNaive,
+                      EngineKind::kActive),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      return EngineKindToString(info.param);
+    });
+
+TEST_P(MonitorTest, StatsAccumulatePerConstraint) {
+  ConstraintMonitor monitor(Options());
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(
+      monitor.RegisterConstraint("always_ok", "forall a: P(a) implies true"));
+  RTIC_ASSERT_OK(
+      monitor.RegisterConstraint("never_ok", "forall a: P(a) implies false"));
+
+  UpdateBatch b1(1);
+  b1.Insert("P", T(I(1)));
+  (void)Unwrap(monitor.ApplyUpdate(b1));
+  (void)Unwrap(monitor.Tick(2));
+
+  std::vector<ConstraintStats> stats = monitor.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "always_ok");
+  EXPECT_EQ(stats[0].transitions, 2u);
+  EXPECT_EQ(stats[0].violations, 0u);
+  EXPECT_EQ(stats[1].name, "never_ok");
+  EXPECT_EQ(stats[1].transitions, 2u);
+  EXPECT_EQ(stats[1].violations, 2u);
+  EXPECT_GE(stats[1].max_check_micros, 0);
+  EXPECT_GE(stats[1].MeanCheckMicros(), 0.0);
+  EXPECT_NE(stats[1].ToString().find("never_ok"), std::string::npos);
+}
+
+TEST_P(MonitorTest, UnregisterStopsChecking) {
+  ConstraintMonitor monitor(Options());
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(
+      monitor.RegisterConstraint("never", "forall a: P(a) implies false"));
+  UpdateBatch b1(1);
+  b1.Insert("P", T(I(1)));
+  EXPECT_EQ(Unwrap(monitor.ApplyUpdate(b1)).size(), 1u);
+
+  RTIC_ASSERT_OK(monitor.UnregisterConstraint("never"));
+  EXPECT_EQ(monitor.UnregisterConstraint("never").code(),
+            StatusCode::kNotFound);
+  UpdateBatch b2(2);
+  b2.Insert("P", T(I(2)));
+  EXPECT_TRUE(Unwrap(monitor.ApplyUpdate(b2)).empty());
+  EXPECT_TRUE(monitor.ConstraintNames().empty());
+  // Re-registration under the same name starts fresh.
+  RTIC_ASSERT_OK(
+      monitor.RegisterConstraint("never", "forall a: P(a) implies false"));
+}
+
+TEST(MonitorOptionsTest, EngineKindNames) {
+  EXPECT_STREQ(EngineKindToString(EngineKind::kIncremental), "incremental");
+  EXPECT_STREQ(EngineKindToString(EngineKind::kNaive), "naive");
+  EXPECT_STREQ(EngineKindToString(EngineKind::kActive), "active");
+}
+
+}  // namespace
+}  // namespace rtic

@@ -1,0 +1,192 @@
+// Property tests for the bounded-history-encoding pruning rules — the heart
+// of the paper's space claim. The central invariant: for EVERY future query
+// time, the pruned anchor list answers the window-membership query exactly
+// like the unpruned list would.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "engines/incremental/pruning.h"
+
+namespace rtic {
+namespace {
+
+std::vector<Timestamp> Pruned(std::vector<Timestamp> ts, Timestamp now,
+                              TimeInterval interval, PruningPolicy policy) {
+  PruneTimestamps(&ts, now, interval, policy);
+  return ts;
+}
+
+// ---- basic behaviour ---------------------------------------------------------
+
+TEST(PruningTest, ExpiryDropsAnchorsPastTheWindow) {
+  std::vector<Timestamp> ts =
+      Pruned({1, 5, 9}, 20, TimeInterval(0, 10), PruningPolicy::kExpiryOnly);
+  // now - ts > 10 expires ts < 10: drops 1, 5, 9.
+  EXPECT_TRUE(ts.empty());
+
+  ts = Pruned({1, 12, 15}, 20, TimeInterval(0, 10),
+              PruningPolicy::kExpiryOnly);
+  EXPECT_EQ(ts, (std::vector<Timestamp>{12, 15}));
+}
+
+TEST(PruningTest, ExpiryKeepsBoundaryAnchor) {
+  // now - ts == hi is still inside the window.
+  std::vector<Timestamp> ts =
+      Pruned({10}, 20, TimeInterval(0, 10), PruningPolicy::kExpiryOnly);
+  EXPECT_EQ(ts, (std::vector<Timestamp>{10}));
+}
+
+TEST(PruningTest, ExpiryOnlyNeverPrunesUnboundedIntervals) {
+  std::vector<Timestamp> ts = Pruned({1, 2, 3}, 1000, TimeInterval::All(),
+                                     PruningPolicy::kExpiryOnly);
+  EXPECT_EQ(ts.size(), 3u);
+}
+
+TEST(PruningTest, UnboundedFullPruningKeepsOnlyEarliest) {
+  std::vector<Timestamp> ts =
+      Pruned({3, 7, 12}, 15, TimeInterval(2, kTimeInfinity),
+             PruningPolicy::kFull);
+  EXPECT_EQ(ts, (std::vector<Timestamp>{3}));
+}
+
+TEST(PruningTest, ZeroLowerBoundKeepsOnlyLatest) {
+  // All anchors are mature when lo = 0; the newest dominates.
+  std::vector<Timestamp> ts =
+      Pruned({3, 7, 12}, 15, TimeInterval(0, 100), PruningPolicy::kFull);
+  EXPECT_EQ(ts, (std::vector<Timestamp>{12}));
+}
+
+TEST(PruningTest, ImmatureAnchorsAreAllKept) {
+  // lo = 10: anchors younger than 10 are immature; one mature survivor.
+  std::vector<Timestamp> ts =
+      Pruned({1, 3, 12, 14}, 20, TimeInterval(10, 100), PruningPolicy::kFull);
+  // Mature: 1, 3 (age >= 10) -> keep 3. Immature: 12, 14 kept.
+  EXPECT_EQ(ts, (std::vector<Timestamp>{3, 12, 14}));
+}
+
+TEST(PruningTest, SingletonAndEmptyListsUntouched) {
+  EXPECT_TRUE(
+      Pruned({}, 10, TimeInterval(0, 5), PruningPolicy::kFull).empty());
+  EXPECT_EQ(
+      Pruned({8}, 10, TimeInterval(0, 5), PruningPolicy::kFull).size(), 1u);
+}
+
+// ---- AnyInWindow ----------------------------------------------------------------
+
+TEST(AnyInWindowTest, ChecksInclusiveWindow) {
+  std::vector<Timestamp> ts{5, 9};
+  EXPECT_TRUE(AnyInWindow(ts, 10, TimeInterval(0, 5)));    // 9 in [5,10]
+  EXPECT_TRUE(AnyInWindow(ts, 10, TimeInterval(1, 5)));    // 9 in [5,9]
+  EXPECT_TRUE(AnyInWindow(ts, 10, TimeInterval(5, 5)));    // 5 in [5,5]
+  EXPECT_FALSE(AnyInWindow(ts, 10, TimeInterval(2, 3)));   // [7,8] empty
+  EXPECT_TRUE(AnyInWindow(ts, 10, TimeInterval(3, kTimeInfinity)));
+  EXPECT_FALSE(AnyInWindow(ts, 10, TimeInterval(6, kTimeInfinity)));
+  EXPECT_FALSE(AnyInWindow({}, 10, TimeInterval::All()));
+}
+
+// ---- the key property: pruning is invisible to all future queries ---------------
+
+struct PruningCase {
+  Timestamp lo;
+  Timestamp hi;  // kTimeInfinity for unbounded
+};
+
+class PruningEquivalenceTest : public ::testing::TestWithParam<PruningCase> {};
+
+TEST_P(PruningEquivalenceTest, PrunedAnswersEveryFutureQueryIdentically) {
+  const PruningCase& pc = GetParam();
+  TimeInterval interval(pc.lo, pc.hi);
+  Rng rng(pc.lo * 131 + (pc.hi == kTimeInfinity ? 977 : pc.hi));
+
+  for (int round = 0; round < 200; ++round) {
+    // Random ascending anchor list and a current time at/after the last.
+    std::vector<Timestamp> anchors;
+    Timestamp t = rng.UniformInt(0, 5);
+    std::size_t n = 1 + rng.Uniform(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      anchors.push_back(t);
+      t += rng.UniformInt(1, 6);
+    }
+    Timestamp now = anchors.back() + rng.UniformInt(0, 4);
+
+    std::vector<Timestamp> pruned = anchors;
+    PruneTimestamps(&pruned, now, interval, PruningPolicy::kFull);
+
+    // Sanity: the pruned list is a subset, still ascending.
+    for (std::size_t i = 1; i < pruned.size(); ++i) {
+      EXPECT_LT(pruned[i - 1], pruned[i]);
+    }
+
+    // Every future query time answers identically (probe a generous range).
+    Timestamp horizon =
+        now + (pc.hi == kTimeInfinity ? 40 : pc.hi + 5);
+    for (Timestamp q = now; q <= horizon; ++q) {
+      EXPECT_EQ(AnyInWindow(anchors, q, interval),
+                AnyInWindow(pruned, q, interval))
+          << "query time " << q << " now " << now << " interval "
+          << interval.ToString();
+    }
+  }
+}
+
+TEST_P(PruningEquivalenceTest, PrunedSizeIsBounded) {
+  const PruningCase& pc = GetParam();
+  TimeInterval interval(pc.lo, pc.hi);
+  Rng rng(pc.lo * 31 + (pc.hi == kTimeInfinity ? 7 : pc.hi));
+
+  for (int round = 0; round < 100; ++round) {
+    std::vector<Timestamp> anchors;
+    Timestamp t = 0;
+    for (int i = 0; i < 200; ++i) {  // long, dense history
+      anchors.push_back(t);
+      t += rng.UniformInt(1, 2);
+    }
+    Timestamp now = anchors.back();
+    std::vector<Timestamp> pruned = anchors;
+    PruneTimestamps(&pruned, now, interval, PruningPolicy::kFull);
+
+    if (pc.hi == kTimeInfinity || pc.lo == 0) {
+      EXPECT_LE(pruned.size(), 1u);
+    } else {
+      // 1 mature + at most one anchor per distinct timestamp younger than
+      // lo: bounded by the interval, not by the history length (200).
+      EXPECT_LE(pruned.size(), static_cast<std::size_t>(pc.lo) + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, PruningEquivalenceTest,
+    ::testing::Values(PruningCase{0, 0}, PruningCase{0, 5},
+                      PruningCase{1, 5}, PruningCase{3, 3},
+                      PruningCase{2, 10}, PruningCase{5, 6},
+                      PruningCase{0, kTimeInfinity},
+                      PruningCase{4, kTimeInfinity},
+                      PruningCase{10, 20}, PruningCase{1, 1}));
+
+TEST(PruningTest, ExpiryOnlyAlsoPreservesQueries) {
+  // The ablation policy must also be query-equivalent (it just keeps more).
+  Rng rng(4242);
+  TimeInterval interval(2, 9);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<Timestamp> anchors;
+    Timestamp t = rng.UniformInt(0, 3);
+    for (int i = 0; i < 10; ++i) {
+      anchors.push_back(t);
+      t += rng.UniformInt(1, 4);
+    }
+    Timestamp now = anchors.back();
+    std::vector<Timestamp> pruned = anchors;
+    PruneTimestamps(&pruned, now, interval, PruningPolicy::kExpiryOnly);
+    for (Timestamp q = now; q <= now + 15; ++q) {
+      EXPECT_EQ(AnyInWindow(anchors, q, interval),
+                AnyInWindow(pruned, q, interval));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtic

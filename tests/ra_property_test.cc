@@ -1,0 +1,141 @@
+// Randomized algebraic property tests for the relational algebra — the
+// identities the evaluator's correctness silently leans on, checked over
+// random relations.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ra/ops.h"
+#include "tests/test_util.h"
+
+namespace rtic {
+namespace {
+
+using testing::IntCols;
+using testing::Unwrap;
+
+/// Random relation over the given int columns, values in [0, 4].
+Relation RandomRelation(Rng* rng, std::vector<std::string> names,
+                        std::size_t max_rows) {
+  Relation rel(IntCols(names));
+  std::size_t rows = rng->Uniform(max_rows + 1);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<Value> vals;
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      vals.push_back(Value::Int64(rng->UniformInt(0, 4)));
+    }
+    rel.InsertUnchecked(Tuple(std::move(vals)));
+  }
+  return rel;
+}
+
+/// Reorders a relation's columns (sorted by name) so differently-shaped but
+/// equal relations compare equal.
+Relation Sorted(const Relation& rel) {
+  std::vector<std::string> names = rel.ColumnNames();
+  std::sort(names.begin(), names.end());
+  return Unwrap(ra::Project(rel, names));
+}
+
+class RaPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RaPropertyTest, JoinIsCommutativeUpToColumnOrder) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    Relation a = RandomRelation(&rng, {"x", "y"}, 12);
+    Relation b = RandomRelation(&rng, {"y", "z"}, 12);
+    EXPECT_EQ(Sorted(Unwrap(ra::NaturalJoin(a, b))),
+              Sorted(Unwrap(ra::NaturalJoin(b, a))));
+  }
+}
+
+TEST_P(RaPropertyTest, JoinIsAssociative) {
+  Rng rng(GetParam() + 1000);
+  for (int round = 0; round < 20; ++round) {
+    Relation a = RandomRelation(&rng, {"x", "y"}, 10);
+    Relation b = RandomRelation(&rng, {"y", "z"}, 10);
+    Relation c = RandomRelation(&rng, {"z", "w"}, 10);
+    Relation left = Unwrap(
+        ra::NaturalJoin(Unwrap(ra::NaturalJoin(a, b)), c));
+    Relation right = Unwrap(
+        ra::NaturalJoin(a, Unwrap(ra::NaturalJoin(b, c))));
+    EXPECT_EQ(Sorted(left), Sorted(right));
+  }
+}
+
+TEST_P(RaPropertyTest, SemiAntiPartitionTheLeftSide) {
+  Rng rng(GetParam() + 2000);
+  for (int round = 0; round < 20; ++round) {
+    Relation a = RandomRelation(&rng, {"x", "y"}, 15);
+    Relation b = RandomRelation(&rng, {"y"}, 6);
+    Relation semi = Unwrap(ra::SemiJoin(a, b));
+    Relation anti = Unwrap(ra::AntiJoin(a, b));
+    EXPECT_EQ(semi.size() + anti.size(), a.size());
+    EXPECT_EQ(Unwrap(ra::Union(semi, anti)), a);
+    EXPECT_TRUE(Unwrap(ra::Intersect(semi, anti)).empty());
+  }
+}
+
+TEST_P(RaPropertyTest, SemiJoinEqualsJoinProjection) {
+  Rng rng(GetParam() + 3000);
+  for (int round = 0; round < 20; ++round) {
+    Relation a = RandomRelation(&rng, {"x", "y"}, 15);
+    Relation b = RandomRelation(&rng, {"y", "z"}, 15);
+    Relation semi = Unwrap(ra::SemiJoin(a, b));
+    Relation join_proj = Unwrap(
+        ra::Project(Unwrap(ra::NaturalJoin(a, b)), a.ColumnNames()));
+    EXPECT_EQ(semi, join_proj);
+  }
+}
+
+TEST_P(RaPropertyTest, UnionIntersectDifferenceLaws) {
+  Rng rng(GetParam() + 4000);
+  for (int round = 0; round < 20; ++round) {
+    Relation a = RandomRelation(&rng, {"x"}, 10);
+    Relation b = RandomRelation(&rng, {"x"}, 10);
+    Relation u = Unwrap(ra::Union(a, b));
+    Relation i = Unwrap(ra::Intersect(a, b));
+    Relation d_ab = Unwrap(ra::Difference(a, b));
+    Relation d_ba = Unwrap(ra::Difference(b, a));
+    // |A ∪ B| = |A| + |B| − |A ∩ B|.
+    EXPECT_EQ(u.size() + i.size(), a.size() + b.size());
+    // A = (A − B) ∪ (A ∩ B).
+    EXPECT_EQ(Unwrap(ra::Union(d_ab, i)), a);
+    // (A − B) ∩ (B − A) = ∅.
+    EXPECT_TRUE(Unwrap(ra::Intersect(d_ab, d_ba)).empty());
+    // Union is idempotent and commutative.
+    EXPECT_EQ(Unwrap(ra::Union(a, a)), a);
+    EXPECT_EQ(u, Unwrap(ra::Union(b, a)));
+  }
+}
+
+TEST_P(RaPropertyTest, ProjectionIsMonotoneAndIdempotent) {
+  Rng rng(GetParam() + 5000);
+  for (int round = 0; round < 20; ++round) {
+    Relation a = RandomRelation(&rng, {"x", "y", "z"}, 15);
+    Relation p = Unwrap(ra::Project(a, {"x", "y"}));
+    EXPECT_LE(p.size(), a.size());
+    EXPECT_EQ(Unwrap(ra::Project(p, {"x", "y"})), p);
+    // Projecting further commutes with projecting directly.
+    EXPECT_EQ(Unwrap(ra::Project(p, {"x"})),
+              Unwrap(ra::Project(a, {"x"})));
+  }
+}
+
+TEST_P(RaPropertyTest, JoinWithProjectionOfSelfIsIdentity) {
+  Rng rng(GetParam() + 6000);
+  for (int round = 0; round < 20; ++round) {
+    Relation a = RandomRelation(&rng, {"x", "y"}, 15);
+    // a ⋈ π_x(a) = a (every row's key appears in the projection).
+    Relation p = Unwrap(ra::Project(a, {"x"}));
+    EXPECT_EQ(Sorted(Unwrap(ra::NaturalJoin(a, p))), Sorted(a));
+    EXPECT_EQ(Unwrap(ra::SemiJoin(a, p)), a);
+    EXPECT_TRUE(Unwrap(ra::AntiJoin(a, p)).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace rtic

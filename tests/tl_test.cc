@@ -1,0 +1,274 @@
+// Tests for the constraint-language front end: lexer, parser, printer
+// round-trips, and the AST utilities.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "tl/ast.h"
+#include "tl/lexer.h"
+#include "tl/parser.h"
+
+namespace rtic {
+namespace tl {
+namespace {
+
+using rtic::testing::Unwrap;
+
+// ---- Lexer -----------------------------------------------------------------
+
+TEST(LexerTest, TokenizesPunctuationAndOperators) {
+  auto tokens = Unwrap(Tokenize("( ) [ ] , : = != < <= > >="));
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBracket,
+                TokenKind::kRBracket, TokenKind::kComma, TokenKind::kColon,
+                TokenKind::kEq, TokenKind::kNe, TokenKind::kLt,
+                TokenKind::kLe, TokenKind::kGt, TokenKind::kGe,
+                TokenKind::kEnd}));
+}
+
+TEST(LexerTest, KeywordsVersusIdentifiers) {
+  auto tokens = Unwrap(Tokenize("not emp once historical"));
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kKeyword);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kIdent);  // not the keyword
+}
+
+TEST(LexerTest, NumberLiterals) {
+  auto tokens = Unwrap(Tokenize("42 -7 3.5 -0.25"));
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].int_value, -7);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, -0.25);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Unwrap(Tokenize("'hello' 'it\\'s' 'a\\\\b'"));
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+  EXPECT_EQ(tokens[2].text, "a\\b");
+}
+
+TEST(LexerTest, CommentsSkippedToEndOfLine) {
+  auto tokens = Unwrap(Tokenize("x -- the rest is ignored\ny"));
+  ASSERT_EQ(tokens.size(), 3u);  // x, y, end
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].text, "y");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("99999999999999999999").ok());
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+TEST(ParserTest, AtomAndComparison) {
+  FormulaPtr f = Unwrap(ParseFormula("Emp(e, 100)"));
+  EXPECT_EQ(f->kind(), FormulaKind::kAtom);
+  EXPECT_EQ(f->predicate(), "Emp");
+  ASSERT_EQ(f->terms().size(), 2u);
+  EXPECT_TRUE(f->terms()[0].is_variable());
+  EXPECT_EQ(f->terms()[1].value(), Value::Int64(100));
+
+  FormulaPtr c = Unwrap(ParseFormula("x <= 5"));
+  EXPECT_EQ(c->kind(), FormulaKind::kComparison);
+  EXPECT_EQ(c->cmp_op(), CmpOp::kLe);
+}
+
+TEST(ParserTest, ZeroArityAtom) {
+  FormulaPtr f = Unwrap(ParseFormula("Halted()"));
+  EXPECT_EQ(f->kind(), FormulaKind::kAtom);
+  EXPECT_TRUE(f->terms().empty());
+}
+
+TEST(ParserTest, PrecedenceImpliesIsLoosest) {
+  // a() and b() implies c() or d()  ==  (a and b) implies (c or d)
+  FormulaPtr f = Unwrap(ParseFormula("a() and b() implies c() or d()"));
+  ASSERT_EQ(f->kind(), FormulaKind::kImplies);
+  EXPECT_EQ(f->child(0).kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f->child(1).kind(), FormulaKind::kOr);
+}
+
+TEST(ParserTest, ImpliesIsRightAssociative) {
+  FormulaPtr f = Unwrap(ParseFormula("a() implies b() implies c()"));
+  ASSERT_EQ(f->kind(), FormulaKind::kImplies);
+  EXPECT_EQ(f->child(0).kind(), FormulaKind::kAtom);
+  EXPECT_EQ(f->child(1).kind(), FormulaKind::kImplies);
+}
+
+TEST(ParserTest, AndBindsTighterThanOr) {
+  FormulaPtr f = Unwrap(ParseFormula("a() or b() and c()"));
+  ASSERT_EQ(f->kind(), FormulaKind::kOr);
+  EXPECT_EQ(f->child(1).kind(), FormulaKind::kAnd);
+}
+
+TEST(ParserTest, SinceBindsTighterThanAnd) {
+  FormulaPtr f = Unwrap(ParseFormula("a() and b() since c()"));
+  ASSERT_EQ(f->kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f->child(1).kind(), FormulaKind::kSince);
+}
+
+TEST(ParserTest, SinceIsLeftAssociative) {
+  FormulaPtr f = Unwrap(ParseFormula("a() since b() since c()"));
+  ASSERT_EQ(f->kind(), FormulaKind::kSince);
+  EXPECT_EQ(f->child(0).kind(), FormulaKind::kSince);
+}
+
+TEST(ParserTest, UnaryOperatorsBindTightly) {
+  FormulaPtr f = Unwrap(ParseFormula("not a() and b()"));
+  ASSERT_EQ(f->kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f->child(0).kind(), FormulaKind::kNot);
+
+  FormulaPtr g = Unwrap(ParseFormula("once a() since b()"));
+  ASSERT_EQ(g->kind(), FormulaKind::kSince);
+  EXPECT_EQ(g->child(0).kind(), FormulaKind::kOnce);
+}
+
+TEST(ParserTest, QuantifierBodyExtendsRight) {
+  FormulaPtr f = Unwrap(ParseFormula("forall x, y: P(x) implies Q(y)"));
+  ASSERT_EQ(f->kind(), FormulaKind::kForall);
+  EXPECT_EQ(f->bound_vars(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(f->child(0).kind(), FormulaKind::kImplies);
+}
+
+TEST(ParserTest, Intervals) {
+  FormulaPtr f = Unwrap(ParseFormula("once[2, 10] P(x)"));
+  EXPECT_EQ(f->interval(), TimeInterval(2, 10));
+
+  FormulaPtr g = Unwrap(ParseFormula("once[3, inf] P(x)"));
+  EXPECT_EQ(g->interval(), TimeInterval(3, kTimeInfinity));
+
+  FormulaPtr h = Unwrap(ParseFormula("once P(x)"));
+  EXPECT_EQ(h->interval(), TimeInterval::All());
+
+  FormulaPtr s = Unwrap(ParseFormula("P(x) since[1, 5] Q(x)"));
+  EXPECT_EQ(s->interval(), TimeInterval(1, 5));
+}
+
+TEST(ParserTest, BoolConstantsAndBoolTerms) {
+  EXPECT_EQ(Unwrap(ParseFormula("true"))->kind(), FormulaKind::kBoolConst);
+  EXPECT_TRUE(Unwrap(ParseFormula("true"))->bool_value());
+  // In comparison position true/false are constants.
+  FormulaPtr f = Unwrap(ParseFormula("flag = true"));
+  EXPECT_EQ(f->kind(), FormulaKind::kComparison);
+  EXPECT_EQ(f->terms()[1].value(), Value::Bool(true));
+}
+
+TEST(ParserTest, StringAndDoubleTerms) {
+  FormulaPtr f = Unwrap(ParseFormula("Status(j, 'running') and t > 1.5"));
+  EXPECT_EQ(f->kind(), FormulaKind::kAnd);
+}
+
+class ParserErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserErrorTest, Rejects) {
+  auto r = ParseFormula(GetParam());
+  EXPECT_FALSE(r.ok()) << "input should not parse: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, ParserErrorTest,
+    ::testing::Values("", "P(", "P(x", "P(x,)", "forall : P(x)",
+                      "forall x P(x)", "x", "x +", "P(x) and", "once[2] P(x)",
+                      "once[5, 2] P(x)", "once[-1, 2] P(x)",
+                      "P(x) Q(x)", "(P(x)", "P(x))", "x = ", "not",
+                      "exists 5: P(x)", "P(x) since", "once[2, ] P(x)"));
+
+// ---- Printer round-trips ----------------------------------------------------
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParsePrintParseIsIdentity) {
+  FormulaPtr f1 = Unwrap(ParseFormula(GetParam()));
+  std::string printed = f1->ToString();
+  FormulaPtr f2 = Unwrap(ParseFormula(printed));
+  EXPECT_TRUE(f1->Equals(*f2))
+      << "original: " << GetParam() << "\nprinted:  " << printed;
+  // Printing again is a fixpoint.
+  EXPECT_EQ(printed, f2->ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTripTest,
+    ::testing::Values(
+        "P(x)", "true", "false", "x = 5", "x != y", "s = 'abc'",
+        "t >= 2.5", "flag = true",
+        "not P(x)", "not not P(x)",
+        "P(x) and Q(x)", "P(x) or Q(x)", "P(x) implies Q(x)",
+        "P(x) and Q(x) and R(x)", "P(x) or Q(x) and R(x)",
+        "(P(x) or Q(x)) and R(x)",
+        "P(x) implies Q(x) implies R(x)",
+        "(P(x) implies Q(x)) implies R(x)",
+        "forall x: P(x)", "exists x, y: P(x) and Q(y)",
+        "forall x: (exists y: P(y)) and Q(x)",
+        "not (P(x) and Q(x))",
+        "previous P(x)", "previous[1, 3] P(x)",
+        "once[0, 10] P(x)", "historically[2, inf] P(x)",
+        "P(x) since Q(x)", "P(x) since[1, 5] Q(x)",
+        "P(x) since[1, 5] Q(x) since[0, 2] R(x)",
+        "once (P(x) and Q(x))",
+        "not once[1, 7] P(x)",
+        "forall e, s, s0: Emp(e, s) and previous Emp(e, s0) implies s >= s0",
+        "forall a: Ack(a) implies once[0, 10] Raise(a)",
+        "forall a: Active(a) implies once[0, 10] not Active(a)",
+        "previous once P(x)", "once previous P(x)",
+        "historically (P(x) implies Q(x))",
+        "eventually[0, 10] P(x)",
+        "forall x: P(x) implies eventually[2, 8] Q(x)"));
+
+// ---- AST utilities -----------------------------------------------------------
+
+TEST(AstTest, CloneIsDeepAndEqual) {
+  FormulaPtr f = Unwrap(
+      ParseFormula("forall x: P(x) and previous[2, 4] Q(x) implies x > 0"));
+  FormulaPtr g = f->Clone();
+  EXPECT_TRUE(f->Equals(*g));
+  EXPECT_NE(f.get(), g.get());
+  EXPECT_NE(&f->child(0), &g->child(0));
+}
+
+TEST(AstTest, EqualsDistinguishesStructure) {
+  FormulaPtr a = Unwrap(ParseFormula("P(x) and Q(x)"));
+  FormulaPtr b = Unwrap(ParseFormula("Q(x) and P(x)"));
+  FormulaPtr c = Unwrap(ParseFormula("P(x) or Q(x)"));
+  FormulaPtr d = Unwrap(ParseFormula("once[1, 2] P(x)"));
+  FormulaPtr e = Unwrap(ParseFormula("once[1, 3] P(x)"));
+  EXPECT_FALSE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_FALSE(d->Equals(*e));  // intervals matter
+  EXPECT_TRUE(a->Equals(*Unwrap(ParseFormula("P(x) and Q(x)"))));
+}
+
+TEST(AstTest, CmpOpHelpers) {
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, -1));
+  EXPECT_FALSE(EvalCmp(CmpOp::kLt, 0));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLe, 0));
+  EXPECT_TRUE(EvalCmp(CmpOp::kNe, 1));
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                   CmpOp::kGe}) {
+    for (int c : {-1, 0, 1}) {
+      EXPECT_NE(EvalCmp(op, c), EvalCmp(NegateCmp(op), c));
+    }
+  }
+}
+
+TEST(AstTest, IsTemporal) {
+  EXPECT_TRUE(IsTemporal(FormulaKind::kPrevious));
+  EXPECT_TRUE(IsTemporal(FormulaKind::kOnce));
+  EXPECT_TRUE(IsTemporal(FormulaKind::kHistorically));
+  EXPECT_TRUE(IsTemporal(FormulaKind::kSince));
+  EXPECT_FALSE(IsTemporal(FormulaKind::kAnd));
+  EXPECT_FALSE(IsTemporal(FormulaKind::kAtom));
+}
+
+}  // namespace
+}  // namespace tl
+}  // namespace rtic

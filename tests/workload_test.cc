@@ -1,0 +1,182 @@
+// Tests for the workload generators and end-to-end monitor runs over them:
+// determinism, violation-free baselines, injected-violation detection, and
+// event-table hygiene.
+
+#include <gtest/gtest.h>
+
+#include "monitor/monitor.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace rtic {
+namespace {
+
+using testing::Unwrap;
+using workload::AlarmParams;
+using workload::LibraryParams;
+using workload::MakeAlarmWorkload;
+using workload::MakeLibraryWorkload;
+using workload::MakePayrollWorkload;
+using workload::PayrollParams;
+using workload::Workload;
+
+/// Runs a workload through a monitor; returns the total violation count.
+std::size_t RunWorkload(const Workload& w, EngineKind kind) {
+  MonitorOptions options;
+  options.engine = kind;
+  ConstraintMonitor monitor(options);
+  for (const auto& [name, schema] : w.schema) {
+    RTIC_EXPECT_OK(monitor.CreateTable(name, schema));
+  }
+  for (const auto& [name, text] : w.constraints) {
+    Status s = monitor.RegisterConstraint(name, text);
+    EXPECT_TRUE(s.ok()) << name << ": " << s.ToString();
+  }
+  for (const UpdateBatch& batch : w.batches) {
+    auto v = monitor.ApplyUpdate(batch);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    if (!v.ok()) return 0;
+  }
+  return monitor.total_violations();
+}
+
+TEST(WorkloadTest, GeneratorsAreDeterministic) {
+  AlarmParams params;
+  params.length = 50;
+  Workload a = MakeAlarmWorkload(params);
+  Workload b = MakeAlarmWorkload(params);
+  ASSERT_EQ(a.batches.size(), b.batches.size());
+  for (std::size_t i = 0; i < a.batches.size(); ++i) {
+    EXPECT_EQ(a.batches[i].timestamp(), b.batches[i].timestamp());
+    EXPECT_EQ(a.batches[i].ToString(), b.batches[i].ToString());
+  }
+  params.seed = 99;
+  Workload c = MakeAlarmWorkload(params);
+  bool all_equal = a.batches.size() == c.batches.size();
+  if (all_equal) {
+    all_equal = false;
+    for (std::size_t i = 0; i < a.batches.size(); ++i) {
+      if (a.batches[i].ToString() != c.batches[i].ToString()) {
+        all_equal = false;
+        break;
+      }
+      all_equal = true;
+    }
+  }
+  EXPECT_FALSE(all_equal) << "different seed should change the stream";
+}
+
+TEST(WorkloadTest, TimestampsStrictlyIncrease) {
+  for (const Workload& w :
+       {MakeAlarmWorkload({}), MakePayrollWorkload({}),
+        MakeLibraryWorkload({})}) {
+    Timestamp prev = -1;
+    for (const UpdateBatch& b : w.batches) {
+      EXPECT_GT(b.timestamp(), prev);
+      prev = b.timestamp();
+    }
+  }
+}
+
+TEST(WorkloadTest, BatchesApplyCleanly) {
+  Workload w = MakeLibraryWorkload({});
+  Database db;
+  for (const auto& [name, schema] : w.schema) {
+    RTIC_ASSERT_OK(db.CreateTable(name, schema));
+  }
+  for (const UpdateBatch& b : w.batches) {
+    RTIC_ASSERT_OK(b.Apply(&db));
+  }
+}
+
+TEST(WorkloadTest, EventTablesHoldOnlyCurrentEvents) {
+  // Raise/Ack rows inserted at state i are deleted at state i+1.
+  AlarmParams params;
+  params.length = 60;
+  Workload w = MakeAlarmWorkload(params);
+  Database db;
+  for (const auto& [name, schema] : w.schema) {
+    RTIC_ASSERT_OK(db.CreateTable(name, schema));
+  }
+  for (std::size_t i = 0; i < w.batches.size(); ++i) {
+    RTIC_ASSERT_OK(w.batches[i].Apply(&db));
+    // An event row present now must have been inserted by THIS batch.
+    const auto& inserts = w.batches[i].inserts();
+    for (const char* table : {"Raise", "Ack"}) {
+      const Table* t = Unwrap(db.GetTable(table));
+      std::size_t inserted =
+          inserts.count(table) > 0 ? inserts.at(table).size() : 0;
+      EXPECT_LE(t->size(), inserted) << table << " leaks events at step " << i;
+    }
+  }
+}
+
+TEST(WorkloadTest, CleanAlarmRunHasNoViolations) {
+  AlarmParams params;
+  params.length = 80;
+  params.late_prob = 0.0;
+  EXPECT_EQ(RunWorkload(MakeAlarmWorkload(params), EngineKind::kIncremental),
+            0u);
+}
+
+TEST(WorkloadTest, LateAcksViolateTheDeadline) {
+  AlarmParams params;
+  params.length = 120;
+  params.late_prob = 0.5;
+  EXPECT_GT(RunWorkload(MakeAlarmWorkload(params), EngineKind::kIncremental),
+            0u);
+}
+
+TEST(WorkloadTest, CleanPayrollRunHasNoViolations) {
+  PayrollParams params;
+  params.length = 80;
+  params.num_employees = 30;
+  params.cut_prob = 0.0;
+  params.early_raise_prob = 0.0;
+  EXPECT_EQ(
+      RunWorkload(MakePayrollWorkload(params), EngineKind::kIncremental), 0u);
+}
+
+TEST(WorkloadTest, PayCutsAreDetected) {
+  PayrollParams params;
+  params.length = 120;
+  params.num_employees = 30;
+  params.cut_prob = 0.5;
+  params.early_raise_prob = 0.0;
+  EXPECT_GT(
+      RunWorkload(MakePayrollWorkload(params), EngineKind::kIncremental), 0u);
+}
+
+TEST(WorkloadTest, CleanLibraryRunHasNoViolations) {
+  LibraryParams params;
+  params.length = 80;
+  params.nonmember_prob = 0.0;
+  params.late_return_prob = 0.0;
+  EXPECT_EQ(
+      RunWorkload(MakeLibraryWorkload(params), EngineKind::kIncremental), 0u);
+}
+
+TEST(WorkloadTest, RogueLoansAreDetected) {
+  LibraryParams params;
+  params.length = 120;
+  params.nonmember_prob = 0.6;
+  params.late_return_prob = 0.0;
+  EXPECT_GT(
+      RunWorkload(MakeLibraryWorkload(params), EngineKind::kIncremental), 0u);
+}
+
+TEST(WorkloadTest, EnginesAgreeOnWorkloadViolationCounts) {
+  AlarmParams params;
+  params.length = 40;
+  params.num_alarms = 10;
+  params.late_prob = 0.3;
+  Workload w = MakeAlarmWorkload(params);
+  std::size_t inc = RunWorkload(w, EngineKind::kIncremental);
+  std::size_t naive = RunWorkload(w, EngineKind::kNaive);
+  std::size_t act = RunWorkload(w, EngineKind::kActive);
+  EXPECT_EQ(inc, naive);
+  EXPECT_EQ(inc, act);
+}
+
+}  // namespace
+}  // namespace rtic
