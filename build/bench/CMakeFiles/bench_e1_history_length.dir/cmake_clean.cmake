@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_history_length.dir/bench_e1_history_length.cc.o"
+  "CMakeFiles/bench_e1_history_length.dir/bench_e1_history_length.cc.o.d"
+  "bench_e1_history_length"
+  "bench_e1_history_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_history_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_window.dir/bench_e3_window.cc.o"
+  "CMakeFiles/bench_e3_window.dir/bench_e3_window.cc.o.d"
+  "bench_e3_window"
+  "bench_e3_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_domain.dir/bench_e4_domain.cc.o"
+  "CMakeFiles/bench_e4_domain.dir/bench_e4_domain.cc.o.d"
+  "bench_e4_domain"
+  "bench_e4_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

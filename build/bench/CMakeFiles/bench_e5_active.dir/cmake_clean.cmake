@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_active.dir/bench_e5_active.cc.o"
+  "CMakeFiles/bench_e5_active.dir/bench_e5_active.cc.o.d"
+  "bench_e5_active"
+  "bench_e5_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_multi.dir/bench_e7_multi.cc.o"
+  "CMakeFiles/bench_e7_multi.dir/bench_e7_multi.cc.o.d"
+  "bench_e7_multi"
+  "bench_e7_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

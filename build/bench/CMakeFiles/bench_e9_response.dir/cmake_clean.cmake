@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_response.dir/bench_e9_response.cc.o"
+  "CMakeFiles/bench_e9_response.dir/bench_e9_response.cc.o.d"
+  "bench_e9_response"
+  "bench_e9_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alarm_system.dir/alarm_system.cpp.o"
+  "CMakeFiles/alarm_system.dir/alarm_system.cpp.o.d"
+  "alarm_system"
+  "alarm_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alarm_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_loans.dir/library_loans.cpp.o"
+  "CMakeFiles/library_loans.dir/library_loans.cpp.o.d"
+  "library_loans"
+  "library_loans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_loans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

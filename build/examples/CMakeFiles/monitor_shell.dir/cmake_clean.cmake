@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_shell.dir/monitor_shell.cpp.o"
+  "CMakeFiles/monitor_shell.dir/monitor_shell.cpp.o.d"
+  "monitor_shell"
+  "monitor_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_active.dir/engines/active/compiler.cc.o"
+  "CMakeFiles/rtic_active.dir/engines/active/compiler.cc.o.d"
+  "CMakeFiles/rtic_active.dir/engines/active/rule.cc.o"
+  "CMakeFiles/rtic_active.dir/engines/active/rule.cc.o.d"
+  "CMakeFiles/rtic_active.dir/engines/active/rule_engine.cc.o"
+  "CMakeFiles/rtic_active.dir/engines/active/rule_engine.cc.o.d"
+  "librtic_active.a"
+  "librtic_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_common.dir/common/interval.cc.o"
+  "CMakeFiles/rtic_common.dir/common/interval.cc.o.d"
+  "CMakeFiles/rtic_common.dir/common/logging.cc.o"
+  "CMakeFiles/rtic_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/rtic_common.dir/common/rng.cc.o"
+  "CMakeFiles/rtic_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/rtic_common.dir/common/status.cc.o"
+  "CMakeFiles/rtic_common.dir/common/status.cc.o.d"
+  "CMakeFiles/rtic_common.dir/common/string_util.cc.o"
+  "CMakeFiles/rtic_common.dir/common/string_util.cc.o.d"
+  "librtic_common.a"
+  "librtic_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

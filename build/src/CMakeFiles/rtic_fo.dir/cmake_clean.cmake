@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_fo.dir/fo/eval.cc.o"
+  "CMakeFiles/rtic_fo.dir/fo/eval.cc.o.d"
+  "CMakeFiles/rtic_fo.dir/fo/witness.cc.o"
+  "CMakeFiles/rtic_fo.dir/fo/witness.cc.o.d"
+  "librtic_fo.a"
+  "librtic_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

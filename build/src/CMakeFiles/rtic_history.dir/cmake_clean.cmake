@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_history.dir/history/history.cc.o"
+  "CMakeFiles/rtic_history.dir/history/history.cc.o.d"
+  "librtic_history.a"
+  "librtic_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

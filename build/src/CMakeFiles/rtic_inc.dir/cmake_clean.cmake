@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_inc.dir/engines/incremental/compiler.cc.o"
+  "CMakeFiles/rtic_inc.dir/engines/incremental/compiler.cc.o.d"
+  "CMakeFiles/rtic_inc.dir/engines/incremental/engine.cc.o"
+  "CMakeFiles/rtic_inc.dir/engines/incremental/engine.cc.o.d"
+  "CMakeFiles/rtic_inc.dir/engines/incremental/pruning.cc.o"
+  "CMakeFiles/rtic_inc.dir/engines/incremental/pruning.cc.o.d"
+  "librtic_inc.a"
+  "librtic_inc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_inc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rtic_inc.
+# This may be replaced when dependencies are built.

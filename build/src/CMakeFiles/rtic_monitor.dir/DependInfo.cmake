@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/audit.cc" "src/CMakeFiles/rtic_monitor.dir/monitor/audit.cc.o" "gcc" "src/CMakeFiles/rtic_monitor.dir/monitor/audit.cc.o.d"
+  "/root/repo/src/monitor/monitor.cc" "src/CMakeFiles/rtic_monitor.dir/monitor/monitor.cc.o" "gcc" "src/CMakeFiles/rtic_monitor.dir/monitor/monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtic_naive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_inc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_active.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_response.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_tl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

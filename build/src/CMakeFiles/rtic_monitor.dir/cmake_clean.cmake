@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_monitor.dir/monitor/audit.cc.o"
+  "CMakeFiles/rtic_monitor.dir/monitor/audit.cc.o.d"
+  "CMakeFiles/rtic_monitor.dir/monitor/monitor.cc.o"
+  "CMakeFiles/rtic_monitor.dir/monitor/monitor.cc.o.d"
+  "librtic_monitor.a"
+  "librtic_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_naive.dir/engines/naive/naive_engine.cc.o"
+  "CMakeFiles/rtic_naive.dir/engines/naive/naive_engine.cc.o.d"
+  "librtic_naive.a"
+  "librtic_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_ra.dir/ra/ops.cc.o"
+  "CMakeFiles/rtic_ra.dir/ra/ops.cc.o.d"
+  "CMakeFiles/rtic_ra.dir/ra/relation.cc.o"
+  "CMakeFiles/rtic_ra.dir/ra/relation.cc.o.d"
+  "librtic_ra.a"
+  "librtic_ra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtic_ra.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_response.dir/engines/response/response_engine.cc.o"
+  "CMakeFiles/rtic_response.dir/engines/response/response_engine.cc.o.d"
+  "librtic_response.a"
+  "librtic_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/codec.cc" "src/CMakeFiles/rtic_storage.dir/storage/codec.cc.o" "gcc" "src/CMakeFiles/rtic_storage.dir/storage/codec.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/rtic_storage.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/rtic_storage.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/domain_tracker.cc" "src/CMakeFiles/rtic_storage.dir/storage/domain_tracker.cc.o" "gcc" "src/CMakeFiles/rtic_storage.dir/storage/domain_tracker.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/rtic_storage.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/rtic_storage.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/update_batch.cc" "src/CMakeFiles/rtic_storage.dir/storage/update_batch.cc.o" "gcc" "src/CMakeFiles/rtic_storage.dir/storage/update_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtic_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_storage.dir/storage/codec.cc.o"
+  "CMakeFiles/rtic_storage.dir/storage/codec.cc.o.d"
+  "CMakeFiles/rtic_storage.dir/storage/database.cc.o"
+  "CMakeFiles/rtic_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/rtic_storage.dir/storage/domain_tracker.cc.o"
+  "CMakeFiles/rtic_storage.dir/storage/domain_tracker.cc.o.d"
+  "CMakeFiles/rtic_storage.dir/storage/table.cc.o"
+  "CMakeFiles/rtic_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/rtic_storage.dir/storage/update_batch.cc.o"
+  "CMakeFiles/rtic_storage.dir/storage/update_batch.cc.o.d"
+  "librtic_storage.a"
+  "librtic_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

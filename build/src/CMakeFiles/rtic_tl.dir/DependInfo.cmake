@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tl/analyzer.cc" "src/CMakeFiles/rtic_tl.dir/tl/analyzer.cc.o" "gcc" "src/CMakeFiles/rtic_tl.dir/tl/analyzer.cc.o.d"
+  "/root/repo/src/tl/ast.cc" "src/CMakeFiles/rtic_tl.dir/tl/ast.cc.o" "gcc" "src/CMakeFiles/rtic_tl.dir/tl/ast.cc.o.d"
+  "/root/repo/src/tl/lexer.cc" "src/CMakeFiles/rtic_tl.dir/tl/lexer.cc.o" "gcc" "src/CMakeFiles/rtic_tl.dir/tl/lexer.cc.o.d"
+  "/root/repo/src/tl/normalizer.cc" "src/CMakeFiles/rtic_tl.dir/tl/normalizer.cc.o" "gcc" "src/CMakeFiles/rtic_tl.dir/tl/normalizer.cc.o.d"
+  "/root/repo/src/tl/parser.cc" "src/CMakeFiles/rtic_tl.dir/tl/parser.cc.o" "gcc" "src/CMakeFiles/rtic_tl.dir/tl/parser.cc.o.d"
+  "/root/repo/src/tl/printer.cc" "src/CMakeFiles/rtic_tl.dir/tl/printer.cc.o" "gcc" "src/CMakeFiles/rtic_tl.dir/tl/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtic_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_tl.dir/tl/analyzer.cc.o"
+  "CMakeFiles/rtic_tl.dir/tl/analyzer.cc.o.d"
+  "CMakeFiles/rtic_tl.dir/tl/ast.cc.o"
+  "CMakeFiles/rtic_tl.dir/tl/ast.cc.o.d"
+  "CMakeFiles/rtic_tl.dir/tl/lexer.cc.o"
+  "CMakeFiles/rtic_tl.dir/tl/lexer.cc.o.d"
+  "CMakeFiles/rtic_tl.dir/tl/normalizer.cc.o"
+  "CMakeFiles/rtic_tl.dir/tl/normalizer.cc.o.d"
+  "CMakeFiles/rtic_tl.dir/tl/parser.cc.o"
+  "CMakeFiles/rtic_tl.dir/tl/parser.cc.o.d"
+  "CMakeFiles/rtic_tl.dir/tl/printer.cc.o"
+  "CMakeFiles/rtic_tl.dir/tl/printer.cc.o.d"
+  "librtic_tl.a"
+  "librtic_tl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_tl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

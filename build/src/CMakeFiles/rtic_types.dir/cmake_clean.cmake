@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_types.dir/types/schema.cc.o"
+  "CMakeFiles/rtic_types.dir/types/schema.cc.o.d"
+  "CMakeFiles/rtic_types.dir/types/tuple.cc.o"
+  "CMakeFiles/rtic_types.dir/types/tuple.cc.o.d"
+  "CMakeFiles/rtic_types.dir/types/value.cc.o"
+  "CMakeFiles/rtic_types.dir/types/value.cc.o.d"
+  "librtic_types.a"
+  "librtic_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtic_workload.dir/workload/generators.cc.o"
+  "CMakeFiles/rtic_workload.dir/workload/generators.cc.o.d"
+  "librtic_workload.a"
+  "librtic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

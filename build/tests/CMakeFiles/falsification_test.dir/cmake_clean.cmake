@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falsification_test.dir/falsification_test.cc.o"
+  "CMakeFiles/falsification_test.dir/falsification_test.cc.o.d"
+  "falsification_test"
+  "falsification_test.pdb"
+  "falsification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falsification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

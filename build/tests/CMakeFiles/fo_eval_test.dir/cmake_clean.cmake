@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo_eval_test.dir/fo_eval_test.cc.o"
+  "CMakeFiles/fo_eval_test.dir/fo_eval_test.cc.o.d"
+  "fo_eval_test"
+  "fo_eval_test.pdb"
+  "fo_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formula_property_test.dir/formula_property_test.cc.o"
+  "CMakeFiles/formula_property_test.dir/formula_property_test.cc.o.d"
+  "formula_property_test"
+  "formula_property_test.pdb"
+  "formula_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formula_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

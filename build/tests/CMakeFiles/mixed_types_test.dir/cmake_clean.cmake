@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_types_test.dir/mixed_types_test.cc.o"
+  "CMakeFiles/mixed_types_test.dir/mixed_types_test.cc.o.d"
+  "mixed_types_test"
+  "mixed_types_test.pdb"
+  "mixed_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pruning_test.cc" "tests/CMakeFiles/pruning_test.dir/pruning_test.cc.o" "gcc" "tests/CMakeFiles/pruning_test.dir/pruning_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtic_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_naive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_active.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_inc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_response.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_tl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

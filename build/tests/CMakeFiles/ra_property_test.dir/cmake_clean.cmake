@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_property_test.dir/ra_property_test.cc.o"
+  "CMakeFiles/ra_property_test.dir/ra_property_test.cc.o.d"
+  "ra_property_test"
+  "ra_property_test.pdb"
+  "ra_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

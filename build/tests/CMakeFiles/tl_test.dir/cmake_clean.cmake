@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_test.dir/tl_test.cc.o"
+  "CMakeFiles/tl_test.dir/tl_test.cc.o.d"
+  "tl_test"
+  "tl_test.pdb"
+  "tl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/types_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/ra_test[1]_include.cmake")
+include("/root/repo/build/tests/tl_test[1]_include.cmake")
+include("/root/repo/build/tests/analyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/fo_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/pruning_test[1]_include.cmake")
+include("/root/repo/build/tests/engines_test[1]_include.cmake")
+include("/root/repo/build/tests/cross_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/active_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/builder_test[1]_include.cmake")
+include("/root/repo/build/tests/response_test[1]_include.cmake")
+include("/root/repo/build/tests/audit_test[1]_include.cmake")
+include("/root/repo/build/tests/ra_property_test[1]_include.cmake")
+include("/root/repo/build/tests/falsification_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/formula_property_test[1]_include.cmake")
+include("/root/repo/build/tests/mixed_types_test[1]_include.cmake")
