@@ -1,11 +1,20 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace rtic {
 
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Serializes emission so lines from concurrent monitor check threads do
+// not interleave mid-line.
+std::mutex& EmitMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,8 +31,10 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 
@@ -33,7 +44,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) >= static_cast<int>(g_level)) {
+  if (static_cast<int>(level_) >= static_cast<int>(GetLogLevel())) {
+    std::lock_guard<std::mutex> lock(EmitMutex());
     std::cerr << stream_.str() << std::endl;
   }
 }

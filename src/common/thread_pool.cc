@@ -1,0 +1,78 @@
+#include "common/thread_pool.h"
+
+namespace rtic {
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->total = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  RunBatch(batch.get());  // the caller is an executor too
+
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done_cv.wait(lock,
+                        [&] { return batch->completed == batch->total; });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_.reset();  // workers hold their own reference while draining
+}
+
+void ThreadPool::RunBatch(Batch* batch) {
+  std::size_t ran = 0;
+  for (;;) {
+    std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->total) break;
+    (*batch->fn)(i);
+    ++ran;
+  }
+  if (ran == 0) return;
+  std::lock_guard<std::mutex> lock(batch->mu);
+  batch->completed += ran;
+  if (batch->completed == batch->total) batch->done_cv.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    std::shared_ptr<Batch> batch = batch_;  // may be null if we woke late
+    lock.unlock();
+    if (batch) RunBatch(batch.get());
+    lock.lock();
+  }
+}
+
+}  // namespace rtic

@@ -1,0 +1,84 @@
+// ThreadPool: a fixed-size pool for fanning independent index-addressed
+// tasks out across threads. No work stealing and no per-task queue:
+// ParallelFor hands out indices [0, n) through one atomic counter and
+// blocks until every index has been processed. The calling thread
+// participates as an executor, so a pool constructed with W workers runs
+// ParallelFor on W + 1 threads.
+//
+// Intended use is the monitor's per-transition constraint fan-out: tasks
+// must be independent (no ordering between indices) and must not throw.
+// Determinism is the caller's job — workers write results into per-index
+// slots and the caller merges them in index order afterwards.
+
+#ifndef RTIC_COMMON_THREAD_POOL_H_
+#define RTIC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtic {
+
+/// Fixed pool of worker threads executing indexed task batches.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (0 is valid: ParallelFor then runs
+  /// entirely on the calling thread, with no synchronization).
+  explicit ThreadPool(std::size_t num_workers);
+
+  /// Joins all workers. Must not be called while a ParallelFor is active.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excluding the caller).
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// Runs fn(i) exactly once for every i in [0, n), distributing indices
+  /// across the workers and the calling thread, and returns when all n
+  /// calls have finished. fn must not throw and must tolerate concurrent
+  /// invocation on distinct indices. Not reentrant: at most one
+  /// ParallelFor may be active on a pool at a time.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  /// One ParallelFor invocation's shared state. Heap-allocated and held
+  /// via shared_ptr by the caller and every participating worker, so a
+  /// worker that wakes after the batch has finished only ever touches
+  /// live memory (it sees next >= total and backs off).
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t total = 0;
+    std::atomic<std::size_t> next{0};  // next index to hand out
+
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t completed = 0;  // guarded by mu
+  };
+
+  void WorkerLoop();
+
+  /// Drains indices from `batch` on the current thread and folds the
+  /// count it ran into the completion tally.
+  static void RunBatch(Batch* batch);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;     // workers: a new batch is ready
+  std::shared_ptr<Batch> batch_;        // current batch; guarded by mu_
+  std::uint64_t generation_ = 0;        // batch id; guarded by mu_
+  bool stop_ = false;                   // guarded by mu_
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_COMMON_THREAD_POOL_H_

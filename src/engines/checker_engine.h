@@ -19,6 +19,13 @@
 namespace rtic {
 
 /// One registered constraint's checking strategy.
+///
+/// Thread safety contract (relied on by ConstraintMonitor's parallel
+/// fan-out): an engine instance is NOT internally synchronized — it is
+/// driven by at most one thread at a time. Distinct engine instances may
+/// run concurrently against the same `state`, which they must treat as
+/// strictly read-only; all of an engine's mutable state (aux relations,
+/// domain tracker, history copies) must be owned by the engine itself.
 class CheckerEngine {
  public:
   virtual ~CheckerEngine() = default;

@@ -66,10 +66,27 @@ struct ConstraintMonitor::Registered {
   std::size_t violations = 0;
   std::int64_t total_check_micros = 0;
   std::int64_t max_check_micros = 0;
+  std::int64_t last_check_micros = 0;
+};
+
+/// One constraint's check result for one transition, produced (possibly
+/// concurrently) by CheckConstraint and merged serially in registration
+/// order afterwards.
+struct ConstraintMonitor::CheckOutcome {
+  Status status = Status::OK();
+  bool holds = true;
+  std::int64_t micros = 0;
+  Violation violation;  // populated iff status.ok() && !holds
 };
 
 ConstraintMonitor::ConstraintMonitor(MonitorOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  // The calling thread participates in the fan-out, so a num_threads
+  // budget of N means N - 1 pool workers.
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads - 1);
+  }
+}
 
 ConstraintMonitor::~ConstraintMonitor() = default;
 
@@ -179,38 +196,73 @@ Result<std::vector<Violation>> ConstraintMonitor::ApplyUpdate(
   current_time_ = batch.timestamp();
   ++transition_count_;
 
-  std::vector<Violation> violations;
-  for (const auto& c : constraints_) {
-    auto started = std::chrono::steady_clock::now();
-    RTIC_ASSIGN_OR_RETURN(bool holds,
-                          c->engine->OnTransition(db_, current_time_));
-    std::int64_t micros =
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - started)
-            .count();
-    ++c->transitions;
-    c->total_check_micros += micros;
-    c->max_check_micros = std::max(c->max_check_micros, micros);
-    if (holds) continue;
-    ++c->violations;
+  // Fan the constraints out (each engine is owned by exactly one
+  // constraint; db_ and options_ are shared read-only), then merge the
+  // per-constraint outcomes back in registration order so violations,
+  // stats, and error precedence are identical to the serial path.
+  std::vector<CheckOutcome> outcomes(constraints_.size());
+  if (pool_ && constraints_.size() > 1) {
+    pool_->ParallelFor(constraints_.size(), [this, &outcomes](
+                                                std::size_t i) {
+      CheckConstraint(i, &outcomes[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < constraints_.size(); ++i) {
+      CheckConstraint(i, &outcomes[i]);
+      // Serial semantics: a failed check stops later constraints from
+      // observing the transition at all.
+      if (!outcomes[i].status.ok()) break;
+    }
+  }
 
-    Violation v;
-    v.constraint_name = c->name;
-    v.timestamp = current_time_;
-    RTIC_ASSIGN_OR_RETURN(Relation counterexamples,
-                          c->engine->CurrentCounterexamples(db_));
-    for (const Column& col : counterexamples.columns()) {
-      v.witness_columns.push_back(col.name);
-    }
-    std::vector<Tuple> rows = counterexamples.SortedRows();
-    if (rows.size() > options_.max_witnesses) {
-      rows.resize(options_.max_witnesses);
-    }
-    v.witnesses = std::move(rows);
-    violations.push_back(std::move(v));
+  std::vector<Violation> violations;
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    CheckOutcome& out = outcomes[i];
+    if (!out.status.ok()) return out.status;
+    Registered& c = *constraints_[i];
+    ++c.transitions;
+    c.total_check_micros += out.micros;
+    c.max_check_micros = std::max(c.max_check_micros, out.micros);
+    c.last_check_micros = out.micros;
+    if (out.holds) continue;
+    ++c.violations;
     ++total_violations_;
+    violations.push_back(std::move(out.violation));
   }
   return violations;
+}
+
+void ConstraintMonitor::CheckConstraint(std::size_t i,
+                                        CheckOutcome* out) const {
+  Registered& c = *constraints_[i];
+  auto started = std::chrono::steady_clock::now();
+  Result<bool> holds = c.engine->OnTransition(db_, current_time_);
+  out->micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+  if (!holds.ok()) {
+    out->status = holds.status();
+    return;
+  }
+  out->holds = holds.value();
+  if (out->holds) return;
+
+  Violation& v = out->violation;
+  v.constraint_name = c.name;
+  v.timestamp = current_time_;
+  Result<Relation> counterexamples = c.engine->CurrentCounterexamples(db_);
+  if (!counterexamples.ok()) {
+    out->status = counterexamples.status();
+    return;
+  }
+  for (const Column& col : counterexamples.value().columns()) {
+    v.witness_columns.push_back(col.name);
+  }
+  std::vector<Tuple> rows = counterexamples.value().SortedRows();
+  if (rows.size() > options_.max_witnesses) {
+    rows.resize(options_.max_witnesses);
+  }
+  v.witnesses = std::move(rows);
 }
 
 Result<std::vector<Violation>> ConstraintMonitor::Tick(Timestamp t) {
@@ -242,6 +294,7 @@ std::vector<ConstraintStats> ConstraintMonitor::Stats() const {
     s.violations = c->violations;
     s.total_check_micros = c->total_check_micros;
     s.max_check_micros = c->max_check_micros;
+    s.last_check_micros = c->last_check_micros;
     s.storage_rows = c->engine->StorageRows();
     out.push_back(std::move(s));
   }
@@ -367,6 +420,7 @@ Status ConstraintMonitor::LoadState(const std::string& data) {
     constraints_[i]->violations = 0;
     constraints_[i]->total_check_micros = 0;
     constraints_[i]->max_check_micros = 0;
+    constraints_[i]->last_check_micros = 0;
   }
   db_ = std::move(restored_db);
   transition_count_ = static_cast<std::size_t>(transition_count);

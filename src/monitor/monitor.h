@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "engines/checker_engine.h"
 #include "engines/incremental/pruning.h"
 #include "storage/update_batch.h"
@@ -52,6 +53,15 @@ struct MonitorOptions {
 
   /// Maximum counterexample rows reported per violation.
   std::size_t max_witnesses = 10;
+
+  /// Threads used to check constraints per transition. 1 (the default)
+  /// keeps the serial path: constraints are checked one after another on
+  /// the calling thread. Values > 1 fan the registered constraints out
+  /// across a fixed-size pool; each checker engine is still driven by
+  /// exactly one thread per transition, the database snapshot is shared
+  /// read-only, and violation reports are merged back in registration
+  /// order, so results are identical to the serial path.
+  std::size_t num_threads = 1;
 };
 
 /// Cumulative checking statistics for one registered constraint.
@@ -61,6 +71,7 @@ struct ConstraintStats {
   std::size_t violations = 0;       // states at which it was violated
   std::int64_t total_check_micros = 0;  // cumulative OnTransition wall time
   std::int64_t max_check_micros = 0;    // worst single check
+  std::int64_t last_check_micros = 0;   // most recent check's wall time
   std::size_t storage_rows = 0;     // aux/history rows currently retained
 
   /// Mean per-state check time in microseconds (0 before any state).
@@ -162,6 +173,12 @@ class ConstraintMonitor {
 
  private:
   struct Registered;
+  struct CheckOutcome;
+
+  /// Runs constraint `i`'s check against the just-committed state, filling
+  /// `out`. Safe to call concurrently for distinct `i`: it touches only
+  /// constraint i's engine plus const monitor state (db_, options_).
+  void CheckConstraint(std::size_t i, CheckOutcome* out) const;
 
   MonitorOptions options_;
   Database db_;
@@ -169,6 +186,7 @@ class ConstraintMonitor {
   std::size_t transition_count_ = 0;
   std::size_t total_violations_ = 0;
   std::vector<std::unique_ptr<Registered>> constraints_;
+  std::unique_ptr<ThreadPool> pool_;  // non-null iff num_threads > 1
 };
 
 }  // namespace rtic

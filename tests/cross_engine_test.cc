@@ -138,5 +138,112 @@ TEST(CrossEngineLongHistoryTest, DeadlineConstraintAgreesOver300States) {
   EXPECT_GT(naive->StorageRows(), 100u);
 }
 
+// Directed coverage for CurrentCounterexamples in the two situations the
+// randomized suite only exercises on violation: the result after a
+// *passing* transition (must be empty, with the forall columns intact),
+// and the zero-column result for constraints that are not of
+// `forall ...:` shape.
+
+std::unique_ptr<CheckerEngine> MakeKind(EngineKind kind,
+                                        const std::string& text) {
+  return Unwrap(MakeEngine(kind, text, PQRSchemas()));
+}
+
+TEST(CrossEngineCounterexampleTest, EmptyAfterPassingTransition) {
+  const std::string text = "forall x: P(x) implies Q(x)";
+  const auto schemas = PQRSchemas();
+  for (EngineKind kind :
+       {EngineKind::kNaive, EngineKind::kIncremental, EngineKind::kActive}) {
+    SCOPED_TRACE(EngineKindToString(kind));
+    auto engine = MakeKind(kind, text);
+
+    // t=1: passes (P ⊆ Q). Counterexamples must be empty but keep the
+    // forall variable as its column.
+    Database s1 = Unwrap(BuildState(schemas, {1, {{"P", {T(I(1))}},
+                                                 {"Q", {T(I(1))}}}}));
+    ASSERT_TRUE(Unwrap(engine->OnTransition(s1, 1)));
+    Relation c1 = Unwrap(engine->CurrentCounterexamples(s1));
+    EXPECT_EQ(c1.size(), 0u);
+    ASSERT_EQ(c1.columns().size(), 1u);
+    EXPECT_EQ(c1.columns()[0].name, "x");
+
+    // t=2: fails for x=2 only.
+    Database s2 = Unwrap(BuildState(
+        schemas, {2, {{"P", {T(I(1)), T(I(2))}}, {"Q", {T(I(1))}}}}));
+    ASSERT_FALSE(Unwrap(engine->OnTransition(s2, 2)));
+    Relation c2 = Unwrap(engine->CurrentCounterexamples(s2));
+    EXPECT_EQ(c2.SortedRows(), std::vector<Tuple>{T(I(2))});
+
+    // t=3: passes again — the counterexample set must drain back to
+    // empty, not retain the previous state's witnesses.
+    Database s3 = Unwrap(BuildState(schemas, {3, {{"Q", {T(I(1))}}}}));
+    ASSERT_TRUE(Unwrap(engine->OnTransition(s3, 3)));
+    Relation c3 = Unwrap(engine->CurrentCounterexamples(s3));
+    EXPECT_EQ(c3.size(), 0u);
+  }
+}
+
+TEST(CrossEngineCounterexampleTest, TemporalConstraintEmptyAfterPass) {
+  const std::string text = "forall a: P(a) implies once[0, 5] Q(a)";
+  const auto schemas = PQRSchemas();
+  for (EngineKind kind :
+       {EngineKind::kNaive, EngineKind::kIncremental, EngineKind::kActive}) {
+    SCOPED_TRACE(EngineKindToString(kind));
+    auto engine = MakeKind(kind, text);
+
+    Database s1 = Unwrap(BuildState(schemas, {1, {{"Q", {T(I(4))}}}}));
+    ASSERT_TRUE(Unwrap(engine->OnTransition(s1, 1)));
+
+    // t=3: P(4) is justified by Q(4) at t=1 (within the window): passes.
+    Database s2 = Unwrap(BuildState(schemas, {3, {{"P", {T(I(4))}}}}));
+    ASSERT_TRUE(Unwrap(engine->OnTransition(s2, 3)));
+    Relation c2 = Unwrap(engine->CurrentCounterexamples(s2));
+    EXPECT_EQ(c2.size(), 0u);
+    ASSERT_EQ(c2.columns().size(), 1u);
+    EXPECT_EQ(c2.columns()[0].name, "a");
+
+    // t=8: the window [0, 5] has expired: fails with witness a=4.
+    Database s3 = Unwrap(BuildState(schemas, {8, {{"P", {T(I(4))}}}}));
+    ASSERT_FALSE(Unwrap(engine->OnTransition(s3, 8)));
+    Relation c3 = Unwrap(engine->CurrentCounterexamples(s3));
+    EXPECT_EQ(c3.SortedRows(), std::vector<Tuple>{T(I(4))});
+  }
+}
+
+TEST(CrossEngineCounterexampleTest, NonForallConstraintHasZeroColumns) {
+  // Equivalent to `forall a: P(a) implies Q(a)` but written without an
+  // outermost forall, so counterexamples degrade to a zero-column
+  // relation: empty when the constraint holds, non-empty when violated.
+  const std::string text = "not (exists a: P(a) and not Q(a))";
+  const auto schemas = PQRSchemas();
+
+  auto naive = MakeKind(EngineKind::kNaive, text);
+  auto incremental = MakeKind(EngineKind::kIncremental, text);
+  auto active = MakeKind(EngineKind::kActive, text);
+
+  // Passing state.
+  Database pass = Unwrap(BuildState(schemas, {1, {{"P", {T(I(1))}},
+                                                  {"Q", {T(I(1))}}}}));
+  ASSERT_TRUE(Unwrap(naive->OnTransition(pass, 1)));
+  ASSERT_TRUE(Unwrap(incremental->OnTransition(pass, 1)));
+  ASSERT_TRUE(Unwrap(active->OnTransition(pass, 1)));
+  Relation p_naive = Unwrap(naive->CurrentCounterexamples(pass));
+  EXPECT_TRUE(p_naive.columns().empty());
+  EXPECT_EQ(p_naive.size(), 0u);
+  EXPECT_EQ(p_naive, Unwrap(incremental->CurrentCounterexamples(pass)));
+  EXPECT_EQ(p_naive, Unwrap(active->CurrentCounterexamples(pass)));
+
+  // Violating state.
+  Database fail = Unwrap(BuildState(schemas, {2, {{"P", {T(I(2))}}}}));
+  ASSERT_FALSE(Unwrap(naive->OnTransition(fail, 2)));
+  ASSERT_FALSE(Unwrap(incremental->OnTransition(fail, 2)));
+  ASSERT_FALSE(Unwrap(active->OnTransition(fail, 2)));
+  Relation f_naive = Unwrap(naive->CurrentCounterexamples(fail));
+  EXPECT_TRUE(f_naive.columns().empty());
+  EXPECT_GT(f_naive.size(), 0u);
+  EXPECT_EQ(f_naive, Unwrap(incremental->CurrentCounterexamples(fail)));
+  EXPECT_EQ(f_naive, Unwrap(active->CurrentCounterexamples(fail)));
+}
+
 }  // namespace
 }  // namespace rtic

@@ -1,0 +1,227 @@
+// Differential fuzzing: seeded random constraints (tests/formula_gen.h)
+// and random delta histories are run simultaneously through
+//   * the three standalone engines (naive, incremental, active), and
+//   * full monitors in serial (num_threads=1) and parallel (num_threads=8)
+//     mode,
+// asserting identical verdicts and identical CurrentCounterexamples row
+// sets everywhere. A second suite drives the three engine kinds plus the
+// parallel monitor over src/workload/generators streams. Every assertion
+// message carries the seed so a failure is reproducible from the log.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tests/engine_test_util.h"
+#include "tests/formula_gen.h"
+#include "workload/generators.h"
+
+namespace rtic {
+namespace {
+
+using testing::I;
+using testing::IntSchema;
+using testing::PQRSchemas;
+using testing::RandomConstraint;
+using testing::T;
+using testing::Unwrap;
+using tl::FormulaPtr;
+
+/// One random delta batch over P, Q, R with values in {0, 1, 2}.
+UpdateBatch RandomDelta(Rng* rng, Timestamp t) {
+  UpdateBatch batch(t);
+  for (std::int64_t a = 0; a <= 2; ++a) {
+    if (rng->Bernoulli(0.35)) batch.Insert("P", T(I(a)));
+    if (rng->Bernoulli(0.25)) batch.Delete("P", T(I(a)));
+    if (rng->Bernoulli(0.35)) batch.Insert("Q", T(I(a)));
+    if (rng->Bernoulli(0.25)) batch.Delete("Q", T(I(a)));
+    for (std::int64_t b = 0; b <= 2; ++b) {
+      if (rng->Bernoulli(0.2)) batch.Insert("R", T(I(a), I(b)));
+      if (rng->Bernoulli(0.15)) batch.Delete("R", T(I(a), I(b)));
+    }
+  }
+  return batch;
+}
+
+/// A monitor over the P/Q/R schema with one registered constraint.
+std::unique_ptr<ConstraintMonitor> MakePQRMonitor(
+    const tl::Formula& constraint, std::size_t num_threads) {
+  MonitorOptions options;
+  options.num_threads = num_threads;
+  options.max_witnesses = 1000000;  // report full counterexample sets
+  auto monitor = std::make_unique<ConstraintMonitor>(options);
+  EXPECT_TRUE(monitor->CreateTable("P", IntSchema({"a"})).ok());
+  EXPECT_TRUE(monitor->CreateTable("Q", IntSchema({"a"})).ok());
+  EXPECT_TRUE(monitor->CreateTable("R", IntSchema({"a", "b"})).ok());
+  Status s = monitor->RegisterConstraintFormula("c", constraint);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return monitor;
+}
+
+class DifferentialFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DifferentialFuzzTest, EnginesAndParallelMonitorAgree) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const auto schemas = PQRSchemas();
+  tl::PredicateCatalog catalog;
+  for (const auto& [name, schema] : schemas) catalog[name] = schema;
+
+  for (int round = 0; round < 2; ++round) {
+    FormulaPtr constraint = RandomConstraint(&rng);
+    const std::string trace = "seed=" + std::to_string(seed) + " round=" +
+                              std::to_string(round) + " constraint: " +
+                              constraint->ToString();
+    SCOPED_TRACE(trace);
+
+    auto naive = Unwrap(NaiveEngine::Create(*constraint, catalog));
+    auto incremental =
+        Unwrap(IncrementalEngine::Create(*constraint, catalog));
+    auto active = Unwrap(ActiveEngine::Create(*constraint, catalog));
+    auto serial_monitor = MakePQRMonitor(*constraint, 1);
+    auto parallel_monitor = MakePQRMonitor(*constraint, 8);
+
+    // The standalone engines see the same evolving state the monitors
+    // maintain internally, reconstructed by applying each delta batch to
+    // a mirror database.
+    Database mirror;
+    for (const auto& [name, schema] : schemas) {
+      ASSERT_TRUE(mirror.CreateTable(name, schema).ok());
+    }
+
+    Timestamp t = 0;
+    for (int step = 0; step < 12; ++step) {
+      t += rng.UniformInt(1, 3);
+      UpdateBatch batch = RandomDelta(&rng, t);
+      ASSERT_TRUE(batch.Apply(&mirror).ok());
+
+      bool v_naive = Unwrap(naive->OnTransition(mirror, t));
+      bool v_inc = Unwrap(incremental->OnTransition(mirror, t));
+      bool v_act = Unwrap(active->OnTransition(mirror, t));
+      auto serial_violations = Unwrap(serial_monitor->ApplyUpdate(batch));
+      auto parallel_violations =
+          Unwrap(parallel_monitor->ApplyUpdate(batch));
+
+      ASSERT_EQ(v_naive, v_inc) << trace << " naive vs incremental at t="
+                                << t;
+      ASSERT_EQ(v_naive, v_act) << trace << " naive vs active at t=" << t;
+      ASSERT_EQ(v_naive, serial_violations.empty() ? true : false)
+          << trace << " naive vs serial monitor at t=" << t;
+      ASSERT_EQ(serial_violations.size(), parallel_violations.size())
+          << trace << " serial vs parallel monitor at t=" << t;
+
+      if (v_naive) continue;
+
+      // Violated: every checker must report the identical row set.
+      Relation c_naive = Unwrap(naive->CurrentCounterexamples(mirror));
+      Relation c_inc =
+          Unwrap(incremental->CurrentCounterexamples(mirror));
+      Relation c_act = Unwrap(active->CurrentCounterexamples(mirror));
+      ASSERT_EQ(c_naive, c_inc)
+          << trace << " counterexamples naive vs incremental at t=" << t;
+      ASSERT_EQ(c_naive, c_act)
+          << trace << " counterexamples naive vs active at t=" << t;
+
+      const std::vector<Tuple> expected_rows = c_naive.SortedRows();
+      ASSERT_EQ(serial_violations.size(), 1u) << trace;
+      ASSERT_EQ(parallel_violations.size(), 1u) << trace;
+      for (const auto* violations :
+           {&serial_violations, &parallel_violations}) {
+        const Violation& v = (*violations)[0];
+        EXPECT_EQ(v.timestamp, t) << trace;
+        ASSERT_EQ(v.witnesses, expected_rows)
+            << trace << " monitor witness rows diverge at t=" << t;
+        ASSERT_EQ(v.witness_columns.size(), c_naive.columns().size())
+            << trace;
+      }
+      ASSERT_EQ(serial_violations[0].ToString(),
+                parallel_violations[0].ToString())
+          << trace << " serial vs parallel report at t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+/// Renders violation reports for sequence comparison.
+std::vector<std::string> Render(const std::vector<Violation>& violations) {
+  std::vector<std::string> out;
+  out.reserve(violations.size());
+  for (const Violation& v : violations) out.push_back(v.ToString());
+  return out;
+}
+
+/// All engine kinds plus the parallel monitor over a generated workload
+/// stream: identical violation report sequences everywhere.
+void RunWorkloadDifferential(const workload::Workload& w,
+                             const std::string& label) {
+  struct Variant {
+    std::string name;
+    EngineKind engine;
+    std::size_t num_threads;
+  };
+  const std::vector<Variant> variants = {
+      {"incremental/serial", EngineKind::kIncremental, 1},
+      {"incremental/parallel", EngineKind::kIncremental, 8},
+      {"naive/serial", EngineKind::kNaive, 1},
+      {"naive/parallel", EngineKind::kNaive, 8},
+      {"active/parallel", EngineKind::kActive, 8},
+  };
+
+  std::vector<std::unique_ptr<ConstraintMonitor>> monitors;
+  for (const Variant& variant : variants) {
+    MonitorOptions options;
+    options.engine = variant.engine;
+    options.num_threads = variant.num_threads;
+    auto monitor = std::make_unique<ConstraintMonitor>(options);
+    for (const auto& [name, schema] : w.schema) {
+      ASSERT_TRUE(monitor->CreateTable(name, schema).ok());
+    }
+    for (const auto& [name, text] : w.constraints) {
+      Status s = monitor->RegisterConstraint(name, text);
+      ASSERT_TRUE(s.ok()) << label << " " << name << ": " << s.ToString();
+    }
+    monitors.push_back(std::move(monitor));
+  }
+
+  for (std::size_t i = 0; i < w.batches.size(); ++i) {
+    SCOPED_TRACE(label + " batch " + std::to_string(i));
+    std::vector<std::string> reference;
+    for (std::size_t m = 0; m < monitors.size(); ++m) {
+      auto violations = Unwrap(monitors[m]->ApplyUpdate(w.batches[i]));
+      if (m == 0) {
+        reference = Render(violations);
+      } else {
+        ASSERT_EQ(reference, Render(violations))
+            << variants[m].name << " diverges from " << variants[0].name;
+      }
+    }
+  }
+}
+
+TEST(WorkloadDifferentialTest, PayrollStreamAllVariantsAgree) {
+  workload::PayrollParams params;
+  params.num_employees = 20;
+  params.length = 120;
+  params.seed = 9001;
+  RunWorkloadDifferential(workload::MakePayrollWorkload(params),
+                          "payroll seed=9001");
+}
+
+TEST(WorkloadDifferentialTest, LibraryStreamAllVariantsAgree) {
+  workload::LibraryParams params;
+  params.num_patrons = 10;
+  params.num_books = 30;
+  params.length = 100;
+  params.seed = 9002;
+  RunWorkloadDifferential(workload::MakeLibraryWorkload(params),
+                          "library seed=9002");
+}
+
+}  // namespace
+}  // namespace rtic

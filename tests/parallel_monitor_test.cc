@@ -1,0 +1,204 @@
+// Parallel monitor determinism: ApplyUpdate with num_threads > 1 must
+// produce byte-identical violation reports, stats ordering, and database
+// state to the serial path, on the same batch stream. Includes a stress
+// case (32 constraints x 200 transitions) and a registration-order merge
+// check.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "monitor/monitor.h"
+#include "tests/test_util.h"
+
+namespace rtic {
+namespace {
+
+using testing::I;
+using testing::IntSchema;
+using testing::T;
+using testing::Unwrap;
+
+/// A monitor over int tables P(a), Q(a), R(a, b) with `constraints`
+/// registered in order.
+std::unique_ptr<ConstraintMonitor> MakeMonitor(
+    const std::vector<std::pair<std::string, std::string>>& constraints,
+    std::size_t num_threads) {
+  MonitorOptions options;
+  options.num_threads = num_threads;
+  options.max_witnesses = 1000;
+  auto monitor = std::make_unique<ConstraintMonitor>(options);
+  EXPECT_TRUE(monitor->CreateTable("P", IntSchema({"a"})).ok());
+  EXPECT_TRUE(monitor->CreateTable("Q", IntSchema({"a"})).ok());
+  EXPECT_TRUE(monitor->CreateTable("R", IntSchema({"a", "b"})).ok());
+  for (const auto& [name, text] : constraints) {
+    Status s = monitor->RegisterConstraint(name, text);
+    EXPECT_TRUE(s.ok()) << name << ": " << s.ToString();
+  }
+  return monitor;
+}
+
+/// A varied bank of `n` constraints (temporal and not, forall and not).
+std::vector<std::pair<std::string, std::string>> ConstraintBank(int n) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (int i = 0; i < n; ++i) {
+    const int w = 1 + i / 4;
+    std::string text;
+    switch (i % 4) {
+      case 0:
+        text = "forall a: P(a) implies once[0, " + std::to_string(w) +
+               "] Q(a)";
+        break;
+      case 1:
+        text = "forall a: P(a) implies P(a) since[0, " + std::to_string(w) +
+               "] Q(a)";
+        break;
+      case 2:
+        text = "forall a, b: R(a, b) implies a <= b";
+        break;
+      default:
+        text = "not (exists a: P(a) and not Q(a))";
+        break;
+    }
+    out.emplace_back("c" + std::to_string(i), text);
+  }
+  return out;
+}
+
+/// A deterministic random batch stream over P, Q, R.
+std::vector<UpdateBatch> RandomBatches(std::uint64_t seed,
+                                       std::size_t length) {
+  Rng rng(seed);
+  std::vector<UpdateBatch> batches;
+  Timestamp t = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    t += rng.UniformInt(1, 3);
+    UpdateBatch batch(t);
+    for (std::int64_t a = 0; a <= 4; ++a) {
+      if (rng.Bernoulli(0.25)) batch.Insert("P", T(I(a)));
+      if (rng.Bernoulli(0.20)) batch.Delete("P", T(I(a)));
+      if (rng.Bernoulli(0.25)) batch.Insert("Q", T(I(a)));
+      if (rng.Bernoulli(0.20)) batch.Delete("Q", T(I(a)));
+      if (rng.Bernoulli(0.10)) {
+        batch.Insert("R", T(I(a), I(rng.UniformInt(0, 4))));
+      }
+      if (rng.Bernoulli(0.08)) {
+        batch.Delete("R", T(I(a), I(rng.UniformInt(0, 4))));
+      }
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+/// Violation reports rendered to a comparable form.
+std::vector<std::string> Render(const std::vector<Violation>& violations) {
+  std::vector<std::string> out;
+  out.reserve(violations.size());
+  for (const Violation& v : violations) out.push_back(v.ToString());
+  return out;
+}
+
+/// Runs the same stream through a serial and an N-thread monitor and
+/// asserts identical observable behavior at every transition.
+void ExpectSerialParallelIdentical(int num_constraints,
+                                   std::size_t num_threads,
+                                   std::size_t length,
+                                   std::uint64_t seed) {
+  const auto constraints = ConstraintBank(num_constraints);
+  auto serial = MakeMonitor(constraints, 1);
+  auto parallel = MakeMonitor(constraints, num_threads);
+  const auto batches = RandomBatches(seed, length);
+
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    SCOPED_TRACE("batch " + std::to_string(i) + " at t=" +
+                 std::to_string(batches[i].timestamp()));
+    auto v_serial = Unwrap(serial->ApplyUpdate(batches[i]));
+    auto v_parallel = Unwrap(parallel->ApplyUpdate(batches[i]));
+    ASSERT_EQ(Render(v_serial), Render(v_parallel));
+  }
+
+  EXPECT_EQ(serial->total_violations(), parallel->total_violations());
+  EXPECT_EQ(serial->TotalStorageRows(), parallel->TotalStorageRows());
+  EXPECT_EQ(serial->database().ToString(), parallel->database().ToString());
+
+  // Stats: same constraints in the same registration order with the same
+  // counts (timings are machine-dependent and excluded).
+  auto s_serial = serial->Stats();
+  auto s_parallel = parallel->Stats();
+  ASSERT_EQ(s_serial.size(), s_parallel.size());
+  for (std::size_t i = 0; i < s_serial.size(); ++i) {
+    EXPECT_EQ(s_serial[i].name, s_parallel[i].name);
+    EXPECT_EQ(s_serial[i].transitions, s_parallel[i].transitions);
+    EXPECT_EQ(s_serial[i].violations, s_parallel[i].violations);
+    EXPECT_EQ(s_serial[i].storage_rows, s_parallel[i].storage_rows);
+  }
+}
+
+TEST(ParallelMonitorTest, TwoThreadsMatchSerial) {
+  ExpectSerialParallelIdentical(/*num_constraints=*/6, /*num_threads=*/2,
+                                /*length=*/60, /*seed=*/101);
+}
+
+TEST(ParallelMonitorTest, EightThreadsMatchSerial) {
+  ExpectSerialParallelIdentical(/*num_constraints=*/6, /*num_threads=*/8,
+                                /*length=*/60, /*seed=*/202);
+}
+
+TEST(ParallelMonitorTest, MoreThreadsThanConstraints) {
+  ExpectSerialParallelIdentical(/*num_constraints=*/2, /*num_threads=*/8,
+                                /*length=*/40, /*seed=*/303);
+}
+
+TEST(ParallelMonitorTest, StressThirtyTwoConstraints200Transitions) {
+  ExpectSerialParallelIdentical(/*num_constraints=*/32, /*num_threads=*/8,
+                                /*length=*/200, /*seed=*/404);
+}
+
+TEST(ParallelMonitorTest, ViolationsMergeInRegistrationOrder) {
+  // Both constraints are violated by the same state; the report order must
+  // be registration order regardless of which worker finishes first.
+  const std::vector<std::pair<std::string, std::string>> constraints = {
+      {"first", "forall a: P(a) implies Q(a)"},
+      {"second", "not (exists a: P(a))"},
+  };
+  auto monitor = MakeMonitor(constraints, 8);
+  UpdateBatch batch(1);
+  batch.Insert("P", T(I(7)));
+  auto violations = Unwrap(monitor->ApplyUpdate(batch));
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].constraint_name, "first");
+  EXPECT_EQ(violations[1].constraint_name, "second");
+}
+
+TEST(ParallelMonitorTest, PureTicksAndEmptyMonitor) {
+  // num_threads > 1 with zero constraints and with pure clock ticks.
+  MonitorOptions options;
+  options.num_threads = 4;
+  ConstraintMonitor monitor(options);
+  ASSERT_TRUE(monitor.CreateTable("P", IntSchema({"a"})).ok());
+  EXPECT_TRUE(Unwrap(monitor.Tick(1)).empty());
+  ASSERT_TRUE(
+      monitor.RegisterConstraint("c", "forall a: P(a) implies once[0, 2] P(a)")
+          .ok());
+  EXPECT_TRUE(Unwrap(monitor.Tick(2)).empty());
+  EXPECT_EQ(monitor.transition_count(), 2u);
+}
+
+TEST(ParallelMonitorTest, LastCheckMicrosIsPopulated) {
+  auto monitor = MakeMonitor(ConstraintBank(4), 2);
+  for (const UpdateBatch& b : RandomBatches(/*seed=*/505, /*length=*/5)) {
+    (void)Unwrap(monitor->ApplyUpdate(b));
+  }
+  for (const ConstraintStats& s : monitor->Stats()) {
+    EXPECT_EQ(s.transitions, 5u);
+    EXPECT_GE(s.last_check_micros, 0);
+    EXPECT_GE(s.total_check_micros, s.last_check_micros);
+  }
+}
+
+}  // namespace
+}  // namespace rtic

@@ -1,0 +1,84 @@
+// ThreadPool unit tests: every index runs exactly once, batches can be
+// reused back-to-back, and degenerate shapes (no workers, empty batch,
+// more workers than tasks) all behave.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace rtic {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+
+  std::vector<int> order;
+  pool.ParallelFor(5, [&](std::size_t i) {
+    // No workers: strictly sequential on the caller, in index order.
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, EmptyBatchIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanTasks) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(2);
+  pool.ParallelFor(2, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  std::int64_t expected = 0;
+  for (std::size_t round = 1; round <= 50; ++round) {
+    pool.ParallelFor(round, [&](std::size_t i) {
+      sum.fetch_add(static_cast<std::int64_t>(i) + 1,
+                    std::memory_order_relaxed);
+    });
+    expected += static_cast<std::int64_t>(round) *
+                static_cast<std::int64_t>(round + 1) / 2;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, ResultsWrittenByWorkersAreVisibleAfterReturn) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 256;
+  std::vector<std::size_t> out(kN, 0);  // plain writes, distinct slots
+  pool.ParallelFor(kN, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(out[i], i * i) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rtic
