@@ -1,0 +1,103 @@
+// E11 — recovery time vs history length.
+//
+// Claim (the durability corollary of bounded history encoding): restart
+// cost is O(checkpoint size + WAL tail), NOT O(history length). With
+// periodic checkpoints the tail is bounded by the checkpoint interval, so
+// recovery time is flat in N; with checkpointing disabled recovery must
+// replay the whole log and grows linearly in N.
+//
+// Series: recovery wall time after a clean run of N payroll batches,
+// N in {200, 800, 3200}, checkpoint interval 64 vs 0 (never checkpoint —
+// full replay).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "wal/recovery.h"
+
+namespace rtic {
+namespace {
+
+workload::Workload PayrollStream(std::size_t length) {
+  workload::PayrollParams params;
+  params.num_employees = 25;
+  params.length = length;
+  params.seed = 311;
+  return workload::MakePayrollWorkload(params);
+}
+
+std::unique_ptr<ConstraintMonitor> MakeDurableMonitor(
+    const workload::Workload& w, const std::string& dir,
+    std::size_t checkpoint_interval) {
+  MonitorOptions options;
+  options.wal_dir = dir;
+  options.sync_policy = wal::SyncPolicy::kNone;  // durability not under test
+  options.checkpoint_interval = checkpoint_interval;
+  auto monitor = std::make_unique<ConstraintMonitor>(std::move(options));
+  for (const auto& [name, schema] : w.schema) {
+    bench::CheckOk(monitor->CreateTable(name, schema), "CreateTable");
+  }
+  for (const auto& [name, text] : w.constraints) {
+    bench::CheckOk(monitor->RegisterConstraint(name, text), name.c_str());
+  }
+  return monitor;
+}
+
+void BM_E11_Recovery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto interval = static_cast<std::size_t>(state.range(1));
+
+  // Seed a WAL directory with an N-batch durable run, shut down cleanly.
+  char tmpl[] = "/tmp/rtic_bench_e11_XXXXXX";
+  char* root = mkdtemp(tmpl);
+  if (root == nullptr) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  const std::string dir = std::string(root) + "/wal";
+  workload::Workload w = PayrollStream(n);
+  {
+    auto writer = MakeDurableMonitor(w, dir, interval);
+    bench::CheckOk(writer->Recover().status(), "Recover (seed)");
+    bench::FeedRange(writer.get(), w, 0, w.batches.size());
+  }
+
+  wal::RecoveryStats stats;
+  for (auto _ : state) {
+    auto monitor = MakeDurableMonitor(w, dir, interval);
+    const auto start = std::chrono::steady_clock::now();
+    stats = bench::CheckOk(monitor->Recover(), "Recover (timed)");
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    state.SetIterationTime(
+        std::chrono::duration<double>(elapsed).count());
+  }
+  state.counters["history_len"] = static_cast<double>(n);
+  state.counters["replayed"] = static_cast<double>(stats.replayed_batches);
+  state.counters["checkpoint_seq"] = static_cast<double>(stats.checkpoint_seq);
+  std::filesystem::remove_all(root);
+}
+
+BENCHMARK(BM_E11_Recovery)
+    ->ArgNames({"history", "ckpt_interval"})
+    // checkpointed: flat in N (tail bounded by the interval)
+    ->Args({200, 64})
+    ->Args({800, 64})
+    ->Args({3200, 64})
+    // full replay: linear in N
+    ->Args({200, 0})
+    ->Args({800, 0})
+    ->Args({3200, 0})
+    ->Iterations(20)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rtic
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Repo-wide verification: the tier-1 suite plus an AddressSanitizer pass
+# over the unit, fuzz, and fault ctest labels.
+#
+#   scripts/check.sh           # full run (tier-1 + asan)
+#   scripts/check.sh --fast    # tier-1 only
+#
+# Build directories: build/ (plain RelWithDebInfo) and build-asan/
+# (RTIC_SANITIZE=address). Both are created on demand and reused.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: configure + build + full ctest (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$FAST" == 1 ]]; then
+  echo "== ok (fast mode: asan pass skipped) =="
+  exit 0
+fi
+
+echo "== asan: unit + fuzz + fault labels (build-asan/) =="
+cmake -B build-asan -S . -DRTIC_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS" -L 'unit|fuzz|fault')
+
+echo "== ok =="

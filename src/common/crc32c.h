@@ -1,0 +1,25 @@
+// CRC-32C (Castagnoli polynomial, as used by iSCSI, ext4, and most
+// storage-engine log formats). The WAL frames every record and checkpoint
+// with this checksum so recovery can distinguish a cleanly written record
+// from a torn or bit-flipped one.
+
+#ifndef RTIC_COMMON_CRC32C_H_
+#define RTIC_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rtic {
+
+/// CRC-32C of `n` bytes at `data`, continuing from `seed` (pass the previous
+/// result to checksum data presented in chunks; 0 starts a fresh CRC).
+std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32c(std::string_view s, std::uint32_t seed = 0) {
+  return Crc32c(s.data(), s.size(), seed);
+}
+
+}  // namespace rtic
+
+#endif  // RTIC_COMMON_CRC32C_H_

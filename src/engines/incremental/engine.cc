@@ -1,5 +1,6 @@
 #include "engines/incremental/engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "storage/codec.h"
@@ -209,11 +210,19 @@ Result<std::string> IncrementalEngine::SaveState() const {
     for (const Tuple& row : ns.current.SortedRows()) w.WriteTuple(row);
     w.WriteSize(ns.prev_body.size());
     for (const Tuple& row : ns.prev_body.SortedRows()) w.WriteTuple(row);
-    w.WriteSize(ns.anchors.size());
-    for (const auto& [valuation, timestamps] : ns.anchors) {
-      w.WriteTuple(valuation);
-      w.WriteSize(timestamps.size());
-      for (Timestamp ts : timestamps) w.WriteInt(ts);
+    // The anchor map is unordered; serialize entries sorted by valuation so
+    // equal states always checkpoint to identical bytes, regardless of the
+    // insertion history that produced them (live run vs. restore + replay).
+    std::vector<const AnchorMap::value_type*> anchors;
+    anchors.reserve(ns.anchors.size());
+    for (const auto& entry : ns.anchors) anchors.push_back(&entry);
+    std::sort(anchors.begin(), anchors.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    w.WriteSize(anchors.size());
+    for (const auto* entry : anchors) {
+      w.WriteTuple(entry->first);
+      w.WriteSize(entry->second.size());
+      for (Timestamp ts : entry->second) w.WriteInt(ts);
     }
   }
   return w.str();

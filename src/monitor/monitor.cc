@@ -185,12 +185,83 @@ Status ConstraintMonitor::UnregisterConstraint(const std::string& name) {
   return Status::NotFound("no such constraint: " + name);
 }
 
+namespace {
+
+/// Adapts the monitor's public checkpoint/update surface to the
+/// wal::ReplayTarget interface. Replayed batches take the normal
+/// ApplyUpdate path (constraint checks included), so a recovered monitor's
+/// auxiliary state is exactly what an uninterrupted run would hold.
+class MonitorReplayTarget final : public wal::ReplayTarget {
+ public:
+  explicit MonitorReplayTarget(ConstraintMonitor* monitor)
+      : monitor_(monitor) {}
+
+  Status RestoreCheckpoint(const std::string& payload) override {
+    return monitor_->LoadState(payload);
+  }
+  Status Replay(const UpdateBatch& batch) override {
+    // Violations were already reported when the batch was first accepted.
+    return monitor_->ApplyUpdate(batch).status();
+  }
+  Result<std::string> CaptureCheckpoint() override {
+    return monitor_->SaveState();
+  }
+
+ private:
+  ConstraintMonitor* monitor_;
+};
+
+}  // namespace
+
+Result<wal::RecoveryStats> ConstraintMonitor::Recover() {
+  if (options_.wal_dir.empty()) {
+    return Status::FailedPrecondition(
+        "Recover() requires MonitorOptions::wal_dir");
+  }
+  if (recovery_ != nullptr) {
+    return Status::FailedPrecondition("Recover() already ran");
+  }
+  if (transition_count_ > 0) {
+    return Status::FailedPrecondition(
+        "Recover() must run before the first update");
+  }
+  // Fail fast if this configuration cannot checkpoint (e.g. the naive
+  // engine), before any WAL state is touched.
+  RTIC_RETURN_IF_ERROR(SaveState().status());
+
+  wal::WalOptions wal_options;
+  wal_options.dir = options_.wal_dir;
+  wal_options.sync_policy = options_.sync_policy;
+  wal_options.checkpoint_interval = options_.checkpoint_interval;
+  wal_options.segment_bytes = options_.wal_segment_bytes;
+  wal_options.fs = options_.wal_fs;
+
+  MonitorReplayTarget target(this);
+  recovering_ = true;
+  Result<std::unique_ptr<wal::RecoveryManager>> manager =
+      wal::RecoveryManager::Open(wal_options, &target);
+  recovering_ = false;
+  if (!manager.ok()) return manager.status();
+  recovery_ = std::move(manager).value();
+  return recovery_->stats();
+}
+
 Result<std::vector<Violation>> ConstraintMonitor::ApplyUpdate(
     const UpdateBatch& batch) {
   if (transition_count_ > 0 && batch.timestamp() <= current_time_) {
     return Status::InvalidArgument(
         "batch timestamp " + std::to_string(batch.timestamp()) +
         " does not advance the clock past " + std::to_string(current_time_));
+  }
+  if (!options_.wal_dir.empty() && !recovering_) {
+    if (recovery_ == nullptr) {
+      return Status::FailedPrecondition(
+          "durable monitor: call Recover() before applying updates");
+    }
+    // Validate before logging so the WAL only ever holds batches that
+    // Apply() below cannot reject.
+    RTIC_RETURN_IF_ERROR(batch.Validate(db_));
+    RTIC_RETURN_IF_ERROR(recovery_->AppendBatch(batch));
   }
   RTIC_RETURN_IF_ERROR(batch.Apply(&db_));
   current_time_ = batch.timestamp();
@@ -228,6 +299,10 @@ Result<std::vector<Violation>> ConstraintMonitor::ApplyUpdate(
     ++c.violations;
     ++total_violations_;
     violations.push_back(std::move(out.violation));
+  }
+  if (recovery_ != nullptr && !recovering_ && recovery_->ShouldCheckpoint()) {
+    RTIC_ASSIGN_OR_RETURN(std::string payload, SaveState());
+    RTIC_RETURN_IF_ERROR(recovery_->WriteCheckpoint(payload));
   }
   return violations;
 }

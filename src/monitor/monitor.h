@@ -27,6 +27,7 @@
 #include "storage/update_batch.h"
 #include "tl/analyzer.h"
 #include "tl/ast.h"
+#include "wal/recovery.h"
 
 namespace rtic {
 
@@ -62,6 +63,28 @@ struct MonitorOptions {
   /// read-only, and violation reports are merged back in registration
   /// order, so results are identical to the serial path.
   std::size_t num_threads = 1;
+
+  /// Durability. Empty (the default) keeps the purely in-memory monitor —
+  /// no WAL, no checkpoint files, behavior byte-identical to before the
+  /// durability subsystem existed. Non-empty names a directory for WAL
+  /// segments and checkpoints; the monitor then requires one Recover()
+  /// call (after tables and constraints are registered, before the first
+  /// update) and logs every accepted batch before applying it.
+  std::string wal_dir;
+
+  /// When an accepted batch becomes durable (durable mode only).
+  wal::SyncPolicy sync_policy = wal::SyncPolicy::kBatch;
+
+  /// Accepted batches between automatic checkpoints; 0 disables periodic
+  /// checkpointing, leaving recovery to replay the whole log.
+  std::size_t checkpoint_interval = 64;
+
+  /// WAL segment rotation threshold in bytes.
+  std::size_t wal_segment_bytes = 4u << 20;
+
+  /// File system used by the durability subsystem; nullptr means the real
+  /// one. Tests substitute a wal::FaultInjectingFs to crash on demand.
+  wal::Fs* wal_fs = nullptr;
 };
 
 /// Cumulative checking statistics for one registered constraint.
@@ -126,8 +149,20 @@ class ConstraintMonitor {
   /// Stops checking a constraint and discards its auxiliary state.
   Status UnregisterConstraint(const std::string& name);
 
+  /// Durable mode (wal_dir set) only: restores the newest checkpoint,
+  /// replays the WAL tail through the normal ApplyUpdate path (torn or
+  /// corrupt tails are truncated, logged, and never fatal), and arms the
+  /// log for subsequent updates. Must be called exactly once, after every
+  /// CreateTable/RegisterConstraint and before the first update. Requires
+  /// a checkpointable engine configuration (see SaveState()).
+  Result<wal::RecoveryStats> Recover();
+
   /// Commits one transition: applies the batch (timestamp must exceed the
-  /// previous one), checks every constraint, returns the violations.
+  /// previous one), checks every constraint, returns the violations. In
+  /// durable mode the batch is validated and appended to the WAL first; a
+  /// logging failure means the batch was not applied (and, conversely, a
+  /// reported failure may still leave the batch durable — after recovery
+  /// the transition count is either side of such a failure).
   Result<std::vector<Violation>> ApplyUpdate(const UpdateBatch& batch);
 
   /// Pure clock tick: a transition that changes no tuples. Real-time
@@ -187,6 +222,8 @@ class ConstraintMonitor {
   std::size_t total_violations_ = 0;
   std::vector<std::unique_ptr<Registered>> constraints_;
   std::unique_ptr<ThreadPool> pool_;  // non-null iff num_threads > 1
+  std::unique_ptr<wal::RecoveryManager> recovery_;  // non-null once durable
+  bool recovering_ = false;  // Recover() is replaying through ApplyUpdate
 };
 
 }  // namespace rtic

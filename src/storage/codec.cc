@@ -104,6 +104,12 @@ Result<std::string> StateReader::ReadString() {
     return Status::InvalidArgument("string extends past checkpoint end");
   }
   pos_ = body + static_cast<std::size_t>(len);
+  // The writer always delimits the raw bytes with whitespace; anything else
+  // glued on means the declared length is wrong (corruption).
+  if (pos_ < data_.size() &&
+      !std::isspace(static_cast<unsigned char>(data_[pos_]))) {
+    return Status::InvalidArgument("string not followed by a delimiter");
+  }
   return std::string(data_.substr(body, static_cast<std::size_t>(len)));
 }
 
@@ -154,6 +160,12 @@ Result<Value> StateReader::ReadValue() {
       }
       char c = data_[pos_++];
       if (c != '0' && c != '1') {
+        return Status::InvalidArgument("bad bool value");
+      }
+      // Reject trailing garbage ("b:10") instead of leaving it as the
+      // next token.
+      if (pos_ < data_.size() &&
+          !std::isspace(static_cast<unsigned char>(data_[pos_]))) {
         return Status::InvalidArgument("bad bool value");
       }
       return Value::Bool(c == '1');

@@ -3,6 +3,21 @@
 #include <set>
 
 namespace rtic {
+namespace {
+
+constexpr char kBatchMagic[] = "RTICBAT1";
+
+// Reads a non-negative count written by WriteSize.
+Result<std::size_t> ReadCount(StateReader* r, const char* what) {
+  RTIC_ASSIGN_OR_RETURN(std::int64_t n, r->ReadInt());
+  if (n < 0) {
+    return Status::InvalidArgument(std::string("negative ") + what +
+                                   " count in update batch");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
 
 void UpdateBatch::Insert(const std::string& table, Tuple tuple) {
   inserts_[table].push_back(std::move(tuple));
@@ -30,10 +45,9 @@ std::vector<std::string> UpdateBatch::TouchedTables() const {
   return std::vector<std::string>(names.begin(), names.end());
 }
 
-Status UpdateBatch::Apply(Database* db) const {
-  // Validate everything before mutating so a failed Apply has no effect.
+Status UpdateBatch::Validate(const Database& db) const {
   for (const auto& [name, tuples] : deletes_) {
-    RTIC_ASSIGN_OR_RETURN(const Table* table, db->GetTable(name));
+    RTIC_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
     for (const Tuple& t : tuples) {
       if (!t.Matches(table->schema())) {
         return Status::InvalidArgument(
@@ -43,7 +57,7 @@ Status UpdateBatch::Apply(Database* db) const {
     }
   }
   for (const auto& [name, tuples] : inserts_) {
-    RTIC_ASSIGN_OR_RETURN(const Table* table, db->GetTable(name));
+    RTIC_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
     for (const Tuple& t : tuples) {
       if (!t.Matches(table->schema())) {
         return Status::InvalidArgument(
@@ -52,6 +66,12 @@ Status UpdateBatch::Apply(Database* db) const {
       }
     }
   }
+  return Status::OK();
+}
+
+Status UpdateBatch::Apply(Database* db) const {
+  // Validate everything before mutating so a failed Apply has no effect.
+  RTIC_RETURN_IF_ERROR(Validate(*db));
   for (const auto& [name, tuples] : deletes_) {
     Table* table = db->GetMutableTable(name).value();
     for (const Tuple& t : tuples) table->Erase(t);
@@ -64,6 +84,42 @@ Status UpdateBatch::Apply(Database* db) const {
     }
   }
   return Status::OK();
+}
+
+void UpdateBatch::EncodeTo(StateWriter* w) const {
+  w->WriteString(kBatchMagic);
+  w->WriteInt(timestamp_);
+  for (const auto* ops : {&deletes_, &inserts_}) {
+    w->WriteSize(ops->size());
+    for (const auto& [name, tuples] : *ops) {
+      w->WriteString(name);
+      w->WriteSize(tuples.size());
+      for (const Tuple& t : tuples) w->WriteTuple(t);
+    }
+  }
+}
+
+Result<UpdateBatch> UpdateBatch::DecodeFrom(StateReader* r) {
+  RTIC_ASSIGN_OR_RETURN(std::string magic, r->ReadString());
+  if (magic != kBatchMagic) {
+    return Status::InvalidArgument("bad update-batch magic: " + magic);
+  }
+  RTIC_ASSIGN_OR_RETURN(std::int64_t ts, r->ReadInt());
+  UpdateBatch batch(static_cast<Timestamp>(ts));
+  for (auto* ops : {&batch.deletes_, &batch.inserts_}) {
+    RTIC_ASSIGN_OR_RETURN(std::size_t n_tables, ReadCount(r, "table"));
+    for (std::size_t i = 0; i < n_tables; ++i) {
+      RTIC_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+      RTIC_ASSIGN_OR_RETURN(std::size_t n_tuples, ReadCount(r, "tuple"));
+      std::vector<Tuple>& tuples = (*ops)[name];
+      tuples.reserve(n_tuples);
+      for (std::size_t j = 0; j < n_tuples; ++j) {
+        RTIC_ASSIGN_OR_RETURN(Tuple t, r->ReadTuple());
+        tuples.push_back(std::move(t));
+      }
+    }
+  }
+  return batch;
 }
 
 std::string UpdateBatch::ToString() const {

@@ -10,6 +10,7 @@
 
 #include "common/interval.h"
 #include "common/result.h"
+#include "storage/codec.h"
 #include "storage/database.h"
 
 namespace rtic {
@@ -48,9 +49,21 @@ class UpdateBatch {
     return deletes_;
   }
 
+  /// Checks that every operation names a known table and matches its
+  /// schema — exactly the preconditions under which Apply() cannot fail.
+  /// The durable monitor validates before logging so the WAL only ever
+  /// contains applicable batches.
+  Status Validate(const Database& db) const;
+
   /// Applies the batch to `db` (deletes, then inserts). Fails without
   /// side effects on unknown tables or schema-mismatched tuples.
   Status Apply(Database* db) const;
+
+  /// Serializes the batch as codec tokens (the WAL record payload).
+  void EncodeTo(StateWriter* w) const;
+
+  /// Inverse of EncodeTo. Fails with InvalidArgument on malformed input.
+  static Result<UpdateBatch> DecodeFrom(StateReader* r);
 
   /// Debug form listing every operation.
   std::string ToString() const;

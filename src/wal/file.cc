@@ -1,0 +1,288 @@
+#include "wal/file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace rtic {
+namespace wal {
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  // No flush: an abandoned handle models a crashed owner (see file.h).
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
+    buffer_.append(data);
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
+    const char* p = buffer_.data();
+    std::size_t left = buffer_.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    RTIC_RETURN_IF_ERROR(Flush());
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    RTIC_RETURN_IF_ERROR(Flush());
+    if (::close(fd_) != 0) {
+      fd_ = -1;
+      return ErrnoStatus("close", path_);
+    }
+    fd_ = -1;
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+  std::string buffer_;
+};
+
+class PosixFs final : public Fs {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_CREAT | O_WRONLY | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open", path);
+    std::string out;
+    char buf[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status s = ErrnoStatus("read", path);
+        ::close(fd);
+        return s;
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return ErrnoStatus("opendir", dir);
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", dir);
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path);
+    return Status::OK();
+  }
+
+  Status Truncate(const std::string& path, std::uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path);
+    }
+    return Status::OK();
+  }
+
+  Result<bool> FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+};
+
+Status DeadFsError() {
+  return Status::Internal("fault-injected file system is dead");
+}
+
+}  // namespace
+
+Fs* DefaultFs() {
+  static PosixFs* fs = new PosixFs;
+  return fs;
+}
+
+// ---- FaultInjectingFs -------------------------------------------------------
+
+/// A WritableFile whose operations are accounted (and killed) by the owning
+/// FaultInjectingFs.
+class FaultInjectingFile final : public WritableFile {
+ public:
+  FaultInjectingFile(FaultInjectingFs* fs, std::unique_ptr<WritableFile> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  // The base destructor closes without flushing, which is the wanted
+  // crashed-process behavior.
+  ~FaultInjectingFile() override = default;
+
+  Status Append(std::string_view data) override {
+    RTIC_ASSIGN_OR_RETURN(bool inject, fs_->BeginOp());
+    if (!inject) return base_->Append(data);
+    switch (fs_->kind_) {
+      case FaultKind::kFailWrite:
+        break;  // nothing lands
+      case FaultKind::kShortWrite: {
+        // A prefix lands OS-side: the classic torn record.
+        (void)base_->Append(data.substr(0, data.size() / 2));
+        (void)base_->Flush();
+        break;
+      }
+      case FaultKind::kBitFlip: {
+        // The full record lands but one byte is corrupted; only the
+        // checksum can tell.
+        std::string corrupted(data);
+        if (!corrupted.empty()) corrupted[corrupted.size() / 2] ^= 0x20;
+        (void)base_->Append(corrupted);
+        (void)base_->Flush();
+        break;
+      }
+    }
+    return Status::Internal("injected write fault");
+  }
+
+  Status Flush() override {
+    RTIC_ASSIGN_OR_RETURN(bool inject, fs_->BeginOp());
+    if (inject) return Status::Internal("injected flush fault");
+    return base_->Flush();
+  }
+
+  Status Sync() override {
+    RTIC_ASSIGN_OR_RETURN(bool inject, fs_->BeginOp());
+    if (inject) return Status::Internal("injected sync fault");
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    if (fs_->dead_) return DeadFsError();  // drop buffered bytes, like a crash
+    return base_->Close();
+  }
+
+ private:
+  FaultInjectingFs* fs_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectingFs::FaultInjectingFs(Fs* base, std::uint64_t trigger_op,
+                                   FaultKind kind)
+    : base_(base), trigger_op_(trigger_op), kind_(kind) {}
+
+Result<bool> FaultInjectingFs::BeginOp() {
+  if (dead_) return DeadFsError();
+  ++ops_;
+  if (trigger_op_ != 0 && ops_ == trigger_op_) {
+    dead_ = true;
+    return true;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFs::NewWritableFile(
+    const std::string& path, bool truncate) {
+  RTIC_ASSIGN_OR_RETURN(bool inject, BeginOp());
+  if (inject) return Status::Internal("injected open fault");
+  RTIC_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                        base_->NewWritableFile(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectingFile>(this, std::move(base)));
+}
+
+Result<std::string> FaultInjectingFs::ReadFile(const std::string& path) {
+  if (dead_) return DeadFsError();
+  return base_->ReadFile(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingFs::ListDir(
+    const std::string& dir) {
+  if (dead_) return DeadFsError();
+  return base_->ListDir(dir);
+}
+
+Status FaultInjectingFs::CreateDir(const std::string& dir) {
+  if (dead_) return DeadFsError();
+  return base_->CreateDir(dir);
+}
+
+Status FaultInjectingFs::Rename(const std::string& from,
+                                const std::string& to) {
+  RTIC_ASSIGN_OR_RETURN(bool inject, BeginOp());
+  if (inject) return Status::Internal("injected rename fault");
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingFs::Remove(const std::string& path) {
+  RTIC_ASSIGN_OR_RETURN(bool inject, BeginOp());
+  if (inject) return Status::Internal("injected remove fault");
+  return base_->Remove(path);
+}
+
+Status FaultInjectingFs::Truncate(const std::string& path,
+                                  std::uint64_t size) {
+  RTIC_ASSIGN_OR_RETURN(bool inject, BeginOp());
+  if (inject) return Status::Internal("injected truncate fault");
+  return base_->Truncate(path, size);
+}
+
+Result<bool> FaultInjectingFs::FileExists(const std::string& path) {
+  if (dead_) return DeadFsError();
+  return base_->FileExists(path);
+}
+
+}  // namespace wal
+}  // namespace rtic

@@ -1,0 +1,249 @@
+#include "wal/recovery.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/codec.h"
+#include "wal/wal_format.h"
+#include "wal/wal_reader.h"
+
+namespace rtic {
+namespace wal {
+namespace {
+
+bool HasTempSuffix(std::string_view name) {
+  constexpr std::string_view kSuffix = kTempSuffix;
+  return name.size() > kSuffix.size() &&
+         name.substr(name.size() - kSuffix.size()) == kSuffix;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RecoveryManager>> RecoveryManager::Open(
+    const WalOptions& options, ReplayTarget* target) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("WalOptions::dir must be set");
+  }
+  if (target == nullptr) {
+    return Status::InvalidArgument("RecoveryManager needs a ReplayTarget");
+  }
+  Fs* fs = options.fs != nullptr ? options.fs : DefaultFs();
+  RTIC_RETURN_IF_ERROR(fs->CreateDir(options.dir));
+  std::unique_ptr<RecoveryManager> mgr(new RecoveryManager(fs, options));
+
+  // Interrupted checkpoint writes never got renamed into place; drop them.
+  RTIC_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        fs->ListDir(options.dir));
+  for (const std::string& name : names) {
+    if (HasTempSuffix(name)) {
+      RTIC_RETURN_IF_ERROR(fs->Remove(options.dir + "/" + name));
+      ++mgr->stats_.removed_files;
+    }
+  }
+
+  RTIC_RETURN_IF_ERROR(mgr->RestoreLatestCheckpoint(target));
+  RTIC_RETURN_IF_ERROR(mgr->ReplayTail(target));
+
+  WalWriter::Options writer_options;
+  writer_options.sync_policy = options.sync_policy;
+  writer_options.segment_bytes = options.segment_bytes;
+  RTIC_ASSIGN_OR_RETURN(mgr->writer_,
+                        WalWriter::Open(fs, options.dir, writer_options,
+                                        mgr->last_seq_ + 1));
+
+  // A truncated tail leaves records beyond the checkpoint whose original
+  // suffix is gone. Re-anchor the log with a fresh checkpoint at last_seq
+  // so the contiguous-chain invariant holds for the next recovery.
+  if (mgr->stats_.tail_damaged && mgr->last_seq_ > mgr->checkpoint_seq_) {
+    RTIC_ASSIGN_OR_RETURN(std::string payload, target->CaptureCheckpoint());
+    RTIC_RETURN_IF_ERROR(mgr->WriteCheckpoint(payload));
+  }
+  mgr->stats_.checkpoint_seq = mgr->checkpoint_seq_;
+  mgr->stats_.last_seq = mgr->last_seq_;
+  return mgr;
+}
+
+RecoveryManager::~RecoveryManager() {
+  // Clean shutdown: push any buffered tail records out of the process so
+  // they survive the exit (kNone buffers whole records, kBatch may hold an
+  // unsynced segment). Best-effort — on a crashed (dead) file system the
+  // close fails and the buffered bytes die with the process, as they should.
+  if (writer_ != nullptr) {
+    Status s = writer_->Rotate();
+    if (!s.ok()) {
+      RTIC_LOG(Warning) << "wal: close without flush: " << s.ToString();
+    }
+  }
+}
+
+Status RecoveryManager::RestoreLatestCheckpoint(ReplayTarget* target) {
+  RTIC_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        fs_->ListDir(options_.dir));
+  std::vector<std::pair<std::uint64_t, std::string>> checkpoints;
+  for (const std::string& name : names) {
+    std::uint64_t seq = 0;
+    if (ParseCheckpointFileName(name, &seq)) checkpoints.emplace_back(seq, name);
+  }
+  std::sort(checkpoints.rbegin(), checkpoints.rend());
+  for (const auto& [seq, name] : checkpoints) {
+    const std::string path = options_.dir + "/" + name;
+    RTIC_ASSIGN_OR_RETURN(std::string content, fs_->ReadFile(path));
+    ParsedRecord rec;
+    std::string reason;
+    ParseOutcome outcome = ParseRecord(content, 0, &rec, &reason);
+    if (outcome != ParseOutcome::kRecord) {
+      // fall through to removal
+    } else if (rec.seq != seq) {
+      reason = "record seq " + std::to_string(rec.seq) +
+               " does not match file name";
+    } else if (rec.end_offset != content.size()) {
+      reason = "trailing bytes after the checkpoint record";
+    } else {
+      RTIC_RETURN_IF_ERROR(target->RestoreCheckpoint(rec.payload));
+      checkpoint_seq_ = seq;
+      break;
+    }
+    RTIC_LOG(Warning) << "wal: removing invalid checkpoint " << name << " ("
+                      << reason << ")";
+    RTIC_RETURN_IF_ERROR(fs_->Remove(path));
+    ++stats_.removed_files;
+  }
+  stats_.checkpoint_seq = checkpoint_seq_;
+  last_seq_ = checkpoint_seq_;
+  return Status::OK();
+}
+
+Status RecoveryManager::ReplayTail(ReplayTarget* target) {
+  RTIC_ASSIGN_OR_RETURN(std::unique_ptr<WalReader> reader,
+                        WalReader::Open(fs_, options_.dir));
+  bool first = true;
+  WalReader::Record rec;
+  while (true) {
+    RTIC_ASSIGN_OR_RETURN(bool has_record, reader->Next(&rec));
+    if (!has_record) break;
+    if (first && rec.seq > checkpoint_seq_ + 1) {
+      // Records between the checkpoint and the log's start are simply
+      // missing — not corruption we can truncate away. Refuse to guess.
+      return Status::FailedPrecondition(
+          "WAL gap: checkpoint covers up to seq " +
+          std::to_string(checkpoint_seq_) + " but the log starts at seq " +
+          std::to_string(rec.seq));
+    }
+    first = false;
+    if (rec.seq <= checkpoint_seq_) continue;  // already in the checkpoint
+    StateReader payload_reader(rec.payload);
+    Result<UpdateBatch> batch = UpdateBatch::DecodeFrom(&payload_reader);
+    std::string damage_reason;
+    if (!batch.ok()) {
+      damage_reason = batch.status().message();
+    } else if (!payload_reader.AtEnd()) {
+      damage_reason = "trailing tokens after the update batch";
+    }
+    if (!damage_reason.empty()) {
+      // The frame checksum passed but the payload is not a batch: treat the
+      // record as the first damaged byte, like a torn tail.
+      return TruncateDamage(rec.segment, rec.offset, damage_reason);
+    }
+    RTIC_RETURN_IF_ERROR(target->Replay(*batch));
+    last_seq_ = rec.seq;
+    ++stats_.replayed_batches;
+  }
+  if (reader->damage().has_value()) {
+    const WalReader::Damage& damage = *reader->damage();
+    return TruncateDamage(damage.segment, damage.offset, damage.reason);
+  }
+  batches_since_checkpoint_ = stats_.replayed_batches;
+  return Status::OK();
+}
+
+Status RecoveryManager::TruncateDamage(const std::string& segment,
+                                       std::uint64_t offset,
+                                       const std::string& reason) {
+  stats_.tail_damaged = true;
+  std::uint64_t damaged_first_seq = 0;
+  ParseSegmentFileName(segment, &damaged_first_seq);
+  RTIC_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        fs_->ListDir(options_.dir));
+  for (const std::string& name : names) {
+    std::uint64_t first_seq = 0;
+    if (!ParseSegmentFileName(name, &first_seq)) continue;
+    if (first_seq <= damaged_first_seq) continue;
+    RTIC_RETURN_IF_ERROR(fs_->Remove(options_.dir + "/" + name));
+    ++stats_.removed_files;
+  }
+  const std::string path = options_.dir + "/" + segment;
+  RTIC_ASSIGN_OR_RETURN(std::string content, fs_->ReadFile(path));
+  if (content.size() > offset) {
+    stats_.truncated_bytes += content.size() - offset;
+  }
+  if (offset == 0) {
+    RTIC_RETURN_IF_ERROR(fs_->Remove(path));
+    ++stats_.removed_files;
+  } else {
+    RTIC_RETURN_IF_ERROR(fs_->Truncate(path, offset));
+  }
+  RTIC_LOG(Warning) << "wal: damaged tail in " << segment << " at offset "
+                    << offset << " (" << reason << "); truncated "
+                    << stats_.truncated_bytes << " byte(s), removed "
+                    << stats_.removed_files << " file(s)";
+  batches_since_checkpoint_ = stats_.replayed_batches;
+  return Status::OK();
+}
+
+Status RecoveryManager::AppendBatch(const UpdateBatch& batch) {
+  StateWriter payload;
+  batch.EncodeTo(&payload);
+  RTIC_RETURN_IF_ERROR(writer_->Append(writer_->next_seq(), payload.str()));
+  last_seq_ = writer_->next_seq() - 1;
+  ++batches_since_checkpoint_;
+  return Status::OK();
+}
+
+bool RecoveryManager::ShouldCheckpoint() const {
+  return options_.checkpoint_interval > 0 &&
+         batches_since_checkpoint_ >= options_.checkpoint_interval;
+}
+
+Status RecoveryManager::WriteCheckpoint(const std::string& payload) {
+  const std::uint64_t seq = last_seq_;
+  if (seq == 0) {
+    return Status::FailedPrecondition(
+        "nothing to checkpoint: no record has been appended");
+  }
+  // Close the open segment first so every segment file holds only records
+  // <= seq, making garbage collection a plain deletion of all of them.
+  RTIC_RETURN_IF_ERROR(writer_->Rotate());
+  const std::string name = CheckpointFileName(seq);
+  const std::string tmp_path = options_.dir + "/" + name + kTempSuffix;
+  {
+    RTIC_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                          fs_->NewWritableFile(tmp_path, /*truncate=*/true));
+    RTIC_RETURN_IF_ERROR(file->Append(EncodeRecord(seq, payload)));
+    RTIC_RETURN_IF_ERROR(file->Sync());
+    RTIC_RETURN_IF_ERROR(file->Close());
+  }
+  RTIC_RETURN_IF_ERROR(fs_->Rename(tmp_path, options_.dir + "/" + name));
+  checkpoint_seq_ = seq;
+  batches_since_checkpoint_ = 0;
+  return CollectGarbage();
+}
+
+Status RecoveryManager::CollectGarbage() {
+  RTIC_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        fs_->ListDir(options_.dir));
+  for (const std::string& name : names) {
+    std::uint64_t seq = 0;
+    const bool stale_segment = ParseSegmentFileName(name, &seq);
+    const bool stale_checkpoint =
+        !stale_segment && ParseCheckpointFileName(name, &seq) &&
+        seq < checkpoint_seq_;
+    if (!stale_segment && !stale_checkpoint) continue;
+    RTIC_RETURN_IF_ERROR(fs_->Remove(options_.dir + "/" + name));
+  }
+  return Status::OK();
+}
+
+}  // namespace wal
+}  // namespace rtic

@@ -1,0 +1,134 @@
+// RecoveryManager: the durability engine behind ConstraintMonitor.
+//
+// Bounded history encoding (the paper's central property) makes the whole
+// checker state a small, self-contained blob, so durability is simply
+//
+//   checkpoint (one framed record = monitor SaveState)
+//     + WAL tail (the UpdateBatches applied since that checkpoint)
+//
+// and recovery is O(checkpoint size + tail length) — never a replay of the
+// full history. The manager owns that lifecycle: on Open() it restores the
+// newest valid checkpoint, replays the WAL tail through a ReplayTarget,
+// truncates any torn/corrupt suffix (logged, never fatal), and afterwards
+// appends each accepted batch to the log and periodically rewrites the
+// checkpoint, garbage-collecting fully-covered segments.
+
+#ifndef RTIC_WAL_RECOVERY_H_
+#define RTIC_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/update_batch.h"
+#include "wal/file.h"
+#include "wal/wal_writer.h"
+
+namespace rtic {
+namespace wal {
+
+/// Durability configuration (mirrored by MonitorOptions).
+struct WalOptions {
+  /// Directory holding segment and checkpoint files; created if absent.
+  std::string dir;
+  SyncPolicy sync_policy = SyncPolicy::kBatch;
+  /// Batches between checkpoints; 0 disables periodic checkpointing.
+  std::size_t checkpoint_interval = 64;
+  /// Segment rotation threshold in bytes.
+  std::size_t segment_bytes = 4u << 20;
+  /// File system to use; nullptr means DefaultFs(). Tests substitute a
+  /// FaultInjectingFs here.
+  Fs* fs = nullptr;
+};
+
+/// What Open() found and did.
+struct RecoveryStats {
+  std::uint64_t checkpoint_seq = 0;  // 0: started without a checkpoint
+  std::uint64_t last_seq = 0;        // newest durable record (0: empty log)
+  std::size_t replayed_batches = 0;  // WAL-tail records replayed
+  bool tail_damaged = false;         // a torn/corrupt tail was truncated
+  std::uint64_t truncated_bytes = 0;  // bytes cut from the damaged file
+  std::size_t removed_files = 0;      // temp leftovers, damaged or GC'd files
+};
+
+/// What the RecoveryManager replays into. ConstraintMonitor adapts itself
+/// to this interface (see monitor.cc); tests use lightweight fakes.
+class ReplayTarget {
+ public:
+  virtual ~ReplayTarget() = default;
+
+  /// Installs a checkpoint payload (monitor LoadState).
+  virtual Status RestoreCheckpoint(const std::string& payload) = 0;
+
+  /// Re-applies one logged batch (monitor ApplyUpdate, checks included).
+  virtual Status Replay(const UpdateBatch& batch) = 0;
+
+  /// Serializes the current state (monitor SaveState) — used to re-anchor
+  /// the log with a fresh checkpoint after a damaged tail was truncated.
+  virtual Result<std::string> CaptureCheckpoint() = 0;
+};
+
+class RecoveryManager {
+ public:
+  /// Runs recovery against `target` and returns a manager ready to append.
+  /// Corrupt checkpoints and torn/corrupt WAL tails are repaired (removed or
+  /// truncated, with a warning log), not errors; a sequence gap between the
+  /// checkpoint and the first surviving WAL record is FailedPrecondition.
+  static Result<std::unique_ptr<RecoveryManager>> Open(
+      const WalOptions& options, ReplayTarget* target);
+
+  /// Flushes any buffered tail records (best-effort) so a clean shutdown
+  /// loses nothing even under SyncPolicy::kNone. On a dead (faulted) file
+  /// system the flush fails and buffered bytes are dropped, like a crash.
+  ~RecoveryManager();
+
+  /// Appends one batch to the log, durable per the sync policy. On failure
+  /// the batch must be treated as not applied (the caller never acked it).
+  Status AppendBatch(const UpdateBatch& batch);
+
+  /// True when checkpoint_interval accepted batches have accumulated since
+  /// the last checkpoint.
+  bool ShouldCheckpoint() const;
+
+  /// Durably installs `payload` as the checkpoint covering every record
+  /// appended so far, then deletes the covered segments and older
+  /// checkpoints.
+  Status WriteCheckpoint(const std::string& payload);
+
+  const RecoveryStats& stats() const { return stats_; }
+  std::uint64_t last_seq() const { return last_seq_; }
+  std::uint64_t checkpoint_seq() const { return checkpoint_seq_; }
+
+ private:
+  RecoveryManager(Fs* fs, WalOptions options)
+      : fs_(fs), options_(std::move(options)) {}
+
+  /// Restores the newest parseable checkpoint into `target`; removes
+  /// checkpoints that fail validation.
+  Status RestoreLatestCheckpoint(ReplayTarget* target);
+
+  /// Replays the WAL tail through `target`, truncating damage.
+  Status ReplayTail(ReplayTarget* target);
+
+  /// Removes the damaged suffix starting at `segment`/`offset` and every
+  /// later segment file.
+  Status TruncateDamage(const std::string& segment, std::uint64_t offset,
+                        const std::string& reason);
+
+  /// Deletes segment files and checkpoints older than checkpoint_seq_.
+  Status CollectGarbage();
+
+  Fs* fs_;
+  WalOptions options_;
+  std::unique_ptr<WalWriter> writer_;
+  std::uint64_t checkpoint_seq_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::size_t batches_since_checkpoint_ = 0;
+  RecoveryStats stats_;
+};
+
+}  // namespace wal
+}  // namespace rtic
+
+#endif  // RTIC_WAL_RECOVERY_H_

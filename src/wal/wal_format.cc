@@ -1,0 +1,126 @@
+#include "wal/wal_format.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/crc32c.h"
+
+namespace rtic {
+namespace wal {
+namespace {
+
+void PutFixed32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutFixed64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t GetFixed32(std::string_view data, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetFixed64(std::string_view data, std::size_t offset) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+bool ParseNumberedName(std::string_view name, std::string_view prefix,
+                       std::string_view suffix, std::uint64_t* number) {
+  if (name.size() != prefix.size() + 20 + suffix.size()) return false;
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  if (name.substr(name.size() - suffix.size()) != suffix) return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = prefix.size(); i < prefix.size() + 20; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *number = v;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeRecord(std::uint64_t seq, std::string_view payload) {
+  std::string seq_bytes;
+  PutFixed64(&seq_bytes, seq);
+  std::uint32_t crc = Crc32c(seq_bytes);
+  crc = Crc32c(payload, crc);
+
+  std::string out;
+  out.reserve(kRecordHeaderBytes + payload.size());
+  PutFixed32(&out, static_cast<std::uint32_t>(payload.size()));
+  PutFixed32(&out, crc);
+  out += seq_bytes;
+  out.append(payload);
+  return out;
+}
+
+ParseOutcome ParseRecord(std::string_view data, std::size_t offset,
+                         ParsedRecord* out, std::string* reason) {
+  if (offset == data.size()) return ParseOutcome::kEnd;
+  if (data.size() - offset < kRecordHeaderBytes) {
+    if (reason) *reason = "torn record header";
+    return ParseOutcome::kTorn;
+  }
+  std::uint32_t len = GetFixed32(data, offset);
+  std::uint32_t stored_crc = GetFixed32(data, offset + 4);
+  if (len > kMaxRecordBytes) {
+    if (reason) *reason = "implausible record length " + std::to_string(len);
+    return ParseOutcome::kCorrupt;
+  }
+  if (data.size() - offset - kRecordHeaderBytes < len) {
+    if (reason) *reason = "torn record payload";
+    return ParseOutcome::kTorn;
+  }
+  std::string_view checked =
+      data.substr(offset + 8, 8 + static_cast<std::size_t>(len));
+  if (Crc32c(checked) != stored_crc) {
+    if (reason) *reason = "checksum mismatch";
+    return ParseOutcome::kCorrupt;
+  }
+  out->seq = GetFixed64(data, offset + 8);
+  out->payload.assign(data.substr(offset + kRecordHeaderBytes, len));
+  out->end_offset = offset + kRecordHeaderBytes + len;
+  return ParseOutcome::kRecord;
+}
+
+std::string SegmentFileName(std::uint64_t first_seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".log", first_seq);
+  return buf;
+}
+
+std::string CheckpointFileName(std::uint64_t seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "ckpt-%020" PRIu64, seq);
+  return buf;
+}
+
+bool ParseSegmentFileName(std::string_view name, std::uint64_t* first_seq) {
+  return ParseNumberedName(name, "wal-", ".log", first_seq);
+}
+
+bool ParseCheckpointFileName(std::string_view name, std::uint64_t* seq) {
+  return ParseNumberedName(name, "ckpt-", "", seq);
+}
+
+}  // namespace wal
+}  // namespace rtic

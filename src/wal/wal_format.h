@@ -1,0 +1,68 @@
+// On-disk format of the write-ahead log.
+//
+// A log is a directory of segment files `wal-<seq>.log` (named by the first
+// sequence number they contain) plus at most a couple of checkpoint files
+// `ckpt-<seq>` (a whole-monitor state covering every record up to and
+// including <seq>). Both hold length-prefixed, CRC32C-framed records:
+//
+//   [payload_len u32 LE][crc32c u32 LE][seq u64 LE][payload bytes]
+//
+// where the checksum covers the seq field and the payload. Sequence numbers
+// start at 1 and increase by exactly 1 across the whole log; a record whose
+// frame is incomplete (torn), whose checksum fails, or whose sequence number
+// breaks the chain marks the end of the usable log.
+
+#ifndef RTIC_WAL_WAL_FORMAT_H_
+#define RTIC_WAL_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rtic {
+namespace wal {
+
+inline constexpr std::size_t kRecordHeaderBytes = 16;
+
+/// Upper bound on a record payload; a parsed length above this is treated
+/// as corruption rather than attempted as an allocation.
+inline constexpr std::size_t kMaxRecordBytes = std::size_t{1} << 30;
+
+/// Suffix of not-yet-renamed checkpoint files; leftovers are deleted on
+/// recovery.
+inline constexpr char kTempSuffix[] = ".tmp";
+
+/// Frames one record.
+std::string EncodeRecord(std::uint64_t seq, std::string_view payload);
+
+enum class ParseOutcome {
+  kRecord,  // a whole, checksum-valid record was parsed
+  kEnd,     // offset is exactly the end of the data
+  kTorn,    // the data ends mid-header or mid-payload
+  kCorrupt  // checksum mismatch or implausible length
+};
+
+struct ParsedRecord {
+  std::uint64_t seq = 0;
+  std::string payload;
+  std::size_t end_offset = 0;  // offset just past this record
+};
+
+/// Parses the record starting at `offset`. On kTorn/kCorrupt, `reason`
+/// (optional) receives a one-line description.
+ParseOutcome ParseRecord(std::string_view data, std::size_t offset,
+                         ParsedRecord* out, std::string* reason);
+
+/// `wal-<first_seq, 20 digits>.log`.
+std::string SegmentFileName(std::uint64_t first_seq);
+
+/// `ckpt-<seq, 20 digits>`.
+std::string CheckpointFileName(std::uint64_t seq);
+
+bool ParseSegmentFileName(std::string_view name, std::uint64_t* first_seq);
+bool ParseCheckpointFileName(std::string_view name, std::uint64_t* seq);
+
+}  // namespace wal
+}  // namespace rtic
+
+#endif  // RTIC_WAL_WAL_FORMAT_H_

@@ -1,0 +1,81 @@
+#include "wal/wal_reader.h"
+
+#include <algorithm>
+
+#include "wal/wal_format.h"
+
+namespace rtic {
+namespace wal {
+
+Result<std::unique_ptr<WalReader>> WalReader::Open(Fs* fs,
+                                                   const std::string& dir) {
+  RTIC_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->ListDir(dir));
+  std::vector<SegmentInfo> segments;
+  for (const std::string& name : names) {
+    std::uint64_t first_seq = 0;
+    if (ParseSegmentFileName(name, &first_seq)) {
+      segments.push_back(SegmentInfo{name, first_seq});
+    }
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return a.first_seq < b.first_seq;
+            });
+  return std::unique_ptr<WalReader>(
+      new WalReader(fs, dir, std::move(segments)));
+}
+
+Result<bool> WalReader::Next(Record* out) {
+  if (damage_) return false;
+  while (index_ < segments_.size()) {
+    const SegmentInfo& seg = segments_[index_];
+    if (!loaded_) {
+      // A segment whose name does not continue the chain means records in
+      // between are missing; its content is unusable.
+      if (expected_seq_ != 0 && seg.first_seq != expected_seq_) {
+        damage_ = Damage{seg.name, 0, 0,
+                         "segment starts at seq " +
+                             std::to_string(seg.first_seq) + ", expected " +
+                             std::to_string(expected_seq_)};
+        return false;
+      }
+      RTIC_ASSIGN_OR_RETURN(content_, fs_->ReadFile(dir_ + "/" + seg.name));
+      loaded_ = true;
+      offset_ = 0;
+    }
+    ParsedRecord rec;
+    std::string reason;
+    switch (ParseRecord(content_, offset_, &rec, &reason)) {
+      case ParseOutcome::kEnd:
+        ++index_;
+        loaded_ = false;
+        continue;
+      case ParseOutcome::kTorn:
+      case ParseOutcome::kCorrupt:
+        damage_ = Damage{seg.name, offset_, content_.size(), reason};
+        return false;
+      case ParseOutcome::kRecord:
+        break;
+    }
+    std::uint64_t expected =
+        expected_seq_ != 0 ? expected_seq_ : seg.first_seq;
+    if (rec.seq != expected) {
+      damage_ = Damage{seg.name, offset_, content_.size(),
+                       "sequence discontinuity: found seq " +
+                           std::to_string(rec.seq) + ", expected " +
+                           std::to_string(expected)};
+      return false;
+    }
+    out->seq = rec.seq;
+    out->payload = std::move(rec.payload);
+    out->segment = seg.name;
+    out->offset = offset_;
+    offset_ = rec.end_offset;
+    expected_seq_ = rec.seq + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace wal
+}  // namespace rtic

@@ -1,0 +1,78 @@
+// WalReader: iterates the records of a WAL directory in sequence order,
+// stopping cleanly at the first torn, corrupt, or chain-breaking record
+// (duplicate or skipped sequence number) — everything from that byte on is
+// the damaged tail, which RecoveryManager truncates.
+
+#ifndef RTIC_WAL_WAL_READER_H_
+#define RTIC_WAL_WAL_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "wal/file.h"
+
+namespace rtic {
+namespace wal {
+
+class WalReader {
+ public:
+  struct Record {
+    std::uint64_t seq = 0;
+    std::string payload;
+    /// Where the record came from, so a caller that rejects a
+    /// frame-valid payload can truncate at exactly this point.
+    std::string segment;       // file name within the directory
+    std::uint64_t offset = 0;  // byte offset of the record's header
+  };
+
+  /// The first unusable byte of the log.
+  struct Damage {
+    std::string segment;       // file name within the directory
+    std::uint64_t offset = 0;  // valid bytes in that file end here
+    std::uint64_t file_bytes = 0;
+    std::string reason;
+  };
+
+  struct SegmentInfo {
+    std::string name;
+    std::uint64_t first_seq = 0;
+  };
+
+  /// Scans `dir` for segment files. Non-segment files are ignored.
+  static Result<std::unique_ptr<WalReader>> Open(Fs* fs,
+                                                 const std::string& dir);
+
+  /// Reads the next record. Returns false at the end of the log — either
+  /// its clean end or the first damaged byte (see damage()). Non-OK only
+  /// for real I/O failures, never for corruption.
+  Result<bool> Next(Record* out);
+
+  /// Set iff iteration stopped at damage instead of the clean end.
+  const std::optional<Damage>& damage() const { return damage_; }
+
+  /// Discovered segments, sorted by first sequence number.
+  const std::vector<SegmentInfo>& segments() const { return segments_; }
+
+ private:
+  WalReader(Fs* fs, std::string dir, std::vector<SegmentInfo> segments)
+      : fs_(fs), dir_(std::move(dir)), segments_(std::move(segments)) {}
+
+  Fs* fs_;
+  std::string dir_;
+  std::vector<SegmentInfo> segments_;
+  std::size_t index_ = 0;       // segment being read
+  bool loaded_ = false;         // content_ holds segments_[index_]
+  std::string content_;
+  std::size_t offset_ = 0;
+  std::uint64_t expected_seq_ = 0;  // 0 until the first record is read
+  std::optional<Damage> damage_;
+};
+
+}  // namespace wal
+}  // namespace rtic
+
+#endif  // RTIC_WAL_WAL_READER_H_

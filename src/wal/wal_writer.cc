@@ -1,0 +1,84 @@
+#include "wal/wal_writer.h"
+
+#include "wal/wal_format.h"
+
+namespace rtic {
+namespace wal {
+
+const char* SyncPolicyToString(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kNone:
+      return "none";
+    case SyncPolicy::kBatch:
+      return "batch";
+    case SyncPolicy::kAlways:
+      return "always";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Fs* fs, std::string dir,
+                                                   Options options,
+                                                   std::uint64_t next_seq) {
+  if (next_seq == 0) {
+    return Status::InvalidArgument("WAL sequence numbers start at 1");
+  }
+  if (options.segment_bytes == 0) {
+    return Status::InvalidArgument("segment_bytes must be positive");
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(fs, std::move(dir), options, next_seq));
+}
+
+Status WalWriter::Append(std::uint64_t seq, std::string_view payload) {
+  if (seq != next_seq_) {
+    return Status::InvalidArgument(
+        "WAL append out of order: got seq " + std::to_string(seq) +
+        ", expected " + std::to_string(next_seq_));
+  }
+  if (!current_) {
+    current_name_ = SegmentFileName(seq);
+    RTIC_ASSIGN_OR_RETURN(
+        current_, fs_->NewWritableFile(dir_ + "/" + current_name_,
+                                       /*truncate=*/true));
+    current_bytes_ = 0;
+  }
+  std::string record = EncodeRecord(seq, payload);
+  RTIC_RETURN_IF_ERROR(current_->Append(record));
+  switch (options_.sync_policy) {
+    case SyncPolicy::kNone:
+      break;
+    case SyncPolicy::kBatch:
+      RTIC_RETURN_IF_ERROR(current_->Flush());
+      break;
+    case SyncPolicy::kAlways:
+      RTIC_RETURN_IF_ERROR(current_->Sync());
+      break;
+  }
+  current_bytes_ += record.size();
+  ++next_seq_;
+  if (current_bytes_ >= options_.segment_bytes) {
+    RTIC_RETURN_IF_ERROR(Rotate());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (!current_) return Status::OK();
+  return current_->Sync();
+}
+
+Status WalWriter::Rotate() {
+  if (!current_) return Status::OK();
+  if (options_.sync_policy != SyncPolicy::kNone) {
+    RTIC_RETURN_IF_ERROR(current_->Sync());
+  }
+  Status close = current_->Close();
+  current_.reset();
+  current_name_.clear();
+  current_bytes_ = 0;
+  return close;
+}
+
+}  // namespace wal
+}  // namespace rtic

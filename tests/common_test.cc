@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "common/crc32c.h"
 #include "common/interval.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -227,6 +228,35 @@ TEST(StringUtilTest, QuoteStringEscapes) {
   EXPECT_EQ(QuoteString("abc"), "'abc'");
   EXPECT_EQ(QuoteString("it's"), "'it\\'s'");
   EXPECT_EQ(QuoteString("a\\b"), "'a\\\\b'");
+}
+
+// ---- Crc32c ----------------------------------------------------------------
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // RFC 3720 (iSCSI) Castagnoli test vectors.
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  EXPECT_EQ(Crc32c("a"), 0xC1D04330u);
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, SeedChainingEqualsWholeBuffer) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t chained =
+        Crc32c(data.substr(split), Crc32c(data.substr(0, split)));
+    EXPECT_EQ(chained, Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  const std::string data = "payload bytes";
+  const std::uint32_t clean = Crc32c(data);
+  for (std::size_t i = 0; i < data.size() * 8; ++i) {
+    std::string flipped = data;
+    flipped[i / 8] ^= static_cast<char>(1u << (i % 8));
+    EXPECT_NE(Crc32c(flipped), clean) << "bit " << i;
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "history/history.h"
+#include "storage/codec.h"
 #include "storage/database.h"
 #include "storage/domain_tracker.h"
 #include "storage/table.h"
@@ -158,6 +159,132 @@ TEST(UpdateBatchTest, AccountingHelpers) {
   EXPECT_EQ(batch.OperationCount(), 2u);
   EXPECT_EQ(batch.TouchedTables(), (std::vector<std::string>{"A", "B"}));
   EXPECT_EQ(batch.timestamp(), 9);
+}
+
+// ---- StateWriter / StateReader ---------------------------------------------
+
+TEST(StateCodecTest, ScalarRoundTrip) {
+  StateWriter w;
+  w.WriteInt(-42);
+  w.WriteValue(I(7));
+  w.WriteValue(Value::Double(0.1));
+  w.WriteValue(S("a b:c "));  // embedded spaces and colons survive
+  w.WriteValue(Value::Bool(true));
+  w.WriteString("");
+  StateReader r(w.str());
+  EXPECT_EQ(Unwrap(r.ReadInt()), -42);
+  EXPECT_EQ(Unwrap(r.ReadValue()), I(7));
+  EXPECT_EQ(Unwrap(r.ReadValue()), Value::Double(0.1));
+  EXPECT_EQ(Unwrap(r.ReadValue()), S("a b:c "));
+  EXPECT_EQ(Unwrap(r.ReadValue()), Value::Bool(true));
+  EXPECT_EQ(Unwrap(r.ReadString()), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(StateCodecTest, TruncatedInputsErrorNotCrash) {
+  // Cut a valid payload at every byte boundary: each prefix must either
+  // parse (when the cut lands between tokens) or fail cleanly.
+  StateWriter w;
+  w.WriteTuple(T(I(5), S("xyz"), Value::Bool(false)));
+  const std::string full = w.str();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string prefix = full.substr(0, cut);  // outlives the reader
+    StateReader r(prefix);
+    Result<Tuple> t = r.ReadTuple();
+    if (t.ok()) {
+      EXPECT_EQ(*t, T(I(5), S("xyz"), Value::Bool(false)));
+    } else {
+      EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(StateCodecTest, RejectsBadIntegerTokens) {
+  for (const char* input : {"zz", "12x", "--3", "0x10", "999999999999999999999",
+                            "", " "}) {
+    StateReader r(input);
+    EXPECT_FALSE(r.ReadInt().ok()) << "input: " << input;
+  }
+}
+
+TEST(StateCodecTest, RejectsBadStringLengths) {
+  // Oversized, non-numeric, negative, overflowing, and missing lengths.
+  for (const char* input : {"10:abc", "x:abc", "-1:abc",
+                            "99999999999999999999:abc", "abc"}) {
+    StateReader r(input);
+    EXPECT_FALSE(r.ReadString().ok()) << "input: " << input;
+  }
+}
+
+TEST(StateCodecTest, RejectsStringWithWrongDeclaredLength) {
+  StateReader r("1:ab ");  // declared 1 byte but 'b' is glued on
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(StateCodecTest, RejectsGarbageValueTokens) {
+  for (const char* input : {"zz", "q:1", "b:7", "b:10", "b:", "i:", "i:12x",
+                            "d:zz", "s:999:x", ""}) {
+    StateReader r(input);
+    EXPECT_FALSE(r.ReadValue().ok()) << "input: " << input;
+  }
+}
+
+TEST(StateCodecTest, RejectsHostileTupleArity) {
+  for (const char* input : {"-1", "2000000", "99999999999999999999", "x"}) {
+    StateReader r(input);
+    EXPECT_FALSE(r.ReadTuple().ok()) << "input: " << input;
+  }
+}
+
+// ---- UpdateBatch codec -------------------------------------------------------
+
+TEST(UpdateBatchCodecTest, RoundTripsOperationsAndTimestamp) {
+  UpdateBatch batch(17);
+  batch.Insert("P", T(I(1), S("a")));
+  batch.Insert("Q", T(I(2)));
+  batch.Delete("P", T(I(3), S("b c")));
+  StateWriter w;
+  batch.EncodeTo(&w);
+  StateReader r(w.str());
+  UpdateBatch decoded = Unwrap(UpdateBatch::DecodeFrom(&r));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(decoded.timestamp(), 17);
+  EXPECT_EQ(decoded.ToString(), batch.ToString());
+}
+
+TEST(UpdateBatchCodecTest, RoundTripsEmptyBatch) {
+  UpdateBatch batch(3);
+  StateWriter w;
+  batch.EncodeTo(&w);
+  StateReader r(w.str());
+  UpdateBatch decoded = Unwrap(UpdateBatch::DecodeFrom(&r));
+  EXPECT_TRUE(decoded.IsEmpty());
+  EXPECT_EQ(decoded.timestamp(), 3);
+}
+
+TEST(UpdateBatchCodecTest, RejectsBadMagicAndTruncation) {
+  {
+    StateReader r("4:junk 1 0 0 ");
+    EXPECT_FALSE(UpdateBatch::DecodeFrom(&r).ok());
+  }
+  UpdateBatch batch(5);
+  batch.Insert("P", T(I(1)));
+  StateWriter w;
+  batch.EncodeTo(&w);
+  const std::string full = w.str();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string prefix = full.substr(0, cut);  // outlives the reader
+    StateReader r(prefix);
+    Result<UpdateBatch> decoded = UpdateBatch::DecodeFrom(&r);
+    if (decoded.ok()) {
+      EXPECT_EQ(decoded->ToString(), batch.ToString());
+    }
+  }
+}
+
+TEST(UpdateBatchCodecTest, RejectsNegativeCounts) {
+  StateReader r("8:RTICBAT1 5 -1 ");
+  EXPECT_FALSE(UpdateBatch::DecodeFrom(&r).ok());
 }
 
 // ---- DomainTracker -----------------------------------------------------------

@@ -1,0 +1,290 @@
+// Unit tests for the WAL building blocks: record framing, file naming, the
+// POSIX file layer, segment writer/reader, and the fault-injecting Fs that
+// the crash matrix is built on.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+#include "wal/file.h"
+#include "wal/wal_format.h"
+#include "wal/wal_reader.h"
+#include "wal/wal_writer.h"
+
+namespace rtic {
+namespace wal {
+namespace {
+
+using ::rtic::testing::Unwrap;
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/rtic_wal_test_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+void WriteWholeFile(Fs* fs, const std::string& path, std::string_view data) {
+  std::unique_ptr<WritableFile> f =
+      Unwrap(fs->NewWritableFile(path, /*truncate=*/true));
+  RTIC_ASSERT_OK(f->Append(data));
+  RTIC_ASSERT_OK(f->Close());
+}
+
+// ---- record framing ----------------------------------------------------------
+
+TEST(WalFormatTest, RecordRoundTrip) {
+  for (const std::string payload :
+       {std::string(), std::string("hello"), std::string(1000, 'x'),
+        std::string("\0\xff\n with bytes", 14)}) {
+    std::string rec = EncodeRecord(42, payload);
+    EXPECT_EQ(rec.size(), kRecordHeaderBytes + payload.size());
+    ParsedRecord parsed;
+    std::string reason;
+    ASSERT_EQ(ParseRecord(rec, 0, &parsed, &reason), ParseOutcome::kRecord)
+        << reason;
+    EXPECT_EQ(parsed.seq, 42u);
+    EXPECT_EQ(parsed.payload, payload);
+    EXPECT_EQ(parsed.end_offset, rec.size());
+  }
+}
+
+TEST(WalFormatTest, BackToBackRecordsParseInSequence) {
+  std::string data = EncodeRecord(1, "a") + EncodeRecord(2, "bb");
+  ParsedRecord rec;
+  ASSERT_EQ(ParseRecord(data, 0, &rec, nullptr), ParseOutcome::kRecord);
+  EXPECT_EQ(rec.seq, 1u);
+  ASSERT_EQ(ParseRecord(data, rec.end_offset, &rec, nullptr),
+            ParseOutcome::kRecord);
+  EXPECT_EQ(rec.seq, 2u);
+  EXPECT_EQ(ParseRecord(data, rec.end_offset, &rec, nullptr),
+            ParseOutcome::kEnd);
+}
+
+TEST(WalFormatTest, EveryTornPrefixIsDetected) {
+  const std::string rec = EncodeRecord(7, "payload");
+  for (std::size_t cut = 1; cut < rec.size(); ++cut) {
+    ParsedRecord parsed;
+    std::string reason;
+    ParseOutcome outcome = ParseRecord(rec.substr(0, cut), 0, &parsed, &reason);
+    EXPECT_EQ(outcome, ParseOutcome::kTorn) << "cut at " << cut;
+    EXPECT_FALSE(reason.empty());
+  }
+}
+
+TEST(WalFormatTest, EverySingleByteFlipIsDetected) {
+  const std::string rec = EncodeRecord(7, "payload");
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    std::string corrupted = rec;
+    corrupted[i] ^= 0x01;
+    ParsedRecord parsed;
+    ParseOutcome outcome = ParseRecord(corrupted, 0, &parsed, nullptr);
+    EXPECT_NE(outcome, ParseOutcome::kRecord) << "flip at byte " << i;
+  }
+}
+
+TEST(WalFormatTest, ImplausibleLengthIsCorruptNotAllocated) {
+  // Header declaring a ~4 GiB payload on a tiny file.
+  std::string data(kRecordHeaderBytes, '\xff');
+  ParsedRecord parsed;
+  std::string reason;
+  EXPECT_EQ(ParseRecord(data, 0, &parsed, &reason), ParseOutcome::kCorrupt);
+}
+
+TEST(WalFormatTest, FileNamesRoundTrip) {
+  std::uint64_t seq = 0;
+  EXPECT_TRUE(ParseSegmentFileName(SegmentFileName(123), &seq));
+  EXPECT_EQ(seq, 123u);
+  EXPECT_TRUE(ParseCheckpointFileName(CheckpointFileName(456), &seq));
+  EXPECT_EQ(seq, 456u);
+  for (const char* bad : {"wal-123.log", "wal-.log", "ckpt-12", "x", "",
+                          "wal-00000000000000000123.logx",
+                          "ckpt-00000000000000000456.tmp"}) {
+    EXPECT_FALSE(ParseSegmentFileName(bad, &seq)) << bad;
+    EXPECT_FALSE(ParseCheckpointFileName(bad, &seq)) << bad;
+  }
+}
+
+// ---- POSIX file layer --------------------------------------------------------
+
+TEST(PosixFsTest, WriteReadListRenameRemove) {
+  const std::string dir = MakeTempDir();
+  Fs* fs = DefaultFs();
+  RTIC_ASSERT_OK(fs->CreateDir(dir));  // already exists: OK
+  RTIC_ASSERT_OK(fs->CreateDir(dir + "/sub"));
+
+  WriteWholeFile(fs, dir + "/b.txt", "hello");
+  WriteWholeFile(fs, dir + "/a.txt", "world");
+  EXPECT_EQ(Unwrap(fs->ReadFile(dir + "/b.txt")), "hello");
+
+  std::vector<std::string> names = Unwrap(fs->ListDir(dir));
+  EXPECT_EQ(names, (std::vector<std::string>{"a.txt", "b.txt", "sub"}));
+
+  RTIC_ASSERT_OK(fs->Rename(dir + "/b.txt", dir + "/c.txt"));
+  EXPECT_FALSE(Unwrap(fs->FileExists(dir + "/b.txt")));
+  EXPECT_TRUE(Unwrap(fs->FileExists(dir + "/c.txt")));
+
+  RTIC_ASSERT_OK(fs->Truncate(dir + "/c.txt", 2));
+  EXPECT_EQ(Unwrap(fs->ReadFile(dir + "/c.txt")), "he");
+
+  RTIC_ASSERT_OK(fs->Remove(dir + "/c.txt"));
+  EXPECT_FALSE(Unwrap(fs->FileExists(dir + "/c.txt")));
+  EXPECT_FALSE(fs->ReadFile(dir + "/missing").ok());
+}
+
+TEST(PosixFsTest, AbandonedFileDoesNotFlushItsBuffer) {
+  const std::string dir = MakeTempDir();
+  Fs* fs = DefaultFs();
+  {
+    std::unique_ptr<WritableFile> f =
+        Unwrap(fs->NewWritableFile(dir + "/f", true));
+    RTIC_ASSERT_OK(f->Append("durable"));
+    RTIC_ASSERT_OK(f->Flush());
+    RTIC_ASSERT_OK(f->Append("lost"));
+    // Destroyed without Flush/Close: the second append must vanish, like a
+    // crash between the two appends.
+  }
+  EXPECT_EQ(Unwrap(fs->ReadFile(dir + "/f")), "durable");
+}
+
+// ---- writer + reader ---------------------------------------------------------
+
+TEST(WalWriterTest, RotatesSegmentsAndReaderSeesAllRecords) {
+  const std::string dir = MakeTempDir();
+  WalWriter::Options options;
+  options.segment_bytes = 64;  // force frequent rotation
+  std::unique_ptr<WalWriter> writer =
+      Unwrap(WalWriter::Open(DefaultFs(), dir, options, 1));
+  for (std::uint64_t seq = 1; seq <= 20; ++seq) {
+    RTIC_ASSERT_OK(writer->Append(seq, "payload-" + std::to_string(seq)));
+  }
+  RTIC_ASSERT_OK(writer->Rotate());
+
+  std::unique_ptr<WalReader> reader = Unwrap(WalReader::Open(DefaultFs(), dir));
+  EXPECT_GT(reader->segments().size(), 1u);
+  WalReader::Record rec;
+  std::uint64_t expected = 1;
+  while (Unwrap(reader->Next(&rec))) {
+    EXPECT_EQ(rec.seq, expected);
+    EXPECT_EQ(rec.payload, "payload-" + std::to_string(expected));
+    ++expected;
+  }
+  EXPECT_EQ(expected, 21u);
+  EXPECT_FALSE(reader->damage().has_value());
+}
+
+TEST(WalWriterTest, RejectsOutOfOrderAppends) {
+  const std::string dir = MakeTempDir();
+  std::unique_ptr<WalWriter> writer =
+      Unwrap(WalWriter::Open(DefaultFs(), dir, {}, 1));
+  RTIC_ASSERT_OK(writer->Append(1, "a"));
+  EXPECT_FALSE(writer->Append(1, "dup").ok());
+  EXPECT_FALSE(writer->Append(3, "skip").ok());
+  EXPECT_EQ(writer->next_seq(), 2u);
+  EXPECT_FALSE(WalWriter::Open(DefaultFs(), dir, {}, 0).ok());
+}
+
+TEST(WalReaderTest, TornTailReportsDamageAtExactOffset) {
+  const std::string dir = MakeTempDir();
+  std::string good = EncodeRecord(1, "first") + EncodeRecord(2, "second");
+  std::string torn = EncodeRecord(3, "third");
+  torn.resize(torn.size() - 3);
+  WriteWholeFile(DefaultFs(), dir + "/" + SegmentFileName(1), good + torn);
+
+  std::unique_ptr<WalReader> reader = Unwrap(WalReader::Open(DefaultFs(), dir));
+  WalReader::Record rec;
+  EXPECT_TRUE(Unwrap(reader->Next(&rec)));
+  EXPECT_TRUE(Unwrap(reader->Next(&rec)));
+  EXPECT_FALSE(Unwrap(reader->Next(&rec)));
+  ASSERT_TRUE(reader->damage().has_value());
+  EXPECT_EQ(reader->damage()->segment, SegmentFileName(1));
+  EXPECT_EQ(reader->damage()->offset, good.size());
+}
+
+TEST(WalReaderTest, DuplicateSequenceNumberIsDamage) {
+  const std::string dir = MakeTempDir();
+  WriteWholeFile(DefaultFs(), dir + "/" + SegmentFileName(1),
+                 EncodeRecord(1, "a") + EncodeRecord(2, "b") +
+                     EncodeRecord(2, "b again"));
+  std::unique_ptr<WalReader> reader = Unwrap(WalReader::Open(DefaultFs(), dir));
+  WalReader::Record rec;
+  EXPECT_TRUE(Unwrap(reader->Next(&rec)));
+  EXPECT_TRUE(Unwrap(reader->Next(&rec)));
+  EXPECT_FALSE(Unwrap(reader->Next(&rec)));
+  ASSERT_TRUE(reader->damage().has_value());
+  EXPECT_NE(reader->damage()->reason.find("discontinuity"), std::string::npos);
+}
+
+TEST(WalReaderTest, SegmentChainGapIsDamage) {
+  const std::string dir = MakeTempDir();
+  WriteWholeFile(DefaultFs(), dir + "/" + SegmentFileName(1),
+                 EncodeRecord(1, "a"));
+  // Records 2..4 missing: next segment claims to start at 5.
+  WriteWholeFile(DefaultFs(), dir + "/" + SegmentFileName(5),
+                 EncodeRecord(5, "e"));
+  std::unique_ptr<WalReader> reader = Unwrap(WalReader::Open(DefaultFs(), dir));
+  WalReader::Record rec;
+  EXPECT_TRUE(Unwrap(reader->Next(&rec)));
+  EXPECT_FALSE(Unwrap(reader->Next(&rec)));
+  ASSERT_TRUE(reader->damage().has_value());
+  EXPECT_EQ(reader->damage()->segment, SegmentFileName(5));
+  EXPECT_EQ(reader->damage()->offset, 0u);
+}
+
+// ---- fault injection ---------------------------------------------------------
+
+TEST(FaultInjectingFsTest, CountsOpsWithoutInjectingWhenDisabled) {
+  const std::string dir = MakeTempDir();
+  FaultInjectingFs fs(DefaultFs(), /*trigger_op=*/0, FaultKind::kFailWrite);
+  WriteWholeFile(&fs, dir + "/f", "data");
+  EXPECT_GT(fs.ops(), 0u);
+  EXPECT_FALSE(fs.dead());
+  EXPECT_EQ(Unwrap(fs.ReadFile(dir + "/f")), "data");
+}
+
+TEST(FaultInjectingFsTest, FailWriteLandsNothingThenEverythingFails) {
+  const std::string dir = MakeTempDir();
+  Fs* posix = DefaultFs();
+  // Count the ops of the reference run first.
+  FaultInjectingFs counter(posix, 0, FaultKind::kFailWrite);
+  WriteWholeFile(&counter, dir + "/ref", "data");
+
+  // Now fail at the Append.
+  FaultInjectingFs fs(posix, /*trigger_op=*/2, FaultKind::kFailWrite);
+  std::unique_ptr<WritableFile> f =
+      Unwrap(fs.NewWritableFile(dir + "/f", true));
+  EXPECT_FALSE(f->Append("data").ok());
+  EXPECT_TRUE(fs.dead());
+  EXPECT_FALSE(f->Close().ok());
+  EXPECT_FALSE(fs.ReadFile(dir + "/ref").ok()) << "dead fs must not read";
+  EXPECT_EQ(Unwrap(posix->ReadFile(dir + "/f")), "");
+}
+
+TEST(FaultInjectingFsTest, ShortWriteLandsAPrefix) {
+  const std::string dir = MakeTempDir();
+  FaultInjectingFs fs(DefaultFs(), /*trigger_op=*/2, FaultKind::kShortWrite);
+  std::unique_ptr<WritableFile> f =
+      Unwrap(fs.NewWritableFile(dir + "/f", true));
+  EXPECT_FALSE(f->Append("0123456789").ok());
+  std::string landed = Unwrap(DefaultFs()->ReadFile(dir + "/f"));
+  EXPECT_LT(landed.size(), 10u);
+  EXPECT_EQ(landed, std::string("0123456789").substr(0, landed.size()));
+}
+
+TEST(FaultInjectingFsTest, BitFlipLandsFullSizeButCorrupted) {
+  const std::string dir = MakeTempDir();
+  FaultInjectingFs fs(DefaultFs(), /*trigger_op=*/2, FaultKind::kBitFlip);
+  std::unique_ptr<WritableFile> f =
+      Unwrap(fs.NewWritableFile(dir + "/f", true));
+  EXPECT_FALSE(f->Append("0123456789").ok());
+  std::string landed = Unwrap(DefaultFs()->ReadFile(dir + "/f"));
+  EXPECT_EQ(landed.size(), 10u);
+  EXPECT_NE(landed, "0123456789");
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace rtic
