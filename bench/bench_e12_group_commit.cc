@@ -1,0 +1,196 @@
+// E12 — group-commit throughput vs committer count.
+//
+// Claim: under SyncPolicy::kAlways the WAL's throughput ceiling is the
+// device's fsync rate — concurrent committers serialize on it and add
+// nothing. A group-commit window lets all committers that arrive within
+// one fsync's latency share it, so kAlways batch throughput scales with
+// the number of concurrent committers instead of staying flat.
+//
+// Series: T appender threads × B batches each through
+// RecoveryManager::AppendBatch, T in {1, 2, 4, 8, 16}, group-commit window
+// 0 (off, today's per-append fsync path) vs 200 us. The file system wraps
+// DefaultFs with a fixed 250 us sleep per Sync so the fsync cost is the
+// same on every machine (tmpfs would otherwise make fsync free and the
+// bench meaningless); counters report the achieved coalescing.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "storage/update_batch.h"
+#include "wal/file.h"
+#include "wal/recovery.h"
+
+namespace rtic {
+namespace {
+
+constexpr std::size_t kBatchesPerThread = 100;
+constexpr int kSyncSleepMicros = 250;  // stand-in for device fsync latency
+
+/// Wraps another Fs and makes every Sync cost a fixed wall-clock delay, so
+/// fsync amortization — the quantity under test — dominates the timing.
+class SlowSyncFs final : public wal::Fs {
+ public:
+  explicit SlowSyncFs(wal::Fs* base) : base_(base) {}
+
+  Result<std::unique_ptr<wal::WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    auto base = base_->NewWritableFile(path, truncate);
+    if (!base.ok()) return base.status();
+    return std::unique_ptr<wal::WritableFile>(
+        std::make_unique<File>(std::move(base).value()));
+  }
+  Result<std::string> ReadFile(const std::string& path) override {
+    return base_->ReadFile(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  Status CreateDir(const std::string& dir) override {
+    return base_->CreateDir(dir);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return base_->Rename(from, to);
+  }
+  Status Remove(const std::string& path) override {
+    return base_->Remove(path);
+  }
+  Status Truncate(const std::string& path, std::uint64_t size) override {
+    return base_->Truncate(path, size);
+  }
+  Result<bool> FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+
+ private:
+  class File final : public wal::WritableFile {
+   public:
+    explicit File(std::unique_ptr<wal::WritableFile> base)
+        : base_(std::move(base)) {}
+    Status Append(std::string_view data) override {
+      return base_->Append(data);
+    }
+    Status Flush() override { return base_->Flush(); }
+    Status Sync() override {
+      std::this_thread::sleep_for(std::chrono::microseconds(kSyncSleepMicros));
+      return base_->Sync();
+    }
+    Status Close() override { return base_->Close(); }
+
+   private:
+    std::unique_ptr<wal::WritableFile> base_;
+  };
+
+  wal::Fs* base_;
+};
+
+/// AppendBatch needs no replay; the benchmark starts from an empty log.
+class NullTarget final : public wal::ReplayTarget {
+ public:
+  Status RestoreCheckpoint(const std::string&) override {
+    return Status::OK();
+  }
+  Status Replay(const UpdateBatch&) override { return Status::OK(); }
+  Result<std::string> CaptureCheckpoint() override {
+    return std::string("ckpt");
+  }
+};
+
+UpdateBatch MakeBatch(std::size_t thread, std::size_t i) {
+  UpdateBatch batch(static_cast<Timestamp>(thread * 100000 + i + 1));
+  const auto id = static_cast<std::int64_t>(thread);
+  batch.Insert("Emp", {Value::Int64(id), Value::Int64(
+                                             static_cast<std::int64_t>(i))});
+  return batch;
+}
+
+void BM_E12_GroupCommit(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto window_micros = static_cast<std::uint64_t>(state.range(1));
+
+  SlowSyncFs fs(wal::DefaultFs());
+  wal::GroupCommitter::Stats stats;
+  for (auto _ : state) {
+    char tmpl[] = "/tmp/rtic_bench_e12_XXXXXX";
+    char* root = mkdtemp(tmpl);
+    if (root == nullptr) {
+      state.SkipWithError("mkdtemp failed");
+      return;
+    }
+    wal::WalOptions options;
+    options.dir = std::string(root) + "/wal";
+    options.sync_policy = wal::SyncPolicy::kAlways;
+    options.group_commit_window_micros = window_micros;
+    options.checkpoint_interval = 0;
+    options.fs = &fs;
+    NullTarget target;
+    {
+      auto manager = bench::CheckOk(
+          wal::RecoveryManager::Open(options, &target), "Open");
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> workers;
+      for (std::size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&manager, t] {
+          for (std::size_t i = 0; i < kBatchesPerThread; ++i) {
+            bench::CheckOk(manager->AppendBatch(MakeBatch(t, i)),
+                           "AppendBatch");
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      state.SetIterationTime(std::chrono::duration<double>(elapsed).count());
+      if (manager->group_committer() != nullptr) {
+        stats = manager->group_committer()->stats();
+      } else {
+        stats = {};
+        stats.records = threads * kBatchesPerThread;
+        stats.syncs = threads * kBatchesPerThread;  // one fsync per append
+        stats.max_group = 1;
+      }
+    }
+    std::filesystem::remove_all(root);
+  }
+
+  const double total =
+      static_cast<double>(threads * kBatchesPerThread) *
+      static_cast<double>(state.iterations());
+  state.counters["batches_per_sec"] =
+      benchmark::Counter(total, benchmark::Counter::kIsRate);
+  state.counters["syncs"] = static_cast<double>(stats.syncs);
+  state.counters["max_group"] = static_cast<double>(stats.max_group);
+  state.counters["mean_group"] =
+      stats.syncs == 0 ? 0.0
+                       : static_cast<double>(stats.records) /
+                             static_cast<double>(stats.syncs);
+}
+
+BENCHMARK(BM_E12_GroupCommit)
+    ->ArgNames({"threads", "window_us"})
+    // Baseline: per-append fsync, throughput flat in T.
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({16, 0})
+    // Group commit: fsyncs amortized across concurrent committers.
+    ->Args({1, 200})
+    ->Args({2, 200})
+    ->Args({4, 200})
+    ->Args({8, 200})
+    ->Args({16, 200})
+    ->Iterations(3)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rtic
+
+BENCHMARK_MAIN();

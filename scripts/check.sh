@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Repo-wide verification: the tier-1 suite plus an AddressSanitizer pass
-# over the unit, fuzz, and fault ctest labels.
+# Repo-wide verification: the tier-1 suite, an AddressSanitizer pass over
+# the unit, fuzz, and fault ctest labels, and a ThreadSanitizer pass over
+# the parallel and fault labels (group commit and the crash matrix are
+# the concurrency-heavy durable paths).
 #
-#   scripts/check.sh           # full run (tier-1 + asan)
+#   scripts/check.sh           # full run (tier-1 + asan + tsan)
 #   scripts/check.sh --fast    # tier-1 only
 #
-# Build directories: build/ (plain RelWithDebInfo) and build-asan/
-# (RTIC_SANITIZE=address). Both are created on demand and reused.
+# Build directories: build/ (plain RelWithDebInfo), build-asan/
+# (RTIC_SANITIZE=address), and build-tsan/ (RTIC_SANITIZE=thread). All
+# are created on demand and reused.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,5 +32,14 @@ echo "== asan: unit + fuzz + fault labels (build-asan/) =="
 cmake -B build-asan -S . -DRTIC_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" -L 'unit|fuzz|fault')
+
+echo "== tsan: parallel + fault labels (build-tsan/) =="
+cmake -B build-tsan -S . -DRTIC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+# TSan slows the exhaustive crash matrix ~10x; subsample its fault
+# triggers so the fault label stays inside its timeout. Coverage of every
+# trigger comes from the uninstrumented tier-1 run above.
+(cd build-tsan && RTIC_MATRIX_STRIDE=7 \
+  ctest --output-on-failure -j "$JOBS" -L 'parallel|fault')
 
 echo "== ok =="

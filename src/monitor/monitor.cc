@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
+#include "common/logging.h"
 #include "engines/active/compiler.h"
 #include "engines/incremental/engine.h"
 #include "engines/naive/naive_engine.h"
@@ -175,6 +177,24 @@ Status ConstraintMonitor::RegisterConstraintFormula(
   return Status::OK();
 }
 
+Status ConstraintMonitor::RegisterConstraintEngine(
+    const std::string& name, std::unique_ptr<CheckerEngine> engine) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("RegisterConstraintEngine needs an engine");
+  }
+  for (const auto& c : constraints_) {
+    if (c->name == name) {
+      return Status::AlreadyExists("constraint already registered: " + name);
+    }
+  }
+  auto reg = std::make_unique<Registered>();
+  reg->name = name;
+  reg->text = std::string("<custom ") + engine->name() + " engine>";
+  reg->engine = std::move(engine);
+  constraints_.push_back(std::move(reg));
+  return Status::OK();
+}
+
 Status ConstraintMonitor::UnregisterConstraint(const std::string& name) {
   for (auto it = constraints_.begin(); it != constraints_.end(); ++it) {
     if ((*it)->name == name) {
@@ -232,6 +252,8 @@ Result<wal::RecoveryStats> ConstraintMonitor::Recover() {
   wal::WalOptions wal_options;
   wal_options.dir = options_.wal_dir;
   wal_options.sync_policy = options_.sync_policy;
+  wal_options.group_commit_window_micros =
+      options_.group_commit_window_micros;
   wal_options.checkpoint_interval = options_.checkpoint_interval;
   wal_options.segment_bytes = options_.wal_segment_bytes;
   wal_options.fs = options_.wal_fs;
@@ -271,6 +293,12 @@ Result<std::vector<Violation>> ConstraintMonitor::ApplyUpdate(
   // constraint; db_ and options_ are shared read-only), then merge the
   // per-constraint outcomes back in registration order so violations,
   // stats, and error precedence are identical to the serial path.
+  // Every engine observes every committed transition, even when another
+  // constraint's check errors: the parallel fan-out cannot stop sibling
+  // checks that are already running, so the serial path must not either —
+  // otherwise a 1-thread and an N-thread monitor would hold different
+  // auxiliary state after an error. The first error in registration order
+  // is surfaced by the merge below.
   std::vector<CheckOutcome> outcomes(constraints_.size());
   if (pool_ && constraints_.size() > 1) {
     pool_->ParallelFor(constraints_.size(), [this, &outcomes](
@@ -280,9 +308,6 @@ Result<std::vector<Violation>> ConstraintMonitor::ApplyUpdate(
   } else {
     for (std::size_t i = 0; i < constraints_.size(); ++i) {
       CheckConstraint(i, &outcomes[i]);
-      // Serial semantics: a failed check stops later constraints from
-      // observing the transition at all.
-      if (!outcomes[i].status.ok()) break;
     }
   }
 
@@ -301,8 +326,20 @@ Result<std::vector<Violation>> ConstraintMonitor::ApplyUpdate(
     violations.push_back(std::move(out.violation));
   }
   if (recovery_ != nullptr && !recovering_ && recovery_->ShouldCheckpoint()) {
-    RTIC_ASSIGN_OR_RETURN(std::string payload, SaveState());
-    RTIC_RETURN_IF_ERROR(recovery_->WriteCheckpoint(payload));
+    // The batch is applied, logged, and checked; a failed periodic
+    // checkpoint must not discard its verdicts. Log the error and leave
+    // the should-checkpoint state armed so the next accepted batch
+    // retries. (If the file system is truly gone, the next batch's WAL
+    // append will surface that as its own failure.)
+    Result<std::string> payload = SaveState();
+    Status checkpoint = payload.ok()
+                            ? recovery_->WriteCheckpoint(payload.value())
+                            : payload.status();
+    if (!checkpoint.ok()) {
+      RTIC_LOG(Warning) << "monitor: periodic checkpoint failed (will retry "
+                           "next interval): "
+                        << checkpoint.ToString();
+    }
   }
   return violations;
 }
@@ -383,7 +420,14 @@ std::size_t ConstraintMonitor::TotalStorageRows() const {
 }
 
 namespace {
-constexpr char kMonitorMagic[] = "RTICMON1";
+// Version history:
+//   RTICMON1 — database + clock + engine states; per-constraint counters
+//              were not persisted (restored monitors under-reported them).
+//   RTICMON2 — adds per-constraint transition/violation counters so
+//              Stats() survives recovery consistently with
+//              total_violations().
+constexpr char kMonitorMagic[] = "RTICMON2";
+constexpr char kLegacyMonitorMagic[] = "RTICMON1";
 }  // namespace
 
 Result<std::string> ConstraintMonitor::SaveState() const {
@@ -410,10 +454,13 @@ Result<std::string> ConstraintMonitor::SaveState() const {
     for (const Tuple& row : rows) w.WriteTuple(row);
   }
 
-  // Constraint checkers.
+  // Constraint checkers, each with its cumulative counters (timing stats
+  // are process-local and deliberately not persisted).
   w.WriteSize(constraints_.size());
   for (const auto& c : constraints_) {
     w.WriteString(c->name);
+    w.WriteSize(c->transitions);
+    w.WriteSize(c->violations);
     RTIC_ASSIGN_OR_RETURN(std::string engine_state, c->engine->SaveState());
     w.WriteString(engine_state);
   }
@@ -423,6 +470,12 @@ Result<std::string> ConstraintMonitor::SaveState() const {
 Status ConstraintMonitor::LoadState(const std::string& data) {
   StateReader r(data);
   RTIC_ASSIGN_OR_RETURN(std::string magic, r.ReadString());
+  if (magic == kLegacyMonitorMagic) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " + magic +
+        " (predates per-constraint counters); re-create the checkpoint "
+        "with this build's SaveState()");
+  }
   if (magic != kMonitorMagic) {
     return Status::InvalidArgument("not an rtic monitor checkpoint");
   }
@@ -473,12 +526,21 @@ Status ConstraintMonitor::LoadState(const std::string& data) {
         "checkpoint constraint count does not match registration");
   }
   std::vector<std::string> engine_states;
+  std::vector<std::pair<std::int64_t, std::int64_t>> counters;
   for (std::int64_t i = 0; i < constraint_count; ++i) {
     RTIC_ASSIGN_OR_RETURN(std::string name, r.ReadString());
     if (name != constraints_[static_cast<std::size_t>(i)]->name) {
       return Status::FailedPrecondition(
           "checkpoint constraint order/name mismatch at '" + name + "'");
     }
+    RTIC_ASSIGN_OR_RETURN(std::int64_t transitions, r.ReadInt());
+    RTIC_ASSIGN_OR_RETURN(std::int64_t c_violations, r.ReadInt());
+    if (transitions < 0 || c_violations < 0 || c_violations > transitions) {
+      return Status::InvalidArgument(
+          "implausible constraint counters in checkpoint for '" + name +
+          "'");
+    }
+    counters.emplace_back(transitions, c_violations);
     RTIC_ASSIGN_OR_RETURN(std::string engine_state, r.ReadString());
     engine_states.push_back(std::move(engine_state));
   }
@@ -487,12 +549,16 @@ Status ConstraintMonitor::LoadState(const std::string& data) {
   }
 
   // Validation done; apply engine states (these validate constraint texts
-  // themselves) and only then commit the monitor-level fields.
+  // themselves) and only then commit the monitor-level fields. Counters
+  // resume from the checkpoint; timing stats restart (they are wall-clock
+  // measurements of this process, not monitor state).
   for (std::size_t i = 0; i < constraints_.size(); ++i) {
     RTIC_RETURN_IF_ERROR(
         constraints_[i]->engine->LoadState(engine_states[i]));
-    constraints_[i]->transitions = 0;
-    constraints_[i]->violations = 0;
+    constraints_[i]->transitions =
+        static_cast<std::size_t>(counters[i].first);
+    constraints_[i]->violations =
+        static_cast<std::size_t>(counters[i].second);
     constraints_[i]->total_check_micros = 0;
     constraints_[i]->max_check_micros = 0;
     constraints_[i]->last_check_micros = 0;

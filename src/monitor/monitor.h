@@ -75,6 +75,17 @@ struct MonitorOptions {
   /// When an accepted batch becomes durable (durable mode only).
   wal::SyncPolicy sync_policy = wal::SyncPolicy::kBatch;
 
+  /// Group-commit gathering window in microseconds (durable mode only).
+  /// 0 (the default) keeps today's per-append behavior. Non-zero makes
+  /// sync_policy = kAlways amortize fsyncs: all batches appended within
+  /// the window — or queued while a prior fsync is in flight — become
+  /// durable through one shared fsync, and each ApplyUpdate still returns
+  /// only once its own batch is durable. Worth roughly the storage
+  /// device's fsync latency; it only pays off when several threads commit
+  /// concurrently (each committer waits out the window, so a single
+  /// serial writer sees added latency and no fewer fsyncs).
+  std::uint64_t group_commit_window_micros = 0;
+
   /// Accepted batches between automatic checkpoints; 0 disables periodic
   /// checkpointing, leaving recovery to replay the whole log.
   std::size_t checkpoint_interval = 64;
@@ -146,6 +157,15 @@ class ConstraintMonitor {
   Status RegisterConstraintFormula(const std::string& name,
                                    const tl::Formula& formula);
 
+  /// Registers a constraint backed by a caller-supplied checker engine
+  /// instead of a compiled built-in one. The engine must honor the
+  /// CheckerEngine contract; the constraint participates in stats,
+  /// checkpoints, and violation reports like any other. This is the entry
+  /// point for custom checking strategies and for tests that inject
+  /// failing engines.
+  Status RegisterConstraintEngine(const std::string& name,
+                                  std::unique_ptr<CheckerEngine> engine);
+
   /// Stops checking a constraint and discards its auxiliary state.
   Status UnregisterConstraint(const std::string& name);
 
@@ -202,8 +222,11 @@ class ConstraintMonitor {
 
   /// Restores a SaveState() checkpoint into a monitor with the SAME tables
   /// and constraints registered (names and schemas are validated).
-  /// Replaces the database and all checker state; per-constraint timing
-  /// statistics restart from zero.
+  /// Replaces the database, all checker state, and the per-constraint
+  /// transition/violation counters (so Stats() stays consistent with
+  /// total_violations() across recovery); per-constraint timing statistics
+  /// restart from zero. Checkpoints from before format RTICMON2 are
+  /// rejected with InvalidArgument.
   Status LoadState(const std::string& data);
 
  private:

@@ -210,7 +210,7 @@ class FaultInjectingFile final : public WritableFile {
   }
 
   Status Close() override {
-    if (fs_->dead_) return DeadFsError();  // drop buffered bytes, like a crash
+    if (fs_->dead()) return DeadFsError();  // drop buffered bytes, like a crash
     return base_->Close();
   }
 
@@ -223,7 +223,18 @@ FaultInjectingFs::FaultInjectingFs(Fs* base, std::uint64_t trigger_op,
                                    FaultKind kind)
     : base_(base), trigger_op_(trigger_op), kind_(kind) {}
 
+std::uint64_t FaultInjectingFs::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+bool FaultInjectingFs::dead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
 Result<bool> FaultInjectingFs::BeginOp() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (dead_) return DeadFsError();
   ++ops_;
   if (trigger_op_ != 0 && ops_ == trigger_op_) {
@@ -244,18 +255,18 @@ Result<std::unique_ptr<WritableFile>> FaultInjectingFs::NewWritableFile(
 }
 
 Result<std::string> FaultInjectingFs::ReadFile(const std::string& path) {
-  if (dead_) return DeadFsError();
+  if (dead()) return DeadFsError();
   return base_->ReadFile(path);
 }
 
 Result<std::vector<std::string>> FaultInjectingFs::ListDir(
     const std::string& dir) {
-  if (dead_) return DeadFsError();
+  if (dead()) return DeadFsError();
   return base_->ListDir(dir);
 }
 
 Status FaultInjectingFs::CreateDir(const std::string& dir) {
-  if (dead_) return DeadFsError();
+  if (dead()) return DeadFsError();
   return base_->CreateDir(dir);
 }
 
@@ -280,7 +291,7 @@ Status FaultInjectingFs::Truncate(const std::string& path,
 }
 
 Result<bool> FaultInjectingFs::FileExists(const std::string& path) {
-  if (dead_) return DeadFsError();
+  if (dead()) return DeadFsError();
   return base_->FileExists(path);
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -82,7 +83,9 @@ enum class FaultKind {
 /// applies `kind`'s partial effect and fails, and every operation after it
 /// fails outright — the file system behaves as if the process died mid-call.
 /// Mutating operations are counted; reads and CreateDir are passed through
-/// (but also fail once dead).
+/// (but also fail once dead). The fault accounting is thread-safe, so
+/// concurrent committers (group commit) can be attacked; the files handed
+/// out inherit the base Fs's (lack of) internal synchronization.
 class FaultInjectingFs final : public Fs {
  public:
   FaultInjectingFs(Fs* base, std::uint64_t trigger_op, FaultKind kind);
@@ -98,10 +101,10 @@ class FaultInjectingFs final : public Fs {
   Result<bool> FileExists(const std::string& path) override;
 
   /// Mutating operations seen so far (use a disabled run to size a matrix).
-  std::uint64_t ops() const { return ops_; }
+  std::uint64_t ops() const;
 
   /// True once the fault has fired (every later operation fails).
-  bool dead() const { return dead_; }
+  bool dead() const;
 
  private:
   friend class FaultInjectingFile;
@@ -112,10 +115,11 @@ class FaultInjectingFs final : public Fs {
   Result<bool> BeginOp();
 
   Fs* base_;
-  std::uint64_t trigger_op_;
-  FaultKind kind_;
-  std::uint64_t ops_ = 0;
-  bool dead_ = false;
+  const std::uint64_t trigger_op_;
+  const FaultKind kind_;
+  mutable std::mutex mu_;
+  std::uint64_t ops_ = 0;   // guarded by mu_
+  bool dead_ = false;       // guarded by mu_
 };
 
 }  // namespace wal

@@ -1,0 +1,83 @@
+#include "wal/group_commit.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace rtic {
+namespace wal {
+
+Status GroupCommitter::Commit(std::string_view payload, std::uint64_t* seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  RTIC_RETURN_IF_ERROR(broken_);
+
+  // Arrival order is append order: the record is framed and handed to the
+  // writer under the lock, so sequence numbers never interleave.
+  const std::uint64_t my_seq = writer_->next_seq();
+  Status append = writer_->Append(my_seq, payload);
+  if (!append.ok()) {
+    // The writer poisoned itself; fail every gathered and future commit.
+    broken_ = append;
+    cv_.notify_all();
+    return append;
+  }
+  appended_seq_ = my_seq;
+  ++stats_.records;
+  if (seq != nullptr) *seq = my_seq;
+
+  if (options_.sync_policy != SyncPolicy::kAlways) {
+    // kNone/kBatch durability is entirely the writer's per-append
+    // behavior; there is no per-record fsync to coalesce.
+    return Status::OK();
+  }
+
+  while (durable_seq_ < my_seq) {
+    RTIC_RETURN_IF_ERROR(broken_);
+    if (leader_active_) {
+      // A leader is gathering; it captures the group end under this mutex
+      // after its window closes, so it will sync this record too.
+      cv_.wait(lock);
+      continue;
+    }
+    // Become the leader: hold the group open so concurrent committers can
+    // append behind us, then make everything appended so far durable with
+    // one fsync.
+    leader_active_ = true;
+    if (options_.window_micros > 0) {
+      cv_.wait_for(lock, std::chrono::microseconds(options_.window_micros),
+                   [this] { return !broken_.ok(); });
+      if (!broken_.ok()) {
+        leader_active_ = false;
+        cv_.notify_all();
+        return broken_;
+      }
+    }
+    const std::uint64_t group_end = appended_seq_;
+    const std::uint64_t group_size = group_end - durable_seq_;
+    // The fsync runs under the mutex: the writer (and its file buffer) is
+    // single-threaded by construction. Committers arriving meanwhile queue
+    // on the mutex and coalesce into the next group.
+    Status sync = writer_->Sync();
+    leader_active_ = false;
+    if (!sync.ok()) {
+      // One shared fsync, one shared fate: every record in the group is
+      // non-durable and every waiter sees the failure.
+      broken_ = sync;
+      cv_.notify_all();
+      return sync;
+    }
+    durable_seq_ = group_end;
+    ++stats_.syncs;
+    stats_.max_group = std::max(stats_.max_group, group_size);
+    cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+GroupCommitter::Stats GroupCommitter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace wal
+}  // namespace rtic

@@ -1,0 +1,93 @@
+// GroupCommitter: amortizes the WAL's dominant durable-path cost — the
+// per-record fsync of SyncPolicy::kAlways — across concurrent committers.
+//
+// Callers hand in encoded records; the committer appends them to the
+// underlying WalWriter in arrival order and coalesces every record that
+// arrives within a short window (Options::window_micros), or that queues
+// up while a prior fsync is in flight, into a single Sync(). Each caller
+// is woken only once its own record is durable, so the ack contract of
+// SyncPolicy::kAlways is unchanged — what changes is that one fsync now
+// covers a whole group instead of one record.
+//
+// Failure semantics: the shared fsync either lands the whole group or
+// fails the whole group. A failed append or sync poisons the underlying
+// writer (see WalWriter::Append) and breaks the committer — every waiting
+// and subsequent Commit returns the failure, exactly as if the process had
+// crashed at that operation. Recovery then sees an ordinary torn tail.
+//
+// Under SyncPolicy::kNone or kBatch there is nothing to coalesce (those
+// policies do not fsync per record); Commit simply appends with the
+// writer's own policy and returns.
+
+#ifndef RTIC_WAL_GROUP_COMMIT_H_
+#define RTIC_WAL_GROUP_COMMIT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "common/result.h"
+#include "wal/wal_writer.h"
+
+namespace rtic {
+namespace wal {
+
+class GroupCommitter {
+ public:
+  struct Options {
+    /// The caller-facing durability policy. Only kAlways engages group
+    /// fsyncs; kNone/kBatch pass through to the writer's own behavior.
+    SyncPolicy sync_policy = SyncPolicy::kAlways;
+
+    /// How long the group leader holds the group open for more arrivals
+    /// before issuing the shared fsync. 0 means no gathering: the leader
+    /// syncs immediately after its own append (concurrent committers that
+    /// queued behind the fsync still coalesce into the next one).
+    std::uint64_t window_micros = 0;
+  };
+
+  /// Coalescing counters, for benchmarks and tests.
+  struct Stats {
+    std::uint64_t records = 0;    // records appended through Commit
+    std::uint64_t syncs = 0;      // shared fsyncs issued
+    std::uint64_t max_group = 0;  // most records made durable by one sync
+  };
+
+  /// The committer appends through `writer` (not owned). When the
+  /// caller-facing policy is kAlways the writer should be configured with
+  /// SyncPolicy::kBatch: each record reaches the OS at append and closed
+  /// segments are fsynced at rotation, while the committer issues the
+  /// group fsync for the open segment.
+  GroupCommitter(WalWriter* writer, Options options)
+      : writer_(writer), options_(options) {}
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// Appends `payload` as the next record (arrival order = sequence order)
+  /// and returns once the record is durable per the sync policy. Safe to
+  /// call from any number of threads concurrently; `seq` (optional)
+  /// receives the record's sequence number. After any failure the
+  /// committer is broken and every call returns the first error.
+  Status Commit(std::string_view payload, std::uint64_t* seq = nullptr);
+
+  Stats stats() const;
+
+ private:
+  WalWriter* writer_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t appended_seq_ = 0;  // last record handed to the writer
+  std::uint64_t durable_seq_ = 0;   // all records <= this are fsynced
+  bool leader_active_ = false;      // a leader is gathering its window
+  Status broken_;                   // first failure; non-OK breaks everything
+  Stats stats_;
+};
+
+}  // namespace wal
+}  // namespace rtic
+
+#endif  // RTIC_WAL_GROUP_COMMIT_H_

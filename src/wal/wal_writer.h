@@ -43,15 +43,27 @@ class WalWriter {
 
   /// Appends one record. `seq` must equal next_seq() — the log never skips
   /// or repeats a sequence number.
+  ///
+  /// A failed append (or sync, or rotation) POISONS the writer: the open
+  /// segment may end in a torn record, and appending past it would put
+  /// durable records beyond the damage, where recovery's torn-tail
+  /// truncation would silently discard them. Every later Append/Sync/Rotate
+  /// fails with FailedPrecondition; the open file is abandoned unflushed
+  /// (crash semantics). Sequence-order violations are rejected without
+  /// poisoning — nothing touched the file.
   Status Append(std::uint64_t seq, std::string_view payload);
 
-  /// Flush + fsync the open segment (no-op when none is open).
+  /// Flush + fsync the open segment (no-op when none is open). A failure
+  /// poisons the writer (see Append).
   Status Sync();
 
   /// Closes the open segment; the next Append starts a fresh one. Called at
   /// checkpoints so a checkpoint covers whole segments, making garbage
-  /// collection a plain file deletion.
+  /// collection a plain file deletion. A failure poisons the writer.
   Status Rotate();
+
+  /// Non-OK once the writer is poisoned (the first error it surfaced).
+  const Status& broken() const { return broken_; }
 
   std::uint64_t next_seq() const { return next_seq_; }
 
@@ -65,6 +77,10 @@ class WalWriter {
         options_(options),
         next_seq_(next_seq) {}
 
+  /// Records `error`, abandons the open file without flushing, and returns
+  /// `error` (the triggering caller sees the original failure).
+  Status Poison(Status error);
+
   Fs* fs_;
   std::string dir_;
   Options options_;
@@ -72,6 +88,7 @@ class WalWriter {
   std::unique_ptr<WritableFile> current_;
   std::string current_name_;
   std::size_t current_bytes_ = 0;
+  Status broken_;  // non-OK once poisoned
 };
 
 }  // namespace wal

@@ -223,5 +223,95 @@ TEST(WorkloadDifferentialTest, LibraryStreamAllVariantsAgree) {
                           "library seed=9002");
 }
 
+// ---- erroring engines --------------------------------------------------------
+
+/// Holds on every transition except call number `fail_at`, which errors.
+class FailingEngine final : public CheckerEngine {
+ public:
+  explicit FailingEngine(int fail_at) : fail_at_(fail_at) {}
+
+  Result<bool> OnTransition(const Database&, Timestamp) override {
+    if (++calls_ == fail_at_) return Status::Internal("injected check error");
+    return true;
+  }
+  Result<Relation> CurrentCounterexamples(const Database&) override {
+    return Relation(std::vector<Column>{});
+  }
+  std::size_t StorageRows() const override { return 0; }
+  const char* name() const override { return "failing"; }
+
+ private:
+  const int fail_at_;
+  int calls_ = 0;
+};
+
+std::unique_ptr<ConstraintMonitor> MakeMonitorWithFailingEngine(
+    std::size_t num_threads) {
+  MonitorOptions options;
+  options.num_threads = num_threads;
+  auto monitor = std::make_unique<ConstraintMonitor>(options);
+  EXPECT_TRUE(monitor->CreateTable("P", IntSchema({"a"})).ok());
+  EXPECT_TRUE(monitor->CreateTable("Q", IntSchema({"a"})).ok());
+  // Registration order matters: the failing engine sits BETWEEN two healthy
+  // constraints, so a serial path that stopped checking at the error would
+  // starve the temporal constraint behind it of a transition.
+  RTIC_EXPECT_OK(monitor->RegisterConstraint("a_plain",
+                                             "forall a: P(a) implies P(a)"));
+  RTIC_EXPECT_OK(monitor->RegisterConstraintEngine(
+      "b_failing", std::make_unique<FailingEngine>(/*fail_at=*/2)));
+  RTIC_EXPECT_OK(monitor->RegisterConstraint(
+      "c_temporal", "forall a: Q(a) implies previous P(a)"));
+  return monitor;
+}
+
+// One constraint's check error must not desynchronize the OTHER engines
+// between the serial and parallel paths. The scenario is built so that
+// missing exactly the erroring transition flips a later verdict: P(7) is
+// deleted at t=2 (where the failing engine errors), so "previous P(a)" at
+// t=3 only reports a violation if the temporal engine saw t=2.
+TEST(ErroringEngineDifferentialTest, SerialAndParallelStayIdentical) {
+  auto serial = MakeMonitorWithFailingEngine(1);
+  auto parallel = MakeMonitorWithFailingEngine(8);
+
+  UpdateBatch insert_p(1);
+  insert_p.Insert("P", T(I(7)));
+  UpdateBatch delete_p(2);
+  delete_p.Delete("P", T(I(7)));
+  UpdateBatch insert_q(3);
+  insert_q.Insert("Q", T(I(7)));
+
+  // t=1: all healthy.
+  EXPECT_TRUE(Unwrap(serial->ApplyUpdate(insert_p)).empty());
+  EXPECT_TRUE(Unwrap(parallel->ApplyUpdate(insert_p)).empty());
+
+  // t=2: the failing engine errors; both paths must surface it.
+  Result<std::vector<Violation>> serial_err = serial->ApplyUpdate(delete_p);
+  Result<std::vector<Violation>> parallel_err =
+      parallel->ApplyUpdate(delete_p);
+  ASSERT_FALSE(serial_err.ok());
+  ASSERT_FALSE(parallel_err.ok());
+  EXPECT_EQ(serial_err.status().ToString(), parallel_err.status().ToString());
+
+  // t=3: the temporal constraint must have seen the t=2 deletion in BOTH
+  // monitors, so both report the violation.
+  auto serial_violations = Unwrap(serial->ApplyUpdate(insert_q));
+  auto parallel_violations = Unwrap(parallel->ApplyUpdate(insert_q));
+  ASSERT_EQ(serial_violations.size(), 1u)
+      << "the temporal engine missed the erroring transition";
+  EXPECT_EQ(serial_violations[0].constraint_name, "c_temporal");
+  ASSERT_EQ(Render(serial_violations), Render(parallel_violations));
+
+  // And the bookkeeping agrees too.
+  const std::vector<ConstraintStats> s_stats = serial->Stats();
+  const std::vector<ConstraintStats> p_stats = parallel->Stats();
+  ASSERT_EQ(s_stats.size(), p_stats.size());
+  for (std::size_t i = 0; i < s_stats.size(); ++i) {
+    EXPECT_EQ(s_stats[i].transitions, p_stats[i].transitions)
+        << s_stats[i].name;
+    EXPECT_EQ(s_stats[i].violations, p_stats[i].violations)
+        << s_stats[i].name;
+  }
+}
+
 }  // namespace
 }  // namespace rtic

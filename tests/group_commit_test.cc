@@ -1,0 +1,365 @@
+// Group-commit tests: the GroupCommitter's coalescing protocol, its
+// byte-transparency (grouping changes when fsyncs happen, never what bytes
+// land), shared-fsync failure fate, and the concurrent-appender path through
+// RecoveryManager that the whole feature exists for. The stress tests are
+// the suite's TSan targets.
+
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monitor/monitor.h"
+#include "storage/codec.h"
+#include "tests/test_util.h"
+#include "wal/file.h"
+#include "wal/group_commit.h"
+#include "wal/recovery.h"
+#include "wal/wal_reader.h"
+#include "wal/wal_writer.h"
+
+namespace rtic {
+namespace wal {
+namespace {
+
+using ::rtic::testing::I;
+using ::rtic::testing::T;
+using ::rtic::testing::Unwrap;
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/rtic_group_commit_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+/// Batch (thread, i): a one-insert batch whose timestamp encodes its origin,
+/// so the WAL contents can be mapped back to per-thread order.
+UpdateBatch ThreadBatch(std::size_t thread, std::size_t i) {
+  UpdateBatch batch(static_cast<Timestamp>(thread * 1000 + i + 1));
+  batch.Insert("Emp", T(I(static_cast<std::int64_t>(thread)),
+                        I(static_cast<std::int64_t>(i))));
+  return batch;
+}
+
+std::string Encoded(const UpdateBatch& batch) {
+  StateWriter w;
+  batch.EncodeTo(&w);
+  return w.str();
+}
+
+/// ReplayTarget that accepts everything; these tests drive the manager's
+/// append path, not replay.
+class NullTarget final : public ReplayTarget {
+ public:
+  Status RestoreCheckpoint(const std::string&) override {
+    return Status::OK();
+  }
+  Status Replay(const UpdateBatch&) override { return Status::OK(); }
+  Result<std::string> CaptureCheckpoint() override {
+    return std::string("ckpt");
+  }
+};
+
+// ---- coalescing --------------------------------------------------------------
+
+// K committers released simultaneously into a wide-open window must be made
+// durable by ONE shared fsync covering all K records.
+TEST(GroupCommitterTest, WindowCoalescesConcurrentCommittersIntoOneSync) {
+  const std::string dir = MakeTempDir();
+  constexpr std::size_t kThreads = 8;
+  std::unique_ptr<WalWriter> writer = Unwrap(
+      WalWriter::Open(DefaultFs(), dir,
+                      {.sync_policy = SyncPolicy::kBatch}, /*next_seq=*/1));
+  GroupCommitter committer(
+      writer.get(), {.sync_policy = SyncPolicy::kAlways,
+                     .window_micros = 500 * 1000});  // generous vs scheduling
+
+  std::barrier start(kThreads);
+  std::vector<Status> results(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      results[t] = committer.Commit("record-" + std::to_string(t));
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const Status& s : results) RTIC_EXPECT_OK(s);
+
+  GroupCommitter::Stats stats = committer.stats();
+  EXPECT_EQ(stats.records, kThreads);
+  EXPECT_EQ(stats.syncs, 1u) << "all committers fit inside one window";
+  EXPECT_EQ(stats.max_group, kThreads);
+
+  std::unique_ptr<WalReader> reader = Unwrap(WalReader::Open(DefaultFs(), dir));
+  WalReader::Record rec;
+  std::size_t count = 0;
+  while (Unwrap(reader->Next(&rec))) {
+    EXPECT_EQ(rec.seq, ++count);
+  }
+  EXPECT_EQ(count, kThreads);
+  EXPECT_FALSE(reader->damage().has_value());
+}
+
+// A serial committer never coalesces (there is nobody to share with): every
+// record costs one fsync even through the group path.
+TEST(GroupCommitterTest, SerialCommitsSyncOncePerRecord) {
+  const std::string dir = MakeTempDir();
+  std::unique_ptr<WalWriter> writer = Unwrap(
+      WalWriter::Open(DefaultFs(), dir,
+                      {.sync_policy = SyncPolicy::kBatch}, /*next_seq=*/1));
+  GroupCommitter committer(
+      writer.get(),
+      {.sync_policy = SyncPolicy::kAlways, .window_micros = 100});
+  for (int i = 0; i < 5; ++i) {
+    std::uint64_t seq = 0;
+    RTIC_ASSERT_OK(committer.Commit("r", &seq));
+    EXPECT_EQ(seq, static_cast<std::uint64_t>(i + 1));
+  }
+  GroupCommitter::Stats stats = committer.stats();
+  EXPECT_EQ(stats.records, 5u);
+  EXPECT_EQ(stats.syncs, 5u);
+  EXPECT_EQ(stats.max_group, 1u);
+}
+
+// ---- byte transparency -------------------------------------------------------
+
+// Group commit must never change WHAT lands in the log — only when fsyncs
+// happen. The same serial record sequence through (a) a plain kAlways
+// writer, (b) the group path with window=0, and (c) the group path with a
+// real window must produce byte-identical segment files, rotations
+// included.
+TEST(GroupCommitterTest, GroupPathIsByteIdenticalToDirectWriter) {
+  const std::size_t kSegmentBytes = 128;  // force several rotations
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 20; ++i) {
+    payloads.push_back("payload-" + std::to_string(i));
+  }
+
+  const std::string direct_dir = MakeTempDir();
+  {
+    std::unique_ptr<WalWriter> writer = Unwrap(WalWriter::Open(
+        DefaultFs(), direct_dir,
+        {.sync_policy = SyncPolicy::kAlways, .segment_bytes = kSegmentBytes},
+        1));
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      RTIC_ASSERT_OK(writer->Append(i + 1, payloads[i]));
+    }
+  }
+
+  for (const std::uint64_t window : {std::uint64_t{0}, std::uint64_t{100}}) {
+    SCOPED_TRACE("window=" + std::to_string(window));
+    const std::string dir = MakeTempDir();
+    std::unique_ptr<WalWriter> writer = Unwrap(WalWriter::Open(
+        DefaultFs(), dir,
+        {.sync_policy = SyncPolicy::kBatch, .segment_bytes = kSegmentBytes},
+        1));
+    GroupCommitter committer(
+        writer.get(),
+        {.sync_policy = SyncPolicy::kAlways, .window_micros = window});
+    for (const std::string& p : payloads) {
+      RTIC_ASSERT_OK(committer.Commit(p));
+    }
+
+    std::vector<std::string> direct_names =
+        Unwrap(DefaultFs()->ListDir(direct_dir));
+    std::vector<std::string> group_names = Unwrap(DefaultFs()->ListDir(dir));
+    ASSERT_EQ(group_names, direct_names);
+    ASSERT_GT(group_names.size(), 1u) << "the workload must rotate";
+    for (const std::string& name : group_names) {
+      EXPECT_EQ(Unwrap(DefaultFs()->ReadFile(dir + "/" + name)),
+                Unwrap(DefaultFs()->ReadFile(direct_dir + "/" + name)))
+          << name;
+    }
+  }
+}
+
+// ---- failure fate ------------------------------------------------------------
+
+// A fault inside the SHARED fsync must fail every committer in the group —
+// no record in the group may be acked — and break the committer for good.
+TEST(GroupCommitterTest, FaultInSharedSyncFailsTheWholeGroup) {
+  const std::string dir = MakeTempDir();
+  constexpr std::size_t kThreads = 4;
+  // Mutating ops with a kBatch writer and no rotation: open (1), then per
+  // append a file Append + Flush (2 each), then the shared Sync. Triggering
+  // at 2K + 2 lands the fault exactly in the group fsync.
+  FaultInjectingFs fs(DefaultFs(), /*trigger_op=*/2 * kThreads + 2,
+                      FaultKind::kFailWrite);
+  std::unique_ptr<WalWriter> writer = Unwrap(WalWriter::Open(
+      &fs, dir, {.sync_policy = SyncPolicy::kBatch}, /*next_seq=*/1));
+  GroupCommitter committer(
+      writer.get(), {.sync_policy = SyncPolicy::kAlways,
+                     .window_micros = 300 * 1000});  // gathers all K
+
+  std::barrier start(kThreads);
+  std::vector<Status> results(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      results[t] = committer.Commit("doomed-" + std::to_string(t));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  ASSERT_TRUE(fs.dead()) << "the trigger op count must hit the shared sync";
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_FALSE(results[t].ok())
+        << "committer " << t << " was acked by a failed group fsync";
+  }
+  // The writer is poisoned and the committer broken: nothing gets through.
+  EXPECT_EQ(writer->broken().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(committer.Commit("after").ok());
+}
+
+// A fault in one committer's APPEND fails that committer and breaks the
+// group (the segment may end in a torn record; appending past it would
+// strand durable records beyond the damage).
+TEST(GroupCommitterTest, FaultInAppendBreaksTheCommitter) {
+  const std::string dir = MakeTempDir();
+  // open (1), first append lands (+2) and group-syncs (+1); the second
+  // commit's file write — op 5 — faults.
+  FaultInjectingFs fs(DefaultFs(), /*trigger_op=*/5, FaultKind::kShortWrite);
+  std::unique_ptr<WalWriter> writer = Unwrap(WalWriter::Open(
+      &fs, dir, {.sync_policy = SyncPolicy::kBatch}, /*next_seq=*/1));
+  GroupCommitter committer(
+      writer.get(),
+      {.sync_policy = SyncPolicy::kAlways, .window_micros = 0});
+  RTIC_ASSERT_OK(committer.Commit("first"));
+  EXPECT_FALSE(committer.Commit("torn").ok());
+  EXPECT_FALSE(committer.Commit("after").ok());
+  GroupCommitter::Stats stats = committer.stats();
+  EXPECT_EQ(stats.records, 1u) << "failed appends are not records";
+}
+
+// ---- RecoveryManager integration (the TSan stress target) --------------------
+
+// Many threads hammer AppendBatch concurrently. Every acked batch must be
+// in the log exactly once, sequence numbers must be contiguous from 1, each
+// thread's own batches must appear in its submission order, and the
+// committer must have coalesced (fewer fsyncs than records).
+TEST(GroupCommitStressTest, ConcurrentAppendersProduceOneContiguousLog) {
+  const std::string dir = MakeTempDir() + "/wal";
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 25;
+
+  WalOptions options;
+  options.dir = dir;
+  options.sync_policy = SyncPolicy::kAlways;
+  options.group_commit_window_micros = 2000;
+  options.checkpoint_interval = 0;  // appends only; no checkpoint races
+  NullTarget target;
+  {
+    auto manager = Unwrap(RecoveryManager::Open(options, &target));
+    ASSERT_NE(manager->group_committer(), nullptr);
+
+    std::barrier start(kThreads);
+    std::vector<Status> results(kThreads);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        start.arrive_and_wait();
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          Status s = manager->AppendBatch(ThreadBatch(t, i));
+          if (!s.ok()) {
+            results[t] = s;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (const Status& s : results) RTIC_EXPECT_OK(s);
+
+    EXPECT_EQ(manager->last_seq(), kThreads * kPerThread);
+    GroupCommitter::Stats stats = manager->group_committer()->stats();
+    EXPECT_EQ(stats.records, kThreads * kPerThread);
+    EXPECT_GE(stats.syncs, 1u);
+    EXPECT_LT(stats.syncs, stats.records)
+        << "concurrent committers must share at least one fsync";
+  }
+
+  // Map every logged payload back to (thread, index) and check the log is
+  // a contiguous interleaving that preserves each thread's order.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> origin;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      origin[Encoded(ThreadBatch(t, i))] = {t, i};
+    }
+  }
+  std::unique_ptr<WalReader> reader = Unwrap(WalReader::Open(DefaultFs(), dir));
+  WalReader::Record rec;
+  std::uint64_t expected_seq = 0;
+  std::vector<std::size_t> next_index(kThreads, 0);
+  while (Unwrap(reader->Next(&rec))) {
+    EXPECT_EQ(rec.seq, ++expected_seq);
+    auto it = origin.find(rec.payload);
+    ASSERT_NE(it, origin.end()) << "unknown payload at seq " << rec.seq;
+    const auto [t, i] = it->second;
+    EXPECT_EQ(i, next_index[t]) << "thread " << t << " order broken";
+    ++next_index[t];
+    origin.erase(it);
+  }
+  EXPECT_FALSE(reader->damage().has_value());
+  EXPECT_EQ(expected_seq, kThreads * kPerThread);
+  EXPECT_TRUE(origin.empty()) << origin.size() << " batches never logged";
+}
+
+// ---- durable monitor integration --------------------------------------------
+
+// A monitor with group commit enabled survives a restart exactly like one
+// without it.
+TEST(GroupCommitMonitorTest, RecoversVerdictForVerdict) {
+  const std::string dir = MakeTempDir() + "/wal";
+  const std::size_t kBatches = 10;
+
+  auto make_monitor = [&](bool durable) {
+    MonitorOptions options;
+    if (durable) {
+      options.wal_dir = dir;
+      options.sync_policy = SyncPolicy::kAlways;
+      options.group_commit_window_micros = 500;
+      options.checkpoint_interval = 4;
+    }
+    auto monitor = std::make_unique<ConstraintMonitor>(std::move(options));
+    RTIC_EXPECT_OK(
+        monitor->CreateTable("Emp", testing::IntSchema({"id", "s"})));
+    RTIC_EXPECT_OK(monitor->RegisterConstraint(
+        "no_pay_cut",
+        "forall e, s, s0: Emp(e, s) and previous Emp(e, s0) implies s >= s0"));
+    return monitor;
+  };
+  auto make_batch = [](std::size_t i) {
+    UpdateBatch batch(static_cast<Timestamp>(i + 1));
+    const std::int64_t id = static_cast<std::int64_t>(i % 3);
+    batch.Insert("Emp", T(I(id), I(100 - static_cast<std::int64_t>(i))));
+    return batch;
+  };
+
+  auto reference = make_monitor(/*durable=*/false);
+  for (std::size_t i = 0; i < kBatches; ++i) {
+    RTIC_ASSERT_OK(reference->ApplyUpdate(make_batch(i)).status());
+  }
+  {
+    auto monitor = make_monitor(/*durable=*/true);
+    RTIC_ASSERT_OK(monitor->Recover().status());
+    for (std::size_t i = 0; i < kBatches; ++i) {
+      RTIC_ASSERT_OK(monitor->ApplyUpdate(make_batch(i)).status());
+    }
+  }
+  auto recovered = make_monitor(/*durable=*/true);
+  RTIC_ASSERT_OK(recovered->Recover().status());
+  EXPECT_EQ(recovered->transition_count(), kBatches);
+  EXPECT_EQ(Unwrap(recovered->SaveState()), Unwrap(reference->SaveState()));
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace rtic

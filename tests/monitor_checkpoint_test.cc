@@ -69,6 +69,67 @@ TEST(MonitorCheckpointTest, ContinuationMatchesUninterruptedRun) {
   EXPECT_EQ(second->total_violations(), reference->total_violations());
 }
 
+// Per-constraint transition/violation counters are monitor state and must
+// ride in the checkpoint: a restored monitor's Stats() must stay consistent
+// with its restored total_violations().
+TEST(MonitorCheckpointTest, PerConstraintCountersSurviveSaveLoad) {
+  workload::AlarmParams params;
+  params.length = 60;
+  params.num_alarms = 8;
+  params.late_prob = 0.3;
+  params.seed = 33;
+  workload::Workload w = workload::MakeAlarmWorkload(params);
+
+  auto original = AlarmMonitor(w);
+  for (const UpdateBatch& batch : w.batches) {
+    RTIC_ASSERT_OK(original->ApplyUpdate(batch).status());
+  }
+  ASSERT_GT(original->total_violations(), 0u)
+      << "the workload must violate for this test to mean anything";
+
+  auto restored = AlarmMonitor(w);
+  RTIC_ASSERT_OK(restored->LoadState(Unwrap(original->SaveState())));
+
+  const std::vector<ConstraintStats> want = original->Stats();
+  const std::vector<ConstraintStats> got = restored->Stats();
+  ASSERT_EQ(got.size(), want.size());
+  std::size_t violation_sum = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].transitions, want[i].transitions) << got[i].name;
+    EXPECT_EQ(got[i].violations, want[i].violations) << got[i].name;
+    violation_sum += got[i].violations;
+  }
+  EXPECT_EQ(restored->total_violations(), original->total_violations());
+  EXPECT_EQ(violation_sum, restored->total_violations())
+      << "per-constraint counters must sum to the monitor total";
+}
+
+// Checkpoints from before the counters were persisted (format RTICMON1)
+// cannot be restored consistently; they must be rejected with a message
+// naming the version, not half-loaded.
+TEST(MonitorCheckpointTest, LegacyCheckpointVersionRejected) {
+  ConstraintMonitor a;
+  RTIC_ASSERT_OK(a.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(
+      a.RegisterConstraint("c", "forall a: P(a) implies once P(a)"));
+  UpdateBatch b1(1);
+  b1.Insert("P", T(I(1)));
+  (void)Unwrap(a.ApplyUpdate(b1));
+  std::string checkpoint = Unwrap(a.SaveState());
+
+  const std::size_t magic_at = checkpoint.find("RTICMON2");
+  ASSERT_NE(magic_at, std::string::npos);
+  checkpoint.replace(magic_at, 8, "RTICMON1");
+
+  ConstraintMonitor b;
+  RTIC_ASSERT_OK(b.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(
+      b.RegisterConstraint("c", "forall a: P(a) implies once P(a)"));
+  Status s = b.LoadState(checkpoint);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("RTICMON1"), std::string::npos) << s.ToString();
+}
+
 TEST(MonitorCheckpointTest, NaiveEngineMonitorCannotCheckpoint) {
   MonitorOptions options;
   options.engine = EngineKind::kNaive;

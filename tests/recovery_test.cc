@@ -252,6 +252,129 @@ TEST(DurableMonitorTest, GarbageCollectionBoundsFileCount) {
   EXPECT_LE(names.size(), 5u) << "GC must bound the directory size";
 }
 
+TEST(DurableMonitorTest, StatsStayConsistentAcrossRecovery) {
+  const std::string dir = MakeTempDir() + "/wal";
+  const std::size_t kBatches = 30;  // checkpoint at 8/16/24 + 6-batch tail
+
+  std::vector<ConstraintStats> want;
+  std::size_t want_total = 0;
+  {
+    auto monitor = MakeMonitor(DurableOptions(dir, 8));
+    RTIC_ASSERT_OK(monitor->Recover().status());
+    for (std::size_t i = 0; i < kBatches; ++i) {
+      RTIC_ASSERT_OK(monitor->ApplyUpdate(MakeBatch(i)).status());
+    }
+    want = monitor->Stats();
+    want_total = monitor->total_violations();
+    ASSERT_GT(want_total, 0u) << "the workload must violate";
+  }
+
+  auto recovered = MakeMonitor(DurableOptions(dir, 8));
+  RTIC_ASSERT_OK(recovered->Recover().status());
+  EXPECT_EQ(recovered->total_violations(), want_total);
+  const std::vector<ConstraintStats> got = recovered->Stats();
+  ASSERT_EQ(got.size(), want.size());
+  std::size_t violation_sum = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].transitions, want[i].transitions)
+        << got[i].name << ": replayed-tail-only counters mean the "
+        << "checkpoint dropped them";
+    EXPECT_EQ(got[i].violations, want[i].violations) << got[i].name;
+    violation_sum += got[i].violations;
+  }
+  EXPECT_EQ(violation_sum, recovered->total_violations())
+      << "Stats() must sum to total_violations() after recovery";
+}
+
+/// Fails the first Rename (the checkpoint's atomic install step), then
+/// works again — a transient failure that must not cost the batch its
+/// verdicts.
+class FailRenameOnceFs final : public wal::Fs {
+ public:
+  explicit FailRenameOnceFs(wal::Fs* base) : base_(base) {}
+
+  Result<std::unique_ptr<wal::WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    return base_->NewWritableFile(path, truncate);
+  }
+  Result<std::string> ReadFile(const std::string& path) override {
+    return base_->ReadFile(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  Status CreateDir(const std::string& dir) override {
+    return base_->CreateDir(dir);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (!failed_) {
+      failed_ = true;
+      return Status::Internal("transient rename failure");
+    }
+    return base_->Rename(from, to);
+  }
+  Status Remove(const std::string& path) override {
+    return base_->Remove(path);
+  }
+  Status Truncate(const std::string& path, std::uint64_t size) override {
+    return base_->Truncate(path, size);
+  }
+  Result<bool> FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+
+  bool failed() const { return failed_; }
+
+ private:
+  wal::Fs* base_;
+  bool failed_ = false;
+};
+
+// A failed periodic checkpoint at the end of ApplyUpdate must not discard
+// the batch's computed violations (the batch is already applied, logged,
+// and checked); it is logged and retried at the next accepted batch.
+TEST(DurableMonitorTest, FailedPeriodicCheckpointKeepsVerdictsAndRetries) {
+  const std::string dir = MakeTempDir() + "/wal";
+  FailRenameOnceFs fs(wal::DefaultFs());
+
+  auto reference = MakeMonitor(MonitorOptions{});
+  MonitorOptions options = DurableOptions(dir, /*interval=*/6);
+  options.wal_fs = &fs;
+  auto monitor = MakeMonitor(std::move(options));
+  RTIC_ASSERT_OK(monitor->Recover().status());
+
+  // Batches 0..4 are clean; batch 5 is the 6th accepted batch — it both
+  // violates the constraint AND triggers the periodic checkpoint, whose
+  // install rename fails.
+  for (std::size_t i = 0; i < 5; ++i) {
+    RTIC_ASSERT_OK(reference->ApplyUpdate(MakeBatch(i)).status());
+    RTIC_ASSERT_OK(monitor->ApplyUpdate(MakeBatch(i)).status());
+  }
+  std::vector<Violation> want = Unwrap(reference->ApplyUpdate(MakeBatch(5)));
+  ASSERT_FALSE(want.empty()) << "batch 5 must violate for this test to bite";
+  Result<std::vector<Violation>> got = monitor->ApplyUpdate(MakeBatch(5));
+  ASSERT_TRUE(got.ok())
+      << "a retryable checkpoint failure must not fail the batch: "
+      << got.status().ToString();
+  EXPECT_TRUE(fs.failed()) << "the checkpoint install never ran";
+  ASSERT_EQ(got.value().size(), want.size());
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    EXPECT_EQ(got.value()[v].ToString(), want[v].ToString());
+  }
+
+  // The next accepted batch retries the checkpoint, and this time the
+  // rename goes through.
+  RTIC_ASSERT_OK(reference->ApplyUpdate(MakeBatch(6)).status());
+  RTIC_ASSERT_OK(monitor->ApplyUpdate(MakeBatch(6)).status());
+  monitor.reset();
+
+  auto recovered = MakeMonitor(DurableOptions(dir, 6));
+  wal::RecoveryStats stats = Unwrap(recovered->Recover());
+  EXPECT_EQ(stats.checkpoint_seq, 7u) << "the retried checkpoint must land";
+  EXPECT_EQ(recovered->transition_count(), 7u);
+  EXPECT_EQ(Unwrap(recovered->SaveState()), Unwrap(reference->SaveState()));
+}
+
 // ---- RecoveryManager edge cases ---------------------------------------------
 
 /// Records every callback; checkpoints are opaque strings.

@@ -187,6 +187,120 @@ TEST(WalWriterTest, RejectsOutOfOrderAppends) {
   EXPECT_FALSE(WalWriter::Open(DefaultFs(), dir, {}, 0).ok());
 }
 
+/// Fails exactly one chosen file Append with a torn half-write, then keeps
+/// working — unlike FaultInjectingFs, whose trigger kills the whole file
+/// system. This models a transient I/O error: the dangerous case for a
+/// writer, because later appends would SUCCEED and land durable records
+/// beyond the torn bytes, where recovery's torn-tail truncation silently
+/// discards them.
+class TornOnceFs final : public Fs {
+ public:
+  TornOnceFs(Fs* base, int fail_append)
+      : base_(base), fail_append_(fail_append) {}
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    RTIC_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                          base_->NewWritableFile(path, truncate));
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<File>(this, std::move(base)));
+  }
+  Result<std::string> ReadFile(const std::string& path) override {
+    return base_->ReadFile(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  Status CreateDir(const std::string& dir) override {
+    return base_->CreateDir(dir);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return base_->Rename(from, to);
+  }
+  Status Remove(const std::string& path) override {
+    return base_->Remove(path);
+  }
+  Status Truncate(const std::string& path, std::uint64_t size) override {
+    return base_->Truncate(path, size);
+  }
+  Result<bool> FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+
+ private:
+  class File final : public WritableFile {
+   public:
+    File(TornOnceFs* fs, std::unique_ptr<WritableFile> base)
+        : fs_(fs), base_(std::move(base)) {}
+    Status Append(std::string_view data) override {
+      if (++fs_->appends_ == fs_->fail_append_) {
+        (void)base_->Append(data.substr(0, data.size() / 2));
+        (void)base_->Flush();
+        return Status::Internal("transient write error");
+      }
+      return base_->Append(data);
+    }
+    Status Flush() override { return base_->Flush(); }
+    Status Sync() override { return base_->Sync(); }
+    Status Close() override { return base_->Close(); }
+
+   private:
+    TornOnceFs* fs_;
+    std::unique_ptr<WritableFile> base_;
+  };
+
+  Fs* base_;
+  const int fail_append_;
+  int appends_ = 0;
+};
+
+// The data-loss regression: after a failed append left a torn record, the
+// file system RECOVERS — a writer that kept appending would put durable
+// records beyond the tear, and recovery would silently truncate them away.
+// The writer must poison itself and refuse.
+TEST(WalWriterTest, PoisonsAfterFailedAppendInsteadOfStrandingRecords) {
+  const std::string dir = MakeTempDir();
+  TornOnceFs fs(DefaultFs(), /*fail_append=*/2);
+  WalWriter::Options options;
+  options.sync_policy = SyncPolicy::kBatch;
+  std::unique_ptr<WalWriter> writer =
+      Unwrap(WalWriter::Open(&fs, dir, options, 1));
+  RTIC_ASSERT_OK(writer->Append(1, "first record"));
+  EXPECT_FALSE(writer->Append(2, "torn record").ok());
+
+  // The fs works again, but every further write must be refused.
+  EXPECT_EQ(writer->Append(2, "would strand").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Sync().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Rotate().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(writer->broken().ok());
+
+  // On disk: record 1 followed by the tear, nothing beyond it.
+  std::unique_ptr<WalReader> reader = Unwrap(WalReader::Open(DefaultFs(), dir));
+  WalReader::Record rec;
+  ASSERT_TRUE(Unwrap(reader->Next(&rec)));
+  EXPECT_EQ(rec.payload, "first record");
+  EXPECT_FALSE(Unwrap(reader->Next(&rec)));
+  ASSERT_TRUE(reader->damage().has_value());
+}
+
+TEST(WalWriterTest, PoisonsAfterFailedSync) {
+  const std::string dir = MakeTempDir();
+  // kBatch writer: open (1), append (2), flush (3); the explicit Sync is
+  // op 4 and faults.
+  FaultInjectingFs fs(DefaultFs(), /*trigger_op=*/4, FaultKind::kFailWrite);
+  WalWriter::Options options;
+  options.sync_policy = SyncPolicy::kBatch;
+  std::unique_ptr<WalWriter> writer =
+      Unwrap(WalWriter::Open(&fs, dir, options, 1));
+  RTIC_ASSERT_OK(writer->Append(1, "a"));
+  EXPECT_FALSE(writer->Sync().ok());
+  // Poisoned, not merely unlucky: the refusal is FailedPrecondition from
+  // the writer itself, before the (dead) fs is ever consulted.
+  EXPECT_EQ(writer->Append(2, "b").code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(writer->broken().ok());
+}
+
 TEST(WalReaderTest, TornTailReportsDamageAtExactOffset) {
   const std::string dir = MakeTempDir();
   std::string good = EncodeRecord(1, "first") + EncodeRecord(2, "second");
