@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates bench_output.txt — the raw google-benchmark tables the
+# EXPERIMENTS.md rows are transcribed from. Runs every bench binary in
+# sequence on the plain build; pass a filter to rerun a subset into
+# stdout instead:
+#
+#   scripts/bench.sh               # all experiments -> bench_output.txt
+#   scripts/bench.sh e13           # only bench_e13_* -> stdout
+#
+# Benchmarks are wall-clock sensitive; run on an idle machine and expect
+# some run-to-run jitter in the times (the byte counters are exact).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" >/dev/null
+
+if [[ $# -ge 1 ]]; then
+  for b in build/bench/bench_*"$1"*; do
+    "$b"
+  done
+  exit 0
+fi
+
+out="bench_output.txt"
+: > "$out"
+for b in build/bench/bench_*; do
+  [[ -x "$b" ]] || continue
+  echo "== $(basename "$b") ==" | tee -a "$out"
+  "$b" 2>&1 | tee -a "$out"
+  echo | tee -a "$out"
+done
+echo "wrote $out"

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Repo-wide verification: the tier-1 suite, an AddressSanitizer pass over
-# the unit, fuzz, and fault ctest labels, and a ThreadSanitizer pass over
-# the parallel and fault labels (group commit and the crash matrix are
-# the concurrency-heavy durable paths).
+# the unit, fuzz, and fault ctest labels, an ASan+UBSan pass over the
+# checkpoint label plus a bench_e13_checkpoint smoke (the codec and
+# delta-chain paths do the bit-level byte banging most likely to trip
+# UB), and a ThreadSanitizer pass over the parallel and fault labels
+# (group commit and the crash matrix are the concurrency-heavy durable
+# paths).
 #
-#   scripts/check.sh           # full run (tier-1 + asan + tsan)
+#   scripts/check.sh           # full run (tier-1 + asan + asan+ubsan + tsan)
 #   scripts/check.sh --fast    # tier-1 only
 #
 # Build directories: build/ (plain RelWithDebInfo), build-asan/
-# (RTIC_SANITIZE=address), and build-tsan/ (RTIC_SANITIZE=thread). All
-# are created on demand and reused.
+# (RTIC_SANITIZE=address), build-asan-ubsan/
+# (RTIC_SANITIZE=address+undefined), and build-tsan/
+# (RTIC_SANITIZE=thread). All are created on demand and reused.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,6 +36,16 @@ echo "== asan: unit + fuzz + fault labels (build-asan/) =="
 cmake -B build-asan -S . -DRTIC_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" -L 'unit|fuzz|fault')
+
+echo "== asan+ubsan: checkpoint label + bench_e13 smoke (build-asan-ubsan/) =="
+cmake -B build-asan-ubsan -S . -DRTIC_SANITIZE=address+undefined >/dev/null
+cmake --build build-asan-ubsan -j "$JOBS"
+(cd build-asan-ubsan && ctest --output-on-failure -j "$JOBS" -L checkpoint)
+# A 30-second cap keeps the smoke cheap: one small-state full-vs-delta pair
+# is enough to drive the codec, the delta writer, and chain recovery under
+# both sanitizers. Codec or chain regressions fail fast here.
+timeout 30 ./build-asan-ubsan/bench/bench_e13_checkpoint \
+  --benchmark_filter='state:1000'
 
 echo "== tsan: parallel + fault labels (build-tsan/) =="
 cmake -B build-tsan -S . -DRTIC_SANITIZE=thread >/dev/null

@@ -1,0 +1,253 @@
+#include "common/compress.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/crc32c.h"
+
+namespace rtic {
+namespace {
+
+constexpr char kMagic[] = "RTICZIP1";
+constexpr std::size_t kMagicBytes = 8;
+constexpr std::uint8_t kModeStored = 0;
+constexpr std::uint8_t kModeDictRle = 1;
+// magic + mode + raw_size + crc
+constexpr std::size_t kHeaderBytes = kMagicBytes + 1 + 8 + 4;
+
+/// Decoded sizes above this are treated as corruption, not allocations
+/// (mirrors the WAL's kMaxRecordBytes).
+constexpr std::uint64_t kMaxRawBytes = std::uint64_t{1} << 30;
+
+void PutFixed32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutFixed64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutVarint(std::string* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Cursor over the frame body with bounds-checked reads.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ReadFixed32(std::uint32_t* v) {
+    if (data_.size() - pos_ < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(
+                static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadFixed64(std::uint64_t* v) {
+    if (data_.size() - pos_ < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadVarint(std::uint64_t* v) {
+    *v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= data_.size()) return false;
+      std::uint8_t byte = static_cast<std::uint8_t>(data_[pos_++]);
+      *v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return true;
+    }
+    return false;  // over-long varint
+  }
+
+  bool ReadBytes(std::size_t n, std::string_view* out) {
+    if (data_.size() - pos_ < n) return false;
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+std::string FrameHeader(std::uint8_t mode, std::string_view raw) {
+  std::string out;
+  out.reserve(kHeaderBytes);
+  out.append(kMagic, kMagicBytes);
+  out.push_back(static_cast<char>(mode));
+  PutFixed64(&out, raw.size());
+  PutFixed32(&out, Crc32c(raw));
+  return out;
+}
+
+Status CorruptFrame(const std::string& what) {
+  return Status::InvalidArgument("corrupt compressed frame: " + what);
+}
+
+}  // namespace
+
+bool LooksCompressed(std::string_view data) {
+  return data.size() >= kMagicBytes &&
+         data.substr(0, kMagicBytes) == std::string_view(kMagic, kMagicBytes);
+}
+
+std::string Compress(std::string_view raw) {
+  // Split on single spaces, keeping empty segments, so that joining the
+  // segments with single spaces reproduces the input byte for byte.
+  std::vector<std::string_view> tokens;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= raw.size(); ++i) {
+    if (i == raw.size() || raw[i] == ' ') {
+      tokens.push_back(raw.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+
+  std::unordered_map<std::string_view, std::uint64_t> ids;
+  std::string dict;
+  std::uint64_t dict_count = 0;
+  std::string runs;
+  std::uint64_t run_id = 0;
+  std::uint64_t run_len = 0;
+  auto flush_run = [&] {
+    if (run_len == 0) return;
+    PutVarint(&runs, run_id);
+    PutVarint(&runs, run_len);
+    run_len = 0;
+  };
+  for (std::string_view token : tokens) {
+    auto [it, inserted] = ids.emplace(token, dict_count);
+    if (inserted) {
+      ++dict_count;
+      PutVarint(&dict, token.size());
+      dict.append(token);
+    }
+    if (run_len > 0 && it->second == run_id) {
+      ++run_len;
+      continue;
+    }
+    flush_run();
+    run_id = it->second;
+    run_len = 1;
+  }
+  flush_run();
+
+  std::string body;
+  body.reserve(dict.size() + runs.size() + 20);
+  PutVarint(&body, tokens.size());
+  PutVarint(&body, dict_count);
+  body += dict;
+  body += runs;
+
+  if (body.size() >= raw.size()) {
+    std::string out = FrameHeader(kModeStored, raw);
+    out.append(raw);
+    return out;
+  }
+  std::string out = FrameHeader(kModeDictRle, raw);
+  out += body;
+  return out;
+}
+
+Result<std::string> Decompress(std::string_view frame) {
+  if (!LooksCompressed(frame)) {
+    return Status::InvalidArgument("not a compressed frame (bad magic)");
+  }
+  if (frame.size() < kHeaderBytes) return CorruptFrame("torn header");
+  const std::uint8_t mode = static_cast<std::uint8_t>(frame[kMagicBytes]);
+  ByteReader header(frame.substr(kMagicBytes + 1, 12));
+  std::uint64_t raw_size = 0;
+  std::uint32_t raw_crc = 0;
+  header.ReadFixed64(&raw_size);
+  header.ReadFixed32(&raw_crc);
+  if (raw_size > kMaxRawBytes) {
+    return CorruptFrame("implausible raw size " + std::to_string(raw_size));
+  }
+  ByteReader body(frame.substr(kHeaderBytes));
+
+  std::string raw;
+  switch (mode) {
+    case kModeStored: {
+      std::string_view bytes;
+      if (!body.ReadBytes(raw_size, &bytes) || !body.AtEnd()) {
+        return CorruptFrame("stored body size mismatch");
+      }
+      raw.assign(bytes);
+      break;
+    }
+    case kModeDictRle: {
+      std::uint64_t token_count = 0;
+      std::uint64_t dict_count = 0;
+      if (!body.ReadVarint(&token_count) || !body.ReadVarint(&dict_count)) {
+        return CorruptFrame("torn counts");
+      }
+      // Each token costs at least one raw byte or one separator.
+      if (token_count > raw_size + 1 || dict_count > token_count) {
+        return CorruptFrame("implausible token/dictionary counts");
+      }
+      std::vector<std::string_view> dict;
+      dict.reserve(dict_count);
+      for (std::uint64_t i = 0; i < dict_count; ++i) {
+        std::uint64_t len = 0;
+        std::string_view entry;
+        if (!body.ReadVarint(&len) || len > raw_size ||
+            !body.ReadBytes(len, &entry)) {
+          return CorruptFrame("torn dictionary entry");
+        }
+        dict.push_back(entry);
+      }
+      raw.reserve(raw_size);
+      std::uint64_t emitted = 0;
+      while (emitted < token_count) {
+        std::uint64_t id = 0;
+        std::uint64_t len = 0;
+        if (!body.ReadVarint(&id) || !body.ReadVarint(&len)) {
+          return CorruptFrame("torn run");
+        }
+        if (id >= dict_count || len == 0 || len > token_count - emitted) {
+          return CorruptFrame("run out of range");
+        }
+        for (std::uint64_t k = 0; k < len; ++k) {
+          if (emitted > 0) raw.push_back(' ');
+          raw.append(dict[id]);
+          ++emitted;
+          if (raw.size() > raw_size) return CorruptFrame("body overruns size");
+        }
+      }
+      if (!body.AtEnd()) return CorruptFrame("trailing bytes after runs");
+      break;
+    }
+    default:
+      return CorruptFrame("unknown mode " + std::to_string(mode));
+  }
+  if (raw.size() != raw_size) return CorruptFrame("size mismatch");
+  if (Crc32c(raw) != raw_crc) return CorruptFrame("checksum mismatch");
+  return raw;
+}
+
+}  // namespace rtic

@@ -1,0 +1,49 @@
+// Checkpoint payload compression: a dependency-free token-dictionary + RLE
+// codec tuned for the textual state codec (storage/codec.h).
+//
+// Checkpoint payloads are whitespace-separated tokens with massive
+// repetition — relation names, repeated values, runs of identical anchor
+// timestamps. The encoder splits the payload on single spaces, assigns each
+// distinct token a dictionary id in first-occurrence order, and emits the
+// token stream as (id, run_length) pairs, all varint-coded. Typical monitor
+// checkpoints shrink 3-10x (see EXPERIMENTS.md E13).
+//
+// The frame is self-describing:
+//
+//   [magic "RTICZIP1"][mode u8][raw_size u64 LE][crc32c(raw) u32 LE][body]
+//
+// mode 0 stores the raw bytes verbatim (used when the dictionary would not
+// pay for itself), mode 1 is the dict+RLE body. Decompress() validates the
+// magic, every length and id, and finally the CRC32C of the reconstructed
+// bytes, so a corrupted frame is rejected rather than installed. Payloads
+// that do not start with the magic are by construction distinguishable from
+// frames (the state codec writes "<len>:..." tokens), which is what lets
+// old uncompressed checkpoints keep recovering next to compressed ones.
+
+#ifndef RTIC_COMMON_COMPRESS_H_
+#define RTIC_COMMON_COMPRESS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace rtic {
+
+/// True when `data` begins with the compressed-frame magic. A frame never
+/// looks like a textual codec payload and vice versa.
+bool LooksCompressed(std::string_view data);
+
+/// Wraps `raw` in a compressed frame. Always succeeds: when the dict+RLE
+/// body would be no smaller than the input, the frame stores the bytes
+/// verbatim (mode 0), so the overhead is bounded by the fixed header.
+std::string Compress(std::string_view raw);
+
+/// Unwraps a Compress() frame. Any structural damage — bad magic, bad
+/// lengths, out-of-range dictionary ids, a size or CRC32C mismatch against
+/// the reconstructed bytes — is InvalidArgument, never partial output.
+Result<std::string> Decompress(std::string_view frame);
+
+}  // namespace rtic
+
+#endif  // RTIC_COMMON_COMPRESS_H_

@@ -65,6 +65,48 @@ class CheckerEngine {
     return Status::Unimplemented(std::string(name()) +
                                  " engine does not support checkpointing");
   }
+
+  // ---- Delta checkpoints ----------------------------------------------
+  //
+  // An engine that supports delta state lets the monitor write checkpoint
+  // records whose size is bounded by what changed since the last save
+  // rather than by the whole auxiliary state. The monitor drives the
+  // protocol: MarkStateSaved() after every successful full or delta save,
+  // SaveStateDelta() when the next checkpoint is a delta, and
+  // LoadStateDelta() on an engine whose state equals the parent
+  // checkpoint's. Engines without delta support fall back to a full
+  // SaveState() blob inside the monitor's delta record, gated by
+  // StateDirty().
+
+  /// True when state may have changed since the last MarkStateSaved().
+  /// The default is conservatively true (always re-serialized).
+  virtual bool StateDirty() const { return true; }
+
+  /// True when SaveStateDelta()/LoadStateDelta() are implemented.
+  virtual bool SupportsStateDelta() const { return false; }
+
+  /// Arms whatever bookkeeping SaveStateDelta() depends on. The monitor
+  /// calls this once on every engine when delta checkpoints are enabled;
+  /// engines whose tracking has a per-transition cost keep it off until
+  /// then.
+  virtual void BeginDeltaTracking() {}
+
+  /// Serializes only the state changed since the last MarkStateSaved().
+  virtual Result<std::string> SaveStateDelta() const {
+    return Status::Unimplemented(std::string(name()) +
+                                 " engine does not support delta checkpoints");
+  }
+
+  /// Applies a SaveStateDelta() blob on top of state equal to the parent
+  /// checkpoint's (base + earlier deltas already installed).
+  virtual Status LoadStateDelta(const std::string& data) {
+    (void)data;
+    return Status::Unimplemented(std::string(name()) +
+                                 " engine does not support delta checkpoints");
+  }
+
+  /// Resets dirty tracking: the current state is now the saved baseline.
+  virtual void MarkStateSaved() {}
 };
 
 }  // namespace rtic

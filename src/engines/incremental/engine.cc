@@ -1,6 +1,7 @@
 #include "engines/incremental/engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "storage/codec.h"
@@ -68,6 +69,17 @@ Status IncrementalEngine::UpdateNode(std::size_t i, const Database& state,
   NodeState& ns = states_[i];
   fo::EvalContext ctx = ContextFor(state);
 
+  // Under delta tracking, dirty bits are set by comparing each relation
+  // against its pre-transition snapshot. Mutation-based tracking would
+  // over-report (and, worse, could never be trusted to under-report): an
+  // anchor appended this transition and pruned away in the same pass leaves
+  // the map exactly as it was. No path below reads ns.current before
+  // overwriting it (a node's body only resolves strictly earlier nodes),
+  // so the old relation can be moved out.
+  Relation old_current = std::move(ns.current);
+  AnchorMap anchors_before;
+  if (delta_tracking_) anchors_before = ns.anchors;
+
   switch (cn.node->kind()) {
     case FormulaKind::kPrevious: {
       // Current satisfaction: the body held at the previous state and the
@@ -80,6 +92,10 @@ Status IncrementalEngine::UpdateNode(std::size_t i, const Database& state,
       // Remember the body's satisfaction *now* for the next transition.
       Result<Relation> body_now = fo::Evaluate(cn.node->child(0), ctx);
       if (!body_now.ok()) return body_now.status();
+      if (delta_tracking_) {
+        if (!(ns.current == old_current)) ns.current_dirty = true;
+        if (!(body_now.value() == ns.prev_body)) ns.prev_body_dirty = true;
+      }
       ns.prev_body = std::move(body_now).value();
       return Status::OK();
     }
@@ -131,6 +147,10 @@ Status IncrementalEngine::UpdateNode(std::size_t i, const Database& state,
       ns.current.InsertUnchecked(it->first);
     }
     ++it;
+  }
+  if (delta_tracking_) {
+    if (!(ns.current == old_current)) ns.current_dirty = true;
+    if (!(ns.anchors == anchors_before)) ns.anchors_dirty = true;
   }
   return Status::OK();
 }
@@ -188,7 +208,68 @@ std::size_t IncrementalEngine::AuxValuationCount() const {
 }
 
 namespace {
+
 constexpr char kCheckpointMagic[] = "RTICINC1";
+// Delta checkpoint: only the relations dirtied and the domain values
+// absorbed since the last save, applied on top of the parent's state.
+constexpr char kDeltaMagic[] = "RTICINCD1";
+
+using AnchorMapT = std::unordered_map<Tuple, std::vector<Timestamp>, TupleHash>;
+
+void WriteRows(StateWriter* w, const Relation& rel) {
+  w->WriteSize(rel.size());
+  for (const Tuple& row : rel.SortedRows()) w->WriteTuple(row);
+}
+
+Status ReadRowsInto(StateReader* r, Relation* rel) {
+  RTIC_ASSIGN_OR_RETURN(std::int64_t rows, r->ReadInt());
+  for (std::int64_t i = 0; i < rows; ++i) {
+    RTIC_ASSIGN_OR_RETURN(Tuple row, r->ReadTuple());
+    RTIC_RETURN_IF_ERROR(rel->Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+// The anchor map is unordered; serialize entries sorted by valuation so
+// equal states always checkpoint to identical bytes, regardless of the
+// insertion history that produced them (live run vs. restore + replay).
+void WriteAnchors(StateWriter* w, const AnchorMapT& anchors) {
+  std::vector<const AnchorMapT::value_type*> sorted;
+  sorted.reserve(anchors.size());
+  for (const auto& entry : anchors) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  w->WriteSize(sorted.size());
+  for (const auto* entry : sorted) {
+    w->WriteTuple(entry->first);
+    w->WriteSize(entry->second.size());
+    for (Timestamp ts : entry->second) w->WriteInt(ts);
+  }
+}
+
+Status ReadAnchorsInto(StateReader* r, AnchorMapT* anchors) {
+  RTIC_ASSIGN_OR_RETURN(std::int64_t anchor_count, r->ReadInt());
+  for (std::int64_t i = 0; i < anchor_count; ++i) {
+    RTIC_ASSIGN_OR_RETURN(Tuple valuation, r->ReadTuple());
+    RTIC_ASSIGN_OR_RETURN(std::int64_t ts_count, r->ReadInt());
+    std::vector<Timestamp> timestamps;
+    timestamps.reserve(static_cast<std::size_t>(std::max<std::int64_t>(
+        0, ts_count)));
+    Timestamp last = std::numeric_limits<Timestamp>::min();
+    for (std::int64_t k = 0; k < ts_count; ++k) {
+      RTIC_ASSIGN_OR_RETURN(Timestamp ts, r->ReadInt());
+      if (ts <= last) {
+        return Status::InvalidArgument(
+            "checkpoint anchor timestamps not ascending");
+      }
+      last = ts;
+      timestamps.push_back(ts);
+    }
+    anchors->emplace(std::move(valuation), std::move(timestamps));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::string> IncrementalEngine::SaveState() const {
@@ -206,24 +287,9 @@ Result<std::string> IncrementalEngine::SaveState() const {
   for (std::size_t i = 0; i < states_.size(); ++i) {
     const NodeState& ns = states_[i];
     w.WriteSize(i);
-    w.WriteSize(ns.current.size());
-    for (const Tuple& row : ns.current.SortedRows()) w.WriteTuple(row);
-    w.WriteSize(ns.prev_body.size());
-    for (const Tuple& row : ns.prev_body.SortedRows()) w.WriteTuple(row);
-    // The anchor map is unordered; serialize entries sorted by valuation so
-    // equal states always checkpoint to identical bytes, regardless of the
-    // insertion history that produced them (live run vs. restore + replay).
-    std::vector<const AnchorMap::value_type*> anchors;
-    anchors.reserve(ns.anchors.size());
-    for (const auto& entry : ns.anchors) anchors.push_back(&entry);
-    std::sort(anchors.begin(), anchors.end(),
-              [](const auto* a, const auto* b) { return a->first < b->first; });
-    w.WriteSize(anchors.size());
-    for (const auto* entry : anchors) {
-      w.WriteTuple(entry->first);
-      w.WriteSize(entry->second.size());
-      for (Timestamp ts : entry->second) w.WriteInt(ts);
-    }
+    WriteRows(&w, ns.current);
+    WriteRows(&w, ns.prev_body);
+    WriteAnchors(&w, ns.anchors);
   }
   return w.str();
 }
@@ -264,35 +330,10 @@ Status IncrementalEngine::LoadState(const std::string& data) {
     NodeState& ns = restored[static_cast<std::size_t>(n)];
 
     ns.current = Relation(cn.columns);
-    RTIC_ASSIGN_OR_RETURN(std::int64_t cur_rows, r.ReadInt());
-    for (std::int64_t i = 0; i < cur_rows; ++i) {
-      RTIC_ASSIGN_OR_RETURN(Tuple row, r.ReadTuple());
-      RTIC_RETURN_IF_ERROR(ns.current.Insert(std::move(row)));
-    }
+    RTIC_RETURN_IF_ERROR(ReadRowsInto(&r, &ns.current));
     ns.prev_body = Relation(cn.columns);
-    RTIC_ASSIGN_OR_RETURN(std::int64_t prev_rows, r.ReadInt());
-    for (std::int64_t i = 0; i < prev_rows; ++i) {
-      RTIC_ASSIGN_OR_RETURN(Tuple row, r.ReadTuple());
-      RTIC_RETURN_IF_ERROR(ns.prev_body.Insert(std::move(row)));
-    }
-    RTIC_ASSIGN_OR_RETURN(std::int64_t anchor_count, r.ReadInt());
-    for (std::int64_t i = 0; i < anchor_count; ++i) {
-      RTIC_ASSIGN_OR_RETURN(Tuple valuation, r.ReadTuple());
-      RTIC_ASSIGN_OR_RETURN(std::int64_t ts_count, r.ReadInt());
-      std::vector<Timestamp> timestamps;
-      timestamps.reserve(static_cast<std::size_t>(ts_count));
-      Timestamp last = std::numeric_limits<Timestamp>::min();
-      for (std::int64_t k = 0; k < ts_count; ++k) {
-        RTIC_ASSIGN_OR_RETURN(Timestamp ts, r.ReadInt());
-        if (ts <= last) {
-          return Status::InvalidArgument(
-              "checkpoint anchor timestamps not ascending");
-        }
-        last = ts;
-        timestamps.push_back(ts);
-      }
-      ns.anchors.emplace(std::move(valuation), std::move(timestamps));
-    }
+    RTIC_RETURN_IF_ERROR(ReadRowsInto(&r, &ns.prev_body));
+    RTIC_RETURN_IF_ERROR(ReadAnchorsInto(&r, &ns.anchors));
   }
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in checkpoint");
@@ -302,6 +343,182 @@ Status IncrementalEngine::LoadState(const std::string& data) {
   domain_ = std::move(domain);
   has_prev_ = has_prev != 0;
   prev_time_ = prev_time;
+  MarkStateSaved();  // the restored state is the new delta baseline
+  return Status::OK();
+}
+
+bool IncrementalEngine::StateDirty() const {
+  if (!delta_tracking_) return true;
+  if (has_prev_ != saved_has_prev_ || prev_time_ != saved_prev_time_) {
+    return true;
+  }
+  if (domain_.additions().size() != domain_saved_count_) return true;
+  for (const NodeState& ns : states_) {
+    if (ns.current_dirty || ns.prev_body_dirty || ns.anchors_dirty) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void IncrementalEngine::BeginDeltaTracking() {
+  if (delta_tracking_) return;
+  delta_tracking_ = true;
+  // No baseline exists yet: everything is dirty until the first save.
+  for (NodeState& ns : states_) {
+    ns.current_dirty = true;
+    ns.prev_body_dirty = true;
+    ns.anchors_dirty = true;
+  }
+  domain_saved_count_ = 0;
+}
+
+void IncrementalEngine::MarkStateSaved() {
+  for (NodeState& ns : states_) {
+    ns.current_dirty = false;
+    ns.prev_body_dirty = false;
+    ns.anchors_dirty = false;
+  }
+  domain_saved_count_ = domain_.additions().size();
+  saved_has_prev_ = has_prev_;
+  saved_prev_time_ = prev_time_;
+}
+
+Result<std::string> IncrementalEngine::SaveStateDelta() const {
+  if (!delta_tracking_) {
+    return Status::FailedPrecondition(
+        "delta checkpoint requested before BeginDeltaTracking()");
+  }
+  StateWriter w;
+  w.WriteString(kDeltaMagic);
+  w.WriteString(constraint_->ToString());
+  w.WriteInt(has_prev_ ? 1 : 0);
+  w.WriteInt(prev_time_);
+
+  // Domain values absorbed since the last save, in first-absorption order.
+  // The parent's domain size is included so a delta applied to the wrong
+  // parent state is rejected instead of silently diverging.
+  const std::vector<Value>& additions = domain_.additions();
+  w.WriteSize(domain_saved_count_);
+  w.WriteSize(additions.size() - domain_saved_count_);
+  for (std::size_t i = domain_saved_count_; i < additions.size(); ++i) {
+    w.WriteValue(additions[i]);
+  }
+
+  w.WriteSize(states_.size());
+  std::size_t dirty_nodes = 0;
+  for (const NodeState& ns : states_) {
+    if (ns.current_dirty || ns.prev_body_dirty || ns.anchors_dirty) {
+      ++dirty_nodes;
+    }
+  }
+  w.WriteSize(dirty_nodes);
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const NodeState& ns = states_[i];
+    const std::int64_t flags = (ns.current_dirty ? 1 : 0) |
+                               (ns.prev_body_dirty ? 2 : 0) |
+                               (ns.anchors_dirty ? 4 : 0);
+    if (flags == 0) continue;
+    w.WriteSize(i);
+    w.WriteInt(flags);
+    if (flags & 1) WriteRows(&w, ns.current);
+    if (flags & 2) WriteRows(&w, ns.prev_body);
+    if (flags & 4) WriteAnchors(&w, ns.anchors);
+  }
+  return w.str();
+}
+
+Status IncrementalEngine::LoadStateDelta(const std::string& data) {
+  StateReader r(data);
+  RTIC_ASSIGN_OR_RETURN(std::string magic, r.ReadString());
+  if (magic != kDeltaMagic) {
+    return Status::InvalidArgument("not an rtic incremental delta checkpoint");
+  }
+  RTIC_ASSIGN_OR_RETURN(std::string constraint_text, r.ReadString());
+  if (constraint_text != constraint_->ToString()) {
+    return Status::FailedPrecondition(
+        "delta checkpoint was produced for a different constraint: " +
+        constraint_text);
+  }
+  RTIC_ASSIGN_OR_RETURN(std::int64_t has_prev, r.ReadInt());
+  RTIC_ASSIGN_OR_RETURN(Timestamp prev_time, r.ReadInt());
+
+  RTIC_ASSIGN_OR_RETURN(std::int64_t domain_before, r.ReadInt());
+  if (domain_before !=
+      static_cast<std::int64_t>(domain_.additions().size())) {
+    return Status::FailedPrecondition(
+        "delta checkpoint chains to a different parent state (domain size " +
+        std::to_string(domain_before) + " vs " +
+        std::to_string(domain_.additions().size()) + ")");
+  }
+  RTIC_ASSIGN_OR_RETURN(std::int64_t domain_added, r.ReadInt());
+  std::vector<Value> added_values;
+  for (std::int64_t i = 0; i < domain_added; ++i) {
+    RTIC_ASSIGN_OR_RETURN(Value v, r.ReadValue());
+    added_values.push_back(std::move(v));
+  }
+
+  RTIC_ASSIGN_OR_RETURN(std::int64_t node_count, r.ReadInt());
+  if (node_count != static_cast<std::int64_t>(network_.nodes.size())) {
+    return Status::InvalidArgument("delta checkpoint node count mismatch");
+  }
+  RTIC_ASSIGN_OR_RETURN(std::int64_t entry_count, r.ReadInt());
+  if (entry_count < 0 || entry_count > node_count) {
+    return Status::InvalidArgument("delta checkpoint entry count");
+  }
+
+  // Parse every entry into staging state before touching states_, so a
+  // malformed delta leaves the engine at the parent state instead of
+  // half-applied.
+  struct Entry {
+    std::size_t idx = 0;
+    std::int64_t flags = 0;
+    Relation current;
+    Relation prev_body;
+    AnchorMap anchors;
+  };
+  std::vector<Entry> entries;
+  std::int64_t prev_idx = -1;
+  for (std::int64_t n = 0; n < entry_count; ++n) {
+    RTIC_ASSIGN_OR_RETURN(std::int64_t idx, r.ReadInt());
+    if (idx <= prev_idx || idx >= node_count) {
+      return Status::InvalidArgument("delta checkpoint node order");
+    }
+    prev_idx = idx;
+    Entry e;
+    e.idx = static_cast<std::size_t>(idx);
+    RTIC_ASSIGN_OR_RETURN(e.flags, r.ReadInt());
+    if (e.flags < 1 || e.flags > 7) {
+      return Status::InvalidArgument("delta checkpoint node flags");
+    }
+    const inc::CompiledNode& cn = network_.nodes[e.idx];
+    if (e.flags & 1) {
+      e.current = Relation(cn.columns);
+      RTIC_RETURN_IF_ERROR(ReadRowsInto(&r, &e.current));
+    }
+    if (e.flags & 2) {
+      e.prev_body = Relation(cn.columns);
+      RTIC_RETURN_IF_ERROR(ReadRowsInto(&r, &e.prev_body));
+    }
+    if (e.flags & 4) {
+      RTIC_RETURN_IF_ERROR(ReadAnchorsInto(&r, &e.anchors));
+    }
+    entries.push_back(std::move(e));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in delta checkpoint");
+  }
+
+  domain_.AbsorbValues(added_values);
+  for (Entry& e : entries) {
+    NodeState& ns = states_[e.idx];
+    if (e.flags & 1) ns.current = std::move(e.current);
+    if (e.flags & 2) ns.prev_body = std::move(e.prev_body);
+    if (e.flags & 4) ns.anchors = std::move(e.anchors);
+  }
+  has_prev_ = has_prev != 0;
+  prev_time_ = prev_time;
+  MarkStateSaved();  // the chained state is the new delta baseline
   return Status::OK();
 }
 

@@ -83,6 +83,21 @@ class IncrementalEngine : public CheckerEngine {
   /// run.
   Status LoadState(const std::string& data) override;
 
+  // Delta checkpoints (see checker_engine.h for the protocol). Dirty
+  // tracking is per node and per relation — `current`, `prev_body`, and the
+  // anchor map each carry their own bit — so a delta serializes only the
+  // relations that actually changed since the last MarkStateSaved(), plus
+  // the domain values absorbed since then. The comparison bookkeeping
+  // doubles per-transition anchor work, so it is off until
+  // BeginDeltaTracking(); without it SaveStateDelta() refuses rather than
+  // guess.
+  bool StateDirty() const override;
+  bool SupportsStateDelta() const override { return true; }
+  void BeginDeltaTracking() override;
+  Result<std::string> SaveStateDelta() const override;
+  Status LoadStateDelta(const std::string& data) override;
+  void MarkStateSaved() override;
+
  private:
   /// Anchor map: valuation tuple (node columns) -> ascending timestamps.
   using AnchorMap =
@@ -93,6 +108,11 @@ class IncrementalEngine : public CheckerEngine {
     Relation current;    // satisfaction at the current state
     Relation prev_body;  // previous-state body satisfaction (kPrevious)
     AnchorMap anchors;   // anchor timestamps (kOnce / kSince)
+    // Dirty-since-MarkStateSaved bits, maintained only under
+    // BeginDeltaTracking().
+    bool current_dirty = false;
+    bool prev_body_dirty = false;
+    bool anchors_dirty = false;
   };
 
   IncrementalEngine(tl::FormulaPtr constraint, tl::Analysis analysis,
@@ -109,6 +129,12 @@ class IncrementalEngine : public CheckerEngine {
   DomainTracker domain_;  // history's active domain (quantification range)
   bool has_prev_ = false;
   Timestamp prev_time_ = 0;
+
+  // Delta-checkpoint baseline (state as of the last MarkStateSaved()).
+  bool delta_tracking_ = false;
+  std::size_t domain_saved_count_ = 0;
+  bool saved_has_prev_ = false;
+  Timestamp saved_prev_time_ = 0;
 };
 
 }  // namespace rtic

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/compress.h"
 #include "common/logging.h"
 #include "engines/active/compiler.h"
 #include "engines/incremental/engine.h"
@@ -146,6 +147,7 @@ Status ConstraintMonitor::RegisterConstraintFormula(
     RTIC_ASSIGN_OR_RETURN(reg->engine,
                           ResponseEngine::Create(formula, catalog, opts));
     constraints_.push_back(std::move(reg));
+    if (delta_tracking_) constraints_.back()->engine->BeginDeltaTracking();
     return Status::OK();
   }
 
@@ -174,6 +176,7 @@ Status ConstraintMonitor::RegisterConstraintFormula(
     }
   }
   constraints_.push_back(std::move(reg));
+  if (delta_tracking_) constraints_.back()->engine->BeginDeltaTracking();
   return Status::OK();
 }
 
@@ -192,6 +195,7 @@ Status ConstraintMonitor::RegisterConstraintEngine(
   reg->text = std::string("<custom ") + engine->name() + " engine>";
   reg->engine = std::move(engine);
   constraints_.push_back(std::move(reg));
+  if (delta_tracking_) constraints_.back()->engine->BeginDeltaTracking();
   return Status::OK();
 }
 
@@ -219,12 +223,17 @@ class MonitorReplayTarget final : public wal::ReplayTarget {
   Status RestoreCheckpoint(const std::string& payload) override {
     return monitor_->LoadState(payload);
   }
+  Status RestoreCheckpointDelta(const std::string& payload) override {
+    return monitor_->LoadStateDelta(payload);
+  }
   Status Replay(const UpdateBatch& batch) override {
     // Violations were already reported when the batch was first accepted.
     return monitor_->ApplyUpdate(batch).status();
   }
   Result<std::string> CaptureCheckpoint() override {
-    return monitor_->SaveState();
+    RTIC_ASSIGN_OR_RETURN(std::string payload, monitor_->SaveState());
+    if (monitor_->options().checkpoint_compression) return Compress(payload);
+    return payload;
   }
 
  private:
@@ -255,8 +264,14 @@ Result<wal::RecoveryStats> ConstraintMonitor::Recover() {
   wal_options.group_commit_window_micros =
       options_.group_commit_window_micros;
   wal_options.checkpoint_interval = options_.checkpoint_interval;
+  wal_options.delta_chain_limit = options_.checkpoint_delta_chain;
   wal_options.segment_bytes = options_.wal_segment_bytes;
   wal_options.fs = options_.wal_fs;
+
+  // Arm delta tracking before recovery so the restore re-baselines it and
+  // replayed tail batches accumulate exactly the changes since the
+  // installed checkpoint.
+  if (options_.checkpoint_delta_chain > 0) BeginDeltaTracking();
 
   MonitorReplayTarget target(this);
   recovering_ = true;
@@ -265,6 +280,13 @@ Result<wal::RecoveryStats> ConstraintMonitor::Recover() {
   recovering_ = false;
   if (!manager.ok()) return manager.status();
   recovery_ = std::move(manager).value();
+  // When the checkpoint already covers the whole log (no tail, or Open's
+  // damaged-tail re-anchor just captured the live state), the current
+  // state IS the baseline; replay-accumulated tracking would otherwise
+  // leak into the next delta.
+  if (recovery_->checkpoint_seq() == recovery_->last_seq()) {
+    ResetCheckpointTracking();
+  }
   return recovery_->stats();
 }
 
@@ -275,7 +297,8 @@ Result<std::vector<Violation>> ConstraintMonitor::ApplyUpdate(
         "batch timestamp " + std::to_string(batch.timestamp()) +
         " does not advance the clock past " + std::to_string(current_time_));
   }
-  if (!options_.wal_dir.empty() && !recovering_) {
+  const bool durable_live = !options_.wal_dir.empty() && !recovering_;
+  if (durable_live) {
     if (recovery_ == nullptr) {
       return Status::FailedPrecondition(
           "durable monitor: call Recover() before applying updates");
@@ -284,6 +307,13 @@ Result<std::vector<Violation>> ConstraintMonitor::ApplyUpdate(
     // Apply() below cannot reject.
     RTIC_RETURN_IF_ERROR(batch.Validate(db_));
     RTIC_RETURN_IF_ERROR(recovery_->AppendBatch(batch));
+  }
+  if (delta_tracking_) {
+    // Tracking must never record a batch that fails to commit; Apply()
+    // rejects exactly what Validate() rejects, so validating here (when
+    // the durable path above has not already) makes Apply() infallible.
+    if (!durable_live) RTIC_RETURN_IF_ERROR(batch.Validate(db_));
+    TrackBatchDelta(batch);
   }
   RTIC_RETURN_IF_ERROR(batch.Apply(&db_));
   current_time_ = batch.timestamp();
@@ -331,10 +361,7 @@ Result<std::vector<Violation>> ConstraintMonitor::ApplyUpdate(
     // the should-checkpoint state armed so the next accepted batch
     // retries. (If the file system is truly gone, the next batch's WAL
     // append will surface that as its own failure.)
-    Result<std::string> payload = SaveState();
-    Status checkpoint = payload.ok()
-                            ? recovery_->WriteCheckpoint(payload.value())
-                            : payload.status();
+    Status checkpoint = WritePeriodicCheckpoint();
     if (!checkpoint.ok()) {
       RTIC_LOG(Warning) << "monitor: periodic checkpoint failed (will retry "
                            "next interval): "
@@ -342,6 +369,49 @@ Result<std::vector<Violation>> ConstraintMonitor::ApplyUpdate(
     }
   }
   return violations;
+}
+
+Status ConstraintMonitor::WritePeriodicCheckpoint() {
+  auto started = std::chrono::steady_clock::now();
+  wal::RecoveryManager::CheckpointPlan plan = recovery_->PlanCheckpoint();
+  // A failed attempt may have burned the delta baseline (SaveStateDelta
+  // resets it before the write lands), so after any failure the retry
+  // falls back to a self-contained snapshot.
+  if (!delta_tracking_ || force_base_checkpoint_) plan.delta = false;
+  Result<std::string> payload = plan.delta ? SaveStateDelta() : SaveState();
+  if (!payload.ok()) {
+    ++checkpoint_stats_.failures;
+    force_base_checkpoint_ = true;
+    return payload.status();
+  }
+  const std::string blob = options_.checkpoint_compression
+                               ? Compress(payload.value())
+                               : std::move(payload).value();
+  Status written = plan.delta
+                       ? recovery_->WriteCheckpointDelta(blob, plan.parent_seq)
+                       : recovery_->WriteCheckpoint(blob);
+  if (!written.ok()) {
+    ++checkpoint_stats_.failures;
+    force_base_checkpoint_ = true;
+    return written;
+  }
+  if (plan.delta) {
+    ++checkpoint_stats_.deltas;
+    checkpoint_stats_.delta_bytes += blob.size();
+  } else {
+    ++checkpoint_stats_.bases;
+    checkpoint_stats_.base_bytes += blob.size();
+    force_base_checkpoint_ = false;
+  }
+  ResetCheckpointTracking();
+  const std::int64_t micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  checkpoint_stats_.total_micros += micros;
+  checkpoint_stats_.max_micros = std::max(checkpoint_stats_.max_micros, micros);
+  checkpoint_stats_.last_micros = micros;
+  return Status::OK();
 }
 
 void ConstraintMonitor::CheckConstraint(std::size_t i,
@@ -426,13 +496,22 @@ namespace {
 //   RTICMON2 — adds per-constraint transition/violation counters so
 //              Stats() survives recovery consistently with
 //              total_violations().
-constexpr char kMonitorMagic[] = "RTICMON2";
+//   RTICMON3 — adds a kind token after the magic: "base" (followed by the
+//              unchanged RTICMON2 body) or "delta" (changes since the
+//              parent checkpoint). RTICMON2 files still load.
+// Checkpoint payloads of any version may additionally be wrapped in a
+// compressed frame (common/compress.h); the loaders auto-detect that.
+constexpr char kMonitorMagic[] = "RTICMON3";
+constexpr char kMonitorMagicV2[] = "RTICMON2";
 constexpr char kLegacyMonitorMagic[] = "RTICMON1";
+constexpr char kKindBase[] = "base";
+constexpr char kKindDelta[] = "delta";
 }  // namespace
 
 Result<std::string> ConstraintMonitor::SaveState() const {
   StateWriter w;
   w.WriteString(kMonitorMagic);
+  w.WriteString(kKindBase);
   w.WriteInt(static_cast<std::int64_t>(transition_count_));
   w.WriteInt(current_time_);
   w.WriteInt(static_cast<std::int64_t>(total_violations_));
@@ -468,7 +547,13 @@ Result<std::string> ConstraintMonitor::SaveState() const {
 }
 
 Status ConstraintMonitor::LoadState(const std::string& data) {
-  StateReader r(data);
+  const std::string* payload = &data;
+  std::string decompressed;
+  if (LooksCompressed(data)) {
+    RTIC_ASSIGN_OR_RETURN(decompressed, Decompress(data));
+    payload = &decompressed;
+  }
+  StateReader r(*payload);
   RTIC_ASSIGN_OR_RETURN(std::string magic, r.ReadString());
   if (magic == kLegacyMonitorMagic) {
     return Status::InvalidArgument(
@@ -476,7 +561,20 @@ Status ConstraintMonitor::LoadState(const std::string& data) {
         " (predates per-constraint counters); re-create the checkpoint "
         "with this build's SaveState()");
   }
-  if (magic != kMonitorMagic) {
+  if (magic == kMonitorMagic) {
+    // RTICMON3 carries a kind token; the body after "base" is the
+    // unchanged RTICMON2 layout.
+    RTIC_ASSIGN_OR_RETURN(std::string kind, r.ReadString());
+    if (kind == kKindDelta) {
+      return Status::InvalidArgument(
+          "this is a delta checkpoint; apply it with LoadStateDelta() on "
+          "top of its parent");
+    }
+    if (kind != kKindBase) {
+      return Status::InvalidArgument("unknown checkpoint kind '" + kind +
+                                     "'");
+    }
+  } else if (magic != kMonitorMagicV2) {
     return Status::InvalidArgument("not an rtic monitor checkpoint");
   }
   RTIC_ASSIGN_OR_RETURN(std::int64_t transition_count, r.ReadInt());
@@ -567,6 +665,250 @@ Status ConstraintMonitor::LoadState(const std::string& data) {
   transition_count_ = static_cast<std::size_t>(transition_count);
   current_time_ = current_time;
   total_violations_ = static_cast<std::size_t>(total_violations);
+  // The restored state is the new delta baseline.
+  ResetCheckpointTracking();
+  return Status::OK();
+}
+
+void ConstraintMonitor::BeginDeltaTracking() {
+  if (delta_tracking_) return;
+  delta_tracking_ = true;
+  for (const auto& c : constraints_) c->engine->BeginDeltaTracking();
+  ResetCheckpointTracking();
+}
+
+void ConstraintMonitor::ResetCheckpointTracking() {
+  table_deltas_.clear();
+  checkpoint_parent_transitions_ = transition_count_;
+  for (const auto& c : constraints_) c->engine->MarkStateSaved();
+}
+
+void ConstraintMonitor::TrackBatchDelta(const UpdateBatch& batch) {
+  // Mirror Apply(): per table, deletes land first, then inserts, and
+  // no-ops (deleting an absent row, inserting a present one) change
+  // nothing. Fold each *effective* operation into the running delta so a
+  // row added and later removed (or vice versa) cancels out instead of
+  // appearing in both sets.
+  for (const std::string& name : batch.TouchedTables()) {
+    Result<const Table*> table = db_.GetTable(name);
+    if (!table.ok()) continue;  // Validate() upstream makes this unreachable
+    TableDelta& delta = table_deltas_[name];
+
+    std::set<Tuple> eff_deleted;  // rows present now that this batch drops
+    auto deletes = batch.deletes().find(name);
+    if (deletes != batch.deletes().end()) {
+      for (const Tuple& row : deletes->second) {
+        if (table.value()->Contains(row)) eff_deleted.insert(row);
+      }
+    }
+    std::set<Tuple> eff_inserted;  // rows absent post-delete that it adds
+    auto inserts = batch.inserts().find(name);
+    if (inserts != batch.inserts().end()) {
+      for (const Tuple& row : inserts->second) {
+        if (!table.value()->Contains(row) || eff_deleted.count(row) > 0) {
+          eff_inserted.insert(row);
+        }
+      }
+    }
+    for (const Tuple& row : eff_deleted) {
+      if (delta.added.erase(row) == 0) delta.removed.insert(row);
+    }
+    for (const Tuple& row : eff_inserted) {
+      if (delta.removed.erase(row) == 0) delta.added.insert(row);
+    }
+  }
+}
+
+Result<std::string> ConstraintMonitor::SaveStateDelta() {
+  if (!delta_tracking_) {
+    return Status::FailedPrecondition(
+        "SaveStateDelta() requires BeginDeltaTracking()");
+  }
+  StateWriter w;
+  w.WriteString(kMonitorMagic);
+  w.WriteString(kKindDelta);
+  w.WriteSize(checkpoint_parent_transitions_);
+  w.WriteInt(static_cast<std::int64_t>(transition_count_));
+  w.WriteInt(current_time_);
+  w.WriteInt(static_cast<std::int64_t>(total_violations_));
+
+  std::size_t changed_tables = 0;
+  for (const auto& [name, delta] : table_deltas_) {
+    if (!delta.removed.empty() || !delta.added.empty()) ++changed_tables;
+  }
+  w.WriteSize(changed_tables);
+  for (const auto& [name, delta] : table_deltas_) {
+    if (delta.removed.empty() && delta.added.empty()) continue;
+    w.WriteString(name);
+    w.WriteSize(delta.removed.size());
+    for (const Tuple& row : delta.removed) w.WriteTuple(row);
+    w.WriteSize(delta.added.size());
+    for (const Tuple& row : delta.added) w.WriteTuple(row);
+  }
+
+  w.WriteSize(constraints_.size());
+  for (const auto& c : constraints_) {
+    w.WriteString(c->name);
+    w.WriteSize(c->transitions);
+    w.WriteSize(c->violations);
+    if (!c->engine->StateDirty()) {
+      w.WriteInt(0);  // unchanged since the parent checkpoint
+    } else if (c->engine->SupportsStateDelta()) {
+      RTIC_ASSIGN_OR_RETURN(std::string blob, c->engine->SaveStateDelta());
+      w.WriteInt(1);  // engine-level delta
+      w.WriteString(blob);
+    } else {
+      RTIC_ASSIGN_OR_RETURN(std::string blob, c->engine->SaveState());
+      w.WriteInt(2);  // full engine blob (engine cannot delta)
+      w.WriteString(blob);
+    }
+  }
+  // This delta is now the baseline: the caller chains the next delta onto
+  // it (a write failure downstream forces a base checkpoint instead).
+  ResetCheckpointTracking();
+  return w.str();
+}
+
+Status ConstraintMonitor::LoadStateDelta(const std::string& data) {
+  const std::string* payload = &data;
+  std::string decompressed;
+  if (LooksCompressed(data)) {
+    RTIC_ASSIGN_OR_RETURN(decompressed, Decompress(data));
+    payload = &decompressed;
+  }
+  StateReader r(*payload);
+  RTIC_ASSIGN_OR_RETURN(std::string magic, r.ReadString());
+  if (magic != kMonitorMagic) {
+    return Status::InvalidArgument("not an rtic delta checkpoint");
+  }
+  RTIC_ASSIGN_OR_RETURN(std::string kind, r.ReadString());
+  if (kind != kKindDelta) {
+    return Status::InvalidArgument("not a delta checkpoint (kind '" + kind +
+                                   "'); use LoadState()");
+  }
+  RTIC_ASSIGN_OR_RETURN(std::int64_t parent_transitions, r.ReadInt());
+  if (parent_transitions != static_cast<std::int64_t>(transition_count_)) {
+    return Status::FailedPrecondition(
+        "delta checkpoint chains to a different parent state (parent saw " +
+        std::to_string(parent_transitions) + " transitions, this monitor " +
+        std::to_string(transition_count_) + ")");
+  }
+  RTIC_ASSIGN_OR_RETURN(std::int64_t transition_count, r.ReadInt());
+  RTIC_ASSIGN_OR_RETURN(Timestamp current_time, r.ReadInt());
+  RTIC_ASSIGN_OR_RETURN(std::int64_t total_violations, r.ReadInt());
+  if (transition_count < parent_transitions || total_violations < 0 ||
+      current_time < current_time_) {
+    return Status::InvalidArgument(
+        "implausible counters in delta checkpoint");
+  }
+
+  // Stage table changes on copies so a rejected delta leaves the live
+  // database untouched.
+  RTIC_ASSIGN_OR_RETURN(std::int64_t table_count, r.ReadInt());
+  if (table_count < 0) {
+    return Status::InvalidArgument("bad table count in delta checkpoint");
+  }
+  std::vector<std::pair<std::string, Table>> staged_tables;
+  for (std::int64_t i = 0; i < table_count; ++i) {
+    RTIC_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    if (!staged_tables.empty() && name <= staged_tables.back().first) {
+      return Status::InvalidArgument(
+          "delta checkpoint tables out of order at '" + name + "'");
+    }
+    RTIC_ASSIGN_OR_RETURN(const Table* live, db_.GetTable(name));
+    Table staged = *live;
+    RTIC_ASSIGN_OR_RETURN(std::int64_t removed, r.ReadInt());
+    if (removed < 0) {
+      return Status::InvalidArgument("bad row count in delta checkpoint");
+    }
+    for (std::int64_t k = 0; k < removed; ++k) {
+      RTIC_ASSIGN_OR_RETURN(Tuple row, r.ReadTuple());
+      if (!staged.Erase(row)) {
+        return Status::FailedPrecondition(
+            "delta checkpoint removes a row not present in table " + name);
+      }
+    }
+    RTIC_ASSIGN_OR_RETURN(std::int64_t added, r.ReadInt());
+    if (added < 0) {
+      return Status::InvalidArgument("bad row count in delta checkpoint");
+    }
+    for (std::int64_t k = 0; k < added; ++k) {
+      RTIC_ASSIGN_OR_RETURN(Tuple row, r.ReadTuple());
+      RTIC_ASSIGN_OR_RETURN(bool inserted, staged.Insert(std::move(row)));
+      if (!inserted) {
+        return Status::FailedPrecondition(
+            "delta checkpoint adds a row already present in table " + name);
+      }
+    }
+    staged_tables.emplace_back(std::move(name), std::move(staged));
+  }
+
+  RTIC_ASSIGN_OR_RETURN(std::int64_t constraint_count, r.ReadInt());
+  if (constraint_count != static_cast<std::int64_t>(constraints_.size())) {
+    return Status::FailedPrecondition(
+        "delta checkpoint constraint count does not match registration");
+  }
+  struct StagedConstraint {
+    std::int64_t transitions = 0;
+    std::int64_t violations = 0;
+    std::int64_t marker = 0;
+    std::string blob;
+  };
+  std::vector<StagedConstraint> staged_constraints;
+  for (std::int64_t i = 0; i < constraint_count; ++i) {
+    RTIC_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    if (name != constraints_[static_cast<std::size_t>(i)]->name) {
+      return Status::FailedPrecondition(
+          "delta checkpoint constraint order/name mismatch at '" + name +
+          "'");
+    }
+    StagedConstraint sc;
+    RTIC_ASSIGN_OR_RETURN(sc.transitions, r.ReadInt());
+    RTIC_ASSIGN_OR_RETURN(sc.violations, r.ReadInt());
+    if (sc.transitions < 0 || sc.violations < 0 ||
+        sc.violations > sc.transitions) {
+      return Status::InvalidArgument(
+          "implausible constraint counters in delta checkpoint for '" +
+          name + "'");
+    }
+    RTIC_ASSIGN_OR_RETURN(sc.marker, r.ReadInt());
+    if (sc.marker < 0 || sc.marker > 2) {
+      return Status::InvalidArgument(
+          "bad engine-state marker in delta checkpoint for '" + name + "'");
+    }
+    if (sc.marker != 0) {
+      RTIC_ASSIGN_OR_RETURN(sc.blob, r.ReadString());
+    }
+    staged_constraints.push_back(std::move(sc));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in delta checkpoint");
+  }
+
+  // Monitor-level validation done. Engine loads validate (and install)
+  // their own blobs; a failure here surfaces to the recovery manager,
+  // which evicts this delta and reinstalls the chain from its base, so no
+  // partially-applied state survives into a successful recovery.
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    const StagedConstraint& sc = staged_constraints[i];
+    if (sc.marker == 1) {
+      RTIC_RETURN_IF_ERROR(constraints_[i]->engine->LoadStateDelta(sc.blob));
+    } else if (sc.marker == 2) {
+      RTIC_RETURN_IF_ERROR(constraints_[i]->engine->LoadState(sc.blob));
+    }
+    constraints_[i]->transitions = static_cast<std::size_t>(sc.transitions);
+    constraints_[i]->violations = static_cast<std::size_t>(sc.violations);
+    constraints_[i]->total_check_micros = 0;
+    constraints_[i]->max_check_micros = 0;
+    constraints_[i]->last_check_micros = 0;
+  }
+  for (auto& [name, staged] : staged_tables) {
+    *db_.GetMutableTable(name).value() = std::move(staged);
+  }
+  transition_count_ = static_cast<std::size_t>(transition_count);
+  current_time_ = current_time;
+  total_violations_ = static_cast<std::size_t>(total_violations);
+  ResetCheckpointTracking();
   return Status::OK();
 }
 

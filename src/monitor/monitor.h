@@ -16,7 +16,9 @@
 #ifndef RTIC_MONITOR_MONITOR_H_
 #define RTIC_MONITOR_MONITOR_H_
 
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -90,6 +92,22 @@ struct MonitorOptions {
   /// checkpointing, leaving recovery to replay the whole log.
   std::size_t checkpoint_interval = 64;
 
+  /// Maximum delta checkpoints chained onto one full snapshot before a new
+  /// full snapshot is forced (durable mode only). With deltas enabled a
+  /// periodic checkpoint serializes only what changed since the previous
+  /// one — cost proportional to churn, not state size. 0 makes every
+  /// checkpoint a full snapshot (the pre-delta behavior). Larger values
+  /// amortize snapshots over more churn at the price of recovery
+  /// installing a longer base+delta chain and the WAL being retained back
+  /// to the base.
+  std::size_t checkpoint_delta_chain = 8;
+
+  /// Compress checkpoint payloads (durable mode only) with the built-in
+  /// dictionary+RLE codec (see common/compress.h). Recovery auto-detects,
+  /// so compressed and uncompressed checkpoints interoperate freely —
+  /// flipping this option never invalidates existing files.
+  bool checkpoint_compression = false;
+
   /// WAL segment rotation threshold in bytes.
   std::size_t wal_segment_bytes = 4u << 20;
 
@@ -118,6 +136,20 @@ struct ConstraintStats {
 
   /// One-line report.
   std::string ToString() const;
+};
+
+/// Cumulative checkpoint-write statistics (durable mode; the cost measure
+/// of experiment E13). Bytes are the sizes actually written to disk, after
+/// compression when enabled.
+struct CheckpointStats {
+  std::size_t bases = 0;          // full snapshots written
+  std::size_t deltas = 0;         // delta checkpoints written
+  std::size_t failures = 0;       // failed attempts (retried next interval)
+  std::uint64_t base_bytes = 0;   // bytes across all full snapshots
+  std::uint64_t delta_bytes = 0;  // bytes across all deltas
+  std::int64_t total_micros = 0;  // cumulative build+write wall time
+  std::int64_t max_micros = 0;    // worst single checkpoint pause
+  std::int64_t last_micros = 0;   // most recent checkpoint pause
 };
 
 /// One constraint violation at one history state.
@@ -225,13 +257,62 @@ class ConstraintMonitor {
   /// Replaces the database, all checker state, and the per-constraint
   /// transition/violation counters (so Stats() stays consistent with
   /// total_violations() across recovery); per-constraint timing statistics
-  /// restart from zero. Checkpoints from before format RTICMON2 are
+  /// restart from zero. Accepts the current RTICMON3 format, legacy
+  /// RTICMON2 checkpoints (recorded before delta checkpoints existed), and
+  /// compressed frames of either; checkpoints from before RTICMON2 are
   /// rejected with InvalidArgument.
   Status LoadState(const std::string& data);
+
+  /// Arms delta-checkpoint tracking: table-level change sets in the
+  /// monitor plus per-engine dirty tracking. Recover() arms this
+  /// automatically when checkpoint_delta_chain > 0; call it directly only
+  /// to use SaveStateDelta()/LoadStateDelta() without a WAL. Idempotent.
+  void BeginDeltaTracking();
+
+  /// Serializes only what changed since the last checkpoint baseline
+  /// (the last SaveStateDelta/LoadState/LoadStateDelta that reset
+  /// tracking): table-level row deltas plus per-engine delta or full
+  /// blobs. Requires BeginDeltaTracking(). Unlike the const SaveState(),
+  /// a successful call makes the current state the new baseline.
+  Result<std::string> SaveStateDelta();
+
+  /// Applies a SaveStateDelta() blob on top of monitor state equal to the
+  /// parent checkpoint's (validated via the transition count). Used by
+  /// recovery to install base+delta chains.
+  Status LoadStateDelta(const std::string& data);
+
+  /// Checkpoint-write statistics (durable mode; zeros otherwise).
+  const CheckpointStats& checkpoint_stats() const { return checkpoint_stats_; }
+
+  /// The configuration this monitor runs with.
+  const MonitorOptions& options() const { return options_; }
 
  private:
   struct Registered;
   struct CheckOutcome;
+
+  /// Rows added to / removed from one table since the checkpoint baseline.
+  /// Ordered sets so delta payloads are byte-deterministic.
+  struct TableDelta {
+    std::set<Tuple> removed;
+    std::set<Tuple> added;
+  };
+
+  /// Folds one about-to-be-applied batch into the table delta trackers.
+  /// Must run against the pre-Apply database: Apply()'s no-op semantics
+  /// (deleting an absent row, inserting a present one) mean the effective
+  /// change depends on what is currently stored.
+  void TrackBatchDelta(const UpdateBatch& batch);
+
+  /// Declares the current state the checkpoint baseline: clears table
+  /// deltas, records the parent transition count, and marks every engine's
+  /// state saved.
+  void ResetCheckpointTracking();
+
+  /// Builds and durably writes one periodic checkpoint (full or delta per
+  /// the recovery manager's plan, compressed per options), updating
+  /// checkpoint_stats_.
+  Status WritePeriodicCheckpoint();
 
   /// Runs constraint `i`'s check against the just-committed state, filling
   /// `out`. Safe to call concurrently for distinct `i`: it touches only
@@ -247,6 +328,13 @@ class ConstraintMonitor {
   std::unique_ptr<ThreadPool> pool_;  // non-null iff num_threads > 1
   std::unique_ptr<wal::RecoveryManager> recovery_;  // non-null once durable
   bool recovering_ = false;  // Recover() is replaying through ApplyUpdate
+
+  // Delta-checkpoint tracking (armed by BeginDeltaTracking()).
+  bool delta_tracking_ = false;
+  bool force_base_checkpoint_ = false;  // a failed attempt burned the baseline
+  std::map<std::string, TableDelta> table_deltas_;
+  std::size_t checkpoint_parent_transitions_ = 0;
+  CheckpointStats checkpoint_stats_;
 };
 
 }  // namespace rtic

@@ -2,17 +2,21 @@
 
 namespace rtic {
 
+void DomainTracker::Add(const Value& v) {
+  if (values_.insert(v).second) additions_.push_back(v);
+}
+
 void DomainTracker::Absorb(const Database& db) {
   for (const std::string& name : db.TableNames()) {
     const Table* table = db.GetTable(name).value();
     for (const Tuple& row : table->rows()) {
-      for (const Value& v : row.values()) values_.insert(v);
+      for (const Value& v : row.values()) Add(v);
     }
   }
 }
 
 void DomainTracker::AbsorbValues(const std::vector<Value>& values) {
-  for (const Value& v : values) values_.insert(v);
+  for (const Value& v : values) Add(v);
 }
 
 std::vector<Value> DomainTracker::Values(ValueType type) const {

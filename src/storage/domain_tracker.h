@@ -50,8 +50,17 @@ class DomainTracker {
   /// Total tracked values across all types.
   std::size_t size() const;
 
+  /// The values in the order they were first absorbed. Because the domain
+  /// only grows, `additions()[k..]` is exactly what joined after any earlier
+  /// moment at which size() was k — the basis of delta checkpoints, which
+  /// serialize only the values absorbed since the parent checkpoint.
+  const std::vector<Value>& additions() const { return additions_; }
+
  private:
+  void Add(const Value& v);
+
   std::set<Value> values_;
+  std::vector<Value> additions_;  // values_ in first-absorption order
 };
 
 }  // namespace rtic

@@ -136,6 +136,18 @@ class PosixFs final : public Fs {
     return Status::OK();
   }
 
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus("open", dir);
+    if (::fsync(fd) != 0) {
+      Status s = ErrnoStatus("fsync", dir);
+      ::close(fd);
+      return s;
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+
   Status Truncate(const std::string& path, std::uint64_t size) override {
     if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
       return ErrnoStatus("truncate", path);
@@ -281,6 +293,15 @@ Status FaultInjectingFs::Remove(const std::string& path) {
   RTIC_ASSIGN_OR_RETURN(bool inject, BeginOp());
   if (inject) return Status::Internal("injected remove fault");
   return base_->Remove(path);
+}
+
+Status FaultInjectingFs::SyncDir(const std::string& dir) {
+  // Counted as a mutating operation: a crash at (or after) the directory
+  // fsync is exactly the lost-dirent window the crash matrix must cover —
+  // the rename/unlink may or may not have reached the platter.
+  RTIC_ASSIGN_OR_RETURN(bool inject, BeginOp());
+  if (inject) return Status::Internal("injected directory sync fault");
+  return base_->SyncDir(dir);
 }
 
 Status FaultInjectingFs::Truncate(const std::string& path,

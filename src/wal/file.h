@@ -62,6 +62,16 @@ class Fs {
 
   virtual Status Remove(const std::string& path) = 0;
 
+  /// Fsyncs the directory itself so renames and unlinks inside it survive
+  /// power loss (rename-into-place is atomic, but the new directory entry
+  /// lives in the directory's own blocks). The default is a no-op so thin
+  /// test wrappers keep working; file systems with real durability override
+  /// it.
+  virtual Status SyncDir(const std::string& dir) {
+    (void)dir;
+    return Status::OK();
+  }
+
   /// Truncates `path` to `size` bytes.
   virtual Status Truncate(const std::string& path, std::uint64_t size) = 0;
 
@@ -97,6 +107,7 @@ class FaultInjectingFs final : public Fs {
   Status CreateDir(const std::string& dir) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
   Status Truncate(const std::string& path, std::uint64_t size) override;
   Result<bool> FileExists(const std::string& path) override;
 

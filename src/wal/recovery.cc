@@ -19,6 +19,15 @@ bool HasTempSuffix(std::string_view name) {
          name.substr(name.size() - kSuffix.size()) == kSuffix;
 }
 
+/// One checkpoint file found on disk: a base (`ckpt-<seq>`) or a delta
+/// (`ckpt-<seq>.d<parent>`) chaining to the checkpoint at `parent`.
+struct CkptEntry {
+  std::uint64_t seq = 0;
+  std::uint64_t parent = 0;  // meaningful iff is_delta
+  bool is_delta = false;
+  std::string name;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<RecoveryManager>> RecoveryManager::Open(
@@ -92,37 +101,128 @@ RecoveryManager::~RecoveryManager() {
   }
 }
 
+Status RecoveryManager::RemoveCheckpointFile(const std::string& name,
+                                             const std::string& reason) {
+  RTIC_LOG(Warning) << "wal: removing invalid checkpoint " << name << " ("
+                    << reason << ")";
+  RTIC_RETURN_IF_ERROR(fs_->Remove(options_.dir + "/" + name));
+  ++stats_.removed_files;
+  return Status::OK();
+}
+
 Status RecoveryManager::RestoreLatestCheckpoint(ReplayTarget* target) {
   RTIC_ASSIGN_OR_RETURN(std::vector<std::string> names,
                         fs_->ListDir(options_.dir));
-  std::vector<std::pair<std::uint64_t, std::string>> checkpoints;
+  std::vector<CkptEntry> entries;
   for (const std::string& name : names) {
-    std::uint64_t seq = 0;
-    if (ParseCheckpointFileName(name, &seq)) checkpoints.emplace_back(seq, name);
+    CkptEntry e;
+    e.name = name;
+    if (ParseCheckpointFileName(name, &e.seq)) {
+      entries.push_back(std::move(e));
+    } else if (ParseDeltaCheckpointFileName(name, &e.seq, &e.parent)) {
+      e.is_delta = true;
+      entries.push_back(std::move(e));
+    }
   }
-  std::sort(checkpoints.rbegin(), checkpoints.rend());
-  for (const auto& [seq, name] : checkpoints) {
-    const std::string path = options_.dir + "/" + name;
-    RTIC_ASSIGN_OR_RETURN(std::string content, fs_->ReadFile(path));
-    ParsedRecord rec;
-    std::string reason;
-    ParseOutcome outcome = ParseRecord(content, 0, &rec, &reason);
-    if (outcome != ParseOutcome::kRecord) {
-      // fall through to removal
-    } else if (rec.seq != seq) {
-      reason = "record seq " + std::to_string(rec.seq) +
-               " does not match file name";
-    } else if (rec.end_offset != content.size()) {
-      reason = "trailing bytes after the checkpoint record";
-    } else {
-      RTIC_RETURN_IF_ERROR(target->RestoreCheckpoint(rec.payload));
-      checkpoint_seq_ = seq;
+  // Newest first; a base sorts ahead of a delta at the same seq so the
+  // self-contained snapshot wins ties.
+  std::sort(entries.begin(), entries.end(),
+            [](const CkptEntry& a, const CkptEntry& b) {
+              if (a.seq != b.seq) return a.seq > b.seq;
+              return a.is_delta < b.is_delta;
+            });
+
+  // Pick the newest entry whose parent chain resolves down to a base with
+  // every member file parseable, then install base + deltas in order. Any
+  // broken link evicts the offending file and restarts the selection — the
+  // common fallback is the chain's own base plus a longer WAL replay, which
+  // segment GC retains exactly for this reason (see CollectGarbage).
+  bool installed = false;
+  while (!entries.empty() && !installed) {
+    // Chain membership, tip first; chain[members-1] is the base.
+    std::vector<std::size_t> chain;
+    std::size_t cursor = 0;  // entries[0] is the newest → the tip
+    bool broken = false;
+    while (true) {
+      chain.push_back(cursor);
+      if (!entries[cursor].is_delta) break;
+      const std::uint64_t want = entries[cursor].parent;
+      std::size_t next = entries.size();
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        // The sort already put a base before a delta of equal seq.
+        if (entries[i].seq == want) {
+          next = i;
+          break;
+        }
+      }
+      if (next == entries.size()) {
+        RTIC_RETURN_IF_ERROR(RemoveCheckpointFile(
+            entries[cursor].name,
+            "delta's parent checkpoint seq " + std::to_string(want) +
+                " is missing"));
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(cursor));
+        broken = true;
+        break;
+      }
+      cursor = next;
+    }
+    if (broken) continue;
+
+    // Validate every member frame before touching the target, so a corrupt
+    // delta discovered mid-chain never leaves a half-installed state.
+    std::vector<std::string> payloads(chain.size());
+    std::size_t bad = chain.size();
+    for (std::size_t k = 0; k < chain.size(); ++k) {
+      const CkptEntry& e = entries[chain[k]];
+      RTIC_ASSIGN_OR_RETURN(std::string content,
+                            fs_->ReadFile(options_.dir + "/" + e.name));
+      ParsedRecord rec;
+      std::string reason;
+      ParseOutcome outcome = ParseRecord(content, 0, &rec, &reason);
+      if (outcome != ParseOutcome::kRecord) {
+        // reason already set by ParseRecord
+      } else if (rec.seq != e.seq) {
+        reason = "record seq " + std::to_string(rec.seq) +
+                 " does not match file name";
+      } else if (rec.end_offset != content.size()) {
+        reason = "trailing bytes after the checkpoint record";
+      } else {
+        payloads[k] = std::move(rec.payload);
+        continue;
+      }
+      RTIC_RETURN_IF_ERROR(RemoveCheckpointFile(e.name, reason));
+      bad = chain[k];
       break;
     }
-    RTIC_LOG(Warning) << "wal: removing invalid checkpoint " << name << " ("
-                      << reason << ")";
-    RTIC_RETURN_IF_ERROR(fs_->Remove(path));
-    ++stats_.removed_files;
+    if (bad != chain.size()) {
+      entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(bad));
+      continue;
+    }
+
+    // Install: base first, then deltas ascending. A target-level rejection
+    // (e.g. a delta chaining to a different logical state) evicts that file
+    // and restarts; the retried chain re-installs its base from scratch, so
+    // partial progress here cannot leak into the next attempt.
+    bool rejected = false;
+    for (std::size_t k = chain.size(); k-- > 0;) {
+      const CkptEntry& e = entries[chain[k]];
+      Status s = e.is_delta
+                     ? target->RestoreCheckpointDelta(payloads[k])
+                     : target->RestoreCheckpoint(payloads[k]);
+      if (!s.ok()) {
+        RTIC_RETURN_IF_ERROR(RemoveCheckpointFile(e.name, s.message()));
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(chain[k]));
+        rejected = true;
+        break;
+      }
+    }
+    if (rejected) continue;
+
+    checkpoint_seq_ = entries[chain[0]].seq;
+    base_seq_ = entries[chain.back()].seq;
+    chain_length_ = chain.size() - 1;
+    stats_.checkpoint_chain = chain.size();
+    installed = true;
   }
   stats_.checkpoint_seq = checkpoint_seq_;
   last_seq_ = checkpoint_seq_;
@@ -231,16 +331,19 @@ bool RecoveryManager::ShouldCheckpoint() const {
          batches_since_checkpoint_ >= options_.checkpoint_interval;
 }
 
-Status RecoveryManager::WriteCheckpoint(const std::string& payload) {
-  const std::uint64_t seq = last_seq_;
-  if (seq == 0) {
-    return Status::FailedPrecondition(
-        "nothing to checkpoint: no record has been appended");
+RecoveryManager::CheckpointPlan RecoveryManager::PlanCheckpoint() const {
+  CheckpointPlan plan;
+  if (options_.delta_chain_limit > 0 && checkpoint_seq_ > 0 &&
+      chain_length_ < options_.delta_chain_limit) {
+    plan.delta = true;
+    plan.parent_seq = checkpoint_seq_;
   }
-  // Close the open segment first so every segment file holds only records
-  // <= seq, making garbage collection a plain deletion of all of them.
-  RTIC_RETURN_IF_ERROR(writer_->Rotate());
-  const std::string name = CheckpointFileName(seq);
+  return plan;
+}
+
+Status RecoveryManager::WriteCheckpointFile(const std::string& name,
+                                            std::uint64_t seq,
+                                            const std::string& payload) {
   const std::string tmp_path = options_.dir + "/" + name + kTempSuffix;
   {
     RTIC_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
@@ -250,7 +353,49 @@ Status RecoveryManager::WriteCheckpoint(const std::string& payload) {
     RTIC_RETURN_IF_ERROR(file->Close());
   }
   RTIC_RETURN_IF_ERROR(fs_->Rename(tmp_path, options_.dir + "/" + name));
+  // The rename made the data durable but not the directory entry: a crash
+  // before the directory itself reaches disk can lose the new name, and
+  // would be fatal once GC has unlinked the files the lost name superseded.
+  return fs_->SyncDir(options_.dir);
+}
+
+Status RecoveryManager::WriteCheckpoint(const std::string& payload) {
+  const std::uint64_t seq = last_seq_;
+  if (seq == 0) {
+    return Status::FailedPrecondition(
+        "nothing to checkpoint: no record has been appended");
+  }
+  // Close the open segment first so every segment file holds only records
+  // <= seq, making garbage collection a byte-range decision on whole files.
+  RTIC_RETURN_IF_ERROR(writer_->Rotate());
+  RTIC_RETURN_IF_ERROR(WriteCheckpointFile(CheckpointFileName(seq), seq,
+                                           payload));
   checkpoint_seq_ = seq;
+  base_seq_ = seq;
+  chain_length_ = 0;
+  batches_since_checkpoint_ = 0;
+  return CollectGarbage();
+}
+
+Status RecoveryManager::WriteCheckpointDelta(const std::string& payload,
+                                             std::uint64_t parent_seq) {
+  if (parent_seq == 0 || parent_seq != checkpoint_seq_) {
+    return Status::InvalidArgument(
+        "delta checkpoint parent seq " + std::to_string(parent_seq) +
+        " does not match the current checkpoint seq " +
+        std::to_string(checkpoint_seq_));
+  }
+  const std::uint64_t seq = last_seq_;
+  if (seq <= parent_seq) {
+    return Status::FailedPrecondition(
+        "nothing to checkpoint: no record appended since seq " +
+        std::to_string(parent_seq));
+  }
+  RTIC_RETURN_IF_ERROR(writer_->Rotate());
+  RTIC_RETURN_IF_ERROR(WriteCheckpointFile(
+      DeltaCheckpointFileName(seq, parent_seq), seq, payload));
+  checkpoint_seq_ = seq;
+  ++chain_length_;
   batches_since_checkpoint_ = 0;
   return CollectGarbage();
 }
@@ -258,15 +403,41 @@ Status RecoveryManager::WriteCheckpoint(const std::string& payload) {
 Status RecoveryManager::CollectGarbage() {
   RTIC_ASSIGN_OR_RETURN(std::vector<std::string> names,
                         fs_->ListDir(options_.dir));
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  std::vector<std::string> stale;
   for (const std::string& name : names) {
     std::uint64_t seq = 0;
-    const bool stale_segment = ParseSegmentFileName(name, &seq);
-    const bool stale_checkpoint =
-        !stale_segment && ParseCheckpointFileName(name, &seq) &&
-        seq < checkpoint_seq_;
-    if (!stale_segment && !stale_checkpoint) continue;
+    std::uint64_t parent = 0;
+    if (ParseSegmentFileName(name, &seq)) {
+      segments.emplace_back(seq, name);
+    } else if (ParseCheckpointFileName(name, &seq) && seq < base_seq_) {
+      stale.push_back(name);
+    } else if (ParseDeltaCheckpointFileName(name, &seq, &parent) &&
+               seq <= base_seq_) {
+      // A delta at the base's own seq is superseded by the self-contained
+      // snapshot; older deltas belong to a dead chain.
+      stale.push_back(name);
+    }
+  }
+  // A segment is garbage only when every record it can hold is covered by
+  // the BASE snapshot, not merely the chain tip: if a delta file is later
+  // lost or corrupted, recovery falls back to the base and replays these
+  // very segments. Records in segment i extend to just before the next
+  // segment's first seq (the current checkpoint seq for the newest one,
+  // thanks to the pre-checkpoint Rotate).
+  std::sort(segments.begin(), segments.end());
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::uint64_t covered_end = i + 1 < segments.size()
+                                          ? segments[i + 1].first - 1
+                                          : checkpoint_seq_;
+    if (covered_end <= base_seq_) stale.push_back(segments[i].second);
+  }
+  for (const std::string& name : stale) {
     RTIC_RETURN_IF_ERROR(fs_->Remove(options_.dir + "/" + name));
   }
+  // Unlinks are directory mutations too: make the reclaimed space and the
+  // absence of dead chain members durable before acking the checkpoint.
+  if (!stale.empty()) RTIC_RETURN_IF_ERROR(fs_->SyncDir(options_.dir));
   return Status::OK();
 }
 

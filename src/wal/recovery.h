@@ -42,6 +42,13 @@ struct WalOptions {
   std::uint64_t group_commit_window_micros = 0;
   /// Batches between checkpoints; 0 disables periodic checkpointing.
   std::size_t checkpoint_interval = 64;
+  /// Maximum delta checkpoints chained onto one base snapshot before
+  /// PlanCheckpoint() forces a new base. 0 disables delta checkpoints
+  /// (every checkpoint is a full base, the pre-RTICMON3 behavior). Larger
+  /// values bound checkpoint cost by churn for longer, at the price of
+  /// recovery installing a longer chain and segment GC retaining the WAL
+  /// back to the base.
+  std::size_t delta_chain_limit = 8;
   /// Segment rotation threshold in bytes.
   std::size_t segment_bytes = 4u << 20;
   /// File system to use; nullptr means DefaultFs(). Tests substitute a
@@ -57,6 +64,8 @@ struct RecoveryStats {
   bool tail_damaged = false;         // a torn/corrupt tail was truncated
   std::uint64_t truncated_bytes = 0;  // bytes cut from the damaged file
   std::size_t removed_files = 0;      // temp leftovers, damaged or GC'd files
+  std::size_t checkpoint_chain = 0;   // checkpoint files installed (0 = none,
+                                      // 1 = base only, n = base + n-1 deltas)
 };
 
 /// What the RecoveryManager replays into. ConstraintMonitor adapts itself
@@ -65,8 +74,18 @@ class ReplayTarget {
  public:
   virtual ~ReplayTarget() = default;
 
-  /// Installs a checkpoint payload (monitor LoadState).
+  /// Installs a base checkpoint payload (monitor LoadState).
   virtual Status RestoreCheckpoint(const std::string& payload) = 0;
+
+  /// Applies a delta checkpoint payload on top of the state installed by
+  /// RestoreCheckpoint and any earlier deltas of the same chain (monitor
+  /// LoadStateDelta). Targets that never write delta checkpoints can keep
+  /// the default.
+  virtual Status RestoreCheckpointDelta(const std::string& payload) {
+    (void)payload;
+    return Status::Unimplemented(
+        "this ReplayTarget does not support delta checkpoints");
+  }
 
   /// Re-applies one logged batch (monitor ApplyUpdate, checks included).
   virtual Status Replay(const UpdateBatch& batch) = 0;
@@ -108,22 +127,50 @@ class RecoveryManager {
   /// the last checkpoint.
   bool ShouldCheckpoint() const;
 
-  /// Durably installs `payload` as the checkpoint covering every record
-  /// appended so far, then deletes the covered segments and older
-  /// checkpoints.
+  /// What the next checkpoint should be: a full base snapshot, or a delta
+  /// chaining to `parent_seq` (the current checkpoint). Deltas are planned
+  /// while a base exists and the chain is shorter than delta_chain_limit.
+  struct CheckpointPlan {
+    bool delta = false;
+    std::uint64_t parent_seq = 0;  // meaningful iff delta
+  };
+  CheckpointPlan PlanCheckpoint() const;
+
+  /// Durably installs `payload` as a base checkpoint covering every record
+  /// appended so far, then garbage-collects covered segments and
+  /// checkpoint files no longer part of the live chain.
   Status WriteCheckpoint(const std::string& payload);
+
+  /// Durably installs `payload` as a delta checkpoint chaining to
+  /// `parent_seq`, which must equal checkpoint_seq() (enforced so a stale
+  /// caller cannot fork the chain). Covered segments older than the base
+  /// are garbage-collected; the base and intermediate deltas stay.
+  Status WriteCheckpointDelta(const std::string& payload,
+                              std::uint64_t parent_seq);
 
   const RecoveryStats& stats() const { return stats_; }
   std::uint64_t last_seq() const { return last_seq_; }
   std::uint64_t checkpoint_seq() const { return checkpoint_seq_; }
+  std::uint64_t base_seq() const { return base_seq_; }
+  std::size_t chain_length() const { return chain_length_; }
 
  private:
   RecoveryManager(Fs* fs, WalOptions options)
       : fs_(fs), options_(std::move(options)) {}
 
-  /// Restores the newest parseable checkpoint into `target`; removes
-  /// checkpoints that fail validation.
+  /// Restores the newest checkpoint chain (base + deltas) whose files all
+  /// validate into `target`; removes files that fail validation or whose
+  /// parent link is broken, falling back to older chains.
   Status RestoreLatestCheckpoint(ReplayTarget* target);
+
+  /// Logs `reason`, unlinks checkpoint file `name`, counts the removal.
+  Status RemoveCheckpointFile(const std::string& name,
+                              const std::string& reason);
+
+  /// Writes `payload` as checkpoint file `name` for sequence `seq`:
+  /// temp file + fsync + rename + directory fsync.
+  Status WriteCheckpointFile(const std::string& name, std::uint64_t seq,
+                             const std::string& payload);
 
   /// Replays the WAL tail through `target`, truncating damage.
   Status ReplayTail(ReplayTarget* target);
@@ -133,7 +180,11 @@ class RecoveryManager {
   Status TruncateDamage(const std::string& segment, std::uint64_t offset,
                         const std::string& reason);
 
-  /// Deletes segment files and checkpoints older than checkpoint_seq_.
+  /// Deletes segment files fully covered by the base checkpoint and
+  /// checkpoint files no longer part of the live chain. Segments covering
+  /// records in (base_seq_, checkpoint_seq_] are retained so that a chain
+  /// member lost later degrades to base + full tail replay, never data
+  /// loss. Ends with a directory fsync when anything was unlinked.
   Status CollectGarbage();
 
   Fs* fs_;
@@ -143,6 +194,8 @@ class RecoveryManager {
   std::mutex append_mu_;  // serializes AppendBatch bookkeeping (and the
                           // writer itself on the direct, non-group path)
   std::uint64_t checkpoint_seq_ = 0;
+  std::uint64_t base_seq_ = 0;     // base snapshot anchoring the live chain
+  std::size_t chain_length_ = 0;   // deltas stacked on that base
   std::uint64_t last_seq_ = 0;
   std::size_t batches_since_checkpoint_ = 0;
   RecoveryStats stats_;

@@ -122,5 +122,31 @@ bool ParseCheckpointFileName(std::string_view name, std::uint64_t* seq) {
   return ParseNumberedName(name, "ckpt-", "", seq);
 }
 
+std::string DeltaCheckpointFileName(std::uint64_t seq,
+                                    std::uint64_t parent_seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ckpt-%020" PRIu64 ".d%020" PRIu64, seq,
+                parent_seq);
+  return buf;
+}
+
+bool ParseDeltaCheckpointFileName(std::string_view name, std::uint64_t* seq,
+                                  std::uint64_t* parent_seq) {
+  constexpr std::size_t kSeqDigits = 20;
+  constexpr std::string_view kPrefix = "ckpt-";
+  // Split "ckpt-<seq>.d<parent>" at the ".d" and reuse the strict
+  // fixed-width number parser for both halves.
+  const std::size_t split = kPrefix.size() + kSeqDigits;
+  if (name.size() != split + 2 + kSeqDigits) return false;
+  if (name.substr(split, 2) != ".d") return false;
+  if (!ParseNumberedName(name.substr(0, split), kPrefix, "", seq)) {
+    return false;
+  }
+  if (!ParseNumberedName(name.substr(split + 2), "", "", parent_seq)) {
+    return false;
+  }
+  return *parent_seq < *seq;
+}
+
 }  // namespace wal
 }  // namespace rtic

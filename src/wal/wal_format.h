@@ -56,11 +56,22 @@ ParseOutcome ParseRecord(std::string_view data, std::size_t offset,
 /// `wal-<first_seq, 20 digits>.log`.
 std::string SegmentFileName(std::uint64_t first_seq);
 
-/// `ckpt-<seq, 20 digits>`.
+/// `ckpt-<seq, 20 digits>` — a full base snapshot.
 std::string CheckpointFileName(std::uint64_t seq);
+
+/// `ckpt-<seq, 20 digits>.d<parent_seq, 20 digits>` — a delta checkpoint
+/// chaining to the checkpoint at `parent_seq` (base or earlier delta).
+/// Deliberately not matched by ParseCheckpointFileName, so recovery code
+/// that predates delta chains ignores (rather than misreads) these files.
+std::string DeltaCheckpointFileName(std::uint64_t seq,
+                                    std::uint64_t parent_seq);
 
 bool ParseSegmentFileName(std::string_view name, std::uint64_t* first_seq);
 bool ParseCheckpointFileName(std::string_view name, std::uint64_t* seq);
+
+/// Requires parent_seq < seq (anything else is not a valid delta name).
+bool ParseDeltaCheckpointFileName(std::string_view name, std::uint64_t* seq,
+                                  std::uint64_t* parent_seq);
 
 }  // namespace wal
 }  // namespace rtic

@@ -1,0 +1,139 @@
+// Tests for the checkpoint payload codec (common/compress.h): lossless
+// round trips over token-shaped and arbitrary data, the stored-mode
+// fallback, frame self-description (LooksCompressed), and rejection of
+// every kind of damaged frame — a corrupt frame must never decode to
+// partial or wrong output.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "common/compress.h"
+#include "tests/test_util.h"
+
+namespace rtic {
+namespace {
+
+using testing::Unwrap;
+
+std::string RoundTrip(const std::string& raw) {
+  std::string frame = Compress(raw);
+  EXPECT_TRUE(LooksCompressed(frame));
+  return Unwrap(Decompress(frame));
+}
+
+TEST(CompressTest, EmptyInput) { EXPECT_EQ(RoundTrip(""), ""); }
+
+TEST(CompressTest, SingleToken) { EXPECT_EQ(RoundTrip("hello"), "hello"); }
+
+TEST(CompressTest, RepeatedTokensShrink) {
+  // Checkpoint payloads are codec tokens: many repeated space-separated
+  // words. That is precisely the shape the dictionary+RLE encoder targets.
+  std::string raw;
+  for (int i = 0; i < 2000; ++i) raw += "5:12345 3:abc ";
+  std::string frame = Compress(raw);
+  EXPECT_LT(frame.size(), raw.size() / 3)
+      << "repetitive token payloads must shrink at least 3x";
+  EXPECT_EQ(Unwrap(Decompress(frame)), raw);
+}
+
+TEST(CompressTest, PreservesEmptySegmentsAndTrailingSpaces) {
+  EXPECT_EQ(RoundTrip("a  b"), "a  b");        // empty token between spaces
+  EXPECT_EQ(RoundTrip("a b "), "a b ");        // trailing space
+  EXPECT_EQ(RoundTrip(" a"), " a");            // leading space
+  EXPECT_EQ(RoundTrip("   "), "   ");          // only spaces
+}
+
+TEST(CompressTest, IncompressibleInputUsesStoredModeLosslessly) {
+  std::mt19937_64 rng(7);
+  std::string raw;
+  for (int i = 0; i < 4096; ++i) {
+    raw.push_back(static_cast<char>(rng() % 256));
+  }
+  std::string frame = Compress(raw);
+  // Stored mode costs only the fixed header.
+  EXPECT_LE(frame.size(), raw.size() + 64);
+  EXPECT_EQ(Unwrap(Decompress(frame)), raw);
+}
+
+TEST(CompressTest, BinaryBytesInsideTokensSurvive) {
+  std::string raw("a\0b \xff\xfe \n\t x", 12);
+  EXPECT_EQ(RoundTrip(raw), raw);
+}
+
+TEST(CompressTest, RandomTokenStreamsRoundTrip) {
+  std::mt19937_64 rng(42);
+  const char* words[] = {"8:RTICMON3", "4:base", "12", "0", "3:Emp",
+                         "i7",         "",       "s",  "42"};
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string raw;
+    const std::size_t len = rng() % 400;
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!raw.empty()) raw += ' ';
+      raw += words[rng() % (sizeof(words) / sizeof(words[0]))];
+    }
+    ASSERT_EQ(RoundTrip(raw), raw) << "iteration " << iter;
+  }
+}
+
+TEST(CompressTest, PlainPayloadsDoNotLookCompressed) {
+  EXPECT_FALSE(LooksCompressed(""));
+  EXPECT_FALSE(LooksCompressed("8:RTICMON3 4:base 12 "));
+  EXPECT_FALSE(LooksCompressed("8:RTICMON2 12 7 0 "));
+  EXPECT_FALSE(LooksCompressed("RTICZIP"));  // shorter than the magic
+}
+
+TEST(CompressTest, TruncatedFrameRejected) {
+  std::string frame = Compress("some payload some payload some payload");
+  for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+    Result<std::string> r = Decompress(frame.substr(0, frame.size() - cut));
+    EXPECT_FALSE(r.ok()) << "truncating " << cut << " byte(s) must fail";
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(CompressTest, EveryBitFlipRejectedOrLossless) {
+  // Flipping any single bit must either be caught (the expected case,
+  // via CRC or structural validation) or — never — silently change the
+  // decoded payload.
+  const std::string raw = "3:abc 3:abc 5:12345 3:abc 0 0 1 ";
+  std::string frame = Compress(raw);
+  for (std::size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    std::string damaged = frame;
+    damaged[bit / 8] = static_cast<char>(damaged[bit / 8] ^ (1 << (bit % 8)));
+    Result<std::string> r = Decompress(damaged);
+    if (r.ok()) {
+      EXPECT_EQ(r.value(), raw) << "bit " << bit
+                                << ": accepted a frame that decodes wrong";
+    }
+  }
+}
+
+TEST(CompressTest, TrailingGarbageRejected) {
+  std::string frame = Compress("a b c a b c");
+  frame += "x";
+  EXPECT_FALSE(Decompress(frame).ok());
+}
+
+TEST(CompressTest, GarbageBodyRejected) {
+  Result<std::string> r = Decompress("RTICZIP1 this is not a frame body");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompressTest, NestedCompressionIsTransparent) {
+  // A compressed frame fed back through Compress still round-trips; the
+  // outer layer sees it as incompressible bytes.
+  const std::string raw = "token token token token token";
+  std::string inner = Compress(raw);
+  std::string outer = Compress(inner);
+  EXPECT_EQ(Unwrap(Decompress(outer)), inner);
+  EXPECT_EQ(Unwrap(Decompress(inner)), raw);
+}
+
+}  // namespace
+}  // namespace rtic

@@ -51,6 +51,8 @@ struct MatrixParams {
   std::uint64_t seed = 7;
   std::size_t checkpoint_interval = 25;
   std::uint64_t group_commit_window_micros = 0;
+  std::size_t checkpoint_delta_chain = 8;  // the default: deltas active
+  bool checkpoint_compression = false;
 };
 
 workload::Workload MakeWorkload(const MatrixParams& p) {
@@ -70,6 +72,8 @@ std::unique_ptr<ConstraintMonitor> MakeMonitor(const workload::Workload& wl,
   options.sync_policy = wal::SyncPolicy::kAlways;
   options.checkpoint_interval = p.checkpoint_interval;
   options.group_commit_window_micros = p.group_commit_window_micros;
+  options.checkpoint_delta_chain = p.checkpoint_delta_chain;
+  options.checkpoint_compression = p.checkpoint_compression;
   options.wal_fs = fs;
   auto monitor = std::make_unique<ConstraintMonitor>(std::move(options));
   for (const auto& [name, schema] : wl.schema) {
@@ -174,16 +178,24 @@ void RunCrashMatrix(const MatrixParams& params) {
   }
 }
 
+// The default configuration: delta checkpoints active (chain limit 8), so
+// the sweep attacks every fault point of base writes, delta writes, chain
+// garbage collection, and the directory fsyncs that make renames/unlinks
+// durable.
 TEST(CrashMatrixTest, EveryFaultPointRecoversExactly) {
   RunCrashMatrix(MatrixParams{});
 }
 
-// The same sweep with group commit armed. The matrix driver is serial, so
-// every group has size one — what this buys is exhaustive fault coverage of
-// the group-commit code path itself: the writer running kBatch underneath,
-// the shared Sync() issued by the GroupCommitter, and the committer's
-// poisoned-on-failure states all face every possible fault point, and
-// recovery must still be verdict-for-verdict identical.
+// The same sweep with group commit armed AND compressed checkpoints. The
+// matrix driver is serial, so every group has size one — what this buys is
+// exhaustive fault coverage of the group-commit code path itself: the
+// writer running kBatch underneath, the shared Sync() issued by the
+// GroupCommitter, and the committer's poisoned-on-failure states all face
+// every possible fault point, and recovery must still be
+// verdict-for-verdict identical. Compression rides along so every fault
+// point also crosses the compressed-frame encode/decode path (final-state
+// comparisons use the uncompressed SaveState, so byte-identity still
+// holds).
 TEST(CrashMatrixTest, GroupCommitEveryFaultPointRecoversExactly) {
   MatrixParams params;
   params.num_employees = 8;
@@ -191,6 +203,21 @@ TEST(CrashMatrixTest, GroupCommitEveryFaultPointRecoversExactly) {
   params.seed = 11;
   params.checkpoint_interval = 10;
   params.group_commit_window_micros = 100;
+  params.checkpoint_compression = true;
+  RunCrashMatrix(params);
+}
+
+// A short-chain sweep with compression on the direct path: chain limit 2
+// forces frequent base/delta alternation, so base-forcing, chain GC, and
+// fallback-to-base recovery face every fault point at high frequency.
+TEST(CrashMatrixTest, ShortChainCompressedEveryFaultPointRecoversExactly) {
+  MatrixParams params;
+  params.num_employees = 8;
+  params.length = 80;
+  params.seed = 23;
+  params.checkpoint_interval = 10;
+  params.checkpoint_delta_chain = 2;
+  params.checkpoint_compression = true;
   RunCrashMatrix(params);
 }
 

@@ -117,7 +117,7 @@ TEST(MonitorCheckpointTest, LegacyCheckpointVersionRejected) {
   (void)Unwrap(a.ApplyUpdate(b1));
   std::string checkpoint = Unwrap(a.SaveState());
 
-  const std::size_t magic_at = checkpoint.find("RTICMON2");
+  const std::size_t magic_at = checkpoint.find("RTICMON3");
   ASSERT_NE(magic_at, std::string::npos);
   checkpoint.replace(magic_at, 8, "RTICMON1");
 
