@@ -1,0 +1,215 @@
+// E14 — replication ship lag and promotion time vs batch rate and
+// checkpoint chain length.
+//
+// Claim: shipping is a byte-range copy, so the cost of a shipping pass is
+// priced by the WAL bytes accumulated since the last pass (the batch
+// rate), not by the database size; promotion is a real Recover() over the
+// mirror, so its cost tracks the mirrored checkpoint chain length exactly
+// like a primary restart; and a late-attaching standby bootstraps through
+// the shipped chain instead of replaying history it never saw.
+//
+// Setup: an E13-style churn workload (a hot Emp table rewritten every
+// batch under no_pay_cut) on a durable primary, replicated over the
+// in-process pipe transport so transport latency and fsync cost are out
+// of the picture. Three measured quantities per configuration:
+//
+//   ship_ms_avg   — mean wall time of one ShipOnce + standby drain pass,
+//                   with `per_ship` batches accumulated between passes
+//                   (the ship-lag axis: what a standby's staleness costs
+//                   to clear);
+//   promote_ms    — wall time of StandbyMonitor::Promote() at the end of
+//                   the run (the chain-length axis: 0 = full snapshots,
+//                   2/8 = delta chains of that limit);
+//   catchup_ms    — wall time for a SECOND standby that attaches only
+//                   after the run finished to reach the primary's final
+//                   sequence number, chain bootstrap included.
+//
+// Iteration time (manual) is the total replication overhead the primary
+// side observed: every ship pass plus the final drain. Batch processing
+// itself is excluded.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "bench/bench_util.h"
+#include "replication/shipper.h"
+#include "replication/standby.h"
+#include "replication/transport.h"
+#include "tests/test_util.h"
+
+namespace rtic {
+namespace {
+
+using replication::CreatePipePair;
+using replication::SegmentShipper;
+using replication::ShipperOptions;
+using replication::StandbyMonitor;
+using replication::StandbyOptions;
+
+constexpr std::size_t kBatches = 64;
+constexpr std::size_t kChurnRows = 64;
+constexpr std::size_t kInterval = 8;  // checkpoint every 8 batches
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+Status Configure(ConstraintMonitor* monitor) {
+  RTIC_RETURN_IF_ERROR(
+      monitor->CreateTable("Emp", testing::IntSchema({"id", "s"})));
+  return monitor->RegisterConstraint(
+      "no_pay_cut",
+      "forall e, s, s0: Emp(e, s) and previous Emp(e, s0) implies s >= s0");
+}
+
+std::unique_ptr<ConstraintMonitor> BuildPrimary(const std::string& dir,
+                                                std::size_t chain) {
+  MonitorOptions options;
+  options.wal_dir = dir;
+  // kBatch pushes every record to the OS without a per-record fsync, so
+  // each ship pass sees exactly the batches accumulated since the last
+  // one (kNone would leave them buffered in-process until rotation) and
+  // fsync cost stays out of the measurement.
+  options.sync_policy = wal::SyncPolicy::kBatch;
+  options.checkpoint_interval = kInterval;
+  options.checkpoint_delta_chain = chain;
+  options.wal_segment_bytes = 64u << 10;
+  auto monitor = std::make_unique<ConstraintMonitor>(std::move(options));
+  bench::CheckOk(Configure(monitor.get()), "configure primary");
+  return monitor;
+}
+
+StandbyOptions BuildStandbyOptions(const std::string& dir) {
+  StandbyOptions options;
+  options.dir = dir;
+  options.configure = Configure;
+  return options;
+}
+
+UpdateBatch ChurnBatch(std::size_t t) {
+  UpdateBatch batch(static_cast<Timestamp>(t));
+  const std::int64_t salary = 100'000 + static_cast<std::int64_t>(t);
+  for (std::int64_t e = 0; e < static_cast<std::int64_t>(kChurnRows); ++e) {
+    if (t > 1) {
+      batch.Delete("Emp", testing::T(testing::I(e), testing::I(salary - 1)));
+    }
+    batch.Insert("Emp", testing::T(testing::I(e), testing::I(salary)));
+  }
+  return batch;
+}
+
+void BM_E14_Replication(benchmark::State& state) {
+  const auto per_ship = static_cast<std::size_t>(state.range(0));
+  const auto chain = static_cast<std::size_t>(state.range(1));
+
+  double ship_ms_avg = 0;
+  double promote_ms = 0;
+  double catchup_ms = 0;
+  double shipped_bytes = 0;
+  double frames = 0;
+  for (auto _ : state) {
+    char tmpl[] = "/tmp/rtic_bench_e14_XXXXXX";
+    char* root = mkdtemp(tmpl);
+    if (root == nullptr) {
+      state.SkipWithError("mkdtemp failed");
+      return;
+    }
+    const std::string wal_dir = std::string(root) + "/wal";
+
+    auto [primary_end, standby_end] = CreatePipePair();
+    auto primary = BuildPrimary(wal_dir, chain);
+    bench::CheckOk(primary->Recover().status(), "Recover (primary)");
+    ShipperOptions shipper_options;
+    shipper_options.dir = wal_dir;
+    SegmentShipper shipper(shipper_options, primary_end.get());
+    auto standby = bench::CheckOk(
+        StandbyMonitor::Attach(BuildStandbyOptions(std::string(root) + "/m1"),
+                               standby_end.get()),
+        "Attach (live standby)");
+    bench::CheckOk(shipper.Start(), "shipper Start");
+
+    double ship_seconds = 0;
+    std::size_t passes = 0;
+    for (std::size_t t = 1; t <= kBatches; ++t) {
+      bench::CheckOk(primary->ApplyUpdate(ChurnBatch(t)).status(), "batch");
+      if (t % per_ship == 0 || t == kBatches) {
+        const auto start = std::chrono::steady_clock::now();
+        bench::CheckOk(shipper.ShipOnce(), "ShipOnce");
+        bench::CheckOk(standby->ProcessPending().status(), "ProcessPending");
+        bench::CheckOk(shipper.DrainAcks(), "DrainAcks");
+        ship_seconds += Seconds(start);
+        ++passes;
+      }
+    }
+    ship_ms_avg = passes == 0 ? 0 : ship_seconds * 1e3 / passes;
+    shipped_bytes = static_cast<double>(shipper.stats().bytes_sent);
+    frames = static_cast<double>(shipper.stats().frames_sent);
+
+    {
+      const auto start = std::chrono::steady_clock::now();
+      auto promoted = bench::CheckOk(standby->Promote(), "Promote");
+      promote_ms = Seconds(start) * 1e3;
+      if (promoted->transition_count() != kBatches) {
+        state.SkipWithError("promoted standby is behind the primary");
+        return;
+      }
+    }
+
+    // A cold standby attaching after the fact: everything arrives in one
+    // burst and the replica must cross the chain to reach the tail.
+    {
+      auto [pe, se] = CreatePipePair();
+      SegmentShipper late_shipper(shipper_options, pe.get());
+      const auto start = std::chrono::steady_clock::now();
+      auto late = bench::CheckOk(
+          StandbyMonitor::Attach(BuildStandbyOptions(std::string(root) + "/m2"),
+                                 se.get()),
+          "Attach (late standby)");
+      bench::CheckOk(late_shipper.Start(), "late Start");
+      while (late->replayed_seq() < kBatches) {
+        bench::CheckOk(late_shipper.ShipOnce(), "late ShipOnce");
+        bench::CheckOk(late->ProcessPending().status(), "late drain");
+      }
+      catchup_ms = Seconds(start) * 1e3;
+    }
+
+    state.SetIterationTime(ship_seconds);
+    std::filesystem::remove_all(root);
+  }
+
+  state.counters["per_ship_batches"] = static_cast<double>(per_ship);
+  state.counters["chain_limit"] = static_cast<double>(chain);
+  state.counters["ship_ms_avg"] = ship_ms_avg;
+  state.counters["promote_ms"] = promote_ms;
+  state.counters["catchup_ms"] = catchup_ms;
+  state.counters["shipped_mb"] = shipped_bytes / (1024.0 * 1024.0);
+  state.counters["frames"] = frames;
+}
+
+BENCHMARK(BM_E14_Replication)
+    ->ArgNames({"per_ship", "chain"})
+    // Series 1 — ship-lag axis at a fixed chain limit: the cost of one
+    // pass tracks the batches accumulated since the last one.
+    ->Args({1, 2})
+    ->Args({4, 2})
+    ->Args({16, 2})
+    // Series 2 — chain-length axis at a fixed batch rate: promotion and
+    // late-attach catch-up track the mirrored chain.
+    ->Args({4, 0})
+    ->Args({4, 8})
+    ->Iterations(3)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rtic
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+// Log-shipping replication as two real processes.
+//
+// Run the standby first, then the primary, in separate terminals:
+//
+//   ./replication_pair standby 7400 /tmp/rtic-standby
+//   ./replication_pair primary 127.0.0.1:7400 /tmp/rtic-primary
+//
+// The primary runs a durable payroll stream with MonitorOptions::
+// replication_standby set, so Recover() connects to the standby and a
+// background thread ships every sealed WAL segment and checkpoint file
+// while batches commit. The standby mirrors the files, replays each
+// shipped batch through its live replica (printing the same violations
+// the primary saw, a beat behind), and — once the primary exits and the
+// connection closes — PROMOTES: it recovers a full durable monitor from
+// the mirror and carries on as the new primary, applying a few batches of
+// its own to prove it.
+//
+// Both roles must register the same tables and constraints: the schema is
+// configuration, not shipped state (see docs/OPERATIONS.md).
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "monitor/monitor.h"
+#include "replication/standby.h"
+#include "replication/tcp_transport.h"
+#include "workload/generators.h"
+
+namespace {
+
+rtic::workload::Workload MakeWorkload() {
+  rtic::workload::PayrollParams params;
+  params.num_employees = 8;
+  params.length = 40;
+  params.seed = 2026;
+  // High enough that the short demo stream actually trips constraints —
+  // the point is watching the standby echo the primary's violations.
+  params.cut_prob = 0.15;
+  params.early_raise_prob = 0.15;
+  return rtic::workload::MakePayrollWorkload(params);
+}
+
+rtic::Status Configure(rtic::ConstraintMonitor* monitor) {
+  const rtic::workload::Workload workload = MakeWorkload();
+  for (const auto& [name, schema] : workload.schema) {
+    rtic::Status s = monitor->CreateTable(name, schema);
+    if (!s.ok()) return s;
+  }
+  for (const auto& [name, text] : workload.constraints) {
+    rtic::Status s = monitor->RegisterConstraint(name, text);
+    if (!s.ok()) return s;
+  }
+  return rtic::Status::OK();
+}
+
+int RunPrimary(const std::string& address, const std::string& dir) {
+  const rtic::workload::Workload workload = MakeWorkload();
+  std::filesystem::create_directories(dir);
+
+  rtic::MonitorOptions options;
+  options.wal_dir = dir + "/wal";
+  options.sync_policy = rtic::wal::SyncPolicy::kAlways;
+  options.checkpoint_interval = 10;
+  options.replication_standby = address;   // ship to the standby
+  options.ship_interval_micros = 20'000;   // every 20 ms
+  rtic::ConstraintMonitor monitor(std::move(options));
+
+  rtic::Status s = Configure(&monitor);
+  if (!s.ok()) {
+    std::printf("configure: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto recovered = monitor.Recover();  // connects + starts the shipper
+  if (!recovered.ok()) {
+    std::printf("recover: %s\n", recovered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("primary: recovered at transition %zu, shipping to %s\n",
+              monitor.transition_count(), address.c_str());
+
+  for (std::size_t i = monitor.transition_count();
+       i < workload.batches.size(); ++i) {
+    auto violations = monitor.ApplyUpdate(workload.batches[i]);
+    if (!violations.ok()) {
+      std::printf("batch %zu: %s\n", i,
+                  violations.status().ToString().c_str());
+      return 1;
+    }
+    for (const rtic::Violation& v : *violations) {
+      std::printf("primary: %s\n", v.ToString().c_str());
+    }
+  }
+  std::printf("primary: done after %zu transitions; exiting (the monitor's "
+              "destructor ships the tail and closes the connection)\n",
+              monitor.transition_count());
+  return 0;
+}
+
+int RunStandby(std::uint16_t port, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  auto listener = rtic::replication::TcpListener::Listen(port);
+  if (!listener.ok()) {
+    std::printf("listen: %s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("standby: waiting for a primary on port %u\n",
+              (*listener)->port());
+  auto endpoint = (*listener)->Accept();
+  if (!endpoint.ok()) {
+    std::printf("accept: %s\n", endpoint.status().ToString().c_str());
+    return 1;
+  }
+
+  rtic::replication::StandbyOptions options;
+  options.dir = dir + "/mirror";
+  options.configure = Configure;
+  options.on_replay = [](std::uint64_t seq, const rtic::UpdateBatch&,
+                         const std::vector<rtic::Violation>& violations) {
+    for (const rtic::Violation& v : violations) {
+      std::printf("standby (seq %llu): %s\n",
+                  static_cast<unsigned long long>(seq),
+                  v.ToString().c_str());
+    }
+  };
+  auto standby =
+      rtic::replication::StandbyMonitor::Attach(std::move(options),
+                                                endpoint->get());
+  if (!standby.ok()) {
+    std::printf("attach: %s\n", standby.status().ToString().c_str());
+    return 1;
+  }
+  rtic::Status served = (*standby)->Run();  // until the primary closes
+  if (!served.ok()) {
+    std::printf("session: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  std::printf("standby: primary closed at seq %llu; promoting\n",
+              static_cast<unsigned long long>((*standby)->replayed_seq()));
+
+  auto promoted = (*standby)->Promote();
+  if (!promoted.ok()) {
+    std::printf("promote: %s\n", promoted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("promoted: durable monitor at transition %zu — now the "
+              "primary; applying three clock ticks of its own\n",
+              (*promoted)->transition_count());
+  for (int i = 1; i <= 3; ++i) {
+    auto tick = (*promoted)->Tick((*promoted)->current_time() + 1);
+    if (!tick.ok()) {
+      std::printf("tick: %s\n", tick.status().ToString().c_str());
+      return 1;
+    }
+    for (const rtic::Violation& v : *tick) {
+      std::printf("promoted: %s\n", v.ToString().c_str());
+    }
+  }
+  std::printf("promoted: done at transition %zu\n",
+              (*promoted)->transition_count());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 4 && std::string(argv[1]) == "standby") {
+    return RunStandby(static_cast<std::uint16_t>(std::atoi(argv[2])),
+                      argv[3]);
+  }
+  if (argc == 4 && std::string(argv[1]) == "primary") {
+    return RunPrimary(argv[2], argv[3]);
+  }
+  std::printf("usage:\n  %s standby <port> <dir>\n  %s primary <host:port> "
+              "<dir>\n",
+              argv[0], argv[0]);
+  return 2;
+}

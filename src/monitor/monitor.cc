@@ -10,6 +10,8 @@
 #include "engines/incremental/engine.h"
 #include "engines/naive/naive_engine.h"
 #include "engines/response/response_engine.h"
+#include "replication/shipper.h"
+#include "replication/tcp_transport.h"
 #include "storage/codec.h"
 #include "tl/parser.h"
 
@@ -91,7 +93,7 @@ ConstraintMonitor::ConstraintMonitor(MonitorOptions options)
   }
 }
 
-ConstraintMonitor::~ConstraintMonitor() = default;
+ConstraintMonitor::~ConstraintMonitor() { StopShipping(); }
 
 Status ConstraintMonitor::CreateTable(const std::string& name,
                                       Schema schema) {
@@ -287,7 +289,68 @@ Result<wal::RecoveryStats> ConstraintMonitor::Recover() {
   if (recovery_->checkpoint_seq() == recovery_->last_seq()) {
     ResetCheckpointTracking();
   }
+  if (!options_.replication_standby.empty()) {
+    RTIC_RETURN_IF_ERROR(StartShipping());
+  }
   return recovery_->stats();
+}
+
+Status ConstraintMonitor::StartShipping() {
+  RTIC_ASSIGN_OR_RETURN(ship_transport_,
+                        replication::TcpConnect(options_.replication_standby));
+  replication::ShipperOptions ship_options;
+  ship_options.dir = options_.wal_dir;
+  ship_options.fs = options_.wal_fs;
+  shipper_ = std::make_unique<replication::SegmentShipper>(
+      ship_options, ship_transport_.get());
+  RTIC_RETURN_IF_ERROR(shipper_->Start());
+  ship_thread_ = std::thread([this] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(ship_mu_);
+        ship_cv_.wait_for(
+            lock, std::chrono::microseconds(options_.ship_interval_micros),
+            [this] { return ship_stop_; });
+        if (ship_stop_) break;
+      }
+      Status s = shipper_->ShipOnce();
+      if (!s.ok()) {
+        RTIC_LOG(Warning) << "replication: shipping stopped: "
+                          << s.ToString();
+        break;
+      }
+    }
+  });
+  return Status::OK();
+}
+
+void ConstraintMonitor::StopShipping() {
+  if (!ship_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(ship_mu_);
+    ship_stop_ = true;
+  }
+  ship_cv_.notify_all();
+  ship_thread_.join();
+  // Flush the WAL's buffered tail first (the recovery manager's clean
+  // shutdown), then ship it: a clean primary shutdown leaves the standby
+  // holding every durable record.
+  recovery_.reset();
+  Status s = shipper_->ShipOnce();
+  if (!s.ok()) {
+    RTIC_LOG(Warning) << "replication: final shipping pass failed: "
+                      << s.ToString();
+  } else {
+    // Wait for the standby to confirm the tail before closing: closing
+    // immediately after the final send can reset the connection under the
+    // standby's in-flight reply and discard its still-buffered frames.
+    s = shipper_->WaitForAck(transition_count_, /*timeout_micros=*/5'000'000);
+    if (!s.ok()) {
+      RTIC_LOG(Warning) << "replication: standby did not confirm the tail: "
+                        << s.ToString();
+    }
+  }
+  ship_transport_->Close();
 }
 
 Result<std::vector<Violation>> ConstraintMonitor::ApplyUpdate(

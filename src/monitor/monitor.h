@@ -16,10 +16,13 @@
 #ifndef RTIC_MONITOR_MONITOR_H_
 #define RTIC_MONITOR_MONITOR_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -32,6 +35,11 @@
 #include "wal/recovery.h"
 
 namespace rtic {
+
+namespace replication {
+class SegmentShipper;
+class Transport;
+}  // namespace replication
 
 /// Which checking strategy newly registered constraints use.
 enum class EngineKind {
@@ -114,6 +122,19 @@ struct MonitorOptions {
   /// File system used by the durability subsystem; nullptr means the real
   /// one. Tests substitute a wal::FaultInjectingFs to crash on demand.
   wal::Fs* wal_fs = nullptr;
+
+  /// Log-shipping replication (durable mode only). Empty (the default)
+  /// disables it. A "host:port" address makes Recover() connect to a
+  /// listening StandbyMonitor (see replication/standby.h) and start a
+  /// background thread that ships sealed WAL segments and checkpoint
+  /// files every ship_interval_micros. Connection failure fails
+  /// Recover(); a connection lost later is logged and shipping stops (the
+  /// persisted ship watermark keeps unacknowledged segments until a new
+  /// session catches the standby up — see docs/OPERATIONS.md).
+  std::string replication_standby;
+
+  /// Pause between shipping passes of the background shipper thread.
+  std::uint64_t ship_interval_micros = 50000;
 };
 
 /// Cumulative checking statistics for one registered constraint.
@@ -328,6 +349,18 @@ class ConstraintMonitor {
   std::unique_ptr<ThreadPool> pool_;  // non-null iff num_threads > 1
   std::unique_ptr<wal::RecoveryManager> recovery_;  // non-null once durable
   bool recovering_ = false;  // Recover() is replaying through ApplyUpdate
+
+  // Log-shipping replication (armed by Recover() when replication_standby
+  // is set; see StartShipping/StopShipping in monitor.cc).
+  std::unique_ptr<replication::Transport> ship_transport_;
+  std::unique_ptr<replication::SegmentShipper> shipper_;
+  std::thread ship_thread_;
+  std::mutex ship_mu_;
+  std::condition_variable ship_cv_;
+  bool ship_stop_ = false;  // guarded by ship_mu_
+
+  Status StartShipping();
+  void StopShipping();
 
   // Delta-checkpoint tracking (armed by BeginDeltaTracking()).
   bool delta_tracking_ = false;

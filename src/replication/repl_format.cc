@@ -1,0 +1,136 @@
+#include "replication/repl_format.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace rtic {
+namespace replication {
+namespace {
+
+void PutFixed32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutFixed64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t GetFixed32(std::string_view data, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetFixed64(std::string_view data, std::size_t offset) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+constexpr std::size_t kMagicBytes = 8;
+constexpr std::size_t kCrcOffset = kMagicBytes;
+constexpr std::size_t kCheckedOffset = kMagicBytes + 4;
+
+Status BadFrame(const std::string& what) {
+  return Status::InvalidArgument("replication frame: " + what);
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string checked;
+  checked.push_back(static_cast<char>(frame.version));
+  checked.push_back(static_cast<char>(frame.type));
+  PutFixed64(&checked, frame.arg);
+  PutFixed32(&checked, static_cast<std::uint32_t>(frame.name.size()));
+  PutFixed32(&checked, static_cast<std::uint32_t>(frame.body.size()));
+  checked.append(frame.name);
+  checked.append(frame.body);
+
+  std::string out;
+  out.reserve(kCheckedOffset + checked.size());
+  out.append(kFrameMagic, kMagicBytes);
+  PutFixed32(&out, Crc32c(checked));
+  out.append(checked);
+  return out;
+}
+
+Result<Frame> ParseFrame(std::string_view data) {
+  if (data.size() < kFrameHeaderBytes) {
+    return BadFrame("short frame (" + std::to_string(data.size()) +
+                    " bytes)");
+  }
+  if (std::memcmp(data.data(), kFrameMagic, kMagicBytes) != 0) {
+    return BadFrame("bad magic");
+  }
+  std::uint32_t stored_crc = GetFixed32(data, kCrcOffset);
+  std::string_view checked = data.substr(kCheckedOffset);
+  if (Crc32c(checked) != stored_crc) {
+    return BadFrame("checksum mismatch");
+  }
+
+  Frame frame;
+  frame.version = static_cast<std::uint8_t>(checked[0]);
+  std::uint8_t raw_type = static_cast<std::uint8_t>(checked[1]);
+  if (raw_type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      raw_type > static_cast<std::uint8_t>(FrameType::kAck)) {
+    return BadFrame("unknown type " + std::to_string(raw_type));
+  }
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.arg = GetFixed64(checked, 2);
+  std::uint64_t name_len = GetFixed32(checked, 10);
+  std::uint64_t body_len = GetFixed32(checked, 14);
+  if (name_len + body_len > kMaxFrameBytes) {
+    return BadFrame("implausible length");
+  }
+  std::size_t fixed = 1 + 1 + 8 + 4 + 4;
+  if (checked.size() != fixed + name_len + body_len) {
+    return BadFrame("length mismatch (have " +
+                    std::to_string(checked.size() - fixed) + " payload, "
+                    "header claims " + std::to_string(name_len + body_len) +
+                    ")");
+  }
+  frame.name.assign(checked.substr(fixed, name_len));
+  frame.body.assign(checked.substr(fixed + name_len, body_len));
+  return frame;
+}
+
+std::string EncodeHello(std::string_view role) {
+  Frame frame;
+  frame.type = FrameType::kHello;
+  frame.name.assign(role);
+  return EncodeFrame(frame);
+}
+
+std::string EncodeFileChunk(std::string_view name, std::uint64_t offset,
+                            std::string_view bytes) {
+  Frame frame;
+  frame.type = FrameType::kFileChunk;
+  frame.arg = offset;
+  frame.name.assign(name);
+  frame.body.assign(bytes);
+  return EncodeFrame(frame);
+}
+
+std::string EncodeAck(std::uint64_t acked_seq) {
+  Frame frame;
+  frame.type = FrameType::kAck;
+  frame.arg = acked_seq;
+  return EncodeFrame(frame);
+}
+
+}  // namespace replication
+}  // namespace rtic

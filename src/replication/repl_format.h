@@ -1,0 +1,77 @@
+// Wire format of the log-shipping replication stream.
+//
+// Every message between a primary's SegmentShipper and a StandbyMonitor is
+// one frame:
+//
+//   [magic "RTICSHP1" 8][crc32c u32 LE]
+//   [version u8][type u8][arg u64 LE][name_len u32 LE][body_len u32 LE]
+//   [name bytes][body bytes]
+//
+// The checksum covers everything after the crc field (version through the
+// last body byte), so a frame is verifiable before any of its fields are
+// trusted. Transports deliver whole frames; the length-prefixed TCP
+// transport adds its own u32 LE frame-size prefix on the wire.
+//
+// Frame types:
+//   kHello     — session start; `name` is the sender's role ("primary" or
+//                "standby"), arg and body are empty. Both sides send one.
+//   kFileChunk — `body` is the byte range [arg, arg + body_len) of the WAL
+//                directory entry `name` (a segment, or a whole checkpoint
+//                file shipped at arg == 0).
+//   kAck       — standby -> primary; arg is the highest WAL sequence number
+//                the standby has durably mirrored and replayed.
+//
+// Rejection rules (see docs/FORMATS.md): wrong magic, unknown type, a
+// length that exceeds the delivered bytes or kMaxFrameBytes, or a checksum
+// mismatch parse as kInvalidArgument; a version other than
+// kProtocolVersion parses but must be refused by the session layer with
+// kFailedPrecondition.
+
+#ifndef RTIC_REPLICATION_REPL_FORMAT_H_
+#define RTIC_REPLICATION_REPL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace rtic {
+namespace replication {
+
+inline constexpr char kFrameMagic[] = "RTICSHP1";  // 8 bytes on the wire
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 8 + 4 + 1 + 1 + 8 + 4 + 4;
+
+/// Upper bound on name + body; anything larger is corruption, not data.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 30;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kFileChunk = 2,
+  kAck = 3,
+};
+
+struct Frame {
+  std::uint8_t version = kProtocolVersion;
+  FrameType type = FrameType::kHello;
+  std::uint64_t arg = 0;     // chunk byte offset / acked sequence number
+  std::string name;          // file name (chunks) or role (hello)
+  std::string body;          // file bytes (chunks only)
+};
+
+std::string EncodeFrame(const Frame& frame);
+
+/// Parses one whole frame (the transport's unit of delivery). `data` must
+/// be exactly one frame; trailing bytes are corruption.
+Result<Frame> ParseFrame(std::string_view data);
+
+std::string EncodeHello(std::string_view role);
+std::string EncodeFileChunk(std::string_view name, std::uint64_t offset,
+                            std::string_view bytes);
+std::string EncodeAck(std::uint64_t acked_seq);
+
+}  // namespace replication
+}  // namespace rtic
+
+#endif  // RTIC_REPLICATION_REPL_FORMAT_H_

@@ -1,0 +1,168 @@
+#include "replication/shipper.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "replication/repl_format.h"
+#include "wal/wal_format.h"
+
+namespace rtic {
+namespace replication {
+namespace {
+
+bool IsCheckpointName(const std::string& name) {
+  std::uint64_t seq = 0;
+  std::uint64_t parent = 0;
+  return wal::ParseCheckpointFileName(name, &seq) ||
+         wal::ParseDeltaCheckpointFileName(name, &seq, &parent);
+}
+
+bool IsSegmentName(const std::string& name) {
+  std::uint64_t seq = 0;
+  return wal::ParseSegmentFileName(name, &seq);
+}
+
+}  // namespace
+
+SegmentShipper::SegmentShipper(ShipperOptions options, Transport* transport)
+    : options_(std::move(options)),
+      fs_(options_.fs != nullptr ? options_.fs : wal::DefaultFs()),
+      transport_(transport) {}
+
+Status SegmentShipper::Start() {
+  RTIC_RETURN_IF_ERROR(transport_->Send(EncodeHello("primary")));
+  ++stats_.frames_sent;
+  if (!options_.persist_watermark) return Status::OK();
+  // Retention starts at attach: persist "nothing acknowledged" unless a
+  // previous session already recorded a (necessarily monotonic) watermark.
+  const std::string path =
+      options_.dir + "/" + std::string(wal::kShipWatermarkFileName);
+  RTIC_ASSIGN_OR_RETURN(bool exists, fs_->FileExists(path));
+  if (exists) return Status::OK();
+  return PersistWatermark(0);
+}
+
+Status SegmentShipper::DrainAcks() {
+  for (;;) {
+    std::string raw;
+    RTIC_ASSIGN_OR_RETURN(bool got, transport_->TryRecv(&raw));
+    if (!got) return Status::OK();
+    RTIC_ASSIGN_OR_RETURN(Frame frame, ParseFrame(raw));
+    if (frame.version != kProtocolVersion) {
+      return Status::FailedPrecondition(
+          "replication: standby speaks protocol version " +
+          std::to_string(frame.version) + ", this primary speaks " +
+          std::to_string(kProtocolVersion));
+    }
+    switch (frame.type) {
+      case FrameType::kHello:
+        break;  // the standby's side of the handshake
+      case FrameType::kAck:
+        ++stats_.acks_seen;
+        if (frame.arg > acked_seq_) acked_seq_ = frame.arg;
+        break;
+      case FrameType::kFileChunk:
+        return Status::InvalidArgument(
+            "replication: standby sent a file chunk");
+    }
+  }
+}
+
+Status SegmentShipper::ShipFile(const std::string& name,
+                                std::uint64_t from_offset,
+                                const std::string& bytes) {
+  RTIC_RETURN_IF_ERROR(transport_->Send(
+      EncodeFileChunk(name, from_offset,
+                      std::string_view(bytes).substr(from_offset))));
+  ++stats_.frames_sent;
+  stats_.bytes_sent += bytes.size() - from_offset;
+  ++stats_.files_shipped;
+  return Status::OK();
+}
+
+Status SegmentShipper::ShipOnce() {
+  RTIC_RETURN_IF_ERROR(DrainAcks());
+  RTIC_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        fs_->ListDir(options_.dir));
+  // ListDir is sorted, so checkpoint files ("ckpt-") ship before segments
+  // ("wal-") — a late-attaching standby installs the chain first and
+  // replays only the uncovered tail.
+  for (const std::string& name : names) {
+    if (IsCheckpointName(name)) {
+      if (shipped_.count(name) != 0) continue;
+      Result<std::string> bytes = fs_->ReadFile(options_.dir + "/" + name);
+      if (!bytes.ok()) continue;  // GC won the race; a newer chain follows
+      RTIC_RETURN_IF_ERROR(ShipFile(name, 0, *bytes));
+      shipped_[name] = bytes->size();
+    } else if (IsSegmentName(name)) {
+      Result<std::string> bytes = fs_->ReadFile(options_.dir + "/" + name);
+      if (!bytes.ok()) continue;
+      std::uint64_t& offset = shipped_[name];
+      if (bytes->size() > offset) {
+        RTIC_RETURN_IF_ERROR(ShipFile(name, offset, *bytes));
+        offset = bytes->size();
+      }
+    }
+  }
+  // Forget files GC has unlinked so the session map stays bounded
+  // (ListDir returns sorted names).
+  for (auto it = shipped_.begin(); it != shipped_.end();) {
+    if (std::binary_search(names.begin(), names.end(), it->first)) {
+      ++it;
+    } else {
+      it = shipped_.erase(it);
+    }
+  }
+  RTIC_RETURN_IF_ERROR(DrainAcks());
+  if (options_.persist_watermark &&
+      (acked_seq_ > persisted_ || !have_persisted_)) {
+    RTIC_RETURN_IF_ERROR(PersistWatermark(acked_seq_));
+  }
+  return Status::OK();
+}
+
+Status SegmentShipper::WaitForAck(std::uint64_t seq,
+                                  std::uint64_t timeout_micros) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_micros);
+  for (;;) {
+    RTIC_RETURN_IF_ERROR(DrainAcks());
+    if (options_.persist_watermark &&
+        (acked_seq_ > persisted_ || !have_persisted_)) {
+      RTIC_RETURN_IF_ERROR(PersistWatermark(acked_seq_));
+    }
+    if (acked_seq_ >= seq) return Status::OK();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          "replication: standby acked " + std::to_string(acked_seq_) +
+          " of " + std::to_string(seq) + " before the wait timed out");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
+Status SegmentShipper::PersistWatermark(std::uint64_t seq) {
+  const std::string path =
+      options_.dir + "/" + std::string(wal::kShipWatermarkFileName);
+  const std::string tmp_path = path + wal::kTempSuffix;
+  {
+    RTIC_ASSIGN_OR_RETURN(std::unique_ptr<wal::WritableFile> file,
+                          fs_->NewWritableFile(tmp_path, /*truncate=*/true));
+    RTIC_RETURN_IF_ERROR(file->Append(wal::EncodeShipWatermark(seq)));
+    RTIC_RETURN_IF_ERROR(file->Sync());
+    RTIC_RETURN_IF_ERROR(file->Close());
+  }
+  RTIC_RETURN_IF_ERROR(fs_->Rename(tmp_path, path));
+  RTIC_RETURN_IF_ERROR(fs_->SyncDir(options_.dir));
+  have_persisted_ = true;
+  persisted_ = seq;
+  return Status::OK();
+}
+
+}  // namespace replication
+}  // namespace rtic

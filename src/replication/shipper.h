@@ -1,0 +1,102 @@
+// SegmentShipper: the primary side of log-shipping replication.
+//
+// The WAL's segments are immutable once written, checksummed per record,
+// and named by the first sequence number they contain, so shipping is a
+// byte-range copy: each ShipOnce() pass lists the WAL directory, sends any
+// checkpoint file (base or delta) the session has not shipped yet as one
+// whole-file chunk, and sends the newly appended byte range of every
+// segment. The standby acknowledges the highest sequence number it has
+// durably mirrored and replayed; the shipper persists that watermark in
+// the WAL directory (wal::kShipWatermarkFileName) so garbage collection
+// never unlinks an unacknowledged segment, even across a primary restart.
+//
+// A shipper session is stateless on the wire: after a reconnect (new
+// shipper over a new transport) everything present on the primary is
+// shipped again from offset 0, and the standby's idempotent chunk handling
+// (see standby.h) skips bytes it already has. Files that vanish between
+// the directory listing and the read (GC racing the scan) are skipped.
+
+#ifndef RTIC_REPLICATION_SHIPPER_H_
+#define RTIC_REPLICATION_SHIPPER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "replication/transport.h"
+#include "wal/file.h"
+
+namespace rtic {
+namespace replication {
+
+struct ShipperOptions {
+  /// The primary's WAL directory (the one its RecoveryManager writes).
+  std::string dir;
+  /// File system; nullptr means wal::DefaultFs(). Tests substitute a
+  /// FaultInjectingFs so watermark persistence is a crash-matrix fault
+  /// point like every other durable write.
+  wal::Fs* fs = nullptr;
+  /// When false, acknowledgements are tracked in memory only and GC is
+  /// not constrained (useful for fire-and-forget mirroring).
+  bool persist_watermark = true;
+};
+
+struct ShipperStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;   // file bytes only, excluding frame headers
+  std::uint64_t files_shipped = 0;  // checkpoint files + segments touched
+  std::uint64_t acks_seen = 0;
+};
+
+class SegmentShipper {
+ public:
+  /// The transport endpoint must outlive the shipper.
+  SegmentShipper(ShipperOptions options, Transport* transport);
+
+  /// Opens the session: sends the primary hello. The standby's reply is
+  /// consumed by the next DrainAcks/ShipOnce, so a single-threaded caller
+  /// never deadlocks on the handshake.
+  Status Start();
+
+  /// One shipping pass: drain acknowledgements, list the WAL directory,
+  /// ship unshipped checkpoint files and new segment bytes, drain again,
+  /// and persist the watermark if it advanced. Fails when the transport
+  /// is dead or the session saw a protocol violation (wrong version,
+  /// unparseable frame from the standby).
+  Status ShipOnce();
+
+  /// Consumes every frame the standby has queued without blocking.
+  Status DrainAcks();
+
+  /// Polls acknowledgements until the standby has acked `seq`, the
+  /// session errors, or `timeout_micros` elapses (DeadlineExceeded).
+  /// Persists the watermark on any advance. A clean primary shutdown
+  /// calls this after its final ShipOnce so the standby confirms the
+  /// tail before the connection closes under it.
+  Status WaitForAck(std::uint64_t seq, std::uint64_t timeout_micros);
+
+  /// Highest sequence number the standby has acknowledged this session.
+  std::uint64_t acked_seq() const { return acked_seq_; }
+
+  const ShipperStats& stats() const { return stats_; }
+
+ private:
+  Status PersistWatermark(std::uint64_t seq);
+  Status ShipFile(const std::string& name, std::uint64_t from_offset,
+                  const std::string& bytes);
+
+  ShipperOptions options_;
+  wal::Fs* fs_;
+  Transport* transport_;
+  std::map<std::string, std::uint64_t> shipped_;  // file -> bytes shipped
+  std::uint64_t acked_seq_ = 0;
+  bool have_persisted_ = false;   // a watermark write happened this session
+  std::uint64_t persisted_ = 0;   // last value written
+  ShipperStats stats_;
+};
+
+}  // namespace replication
+}  // namespace rtic
+
+#endif  // RTIC_REPLICATION_SHIPPER_H_

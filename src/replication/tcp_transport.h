@@ -1,0 +1,51 @@
+// Minimal length-prefixed TCP transport.
+//
+// Each frame travels as [frame_size u32 LE][frame bytes] over a blocking
+// POSIX stream socket. The standby listens (TcpListener), the primary
+// connects (TcpConnect with a "host:port" address). Port 0 binds an
+// ephemeral port — read it back with TcpListener::port(), which the tests
+// and the two-process example use to avoid fixed-port collisions.
+
+#ifndef RTIC_REPLICATION_TCP_TRANSPORT_H_
+#define RTIC_REPLICATION_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "replication/transport.h"
+
+namespace rtic {
+namespace replication {
+
+/// Accepts standby-side connections.
+class TcpListener {
+ public:
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral).
+  static Result<std::unique_ptr<TcpListener>> Listen(std::uint16_t port);
+
+  /// The bound port (useful after Listen(0)).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for one inbound connection.
+  Result<std::unique_ptr<Transport>> Accept();
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_;
+  std::uint16_t port_;
+};
+
+/// Connects to a standby at "host:port" (numeric IPv4 host or "localhost").
+Result<std::unique_ptr<Transport>> TcpConnect(const std::string& address);
+
+}  // namespace replication
+}  // namespace rtic
+
+#endif  // RTIC_REPLICATION_TCP_TRANSPORT_H_

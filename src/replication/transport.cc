@@ -1,0 +1,153 @@
+#include "replication/transport.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace rtic {
+namespace replication {
+namespace {
+
+// Shared state of one direction-agnostic pipe: two queues, one per
+// direction, plus per-endpoint closed flags.
+struct PipeCore {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> queue[2];  // queue[i] holds frames headed TO end i
+  bool closed[2] = {false, false};
+};
+
+class PipeEndpoint final : public Transport {
+ public:
+  PipeEndpoint(std::shared_ptr<PipeCore> core, int end)
+      : core_(std::move(core)), end_(end) {}
+
+  ~PipeEndpoint() override { Close(); }
+
+  Status Send(const std::string& frame) override {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    if (core_->closed[end_]) {
+      return Status::FailedPrecondition("pipe transport: endpoint closed");
+    }
+    if (core_->closed[1 - end_]) {
+      return Status::FailedPrecondition("pipe transport: peer closed");
+    }
+    core_->queue[1 - end_].push_back(frame);
+    core_->cv.notify_all();
+    return Status::OK();
+  }
+
+  Result<bool> Recv(std::string* frame) override {
+    std::unique_lock<std::mutex> lock(core_->mu);
+    core_->cv.wait(lock, [&] {
+      return !core_->queue[end_].empty() || core_->closed[end_] ||
+             core_->closed[1 - end_];
+    });
+    if (!core_->queue[end_].empty()) {
+      *frame = std::move(core_->queue[end_].front());
+      core_->queue[end_].pop_front();
+      return true;
+    }
+    if (core_->closed[end_]) {
+      return Status::FailedPrecondition("pipe transport: endpoint closed");
+    }
+    return false;  // peer closed, queue drained
+  }
+
+  Result<bool> TryRecv(std::string* frame) override {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    if (core_->closed[end_]) {
+      return Status::FailedPrecondition("pipe transport: endpoint closed");
+    }
+    if (core_->queue[end_].empty()) return false;
+    *frame = std::move(core_->queue[end_].front());
+    core_->queue[end_].pop_front();
+    return true;
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    core_->closed[end_] = true;
+    core_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<PipeCore> core_;
+  const int end_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+CreatePipePair() {
+  auto core = std::make_shared<PipeCore>();
+  return {std::make_unique<PipeEndpoint>(core, 0),
+          std::make_unique<PipeEndpoint>(core, 1)};
+}
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<Transport> base, std::uint64_t trigger_frame,
+    TransportFaultKind kind)
+    : base_(std::move(base)), trigger_frame_(trigger_frame), kind_(kind) {}
+
+Status FaultInjectingTransport::Send(const std::string& frame) {
+  if (dead_) {
+    return Status::FailedPrecondition("fault transport: connection dead");
+  }
+  ++frames_;
+  if (trigger_frame_ == 0 || frames_ != trigger_frame_) {
+    if (have_held_) {
+      // kReorder already fired: deliver this frame first, then the held one.
+      have_held_ = false;
+      Status s = base_->Send(frame);
+      if (!s.ok()) return s;
+      return base_->Send(held_);
+    }
+    return base_->Send(frame);
+  }
+  switch (kind_) {
+    case TransportFaultKind::kDrop:
+      dead_ = true;
+      base_->Close();
+      return Status::FailedPrecondition("fault transport: link cut (frame dropped)");
+    case TransportFaultKind::kTruncate: {
+      std::string prefix = frame.substr(0, frame.size() / 2);
+      (void)base_->Send(prefix);
+      dead_ = true;
+      base_->Close();
+      return Status::FailedPrecondition(
+          "fault transport: link cut (frame truncated)");
+    }
+    case TransportFaultKind::kDuplicate: {
+      Status s = base_->Send(frame);
+      if (!s.ok()) return s;
+      return base_->Send(frame);
+    }
+    case TransportFaultKind::kReorder:
+      have_held_ = true;
+      held_ = frame;
+      return Status::OK();
+  }
+  return Status::Internal("fault transport: unreachable");
+}
+
+Result<bool> FaultInjectingTransport::Recv(std::string* frame) {
+  return base_->Recv(frame);
+}
+
+Result<bool> FaultInjectingTransport::TryRecv(std::string* frame) {
+  return base_->TryRecv(frame);
+}
+
+void FaultInjectingTransport::Close() {
+  if (have_held_) {
+    // A trailing held frame would silently vanish; deliver it on close so
+    // kReorder at the last frame degrades to "delayed", not "dropped".
+    have_held_ = false;
+    (void)base_->Send(held_);
+  }
+  base_->Close();
+}
+
+}  // namespace replication
+}  // namespace rtic

@@ -1,0 +1,102 @@
+// Byte-stream transports for log-shipping replication.
+//
+// A Transport carries whole frames (see repl_format.h) between a primary
+// and a standby. Delivery is ordered and at-most-once per endpoint; the
+// frame codec's checksum catches in-flight damage, and the standby's
+// idempotent chunk handling absorbs duplicates and re-ships after a
+// reconnect. Two implementations live here:
+//
+//   - CreatePipePair: an in-process queue pair for tests and benchmarks
+//     (thread-safe; Recv blocks until a frame or peer close).
+//   - FaultInjectingTransport: wraps another endpoint and damages the
+//     stream at a chosen frame — the replication analogue of
+//     wal::FaultInjectingFs, driving the crash matrix's transport axis.
+//
+// The minimal TCP transport is in tcp_transport.h.
+
+#ifndef RTIC_REPLICATION_TRANSPORT_H_
+#define RTIC_REPLICATION_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+
+namespace rtic {
+namespace replication {
+
+/// One endpoint of a bidirectional frame stream.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues one whole frame to the peer. Fails once the connection is
+  /// closed or dead.
+  virtual Status Send(const std::string& frame) = 0;
+
+  /// Blocks for the next frame. Returns false (with `frame` untouched) on
+  /// clean close by the peer; non-OK on a dead connection.
+  virtual Result<bool> Recv(std::string* frame) = 0;
+
+  /// Non-blocking Recv: returns true with a frame, or false when none is
+  /// ready (closed and drained also reports false — callers distinguish
+  /// via a final blocking Recv if they care).
+  virtual Result<bool> TryRecv(std::string* frame) = 0;
+
+  /// Closes this endpoint; the peer's pending frames stay readable and
+  /// its subsequent Recv reports clean close.
+  virtual void Close() = 0;
+};
+
+/// Two connected in-process endpoints (first <-> second).
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+CreatePipePair();
+
+/// What a transport fault does to the triggering outbound frame.
+enum class TransportFaultKind {
+  kDrop,       // the frame vanishes and the connection dies (link cut)
+  kTruncate,   // the peer receives only a prefix, then the connection dies
+  kDuplicate,  // the frame is delivered twice (connection stays up)
+  kReorder,    // the frame swaps places with the next outbound frame
+};
+
+/// Wraps an endpoint and applies `kind` to outbound frame number
+/// `trigger_frame` (1-based; 0 disables injection and only counts). kDrop
+/// and kTruncate kill the connection: the triggering Send fails and every
+/// later Send fails outright, like a cut link. kDuplicate and kReorder are
+/// silent stream damage — Send succeeds and the connection stays up, so
+/// tests can assert the frame codec and the standby's idempotency absorb
+/// them. Recv/TryRecv pass through untouched.
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<Transport> base,
+                          std::uint64_t trigger_frame,
+                          TransportFaultKind kind);
+
+  Status Send(const std::string& frame) override;
+  Result<bool> Recv(std::string* frame) override;
+  Result<bool> TryRecv(std::string* frame) override;
+  void Close() override;
+
+  /// Outbound frames seen so far (use a disabled run to size a matrix).
+  std::uint64_t frames() const { return frames_; }
+
+  /// True once a connection-killing fault has fired.
+  bool dead() const { return dead_; }
+
+ private:
+  std::unique_ptr<Transport> base_;
+  const std::uint64_t trigger_frame_;
+  const TransportFaultKind kind_;
+  std::uint64_t frames_ = 0;
+  bool dead_ = false;
+  bool have_held_ = false;  // kReorder: trigger frame held for the next Send
+  std::string held_;
+};
+
+}  // namespace replication
+}  // namespace rtic
+
+#endif  // RTIC_REPLICATION_TRANSPORT_H_

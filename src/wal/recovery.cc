@@ -1,6 +1,7 @@
 #include "wal/recovery.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -400,6 +401,26 @@ Status RecoveryManager::WriteCheckpointDelta(const std::string& payload,
   return CollectGarbage();
 }
 
+Result<std::uint64_t> RecoveryManager::ShipRetentionFloor() {
+  const std::string path =
+      options_.dir + "/" + std::string(kShipWatermarkFileName);
+  RTIC_ASSIGN_OR_RETURN(bool exists, fs_->FileExists(path));
+  if (!exists) {
+    // No standby has ever attached; nothing constrains GC.
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  RTIC_ASSIGN_OR_RETURN(std::string data, fs_->ReadFile(path));
+  std::uint64_t acked = 0;
+  if (!ParseShipWatermark(data, &acked)) {
+    // A damaged watermark could hide an arbitrarily low ack; the only safe
+    // reading is "nothing acknowledged yet".
+    RTIC_LOG(Warning) << "wal: corrupt ship watermark " << path
+                      << "; retaining all segments";
+    return std::uint64_t{0};
+  }
+  return acked;
+}
+
 Status RecoveryManager::CollectGarbage() {
   RTIC_ASSIGN_OR_RETURN(std::vector<std::string> names,
                         fs_->ListDir(options_.dir));
@@ -425,12 +446,21 @@ Status RecoveryManager::CollectGarbage() {
   // very segments. Records in segment i extend to just before the next
   // segment's first seq (the current checkpoint seq for the newest one,
   // thanks to the pre-checkpoint Rotate).
+  //
+  // A standby adds a second floor: once a ship watermark exists, a segment
+  // holding any record the standby has not acknowledged must survive, even
+  // across a primary restart — the file is re-read on every pass rather
+  // than cached so a restarted primary honors the watermark its previous
+  // incarnation persisted.
+  RTIC_ASSIGN_OR_RETURN(std::uint64_t ship_floor, ShipRetentionFloor());
   std::sort(segments.begin(), segments.end());
   for (std::size_t i = 0; i < segments.size(); ++i) {
     const std::uint64_t covered_end = i + 1 < segments.size()
                                           ? segments[i + 1].first - 1
                                           : checkpoint_seq_;
-    if (covered_end <= base_seq_) stale.push_back(segments[i].second);
+    if (covered_end <= base_seq_ && covered_end <= ship_floor) {
+      stale.push_back(segments[i].second);
+    }
   }
   for (const std::string& name : stale) {
     RTIC_RETURN_IF_ERROR(fs_->Remove(options_.dir + "/" + name));

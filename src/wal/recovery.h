@@ -184,8 +184,16 @@ class RecoveryManager {
   /// checkpoint files no longer part of the live chain. Segments covering
   /// records in (base_seq_, checkpoint_seq_] are retained so that a chain
   /// member lost later degrades to base + full tail replay, never data
-  /// loss. Ends with a directory fsync when anything was unlinked.
+  /// loss. When a replication ship watermark exists (see
+  /// wal::kShipWatermarkFileName), segments holding records the standby
+  /// has not acknowledged are retained too, even across a primary restart.
+  /// Ends with a directory fsync when anything was unlinked.
   Status CollectGarbage();
+
+  /// The ship-watermark retention floor: the highest seq GC may consider
+  /// covered. Max when no watermark file exists, 0 (retain everything)
+  /// when the file is unreadable.
+  Result<std::uint64_t> ShipRetentionFloor();
 
   Fs* fs_;
   WalOptions options_;

@@ -148,5 +148,24 @@ bool ParseDeltaCheckpointFileName(std::string_view name, std::uint64_t* seq,
   return *parent_seq < *seq;
 }
 
+namespace {
+constexpr std::string_view kShipWatermarkPayload = "rtic-ship-watermark";
+}  // namespace
+
+std::string EncodeShipWatermark(std::uint64_t acked_seq) {
+  return EncodeRecord(acked_seq, kShipWatermarkPayload);
+}
+
+bool ParseShipWatermark(std::string_view data, std::uint64_t* acked_seq) {
+  ParsedRecord rec;
+  if (ParseRecord(data, 0, &rec, nullptr) != ParseOutcome::kRecord) {
+    return false;
+  }
+  if (rec.payload != kShipWatermarkPayload) return false;
+  if (rec.end_offset != data.size()) return false;
+  *acked_seq = rec.seq;
+  return true;
+}
+
 }  // namespace wal
 }  // namespace rtic

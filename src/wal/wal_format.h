@@ -73,6 +73,19 @@ bool ParseCheckpointFileName(std::string_view name, std::uint64_t* seq);
 bool ParseDeltaCheckpointFileName(std::string_view name, std::uint64_t* seq,
                                   std::uint64_t* parent_seq);
 
+/// Name of the replication ship watermark in a primary's WAL directory: the
+/// highest sequence number the standby has acknowledged as durably
+/// mirrored, persisted so garbage collection keeps unacknowledged segments
+/// even across a primary restart. Absent file = no standby has ever
+/// attached = GC is unrestricted. The helpers reuse the record framing
+/// (seq = acked sequence number, fixed payload) so damage is detectable.
+inline constexpr char kShipWatermarkFileName[] = "ship-watermark";
+
+std::string EncodeShipWatermark(std::uint64_t acked_seq);
+
+/// False when `data` is not exactly one valid watermark record.
+bool ParseShipWatermark(std::string_view data, std::uint64_t* acked_seq);
+
 }  // namespace wal
 }  // namespace rtic
 

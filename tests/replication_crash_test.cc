@@ -1,0 +1,383 @@
+// The replication crash matrix: kill either side of a replicated run at
+// EVERY mutating operation, and the transport at every outbound frame,
+// then require that the surviving configuration converges to the
+// uninterrupted reference run verdict-for-verdict and state-for-state.
+//
+// Three axes:
+//
+//   A. Primary file-system faults — at every durable write of the
+//      primary's monitor AND its shipper (watermark persistence is a
+//      fault point like any other), cycling fail/short/bit-flip. When the
+//      primary dies the standby is PROMOTED and finishes the workload;
+//      its verdicts from that point and its final state must match the
+//      reference exactly. Shipped damage (a bit-flipped record mirrored
+//      before the CRC check can see it) must fail the session, and
+//      promotion's Recover() must truncate it away like any torn tail.
+//
+//   B. Standby file-system faults — at every mirror write, cycling the
+//      same kinds. The standby process "dies"; a NEW standby re-attaches
+//      over the same (possibly damaged) mirror directory with a healthy
+//      file system and a fresh session, and the run must still converge:
+//      every batch replayed, final state identical.
+//
+//   C. Transport faults — every outbound primary frame is the trigger
+//      for drop/truncate (connection killed: promote the lagged standby
+//      and finish on it) or duplicate/reorder (silent damage: the run
+//      completes and the standby must converge anyway).
+//
+// RTIC_MATRIX_STRIDE=n subsamples every axis for sanitizer builds.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "monitor/monitor.h"
+#include "replication/shipper.h"
+#include "replication/standby.h"
+#include "replication/transport.h"
+#include "tests/test_util.h"
+#include "wal/file.h"
+#include "workload/generators.h"
+
+namespace rtic {
+namespace {
+
+using replication::CreatePipePair;
+using replication::FaultInjectingTransport;
+using replication::SegmentShipper;
+using replication::ShipperOptions;
+using replication::StandbyMonitor;
+using replication::StandbyOptions;
+using replication::Transport;
+using replication::TransportFaultKind;
+using testing::Unwrap;
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/rtic_repl_crash_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+std::string Render(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const Violation& v : violations) out += v.ToString() + "\n";
+  return out;
+}
+
+std::uint64_t MatrixStride() {
+  const char* env = std::getenv("RTIC_MATRIX_STRIDE");
+  if (env == nullptr) return 1;
+  const long value = std::atol(env);
+  return value > 1 ? static_cast<std::uint64_t>(value) : 1;
+}
+
+workload::Workload MatrixWorkload() {
+  workload::PayrollParams params;
+  params.num_employees = 6;
+  params.length = 30;
+  params.seed = 19;
+  return workload::MakePayrollWorkload(params);
+}
+
+std::function<Status(ConstraintMonitor*)> ConfigureFor(
+    const workload::Workload& wl) {
+  return [&wl](ConstraintMonitor* m) -> Status {
+    for (const auto& [name, schema] : wl.schema) {
+      RTIC_RETURN_IF_ERROR(m->CreateTable(name, schema));
+    }
+    for (const auto& [name, text] : wl.constraints) {
+      RTIC_RETURN_IF_ERROR(m->RegisterConstraint(name, text));
+    }
+    return Status::OK();
+  };
+}
+
+// The primary's configuration: aggressive rotation, short delta chains,
+// so segment hand-off, chain shipping, and GC all face every fault.
+MonitorOptions PrimaryOptions(const std::string& dir, wal::Fs* fs) {
+  MonitorOptions options;
+  options.wal_dir = dir;
+  options.sync_policy = wal::SyncPolicy::kAlways;
+  options.checkpoint_interval = 8;
+  options.checkpoint_delta_chain = 2;
+  options.wal_segment_bytes = 512;
+  options.wal_fs = fs;
+  return options;
+}
+
+std::unique_ptr<ConstraintMonitor> MakePrimary(const workload::Workload& wl,
+                                               const std::string& dir,
+                                               wal::Fs* fs) {
+  auto monitor = std::make_unique<ConstraintMonitor>(PrimaryOptions(dir, fs));
+  RTIC_EXPECT_OK(ConfigureFor(wl)(monitor.get()));
+  return monitor;
+}
+
+StandbyOptions MakeStandbyOptions(const workload::Workload& wl,
+                                  const std::string& dir, wal::Fs* fs) {
+  StandbyOptions options;
+  options.dir = dir;
+  options.fs = fs;
+  options.configure = ConfigureFor(wl);
+  return options;
+}
+
+struct Reference {
+  std::vector<std::string> verdicts;  // one rendered string per batch
+  std::string state;                  // final SaveState
+  std::uint64_t primary_ops = 0;      // monitor + shipper fs operations
+  std::uint64_t standby_ops = 0;      // mirror fs operations
+  std::uint64_t frames = 0;           // outbound primary frames
+};
+
+// The uninterrupted replicated run, instrumented with counting-only fault
+// injectors on all three axes so each matrix knows its trigger range.
+Reference MakeReference(const workload::Workload& wl) {
+  Reference ref;
+  const std::string proot = MakeTempDir();
+  const std::string sroot = MakeTempDir();
+  wal::FaultInjectingFs primary_fs(wal::DefaultFs(), 0,
+                                   wal::FaultKind::kFailWrite);
+  wal::FaultInjectingFs standby_fs(wal::DefaultFs(), 0,
+                                   wal::FaultKind::kFailWrite);
+  auto [pe, se] = CreatePipePair();
+  FaultInjectingTransport transport(std::move(pe), 0,
+                                    TransportFaultKind::kDrop);
+
+  auto primary = MakePrimary(wl, proot + "/wal", &primary_fs);
+  RTIC_EXPECT_OK(primary->Recover().status());
+  ShipperOptions shipper_options;
+  shipper_options.dir = proot + "/wal";
+  shipper_options.fs = &primary_fs;
+  SegmentShipper shipper(shipper_options, &transport);
+  auto standby = Unwrap(StandbyMonitor::Attach(
+      MakeStandbyOptions(wl, sroot + "/mirror", &standby_fs), se.get()));
+  RTIC_EXPECT_OK(shipper.Start());
+
+  for (const UpdateBatch& batch : wl.batches) {
+    ref.verdicts.push_back(Render(Unwrap(primary->ApplyUpdate(batch))));
+    RTIC_EXPECT_OK(shipper.ShipOnce());
+    (void)Unwrap(standby->ProcessPending());
+  }
+  RTIC_EXPECT_OK(shipper.ShipOnce());
+  (void)Unwrap(standby->ProcessPending());
+  EXPECT_EQ(standby->replayed_seq(), wl.batches.size());
+
+  ref.state = Unwrap(primary->SaveState());
+  ref.primary_ops = primary_fs.ops();
+  ref.standby_ops = standby_fs.ops();
+  ref.frames = transport.frames();
+  std::filesystem::remove_all(proot);
+  std::filesystem::remove_all(sroot);
+  return ref;
+}
+
+// Promotes `standby`, finishes the workload on the promoted monitor, and
+// checks the tail verdicts and final state against the reference.
+void PromoteAndFinish(StandbyMonitor& standby, const workload::Workload& wl,
+                      const Reference& ref, std::size_t acked_bound) {
+  auto promoted = Unwrap(standby.Promote());
+  const std::size_t recovered = promoted->transition_count();
+  ASSERT_LE(recovered, acked_bound + 1)
+      << "the standby can never be ahead of the primary's durable batches";
+  for (std::size_t j = recovered; j < wl.batches.size(); ++j) {
+    const std::string rendered =
+        Render(Unwrap(promoted->ApplyUpdate(wl.batches[j])));
+    ASSERT_EQ(rendered, ref.verdicts[j]) << "batch " << j;
+  }
+  ASSERT_EQ(Unwrap(promoted->SaveState()), ref.state);
+}
+
+TEST(ReplicationCrashMatrixTest, PrimaryDiesAtEveryFsOpStandbyTakesOver) {
+  const workload::Workload wl = MatrixWorkload();
+  const Reference ref = MakeReference(wl);
+  ASSERT_GT(ref.primary_ops, 2 * wl.batches.size());
+
+  const std::uint64_t stride = MatrixStride();
+  for (std::uint64_t trigger = 1; trigger <= ref.primary_ops;
+       trigger += stride) {
+    const wal::FaultKind kind = static_cast<wal::FaultKind>(trigger % 3);
+    SCOPED_TRACE("trigger=" + std::to_string(trigger) +
+                 " kind=" + std::to_string(trigger % 3));
+    const std::string proot = MakeTempDir();
+    const std::string sroot = MakeTempDir();
+
+    wal::FaultInjectingFs fs(wal::DefaultFs(), trigger, kind);
+    auto [pe, se] = CreatePipePair();
+    auto primary = MakePrimary(wl, proot + "/wal", &fs);
+    ShipperOptions shipper_options;
+    shipper_options.dir = proot + "/wal";
+    shipper_options.fs = &fs;
+    SegmentShipper shipper(shipper_options, pe.get());
+    auto standby = Unwrap(StandbyMonitor::Attach(
+        MakeStandbyOptions(wl, sroot + "/mirror", nullptr), se.get()));
+
+    // Run until the fault surfaces: in the monitor's own durable path, in
+    // the shipper's watermark persistence, or — for a bit flip that
+    // reached the mirror inside shipped bytes — in the standby's record
+    // validation. All three mean "the primary side is gone".
+    std::size_t acked = 0;
+    bool crashed = false;
+    if (!primary->Recover().status().ok() || !shipper.Start().ok()) {
+      crashed = true;
+    }
+    if (!crashed) {
+      for (const UpdateBatch& batch : wl.batches) {
+        if (!primary->ApplyUpdate(batch).ok()) {
+          crashed = true;
+          break;
+        }
+        ++acked;
+        if (!shipper.ShipOnce().ok()) {
+          crashed = true;
+          break;
+        }
+        if (!standby->ProcessPending().ok()) {
+          crashed = true;
+          break;
+        }
+      }
+    }
+    if (!crashed) {
+      ASSERT_EQ(acked, wl.batches.size())
+          << "a run can only survive its fault if it hit a retryable "
+             "checkpoint write after the last batch was acked";
+    }
+
+    PromoteAndFinish(*standby, wl, ref, acked);
+    std::filesystem::remove_all(proot);
+    std::filesystem::remove_all(sroot);
+  }
+}
+
+TEST(ReplicationCrashMatrixTest, StandbyDiesAtEveryFsOpAndReattaches) {
+  const workload::Workload wl = MatrixWorkload();
+  const Reference ref = MakeReference(wl);
+  ASSERT_GT(ref.standby_ops, wl.batches.size());
+
+  const std::uint64_t stride = MatrixStride();
+  for (std::uint64_t trigger = 1; trigger <= ref.standby_ops;
+       trigger += stride) {
+    const wal::FaultKind kind = static_cast<wal::FaultKind>(trigger % 3);
+    SCOPED_TRACE("trigger=" + std::to_string(trigger) +
+                 " kind=" + std::to_string(trigger % 3));
+    const std::string proot = MakeTempDir();
+    const std::string sroot = MakeTempDir();
+    const std::string mirror = sroot + "/mirror";
+
+    auto primary = MakePrimary(wl, proot + "/wal", nullptr);
+    RTIC_ASSERT_OK(primary->Recover().status());
+
+    wal::FaultInjectingFs faulty_fs(wal::DefaultFs(), trigger, kind);
+    std::unique_ptr<Transport> pe, se;
+    std::tie(pe, se) = CreatePipePair();
+    std::unique_ptr<SegmentShipper> shipper = std::make_unique<SegmentShipper>(
+        ShipperOptions{proot + "/wal"}, pe.get());
+    RTIC_ASSERT_OK(shipper->Start());
+
+    // The first standby incarnation runs on the faulty fs; Attach() itself
+    // is inside the blast radius.
+    std::unique_ptr<StandbyMonitor> standby;
+    {
+      auto attached = StandbyMonitor::Attach(
+          MakeStandbyOptions(wl, mirror, &faulty_fs), se.get());
+      if (attached.ok()) standby = std::move(attached).value();
+    }
+
+    bool standby_died = standby == nullptr;
+    for (const UpdateBatch& batch : wl.batches) {
+      Unwrap(primary->ApplyUpdate(batch));
+      if (standby_died) continue;  // primary keeps going alone
+      if (!shipper->ShipOnce().ok()) {
+        // Only the watermark-less sends can fail here: the standby end
+        // still holds the pipe open, so a dead shipper means the standby
+        // protocol replied garbage — impossible — or the pipe closed.
+        standby_died = true;
+        continue;
+      }
+      if (!standby->ProcessPending().ok()) standby_died = true;
+    }
+    ASSERT_TRUE(standby_died) << "the injected mirror fault must surface";
+
+    // A new standby re-attaches over the same, possibly damaged, mirror
+    // with a healthy fs and a fresh session; re-shipping converges it.
+    standby.reset();  // old incarnation is gone
+    std::tie(pe, se) = CreatePipePair();
+    shipper = std::make_unique<SegmentShipper>(
+        ShipperOptions{proot + "/wal"}, pe.get());
+    auto standby2 = Unwrap(StandbyMonitor::Attach(
+        MakeStandbyOptions(wl, mirror, nullptr), se.get()));
+    RTIC_ASSERT_OK(shipper->Start());
+    for (int i = 0; i < 4; ++i) {
+      RTIC_ASSERT_OK(shipper->ShipOnce());
+      (void)Unwrap(standby2->ProcessPending());
+    }
+    ASSERT_EQ(standby2->replayed_seq(), wl.batches.size());
+    ASSERT_EQ(Unwrap(standby2->replica().SaveState()), ref.state);
+    PromoteAndFinish(*standby2, wl, ref, wl.batches.size());
+    std::filesystem::remove_all(proot);
+    std::filesystem::remove_all(sroot);
+  }
+}
+
+TEST(ReplicationCrashMatrixTest, TransportDiesOrDamagesAtEveryFrame) {
+  const workload::Workload wl = MatrixWorkload();
+  const Reference ref = MakeReference(wl);
+  ASSERT_GT(ref.frames, wl.batches.size());
+
+  const std::uint64_t stride = MatrixStride();
+  for (std::uint64_t trigger = 1; trigger <= ref.frames; trigger += stride) {
+    const auto kind = static_cast<TransportFaultKind>(trigger % 4);
+    const bool kills = kind == TransportFaultKind::kDrop ||
+                       kind == TransportFaultKind::kTruncate;
+    SCOPED_TRACE("trigger=" + std::to_string(trigger) +
+                 " kind=" + std::to_string(trigger % 4));
+    const std::string proot = MakeTempDir();
+    const std::string sroot = MakeTempDir();
+
+    auto [pe, se] = CreatePipePair();
+    FaultInjectingTransport transport(std::move(pe), trigger, kind);
+    auto primary = MakePrimary(wl, proot + "/wal", nullptr);
+    RTIC_ASSERT_OK(primary->Recover().status());
+    SegmentShipper shipper(ShipperOptions{proot + "/wal"}, &transport);
+    auto standby = Unwrap(StandbyMonitor::Attach(
+        MakeStandbyOptions(wl, sroot + "/mirror", nullptr), se.get()));
+
+    std::size_t acked = 0;
+    bool session_dead = !shipper.Start().ok();
+    for (const UpdateBatch& batch : wl.batches) {
+      Unwrap(primary->ApplyUpdate(batch));
+      ++acked;
+      if (session_dead) continue;  // primary alone; standby lags behind
+      if (!shipper.ShipOnce().ok()) {
+        session_dead = true;
+        continue;
+      }
+      if (!standby->ProcessPending().ok()) session_dead = true;
+    }
+    if (kills) {
+      ASSERT_TRUE(session_dead) << "a connection-killing fault must surface";
+    } else {
+      // Silent stream damage: the session survives and converges.
+      ASSERT_FALSE(session_dead);
+      transport.Close();  // flush a held reordered frame, if any
+      (void)Unwrap(standby->ProcessPending());
+      ASSERT_EQ(standby->replayed_seq(), wl.batches.size());
+    }
+
+    PromoteAndFinish(*standby, wl, ref, acked);
+    std::filesystem::remove_all(proot);
+    std::filesystem::remove_all(sroot);
+  }
+}
+
+}  // namespace
+}  // namespace rtic
