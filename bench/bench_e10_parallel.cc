@@ -74,5 +74,3 @@ BENCHMARK(BM_E10_ParallelMultiConstraint)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

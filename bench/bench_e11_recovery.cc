@@ -99,5 +99,3 @@ BENCHMARK(BM_E11_Recovery)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

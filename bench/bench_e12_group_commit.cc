@@ -192,5 +192,3 @@ BENCHMARK(BM_E12_GroupCommit)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

@@ -185,5 +185,3 @@ BENCHMARK(BM_E13_Checkpoint)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

@@ -211,5 +211,3 @@ BENCHMARK(BM_E14_Replication)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

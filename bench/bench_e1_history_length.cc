@@ -67,5 +67,3 @@ BENCHMARK(BM_E1_PerUpdate)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

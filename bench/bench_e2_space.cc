@@ -61,5 +61,3 @@ BENCHMARK(BM_E2_Space)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

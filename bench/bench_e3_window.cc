@@ -65,5 +65,3 @@ BENCHMARK(BM_E3_Window)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

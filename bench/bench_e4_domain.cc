@@ -60,5 +60,3 @@ BENCHMARK(BM_E4_Domain)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

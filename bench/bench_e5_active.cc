@@ -57,5 +57,3 @@ BENCHMARK(BM_E5_EngineOverhead)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

@@ -82,5 +82,3 @@ BENCHMARK(BM_E6_Pruning)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

@@ -63,5 +63,3 @@ BENCHMARK(BM_E7_MultiConstraint)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

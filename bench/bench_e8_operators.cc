@@ -80,5 +80,3 @@ BENCHMARK(BM_E8_Operator)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

@@ -93,5 +93,3 @@ BENCHMARK(BM_E9_ResponseHistoryLength)
 
 }  // namespace
 }  // namespace rtic
-
-BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Shared main() for every bench binary (replaces BENCHMARK_MAIN()).
+//
+// The distro's libbenchmark.so is compiled without NDEBUG, so every run
+// prints "***WARNING*** Library was built as DEBUG" no matter how the
+// code under test was built. That warning is about the harness library,
+// not our code, and it made bench_output.txt look like debug-build
+// numbers. Filter exactly that line, and instead emit an honest warning
+// when the RTIC code itself was built without NDEBUG — which is the
+// build property that actually moves the timings.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <streambuf>
+#include <string>
+#include <utility>
+
+namespace {
+
+// Buffers one line at a time and drops lines containing `needle`;
+// everything else passes through to the wrapped streambuf.
+class LineFilterBuf : public std::streambuf {
+ public:
+  LineFilterBuf(std::streambuf* sink, std::string needle)
+      : sink_(sink), needle_(std::move(needle)) {}
+  ~LineFilterBuf() override { FlushLine(); }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return sync();
+    line_.push_back(static_cast<char>(ch));
+    if (ch == '\n') FlushLine();
+    return ch;
+  }
+
+  int sync() override { return sink_->pubsync(); }
+
+ private:
+  void FlushLine() {
+    if (line_.find(needle_) == std::string::npos) {
+      sink_->sputn(line_.data(), static_cast<std::streamsize>(line_.size()));
+    }
+    line_.clear();
+  }
+
+  std::streambuf* sink_;
+  std::string needle_;
+  std::string line_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr char kLibraryNoise[] = "Library was built as DEBUG";
+  std::streambuf* raw_out = std::cout.rdbuf();
+  std::streambuf* raw_err = std::cerr.rdbuf();
+  LineFilterBuf out_filter(raw_out, kLibraryNoise);
+  LineFilterBuf err_filter(raw_err, kLibraryNoise);
+  std::cout.rdbuf(&out_filter);
+  std::cerr.rdbuf(&err_filter);
+#ifndef NDEBUG
+  std::cerr << "***WARNING*** rtic benches built without NDEBUG; timings "
+               "reflect a debug build of the code under test.\n";
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::cout.rdbuf(raw_out);
+  std::cerr.rdbuf(raw_err);
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Regenerates bench_output.txt — the raw google-benchmark tables the
-# EXPERIMENTS.md rows are transcribed from. Runs every bench binary in
-# sequence on the plain build; pass a filter to rerun a subset into
-# stdout instead:
+# EXPERIMENTS.md rows are transcribed from. Builds a dedicated Release
+# tree (build-release/) so published numbers always come from an
+# optimized, assert-free build, and runs every bench binary in sequence;
+# pass a filter to rerun a subset into stdout instead:
 #
 #   scripts/bench.sh               # all experiments -> bench_output.txt
 #   scripts/bench.sh e13           # only bench_e13_* -> stdout
@@ -14,11 +15,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" >/dev/null
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$JOBS" >/dev/null
 
 if [[ $# -ge 1 ]]; then
-  for b in build/bench/bench_*"$1"*; do
+  for b in build-release/bench/bench_*"$1"*; do
     "$b"
   done
   exit 0
@@ -26,7 +27,7 @@ fi
 
 out="bench_output.txt"
 : > "$out"
-for b in build/bench/bench_*; do
+for b in build-release/bench/bench_*; do
   [[ -x "$b" ]] || continue
   echo "== $(basename "$b") ==" | tee -a "$out"
   "$b" 2>&1 | tee -a "$out"

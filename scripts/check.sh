@@ -3,9 +3,10 @@
 # the unit, fuzz, and fault ctest labels, an ASan+UBSan pass over the
 # checkpoint label plus a bench_e13_checkpoint smoke (the codec and
 # delta-chain paths do the bit-level byte banging most likely to trip
-# UB), and a ThreadSanitizer pass over the parallel, fault, and
-# replication labels (group commit, the crash matrices, and the
-# background shipper thread are the concurrency-heavy durable paths).
+# UB), and a ThreadSanitizer pass over the parallel, fault, replication,
+# and server labels (group commit, the crash matrices, the background
+# shipper thread, and the multi-session TCP server are the
+# concurrency-heavy paths).
 #
 #   scripts/check.sh           # full run (tier-1 + asan + asan+ubsan + tsan)
 #   scripts/check.sh --fast    # tier-1 only
@@ -47,7 +48,7 @@ cmake --build build-asan-ubsan -j "$JOBS"
 timeout 30 ./build-asan-ubsan/bench/bench_e13_checkpoint \
   --benchmark_filter='state:1000'
 
-echo "== tsan: parallel + fault + replication labels (build-tsan/) =="
+echo "== tsan: parallel + fault + replication + server labels (build-tsan/) =="
 cmake -B build-tsan -S . -DRTIC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # TSan slows the exhaustive crash matrices ~10x; subsample their fault
@@ -55,6 +56,6 @@ cmake --build build-tsan -j "$JOBS"
 # timeouts. Coverage of every trigger comes from the uninstrumented
 # tier-1 run above.
 (cd build-tsan && RTIC_MATRIX_STRIDE=7 \
-  ctest --output-on-failure -j "$JOBS" -L 'parallel|fault|replication')
+  ctest --output-on-failure -j "$JOBS" -L 'parallel|fault|replication|server')
 
 echo "== ok =="

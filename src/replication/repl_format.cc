@@ -1,6 +1,7 @@
 #include "replication/repl_format.h"
 
 #include <cstring>
+#include <utility>
 
 #include "common/crc32c.h"
 
@@ -44,13 +45,13 @@ constexpr std::size_t kMagicBytes = 8;
 constexpr std::size_t kCrcOffset = kMagicBytes;
 constexpr std::size_t kCheckedOffset = kMagicBytes + 4;
 
-Status BadFrame(const std::string& what) {
-  return Status::InvalidArgument("replication frame: " + what);
+Status BadFrame(const FrameSpec& spec, const std::string& what) {
+  return Status::InvalidArgument(std::string(spec.what) + ": " + what);
 }
 
 }  // namespace
 
-std::string EncodeFrame(const Frame& frame) {
+std::string EncodeFrameWith(const FrameSpec& spec, const RawFrame& frame) {
   std::string checked;
   checked.push_back(static_cast<char>(frame.version));
   checked.push_back(static_cast<char>(frame.type));
@@ -62,49 +63,70 @@ std::string EncodeFrame(const Frame& frame) {
 
   std::string out;
   out.reserve(kCheckedOffset + checked.size());
-  out.append(kFrameMagic, kMagicBytes);
+  out.append(spec.magic, kMagicBytes);
   PutFixed32(&out, Crc32c(checked));
   out.append(checked);
   return out;
 }
 
-Result<Frame> ParseFrame(std::string_view data) {
+Result<RawFrame> ParseFrameWith(const FrameSpec& spec,
+                                std::string_view data) {
   if (data.size() < kFrameHeaderBytes) {
-    return BadFrame("short frame (" + std::to_string(data.size()) +
+    return BadFrame(spec, "short frame (" + std::to_string(data.size()) +
                     " bytes)");
   }
-  if (std::memcmp(data.data(), kFrameMagic, kMagicBytes) != 0) {
-    return BadFrame("bad magic");
+  if (std::memcmp(data.data(), spec.magic, kMagicBytes) != 0) {
+    return BadFrame(spec, "bad magic");
   }
   std::uint32_t stored_crc = GetFixed32(data, kCrcOffset);
   std::string_view checked = data.substr(kCheckedOffset);
   if (Crc32c(checked) != stored_crc) {
-    return BadFrame("checksum mismatch");
+    return BadFrame(spec, "checksum mismatch");
   }
 
-  Frame frame;
+  RawFrame frame;
   frame.version = static_cast<std::uint8_t>(checked[0]);
-  std::uint8_t raw_type = static_cast<std::uint8_t>(checked[1]);
-  if (raw_type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      raw_type > static_cast<std::uint8_t>(FrameType::kAck)) {
-    return BadFrame("unknown type " + std::to_string(raw_type));
+  frame.type = static_cast<std::uint8_t>(checked[1]);
+  if (frame.type < spec.min_type || frame.type > spec.max_type) {
+    return BadFrame(spec, "unknown type " + std::to_string(frame.type));
   }
-  frame.type = static_cast<FrameType>(raw_type);
   frame.arg = GetFixed64(checked, 2);
   std::uint64_t name_len = GetFixed32(checked, 10);
   std::uint64_t body_len = GetFixed32(checked, 14);
   if (name_len + body_len > kMaxFrameBytes) {
-    return BadFrame("implausible length");
+    return BadFrame(spec, "implausible length");
   }
   std::size_t fixed = 1 + 1 + 8 + 4 + 4;
   if (checked.size() != fixed + name_len + body_len) {
-    return BadFrame("length mismatch (have " +
+    return BadFrame(spec, "length mismatch (have " +
                     std::to_string(checked.size() - fixed) + " payload, "
                     "header claims " + std::to_string(name_len + body_len) +
                     ")");
   }
   frame.name.assign(checked.substr(fixed, name_len));
   frame.body.assign(checked.substr(fixed + name_len, body_len));
+  return frame;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  RawFrame raw;
+  raw.version = frame.version;
+  raw.type = static_cast<std::uint8_t>(frame.type);
+  raw.arg = frame.arg;
+  raw.name = frame.name;
+  raw.body = frame.body;
+  return EncodeFrameWith(kReplicationFrameSpec, raw);
+}
+
+Result<Frame> ParseFrame(std::string_view data) {
+  Result<RawFrame> raw = ParseFrameWith(kReplicationFrameSpec, data);
+  if (!raw.ok()) return raw.status();
+  Frame frame;
+  frame.version = raw->version;
+  frame.type = static_cast<FrameType>(raw->type);
+  frame.arg = raw->arg;
+  frame.name = std::move(raw->name);
+  frame.body = std::move(raw->body);
   return frame;
 }
 

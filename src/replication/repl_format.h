@@ -26,6 +26,12 @@
 // mismatch parse as kInvalidArgument; a version other than
 // kProtocolVersion parses but must be refused by the session layer with
 // kFailedPrecondition.
+//
+// The byte layout is shared with other RTIC frame families (the server's
+// RTICSRV1 request/response protocol in src/server/server_format.h): a
+// FrameSpec names a family's magic and valid type range, and
+// EncodeFrameWith/ParseFrameWith implement the layout once for all of
+// them. EncodeFrame/ParseFrame are the replication family's instance.
 
 #ifndef RTIC_REPLICATION_REPL_FORMAT_H_
 #define RTIC_REPLICATION_REPL_FORMAT_H_
@@ -59,6 +65,36 @@ struct Frame {
   std::string name;          // file name (chunks) or role (hello)
   std::string body;          // file bytes (chunks only)
 };
+
+/// One RTIC frame family: the shared layout under a family-specific magic
+/// and type range. `magic` must be exactly 8 bytes; `what` prefixes parse
+/// errors ("replication frame", "server frame").
+struct FrameSpec {
+  const char* magic;
+  const char* what;
+  std::uint8_t min_type;
+  std::uint8_t max_type;
+};
+
+/// The RTICSHP1 replication family.
+inline constexpr FrameSpec kReplicationFrameSpec{kFrameMagic,
+                                                 "replication frame", 1, 3};
+
+/// A raw frame of any family: the generic layout with the type carried as
+/// an unvalidated byte (each family narrows it to its own enum).
+struct RawFrame {
+  std::uint8_t version = kProtocolVersion;
+  std::uint8_t type = 0;
+  std::uint64_t arg = 0;
+  std::string name;
+  std::string body;
+};
+
+std::string EncodeFrameWith(const FrameSpec& spec, const RawFrame& frame);
+
+/// Parses one whole frame of `spec`'s family. `data` must be exactly one
+/// frame; trailing bytes are corruption.
+Result<RawFrame> ParseFrameWith(const FrameSpec& spec, std::string_view data);
 
 std::string EncodeFrame(const Frame& frame);
 

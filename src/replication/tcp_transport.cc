@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <mutex>
 
 namespace rtic {
@@ -22,16 +23,24 @@ Status Errno(const std::string& what) {
 
 // One connected stream socket carrying [size u32 LE][frame] messages.
 // Send and Recv are independently locked so a shipper thread and an ack
-// drain never interleave partial writes or reads.
+// drain never interleave partial writes or reads. Close() may race with a
+// blocked Recv() on another thread: it only shuts the socket down (waking
+// the reader with EOF) and leaves the descriptor itself to the destructor,
+// so no thread ever sees a recycled fd.
 class TcpEndpoint final : public Transport {
  public:
   explicit TcpEndpoint(int fd) : fd_(fd) {}
 
-  ~TcpEndpoint() override { Close(); }
+  ~TcpEndpoint() override {
+    Close();
+    ::close(fd_);
+  }
 
   Status Send(const std::string& frame) override {
     std::lock_guard<std::mutex> lock(send_mu_);
-    if (fd_ < 0) return Status::FailedPrecondition("tcp transport: closed");
+    if (closed_.load()) {
+      return Status::FailedPrecondition("tcp transport: closed");
+    }
     unsigned char size[4];
     std::uint32_t n = static_cast<std::uint32_t>(frame.size());
     for (int i = 0; i < 4; ++i) size[i] = (n >> (8 * i)) & 0xff;
@@ -51,11 +60,8 @@ class TcpEndpoint final : public Transport {
   }
 
   void Close() override {
-    if (fd_ >= 0) {
-      ::shutdown(fd_, SHUT_RDWR);
-      ::close(fd_);
-      fd_ = -1;
-    }
+    if (closed_.exchange(true)) return;
+    ::shutdown(fd_, SHUT_RDWR);
   }
 
  private:
@@ -96,7 +102,9 @@ class TcpEndpoint final : public Transport {
   }
 
   Result<bool> RecvLocked(std::string* frame, bool blocking) {
-    if (fd_ < 0) return Status::FailedPrecondition("tcp transport: closed");
+    if (closed_.load()) {
+      return Status::FailedPrecondition("tcp transport: closed");
+    }
     for (;;) {
       if (buf_.size() >= 4) {
         std::uint32_t n = 0;
@@ -119,7 +127,8 @@ class TcpEndpoint final : public Transport {
     }
   }
 
-  int fd_;
+  const int fd_;
+  std::atomic<bool> closed_{false};
   std::mutex send_mu_;
   std::mutex recv_mu_;
   std::string buf_;   // guarded by recv_mu_
@@ -147,7 +156,9 @@ Result<std::unique_ptr<TcpListener>> TcpListener::Listen(std::uint16_t port) {
     ::close(fd);
     return Errno("bind");
   }
-  if (::listen(fd, 4) < 0) {
+  // A server-grade backlog: a burst of clients connecting at once (E15
+  // runs 32+) must not see resets while the accept loop catches up.
+  if (::listen(fd, SOMAXCONN) < 0) {
     ::close(fd);
     return Errno("listen");
   }
@@ -164,6 +175,10 @@ Result<std::unique_ptr<TcpListener>> TcpListener::Listen(std::uint16_t port) {
 Result<std::unique_ptr<Transport>> TcpListener::Accept() {
   for (;;) {
     int fd = ::accept(fd_, nullptr, nullptr);
+    if (closed_.load()) {
+      if (fd >= 0) ::close(fd);  // the Close() wake-up connection
+      return Status::FailedPrecondition("tcp transport: listener closed");
+    }
     if (fd < 0) {
       if (errno == EINTR) continue;
       return Errno("accept");
@@ -171,6 +186,26 @@ Result<std::unique_ptr<Transport>> TcpListener::Accept() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return std::unique_ptr<Transport>(std::make_unique<TcpEndpoint>(fd));
+  }
+}
+
+void TcpListener::Close() {
+  if (closed_.exchange(true)) return;
+  // shutdown() wakes a blocked accept() on Linux; the self-connection
+  // below covers platforms (and kernels) where it does not. The fd itself
+  // stays open until the destructor so a racing Accept() never sees a
+  // recycled descriptor.
+  ::shutdown(fd_, SHUT_RDWR);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd >= 0) {
+    struct sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port_);
+    (void)::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr));
+    ::close(fd);
   }
 }
 

@@ -9,6 +9,7 @@
 #ifndef RTIC_REPLICATION_TCP_TRANSPORT_H_
 #define RTIC_REPLICATION_TCP_TRANSPORT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -32,14 +33,22 @@ class TcpListener {
   /// The bound port (useful after Listen(0)).
   std::uint16_t port() const { return port_; }
 
-  /// Blocks for one inbound connection.
+  /// Blocks for one inbound connection. After Close() it fails with
+  /// FailedPrecondition instead.
   Result<std::unique_ptr<Transport>> Accept();
+
+  /// Shuts the listening socket down, waking a concurrently blocked
+  /// Accept() (which then fails with FailedPrecondition). Idempotent and
+  /// safe to call from another thread — this is how a server's shutdown
+  /// path unblocks its accept loop.
+  void Close();
 
  private:
   TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
 
   int fd_;
   std::uint16_t port_;
+  std::atomic<bool> closed_{false};
 };
 
 /// Connects to a standby at "host:port" (numeric IPv4 host or "localhost").

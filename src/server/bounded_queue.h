@@ -1,0 +1,100 @@
+// BoundedQueue: the server's admission-control primitive.
+//
+// A fixed-capacity MPSC work queue. Session threads push, the tenant's
+// worker thread pops. TryPush is the admission decision: when the queue is
+// full the caller gets `false` immediately and answers the client with
+// OVERLOADED instead of buffering without bound. Stop() wakes everyone;
+// already-accepted items still drain through Pop() so accepted work is
+// never silently dropped.
+
+#ifndef RTIC_SERVER_BOUNDED_QUEUE_H_
+#define RTIC_SERVER_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rtic {
+namespace server {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Enqueues without waiting. False when the queue is full or stopped —
+  /// the overload signal.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues, waiting for space. False only when stopped.
+  bool Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [this] { return stopped_ || items_.size() < capacity_; });
+      if (stopped_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues, waiting for an item. After Stop(), keeps returning the
+  /// already-accepted items until the queue is drained, then nullopt.
+  std::optional<T> Pop() {
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stopped_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Rejects all future pushes and wakes blocked callers. Idempotent.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;     // guarded by mu_
+  bool stopped_ = false;    // guarded by mu_
+};
+
+}  // namespace server
+}  // namespace rtic
+
+#endif  // RTIC_SERVER_BOUNDED_QUEUE_H_

@@ -1,0 +1,81 @@
+#include "server/client.h"
+
+#include <utility>
+
+#include "replication/tcp_transport.h"
+
+namespace rtic {
+namespace server {
+namespace {
+
+Status UnexpectedReply(const Message& msg) {
+  return Status::Internal("server client: unexpected reply type " +
+                          std::to_string(static_cast<int>(msg.type)));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RticClient>> RticClient::Connect(
+    const std::string& address, const std::string& tenant) {
+  RTIC_ASSIGN_OR_RETURN(std::unique_ptr<replication::Transport> transport,
+                        replication::TcpConnect(address));
+  std::unique_ptr<RticClient> client(new RticClient(std::move(transport)));
+  RTIC_ASSIGN_OR_RETURN(Message reply,
+                        client->RoundTrip(EncodeHello(tenant)));
+  if (reply.type != MessageType::kHelloOk) return UnexpectedReply(reply);
+  client->queue_capacity_ = reply.arg;
+  return client;
+}
+
+Status RticClient::CreateTable(const std::string& table,
+                               const Schema& schema) {
+  RTIC_ASSIGN_OR_RETURN(Message reply,
+                        RoundTrip(EncodeCreateTable(table, schema)));
+  if (reply.type != MessageType::kOk) return UnexpectedReply(reply);
+  return Status::OK();
+}
+
+Status RticClient::RegisterConstraint(const std::string& name,
+                                      const std::string& text) {
+  RTIC_ASSIGN_OR_RETURN(Message reply,
+                        RoundTrip(EncodeRegisterConstraint(name, text)));
+  if (reply.type != MessageType::kOk) return UnexpectedReply(reply);
+  return Status::OK();
+}
+
+Result<RticClient::ApplyResult> RticClient::Apply(const UpdateBatch& batch) {
+  RTIC_ASSIGN_OR_RETURN(Message reply, RoundTrip(EncodeApplyBatch(batch)));
+  ApplyResult result;
+  if (reply.type == MessageType::kOverloaded) {
+    result.overloaded = true;
+    return result;
+  }
+  if (reply.type != MessageType::kVerdict) return UnexpectedReply(reply);
+  RTIC_ASSIGN_OR_RETURN(Verdict verdict, DecodeVerdictPayload(reply.body));
+  result.timestamp = verdict.timestamp;
+  result.violations = std::move(verdict.violations);
+  return result;
+}
+
+Result<StatsReply> RticClient::GetStats() {
+  RTIC_ASSIGN_OR_RETURN(Message reply, RoundTrip(EncodeGetStats()));
+  if (reply.type != MessageType::kStats) return UnexpectedReply(reply);
+  return DecodeStatsPayload(reply.body);
+}
+
+void RticClient::Close() { transport_->Close(); }
+
+Result<Message> RticClient::RoundTrip(const std::string& frame) {
+  RTIC_RETURN_IF_ERROR(transport_->Send(frame));
+  std::string bytes;
+  RTIC_ASSIGN_OR_RETURN(bool got, transport_->Recv(&bytes));
+  if (!got) {
+    return Status::Internal("server client: connection closed mid-request");
+  }
+  RTIC_ASSIGN_OR_RETURN(Message reply, ParseMessage(bytes));
+  if (reply.type == MessageType::kError) return DecodeError(reply);
+  return reply;
+}
+
+}  // namespace server
+}  // namespace rtic

@@ -1,0 +1,81 @@
+// RticClient: the library-side handle for one RTICSRV1 session.
+//
+//   auto client = Unwrap(RticClient::Connect(server->address(), "acme"));
+//   client->CreateTable("Emp", schema);
+//   client->RegisterConstraint("no_pay_cut", "forall ...");
+//   UpdateBatch batch;                       // timestamp 0: server assigns
+//   batch.Insert("Emp", {...});
+//   auto applied = Unwrap(client->Apply(batch));
+//   if (applied.overloaded) { /* admission control refused; retry later */ }
+//   else                    { /* applied.timestamp, applied.violations */ }
+//
+// One client is one session: strictly request/response, NOT thread-safe —
+// concurrency comes from connecting more clients, which is exactly what
+// the server multiplexes. Server-side errors come back as the Status the
+// server produced (same code, same message).
+
+#ifndef RTIC_SERVER_CLIENT_H_
+#define RTIC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "replication/transport.h"
+#include "server/server_format.h"
+
+namespace rtic {
+namespace server {
+
+class RticClient {
+ public:
+  /// Connects to "host:port" and performs the hello handshake for
+  /// `tenant`. Fails with the server's error if it refuses the session.
+  static Result<std::unique_ptr<RticClient>> Connect(
+      const std::string& address, const std::string& tenant);
+
+  RticClient(const RticClient&) = delete;
+  RticClient& operator=(const RticClient&) = delete;
+
+  /// The tenant's admission queue capacity, from the hello response.
+  std::uint64_t queue_capacity() const { return queue_capacity_; }
+
+  Status CreateTable(const std::string& table, const Schema& schema);
+  Status RegisterConstraint(const std::string& name, const std::string& text);
+
+  /// Outcome of one Apply: either the batch was admitted and checked
+  /// (timestamp + violations are the verdict) or admission control
+  /// refused it (overloaded=true, nothing was applied).
+  struct ApplyResult {
+    bool overloaded = false;
+    Timestamp timestamp = 0;
+    std::vector<Violation> violations;
+  };
+
+  /// Applies one batch. A batch with timestamp 0 asks the server to
+  /// assign current_time + 1; the result carries the assigned timestamp.
+  Result<ApplyResult> Apply(const UpdateBatch& batch);
+
+  Result<StatsReply> GetStats();
+
+  /// Hangs up. Further calls fail; the server ends the session.
+  void Close();
+
+ private:
+  explicit RticClient(std::unique_ptr<replication::Transport> transport)
+      : transport_(std::move(transport)) {}
+
+  /// Sends one request frame and reads one response. kError responses
+  /// become the carried Status.
+  Result<Message> RoundTrip(const std::string& frame);
+
+  std::unique_ptr<replication::Transport> transport_;
+  std::uint64_t queue_capacity_ = 0;
+};
+
+}  // namespace server
+}  // namespace rtic
+
+#endif  // RTIC_SERVER_CLIENT_H_
