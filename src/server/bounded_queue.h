@@ -20,6 +20,10 @@
 namespace rtic {
 namespace server {
 
+// Outcome of a non-blocking push: kFull is the overload signal (client may
+// retry later), kStopped means the queue is shutting down for good.
+enum class PushResult { kOk, kFull, kStopped };
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -30,16 +34,16 @@ class BoundedQueue {
 
   std::size_t capacity() const { return capacity_; }
 
-  /// Enqueues without waiting. False when the queue is full or stopped —
-  /// the overload signal.
-  bool TryPush(T item) {
+  /// Enqueues without waiting.
+  PushResult TryPush(T item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (stopped_ || items_.size() >= capacity_) return false;
+      if (stopped_) return PushResult::kStopped;
+      if (items_.size() >= capacity_) return PushResult::kFull;
       items_.push_back(std::move(item));
     }
     not_empty_.notify_one();
-    return true;
+    return PushResult::kOk;
   }
 
   /// Enqueues, waiting for space. False only when stopped.

@@ -81,7 +81,9 @@ void RticServer::Stop() {
 }
 
 void RticServer::StopInternal() {
-  listener_->Close();
+  // Start() can fail before listener_ is set (e.g. the port is already
+  // bound); the destructor still runs Stop() on that partial server.
+  if (listener_) listener_->Close();
   if (accept_thread_.joinable()) accept_thread_.join();
 
   std::vector<Session> sessions;
@@ -125,7 +127,9 @@ void RticServer::AcceptLoop() {
     for (std::size_t i = 0; i < sessions_.size();) {
       if (sessions_[i].done->load()) {
         sessions_[i].thread.join();
-        sessions_[i] = std::move(sessions_.back());
+        if (i != sessions_.size() - 1) {
+          sessions_[i] = std::move(sessions_.back());
+        }
         sessions_.pop_back();
       } else {
         ++i;
@@ -267,8 +271,13 @@ std::string RticServer::RunOnWorker(Tenant* tenant,
   job.work = std::move(work);
   std::future<std::string> reply = job.reply.get_future();
   if (admission) {
-    if (!tenant->queue.TryPush(std::move(job))) {
-      return EncodeOverloaded(options_.queue_capacity);
+    switch (tenant->queue.TryPush(std::move(job))) {
+      case PushResult::kOk:
+        break;
+      case PushResult::kFull:
+        return EncodeOverloaded(options_.queue_capacity);
+      case PushResult::kStopped:
+        return EncodeError(SessionError("server shutting down"));
     }
   } else if (!tenant->queue.Push(std::move(job))) {
     return EncodeError(SessionError("server shutting down"));
@@ -282,11 +291,15 @@ Result<RticServer::Tenant*> RticServer::GetTenant(const std::string& name) {
         "server session: bad tenant name '" + name +
         "' (want 1-128 chars of [A-Za-z0-9_-])");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (stopping_) return SessionError("server shutting down");
-  auto it = tenants_.find(name);
-  if (it != tenants_.end()) return it->second.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return SessionError("server shutting down");
+    auto it = tenants_.find(name);
+    if (it != tenants_.end()) return it->second.get();
+  }
 
+  // Construct outside mu_: tenant creation touches disk (WAL dir, monitor
+  // state) and must not stall the accept loop or other sessions' handshakes.
   MonitorOptions monitor_options = options_.monitor_options;
   auto tenant = std::make_unique<Tenant>(options_.queue_capacity);
   if (!monitor_options.wal_dir.empty()) {
@@ -300,6 +313,13 @@ Result<RticServer::Tenant*> RticServer::GetTenant(const std::string& name) {
   }
   tenant->monitor =
       std::make_unique<ConstraintMonitor>(std::move(monitor_options));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return SessionError("server shutting down");
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return it->second.get();  // lost a creation race
+  // The worker must only exist once the tenant is reachable via tenants_,
+  // so StopInternal always sees (and joins) every spawned worker.
   tenant->worker = std::thread([t = tenant.get()] { WorkerLoop(t); });
   Tenant* raw = tenant.get();
   tenants_.emplace(name, std::move(tenant));

@@ -236,6 +236,18 @@ TEST(ServerFormatTest, PayloadCodecsRoundTripAndRejectDamage) {
 
 // -- session lifecycle ------------------------------------------------------
 
+TEST(ServerSessionTest, StartOnBoundPortFailsCleanly) {
+  auto server = Unwrap(RticServer::Start(ServerOptions{}));
+  ServerOptions taken;
+  taken.port = server->port();
+  // Listen fails on the occupied port and the partially-constructed server
+  // is destroyed before listener_ was ever set; that teardown must produce
+  // an error Result, not a crash.
+  Result<std::unique_ptr<RticServer>> second = RticServer::Start(taken);
+  EXPECT_FALSE(second.ok());
+  server->Stop();
+}
+
 TEST(ServerSessionTest, HandshakeRequestsAndServerAssignedTimestamps) {
   auto server = Unwrap(RticServer::Start(ServerOptions{}));
   auto client = Unwrap(RticClient::Connect(server->address(), "acme"));
