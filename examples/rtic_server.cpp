@@ -1,9 +1,12 @@
 // The RTIC server as a real process, plus a self-contained demo.
 //
-//   ./rtic_server serve [port] [wal_dir]   — run a server until stdin
+//   ./rtic_server serve [port] [wal_dir] [shards]
+//                                          — run a server until stdin
 //                                            closes (port 0 = ephemeral,
 //                                            printed on startup; wal_dir
-//                                            makes tenants durable)
+//                                            makes tenants durable; shards
+//                                            > 0 backs new tenants with an
+//                                            N-shard ShardedMonitor)
 //   ./rtic_server demo                     — in-process server + three
 //                                            concurrent TCP clients on one
 //                                            tenant, printing each
@@ -60,13 +63,29 @@ void OrDie(const rtic::Status& status, const char* what) {
   }
 }
 
-int RunServe(std::uint16_t port, const std::string& wal_dir) {
+int RunServe(std::uint16_t port, const std::string& wal_dir,
+             std::size_t shards) {
   ServerOptions options;
   options.port = port;
   options.monitor_options.wal_dir = wal_dir;
-  auto server = OrDie(RticServer::Start(std::move(options)), "start");
+  options.default_shard_count = shards;
+  auto started = RticServer::Start(std::move(options));
+  if (!started.ok()) {
+    // Binding is the only step between here and the accept loop; the
+    // common failure is a port someone else already holds.
+    std::fprintf(stderr,
+                 "rtic_server: cannot listen on port %u: %s\n"
+                 "(is another process already bound to it?)\n",
+                 static_cast<unsigned>(port),
+                 started.status().ToString().c_str());
+    return 1;
+  }
+  auto server = std::move(started).value();
   std::printf("rtic_server listening on %s%s\n", server->address().c_str(),
               wal_dir.empty() ? "" : (" (durable: " + wal_dir + ")").c_str());
+  if (shards > 0) {
+    std::printf("new tenants run %zu-shard sharded monitors\n", shards);
+  }
   std::printf("press Ctrl-D to stop\n");
   // Block until stdin closes; sessions are served by background threads.
   int c;
@@ -129,10 +148,13 @@ int main(int argc, char** argv) {
     const auto port =
         static_cast<std::uint16_t>(argc > 2 ? std::atoi(argv[2]) : 0);
     const std::string wal_dir = argc > 3 ? argv[3] : "";
-    return RunServe(port, wal_dir);
+    const auto shards =
+        static_cast<std::size_t>(argc > 4 ? std::atoi(argv[4]) : 0);
+    return RunServe(port, wal_dir, shards);
   }
   if (mode == "demo") return RunDemo();
-  std::fprintf(stderr, "usage: %s [serve [port] [wal_dir] | demo]\n",
+  std::fprintf(stderr,
+               "usage: %s [serve [port] [wal_dir] [shards] | demo]\n",
                argv[0]);
   return 2;
 }

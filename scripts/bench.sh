@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Regenerates bench_output.txt — the raw google-benchmark tables the
-# EXPERIMENTS.md rows are transcribed from. Builds a dedicated Release
-# tree (build-release/) so published numbers always come from an
+# EXPERIMENTS.md rows are transcribed from — plus a timestamped
+# BENCH_<YYYYMMDDHHMMSS>.json holding every binary's machine-readable
+# results (one merged JSON document; scripts/check.sh compares the two
+# newest against each other as a perf-regression gate). Builds a dedicated
+# Release tree (build-release/) so published numbers always come from an
 # optimized, assert-free build, and runs every bench binary in sequence;
 # pass a filter to rerun a subset into stdout instead:
 #
 #   scripts/bench.sh               # all experiments -> bench_output.txt
-#   scripts/bench.sh e13           # only bench_e13_* -> stdout
+#                                  #                  + BENCH_<stamp>.json
+#   scripts/bench.sh e13           # only bench_e13_* -> stdout, no files
 #
 # Benchmarks are wall-clock sensitive; run on an idle machine and expect
 # some run-to-run jitter in the times (the byte counters are exact).
@@ -26,11 +30,31 @@ if [[ $# -ge 1 ]]; then
 fi
 
 out="bench_output.txt"
+stamp="$(date +%Y%m%d%H%M%S)"
+json_out="BENCH_${stamp}.json"
+json_dir="$(mktemp -d)"
+trap 'rm -rf "$json_dir"' EXIT
+
 : > "$out"
 for b in build-release/bench/bench_*; do
   [[ -x "$b" ]] || continue
-  echo "== $(basename "$b") ==" | tee -a "$out"
-  "$b" 2>&1 | tee -a "$out"
+  name="$(basename "$b")"
+  echo "== $name ==" | tee -a "$out"
+  "$b" --benchmark_out="$json_dir/$name.json" \
+       --benchmark_out_format=json 2>&1 | tee -a "$out"
   echo | tee -a "$out"
 done
-echo "wrote $out"
+
+# Merge the per-binary JSON files into one {binary: report} document so a
+# single timestamped artifact captures the whole run.
+python3 - "$json_dir" "$json_out" <<'PY'
+import json, os, sys
+src, dst = sys.argv[1], sys.argv[2]
+merged = {}
+for name in sorted(os.listdir(src)):
+    with open(os.path.join(src, name)) as f:
+        merged[name.removesuffix(".json")] = json.load(f)
+with open(dst, "w") as f:
+    json.dump(merged, f, indent=1)
+PY
+echo "wrote $out and $json_out"

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Repo-wide verification: the tier-1 suite, an AddressSanitizer pass over
 # the unit, fuzz, and fault ctest labels, an ASan+UBSan pass over the
-# checkpoint label plus a bench_e13_checkpoint smoke (the codec and
-# delta-chain paths do the bit-level byte banging most likely to trip
-# UB), and a ThreadSanitizer pass over the parallel, fault, replication,
-# and server labels (group commit, the crash matrices, the background
-# shipper thread, and the multi-session TCP server are the
-# concurrency-heavy paths).
+# checkpoint and shard labels plus a bench_e13_checkpoint smoke (the
+# codec and delta-chain paths do the bit-level byte banging most likely
+# to trip UB; the shard label's merge paths shuffle Violation vectors
+# across monitors), a ThreadSanitizer pass over the parallel, fault,
+# replication, server, and shard labels (group commit, the crash
+# matrices, the background shipper thread, the multi-session TCP server,
+# and the sharded monitor's fan-out pool are the concurrency-heavy
+# paths), and a perf-regression gate over the two newest BENCH_*.json
+# files from scripts/bench.sh (skipped until two runs exist).
 #
 #   scripts/check.sh           # full run (tier-1 + asan + asan+ubsan + tsan)
-#   scripts/check.sh --fast    # tier-1 only
+#   scripts/check.sh --fast    # tier-1 only (perf gate still runs)
 #
 # Build directories: build/ (plain RelWithDebInfo), build-asan/
 # (RTIC_SANITIZE=address), build-asan-ubsan/
@@ -28,6 +31,53 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+# Perf-regression gate: compare the two newest BENCH_*.json snapshots
+# (scripts/bench.sh writes one per run). Deliberately generous — only a
+# benchmark that was at least 50 ms and got RTIC_PERF_THRESHOLD times
+# slower (default 3.0) fails; wall-clock jitter on shared machines is
+# real. Skipped with a note until two snapshots exist.
+echo "== perf gate: newest two BENCH_*.json =="
+RTIC_PERF_THRESHOLD="${RTIC_PERF_THRESHOLD:-3.0}" python3 - <<'PY'
+import glob, json, os, sys
+
+snaps = sorted(glob.glob("BENCH_*.json"))
+if len(snaps) < 2:
+    print(f"perf gate: {len(snaps)} snapshot(s) found, need 2 - skipped")
+    sys.exit(0)
+old_path, new_path = snaps[-2], snaps[-1]
+threshold = float(os.environ["RTIC_PERF_THRESHOLD"])
+min_ms = 50.0
+
+def times(path):
+    with open(path) as f:
+        merged = json.load(f)
+    out = {}
+    for binary, report in merged.items():
+        for row in report.get("benchmarks", []):
+            if row.get("run_type") == "aggregate":
+                continue
+            ms = row["real_time"]
+            unit = row.get("time_unit", "ns")
+            ms *= {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+            out[f"{binary}/{row['name']}"] = ms
+    return out
+
+old, new = times(old_path), times(new_path)
+regressions = []
+for name, new_ms in sorted(new.items()):
+    old_ms = old.get(name)
+    if old_ms is None or old_ms < min_ms:
+        continue
+    if new_ms > threshold * old_ms:
+        regressions.append((name, old_ms, new_ms))
+print(f"perf gate: {old_path} -> {new_path}, "
+      f"{len(new)} benchmarks, threshold {threshold}x, floor {min_ms} ms")
+for name, old_ms, new_ms in regressions:
+    print(f"  REGRESSION {name}: {old_ms:.1f} ms -> {new_ms:.1f} ms "
+          f"({new_ms / old_ms:.2f}x)")
+sys.exit(1 if regressions else 0)
+PY
+
 if [[ "$FAST" == 1 ]]; then
   echo "== ok (fast mode: asan pass skipped) =="
   exit 0
@@ -38,17 +88,17 @@ cmake -B build-asan -S . -DRTIC_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" -L 'unit|fuzz|fault')
 
-echo "== asan+ubsan: checkpoint label + bench_e13 smoke (build-asan-ubsan/) =="
+echo "== asan+ubsan: checkpoint + shard labels + bench_e13 smoke (build-asan-ubsan/) =="
 cmake -B build-asan-ubsan -S . -DRTIC_SANITIZE=address+undefined >/dev/null
 cmake --build build-asan-ubsan -j "$JOBS"
-(cd build-asan-ubsan && ctest --output-on-failure -j "$JOBS" -L checkpoint)
+(cd build-asan-ubsan && ctest --output-on-failure -j "$JOBS" -L 'checkpoint|shard')
 # A 30-second cap keeps the smoke cheap: one small-state full-vs-delta pair
 # is enough to drive the codec, the delta writer, and chain recovery under
 # both sanitizers. Codec or chain regressions fail fast here.
 timeout 30 ./build-asan-ubsan/bench/bench_e13_checkpoint \
   --benchmark_filter='state:1000'
 
-echo "== tsan: parallel + fault + replication + server labels (build-tsan/) =="
+echo "== tsan: parallel + fault + replication + server + shard labels (build-tsan/) =="
 cmake -B build-tsan -S . -DRTIC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # TSan slows the exhaustive crash matrices ~10x; subsample their fault
@@ -56,6 +106,7 @@ cmake --build build-tsan -j "$JOBS"
 # timeouts. Coverage of every trigger comes from the uninstrumented
 # tier-1 run above.
 (cd build-tsan && RTIC_MATRIX_STRIDE=7 \
-  ctest --output-on-failure -j "$JOBS" -L 'parallel|fault|replication|server')
+  ctest --output-on-failure -j "$JOBS" \
+  -L 'parallel|fault|replication|server|shard')
 
 echo "== ok =="

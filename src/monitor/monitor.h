@@ -29,6 +29,7 @@
 #include "common/thread_pool.h"
 #include "engines/checker_engine.h"
 #include "engines/incremental/pruning.h"
+#include "monitor/monitor_iface.h"
 #include "storage/update_batch.h"
 #include "tl/analyzer.h"
 #include "tl/ast.h"
@@ -137,27 +138,8 @@ struct MonitorOptions {
   std::uint64_t ship_interval_micros = 50000;
 };
 
-/// Cumulative checking statistics for one registered constraint.
-struct ConstraintStats {
-  std::string name;
-  std::size_t transitions = 0;      // states this checker has processed
-  std::size_t violations = 0;       // states at which it was violated
-  std::int64_t total_check_micros = 0;  // cumulative OnTransition wall time
-  std::int64_t max_check_micros = 0;    // worst single check
-  std::int64_t last_check_micros = 0;   // most recent check's wall time
-  std::size_t storage_rows = 0;     // aux/history rows currently retained
-
-  /// Mean per-state check time in microseconds (0 before any state).
-  double MeanCheckMicros() const {
-    return transitions == 0
-               ? 0.0
-               : static_cast<double>(total_check_micros) /
-                     static_cast<double>(transitions);
-  }
-
-  /// One-line report.
-  std::string ToString() const;
-};
+// ConstraintStats and Violation moved to monitor/monitor_iface.h (the
+// MonitorLike vocabulary); this header re-exports them via its include.
 
 /// Cumulative checkpoint-write statistics (durable mode; the cost measure
 /// of experiment E13). Bytes are the sizes actually written to disk, after
@@ -173,38 +155,23 @@ struct CheckpointStats {
   std::int64_t last_micros = 0;   // most recent checkpoint pause
 };
 
-/// One constraint violation at one history state.
-struct Violation {
-  std::string constraint_name;
-  Timestamp timestamp = 0;
-
-  /// Names of the violated constraint's outermost forall variables (empty
-  /// when the constraint is not of `forall ...:` shape).
-  std::vector<std::string> witness_columns;
-
-  /// Up to MonitorOptions::max_witnesses counterexample valuations.
-  std::vector<Tuple> witnesses;
-
-  /// Human-readable one-line report.
-  std::string ToString() const;
-};
-
 /// The monitor: owns the evolving database and one checker per constraint.
-class ConstraintMonitor {
+class ConstraintMonitor : public MonitorLike {
  public:
   explicit ConstraintMonitor(MonitorOptions options = {});
-  ~ConstraintMonitor();
+  ~ConstraintMonitor() override;
 
   ConstraintMonitor(const ConstraintMonitor&) = delete;
   ConstraintMonitor& operator=(const ConstraintMonitor&) = delete;
 
   /// Creates a monitored table.
-  Status CreateTable(const std::string& name, Schema schema);
+  Status CreateTable(const std::string& name, Schema schema) override;
 
   /// Parses, analyzes, and compiles a constraint. Constraints registered
   /// after updates have been applied see only subsequent history (their
   /// temporal operators start from an empty past).
-  Status RegisterConstraint(const std::string& name, const std::string& text);
+  Status RegisterConstraint(const std::string& name,
+                            const std::string& text) override;
 
   /// Same, from an already-built formula.
   Status RegisterConstraintFormula(const std::string& name,
@@ -228,7 +195,7 @@ class ConstraintMonitor {
   /// log for subsequent updates. Must be called exactly once, after every
   /// CreateTable/RegisterConstraint and before the first update. Requires
   /// a checkpointable engine configuration (see SaveState()).
-  Result<wal::RecoveryStats> Recover();
+  Result<wal::RecoveryStats> Recover() override;
 
   /// Commits one transition: applies the batch (timestamp must exceed the
   /// previous one), checks every constraint, returns the violations. In
@@ -236,36 +203,36 @@ class ConstraintMonitor {
   /// logging failure means the batch was not applied (and, conversely, a
   /// reported failure may still leave the batch durable — after recovery
   /// the transition count is either side of such a failure).
-  Result<std::vector<Violation>> ApplyUpdate(const UpdateBatch& batch);
+  Result<std::vector<Violation>> ApplyUpdate(const UpdateBatch& batch) override;
 
   /// Pure clock tick: a transition that changes no tuples. Real-time
   /// constraints can newly fail as deadlines expire even without updates.
-  Result<std::vector<Violation>> Tick(Timestamp t);
+  Result<std::vector<Violation>> Tick(Timestamp t) override;
 
   /// The current database state.
   const Database& database() const { return db_; }
 
   /// Timestamp of the last committed transition (0 before the first).
-  Timestamp current_time() const { return current_time_; }
+  Timestamp current_time() const override { return current_time_; }
 
   /// Number of transitions committed.
-  std::size_t transition_count() const { return transition_count_; }
+  std::size_t transition_count() const override { return transition_count_; }
 
   /// Registered constraint names, in registration order.
-  std::vector<std::string> ConstraintNames() const;
+  std::vector<std::string> ConstraintNames() const override;
 
   /// Analyzer warnings produced when `name` was registered.
   Result<std::vector<std::string>> WarningsFor(const std::string& name) const;
 
   /// Total auxiliary/history rows retained across all constraint checkers
   /// (the space metric of experiment E2).
-  std::size_t TotalStorageRows() const;
+  std::size_t TotalStorageRows() const override;
 
   /// Violations accumulated since construction (all constraints).
-  std::size_t total_violations() const { return total_violations_; }
+  std::size_t total_violations() const override { return total_violations_; }
 
   /// Per-constraint checking statistics, in registration order.
-  std::vector<ConstraintStats> Stats() const;
+  std::vector<ConstraintStats> Stats() const override;
 
   /// Serializes the whole monitor — current database, clock, and every
   /// constraint checker's state — to a portable checkpoint. Requires every

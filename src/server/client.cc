@@ -16,12 +16,13 @@ Status UnexpectedReply(const Message& msg) {
 }  // namespace
 
 Result<std::unique_ptr<RticClient>> RticClient::Connect(
-    const std::string& address, const std::string& tenant) {
+    const std::string& address, const std::string& tenant,
+    std::uint64_t shard_count) {
   RTIC_ASSIGN_OR_RETURN(std::unique_ptr<replication::Transport> transport,
                         replication::TcpConnect(address));
   std::unique_ptr<RticClient> client(new RticClient(std::move(transport)));
   RTIC_ASSIGN_OR_RETURN(Message reply,
-                        client->RoundTrip(EncodeHello(tenant)));
+                        client->RoundTrip(EncodeHello(tenant, shard_count)));
   if (reply.type != MessageType::kHelloOk) return UnexpectedReply(reply);
   client->queue_capacity_ = reply.arg;
   return client;

@@ -33,8 +33,12 @@ class RticClient {
  public:
   /// Connects to "host:port" and performs the hello handshake for
   /// `tenant`. Fails with the server's error if it refuses the session.
+  /// `shard_count` asks the server to back a NEW tenant with a sharded
+  /// monitor of that many shards (0 = server default); a nonzero count
+  /// against an existing tenant must match how it was created.
   static Result<std::unique_ptr<RticClient>> Connect(
-      const std::string& address, const std::string& tenant);
+      const std::string& address, const std::string& tenant,
+      std::uint64_t shard_count = 0);
 
   RticClient(const RticClient&) = delete;
   RticClient& operator=(const RticClient&) = delete;

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "server/bounded_queue.h"
+#include "shard/sharded_monitor.h"
 #include "storage/codec.h"
 
 namespace rtic {
@@ -44,7 +45,8 @@ struct RticServer::Job {
 struct RticServer::Tenant {
   explicit Tenant(std::size_t queue_capacity) : queue(queue_capacity) {}
 
-  std::unique_ptr<ConstraintMonitor> monitor;
+  std::unique_ptr<MonitorLike> monitor;
+  std::size_t shard_count = 0;  // 0: plain ConstraintMonitor
   bool durable = false;
   bool recovered = false;  // worker thread only
   BoundedQueue<Job> queue;
@@ -172,7 +174,7 @@ void RticServer::SessionLoop(
         std::to_string(static_cast<int>(hello->type)))));
     return;
   }
-  Result<Tenant*> tenant = GetTenant(hello->name);
+  Result<Tenant*> tenant = GetTenant(hello->name, hello->arg);
   if (!tenant.ok()) {
     (void)transport->Send(EncodeError(tenant.status()));
     return;
@@ -285,23 +287,46 @@ std::string RticServer::RunOnWorker(Tenant* tenant,
   return reply.get();
 }
 
-Result<RticServer::Tenant*> RticServer::GetTenant(const std::string& name) {
+Result<RticServer::Tenant*> RticServer::GetTenant(
+    const std::string& name, std::uint64_t requested_shards) {
   if (!ValidTenantName(name)) {
     return Status::InvalidArgument(
         "server session: bad tenant name '" + name +
         "' (want 1-128 chars of [A-Za-z0-9_-])");
   }
+  if (requested_shards > kMaxTenantShards) {
+    return Status::InvalidArgument(
+        "server session: shard count " + std::to_string(requested_shards) +
+        " exceeds the per-tenant maximum of " +
+        std::to_string(kMaxTenantShards));
+  }
+  auto matches = [&](const Tenant& t) {
+    return requested_shards == 0 ||
+           requested_shards == static_cast<std::uint64_t>(t.shard_count);
+  };
+  const std::size_t shard_count =
+      requested_shards != 0 ? static_cast<std::size_t>(requested_shards)
+                            : options_.default_shard_count;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return SessionError("server shutting down");
     auto it = tenants_.find(name);
-    if (it != tenants_.end()) return it->second.get();
+    if (it != tenants_.end()) {
+      if (!matches(*it->second)) {
+        return SessionError(
+            "tenant '" + name + "' exists with " +
+            std::to_string(it->second->shard_count) +
+            " shards; hello requested " + std::to_string(requested_shards));
+      }
+      return it->second.get();
+    }
   }
 
   // Construct outside mu_: tenant creation touches disk (WAL dir, monitor
   // state) and must not stall the accept loop or other sessions' handshakes.
   MonitorOptions monitor_options = options_.monitor_options;
   auto tenant = std::make_unique<Tenant>(options_.queue_capacity);
+  tenant->shard_count = shard_count;
   if (!monitor_options.wal_dir.empty()) {
     monitor_options.wal_dir += "/" + name;
     if (::mkdir(monitor_options.wal_dir.c_str(), 0755) != 0 &&
@@ -311,13 +336,31 @@ Result<RticServer::Tenant*> RticServer::GetTenant(const std::string& name) {
     }
     tenant->durable = true;
   }
-  tenant->monitor =
-      std::make_unique<ConstraintMonitor>(std::move(monitor_options));
+  if (shard_count > 0) {
+    // ShardedMonitor::Recover() creates the shard-<k> subdirectories
+    // under the tenant directory made above.
+    RTIC_ASSIGN_OR_RETURN(
+        tenant->monitor,
+        shard::ShardedMonitor::Create(shard_count,
+                                      std::move(monitor_options)));
+  } else {
+    tenant->monitor =
+        std::make_unique<ConstraintMonitor>(std::move(monitor_options));
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) return SessionError("server shutting down");
   auto it = tenants_.find(name);
-  if (it != tenants_.end()) return it->second.get();  // lost a creation race
+  if (it != tenants_.end()) {
+    // Lost a creation race; the winner's shape must still match.
+    if (!matches(*it->second)) {
+      return SessionError(
+          "tenant '" + name + "' exists with " +
+          std::to_string(it->second->shard_count) +
+          " shards; hello requested " + std::to_string(requested_shards));
+    }
+    return it->second.get();
+  }
   // The worker must only exist once the tenant is reachable via tenants_,
   // so StopInternal always sees (and joins) every spawned worker.
   tenant->worker = std::thread([t = tenant.get()] { WorkerLoop(t); });

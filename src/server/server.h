@@ -6,8 +6,9 @@
 //   server->Stop();
 //
 // Architecture. One accept loop, one thread per client session, one
-// ConstraintMonitor per tenant namespace owned by exactly one worker
-// thread. Sessions never touch a monitor directly: each request becomes a
+// monitor per tenant namespace owned by exactly one worker thread — a
+// plain ConstraintMonitor, or a shard::ShardedMonitor when the server's
+// default_shard_count or the session's hello asks for one. Sessions never touch a monitor directly: each request becomes a
 // job on the tenant's BoundedQueue, the worker executes jobs in arrival
 // order against its monitor (which therefore needs no locking), and the
 // session thread waits for the pre-encoded response frame. The queue bound
@@ -60,7 +61,19 @@ struct ServerOptions {
   /// Template for every tenant's monitor. A non-empty wal_dir makes
   /// tenants durable, each under its own <wal_dir>/<tenant> subdirectory.
   MonitorOptions monitor_options;
+
+  /// Shards for tenants whose hello does not request a count (arg 0).
+  /// 0 keeps the plain single ConstraintMonitor; N >= 1 gives new tenants
+  /// an N-shard ShardedMonitor (durable tenants then log under
+  /// <wal_dir>/<tenant>/shard-<k>). A hello may request its own count, up
+  /// to kMaxTenantShards; a nonzero request against an existing tenant
+  /// must match how the tenant was created.
+  std::size_t default_shard_count = 0;
 };
+
+/// Upper bound on a tenant's shard count (a hello requesting more is
+/// refused — shard directories and worker fan-out are per tenant).
+inline constexpr std::size_t kMaxTenantShards = 64;
 
 class RticServer {
  public:
@@ -99,7 +112,11 @@ class RticServer {
                           bool admission);
 
   /// Finds or creates the named tenant (monitor + worker thread).
-  Result<Tenant*> GetTenant(const std::string& name);
+  /// `requested_shards` is the hello's arg: 0 accepts the server default
+  /// (or the existing tenant as-is); nonzero creates the tenant with that
+  /// many shards or fails if an existing tenant was created differently.
+  Result<Tenant*> GetTenant(const std::string& name,
+                            std::uint64_t requested_shards);
 
   static void WorkerLoop(Tenant* tenant);
   void StopInternal();

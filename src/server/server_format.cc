@@ -61,8 +61,8 @@ Result<Message> ParseMessage(std::string_view data) {
   return FromRaw(std::move(raw).value());
 }
 
-std::string EncodeHello(std::string_view tenant) {
-  return Encode(MessageType::kHello, 0, std::string(tenant), "");
+std::string EncodeHello(std::string_view tenant, std::uint64_t shard_count) {
+  return Encode(MessageType::kHello, shard_count, std::string(tenant), "");
 }
 
 std::string EncodeCreateTable(std::string_view table, const Schema& schema) {
@@ -98,7 +98,7 @@ std::string EncodeVerdict(Timestamp timestamp,
                 EncodeVerdictPayload(timestamp, violations));
 }
 
-std::string EncodeStatsReply(const ConstraintMonitor& monitor) {
+std::string EncodeStatsReply(const MonitorLike& monitor) {
   StatsReply reply;
   reply.transition_count = monitor.transition_count();
   reply.current_time = monitor.current_time();

@@ -13,7 +13,10 @@
 //   [name bytes][body bytes]
 //
 // Requests (client -> server):
-//   kHello              — session start; `name` is the tenant namespace.
+//   kHello              — session start; `name` is the tenant namespace,
+//                         `arg` the requested shard count for the tenant's
+//                         monitor (0 = server default; nonzero on an
+//                         existing tenant must match how it was created).
 //                         Must be the first frame of a session.
 //   kCreateTable        — `name` is the table, `body` an encoded Schema.
 //   kRegisterConstraint — `name` is the constraint, `body` its text.
@@ -97,7 +100,8 @@ Result<Message> ParseMessage(std::string_view data);
 
 // -- request/response constructors ------------------------------------------
 
-std::string EncodeHello(std::string_view tenant);
+std::string EncodeHello(std::string_view tenant,
+                        std::uint64_t shard_count = 0);
 std::string EncodeCreateTable(std::string_view table, const Schema& schema);
 std::string EncodeRegisterConstraint(std::string_view name,
                                      std::string_view text);
@@ -107,7 +111,7 @@ std::string EncodeHelloOk(std::uint64_t queue_capacity);
 std::string EncodeOk();
 std::string EncodeVerdict(Timestamp timestamp,
                           const std::vector<Violation>& violations);
-std::string EncodeStatsReply(const ConstraintMonitor& monitor);
+std::string EncodeStatsReply(const MonitorLike& monitor);
 std::string EncodeError(const Status& status);
 std::string EncodeOverloaded(std::uint64_t queue_capacity);
 

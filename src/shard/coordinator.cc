@@ -1,0 +1,80 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+
+namespace rtic {
+namespace shard {
+
+bool MergeShardViolations(const std::string& name,
+                          const std::vector<std::vector<Violation>>& per_shard,
+                          std::size_t max_witnesses, Violation* merged) {
+  bool found = false;
+  for (const std::vector<Violation>& report : per_shard) {
+    for (const Violation& v : report) {
+      if (v.constraint_name != name) continue;
+      if (!found) {
+        found = true;
+        merged->constraint_name = v.constraint_name;
+        merged->timestamp = v.timestamp;
+        merged->witness_columns = v.witness_columns;
+        merged->witnesses.clear();
+      }
+      merged->witnesses.insert(merged->witnesses.end(), v.witnesses.begin(),
+                               v.witnesses.end());
+    }
+  }
+  if (!found) return false;
+  // Shards hold disjoint key ranges, so rows collide only for constraints
+  // that evaluate identically everywhere (no-atom formulas); sort+unique
+  // restores the single-monitor list in both cases.
+  std::sort(merged->witnesses.begin(), merged->witnesses.end());
+  merged->witnesses.erase(
+      std::unique(merged->witnesses.begin(), merged->witnesses.end()),
+      merged->witnesses.end());
+  if (merged->witnesses.size() > max_witnesses) {
+    merged->witnesses.resize(max_witnesses);
+  }
+  return true;
+}
+
+Status CrossShardCoordinator::Activate(const std::vector<TableDef>& tables) {
+  if (monitor_ != nullptr) return Status::OK();
+  auto monitor = std::make_unique<ConstraintMonitor>(options_);
+  for (const TableDef& t : tables) {
+    RTIC_RETURN_IF_ERROR(monitor->CreateTable(t.name, t.schema));
+  }
+  monitor_ = std::move(monitor);
+  return Status::OK();
+}
+
+Status CrossShardCoordinator::Seed(
+    const std::vector<const Database*>& shard_dbs, Timestamp t) {
+  if (monitor_ == nullptr) {
+    return Status::FailedPrecondition("coordinator not active");
+  }
+  if (!monitor_->ConstraintNames().empty()) {
+    return Status::Internal(
+        "coordinator seeding must precede constraint registration");
+  }
+  UpdateBatch seed(t);
+  for (const Database* db : shard_dbs) {
+    for (const std::string& table : db->TableNames()) {
+      RTIC_ASSIGN_OR_RETURN(const Table* rows, db->GetTable(table));
+      for (const Tuple& row : rows->rows()) {
+        seed.Insert(table, row);
+      }
+    }
+  }
+  return monitor_->ApplyUpdate(seed).status();
+}
+
+Status CrossShardCoordinator::CreateTable(const std::string& name,
+                                          Schema schema) {
+  if (monitor_ == nullptr) {
+    return Status::FailedPrecondition("coordinator not active");
+  }
+  return monitor_->CreateTable(name, std::move(schema));
+}
+
+}  // namespace shard
+}  // namespace rtic

@@ -1,0 +1,114 @@
+#include "shard/partitioner.h"
+
+#include <cstring>
+
+namespace rtic {
+namespace shard {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void FnvMix(std::uint64_t* h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t StableValueHash(const Value& value) {
+  std::uint64_t h = kFnvOffset;
+  const auto tag = static_cast<unsigned char>(value.type());
+  FnvMix(&h, &tag, 1);
+  switch (value.type()) {
+    case ValueType::kInt64: {
+      // Fixed-width little-endian payload, independent of host byte order.
+      std::uint64_t v = static_cast<std::uint64_t>(value.AsInt64());
+      unsigned char bytes[8];
+      for (int i = 0; i < 8; ++i) bytes[i] = (v >> (8 * i)) & 0xff;
+      FnvMix(&h, bytes, 8);
+      break;
+    }
+    case ValueType::kDouble: {
+      std::uint64_t v = 0;
+      double d = value.AsDouble();
+      std::memcpy(&v, &d, sizeof(v));
+      unsigned char bytes[8];
+      for (int i = 0; i < 8; ++i) bytes[i] = (v >> (8 * i)) & 0xff;
+      FnvMix(&h, bytes, 8);
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& s = value.AsString();
+      FnvMix(&h, s.data(), s.size());
+      break;
+    }
+    case ValueType::kBool: {
+      const unsigned char b = value.AsBool() ? 1 : 0;
+      FnvMix(&h, &b, 1);
+      break;
+    }
+  }
+  return h;
+}
+
+Status Partitioner::AddTable(const std::string& table, const Schema& schema,
+                             std::size_t key_column) {
+  if (shard_count_ == 0) {
+    return Status::InvalidArgument("partitioner: shard_count must be > 0");
+  }
+  if (key_column >= schema.size()) {
+    return Status::InvalidArgument(
+        "partition key column " + std::to_string(key_column) +
+        " out of range for table " + table + " with " +
+        std::to_string(schema.size()) + " columns");
+  }
+  auto [it, inserted] =
+      tables_.emplace(table, Entry{key_column, schema.size()});
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("partition key for table " + table +
+                                 " already declared");
+  }
+  return Status::OK();
+}
+
+bool Partitioner::HasTable(const std::string& table) const {
+  return tables_.count(table) > 0;
+}
+
+Result<std::size_t> Partitioner::KeyColumn(const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no partition key declared for table " + table);
+  }
+  return it->second.key_column;
+}
+
+Result<std::size_t> Partitioner::ShardOf(const std::string& table,
+                                         const Tuple& tuple) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no partition key declared for table " + table);
+  }
+  if (tuple.size() != it->second.arity) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) +
+        " does not match table " + table + " (" +
+        std::to_string(it->second.arity) + " columns)");
+  }
+  return ShardOfKey(tuple.at(it->second.key_column));
+}
+
+std::vector<std::string> Partitioner::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace shard
+}  // namespace rtic

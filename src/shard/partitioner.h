@@ -1,0 +1,87 @@
+// Partitioner: maps tuples to shards by a per-table partition key.
+//
+// Every table declares one key column (default: column 0). A tuple lives
+// on shard StableValueHash(key value) % shard_count. The hash is our own
+// FNV-1a over a canonical byte encoding of the value — deliberately NOT
+// std::hash — so the mapping is stable across processes, platforms, and
+// standard libraries: a durable shard directory written by one binary
+// must route the same key to the same shard in every later binary, or
+// recovery would scatter a key's history across shards.
+//
+// The paper's auxiliary relations partition naturally by domain value:
+// all history any constraint keeps about key value v (once/since
+// anchors, previous-state rows) concerns tuples whose key is v, so
+// co-locating every table's v-rows on one shard makes whole constraints
+// checkable shard-locally (see classifier.h for the exact condition).
+
+#ifndef RTIC_SHARD_PARTITIONER_H_
+#define RTIC_SHARD_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace rtic {
+namespace shard {
+
+/// Process-stable 64-bit FNV-1a over a type-tagged canonical encoding of
+/// the value. Int64(1), Double(1.0), and String("1") hash differently
+/// (equality is type-sensitive, so the hash must be too).
+std::uint64_t StableValueHash(const Value& value);
+
+/// The partition map: table name -> key column index, plus the shard
+/// arithmetic. Immutable per table once declared.
+class Partitioner {
+ public:
+  explicit Partitioner(std::size_t shard_count) : shard_count_(shard_count) {}
+
+  std::size_t shard_count() const { return shard_count_; }
+
+  /// Declares `table`'s partition key. The column must exist in `schema`.
+  /// Fails on redeclaration (the mapping backs durable directories and
+  /// must never change under live data).
+  Status AddTable(const std::string& table, const Schema& schema,
+                  std::size_t key_column);
+
+  /// True iff the table has been declared.
+  bool HasTable(const std::string& table) const;
+
+  /// Key column index of `table`; NotFound if undeclared.
+  Result<std::size_t> KeyColumn(const std::string& table) const;
+
+  /// Shard owning `tuple` of `table`. The tuple must match the declared
+  /// schema's arity (checked; value typing is the caller's concern).
+  Result<std::size_t> ShardOf(const std::string& table,
+                              const Tuple& tuple) const;
+
+  /// Shard owning a bare key value (tuples with this key in any table
+  /// keyed on an equal value co-locate here).
+  std::size_t ShardOfKey(const Value& key) const {
+    return static_cast<std::size_t>(StableValueHash(key) %
+                                    static_cast<std::uint64_t>(shard_count_));
+  }
+
+  /// Declared tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  struct Entry {
+    std::size_t key_column = 0;
+    std::size_t arity = 0;
+  };
+
+  std::size_t shard_count_;
+  std::map<std::string, Entry> tables_;
+};
+
+}  // namespace shard
+}  // namespace rtic
+
+#endif  // RTIC_SHARD_PARTITIONER_H_

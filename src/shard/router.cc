@@ -1,0 +1,29 @@
+#include "shard/router.h"
+
+namespace rtic {
+namespace shard {
+
+Result<std::vector<UpdateBatch>> RouteBatch(const UpdateBatch& batch,
+                                            const Partitioner& partitioner) {
+  std::vector<UpdateBatch> out;
+  out.reserve(partitioner.shard_count());
+  for (std::size_t k = 0; k < partitioner.shard_count(); ++k) {
+    out.emplace_back(batch.timestamp());
+  }
+  for (const auto& [table, tuples] : batch.deletes()) {
+    for (const Tuple& tuple : tuples) {
+      RTIC_ASSIGN_OR_RETURN(std::size_t k, partitioner.ShardOf(table, tuple));
+      out[k].Delete(table, tuple);
+    }
+  }
+  for (const auto& [table, tuples] : batch.inserts()) {
+    for (const Tuple& tuple : tuples) {
+      RTIC_ASSIGN_OR_RETURN(std::size_t k, partitioner.ShardOf(table, tuple));
+      out[k].Insert(table, tuple);
+    }
+  }
+  return out;
+}
+
+}  // namespace shard
+}  // namespace rtic

@@ -1,0 +1,35 @@
+// Router: splits one UpdateBatch into per-shard sub-batches along the
+// partition map.
+//
+// Every sub-batch carries the original timestamp even when it ends up
+// empty: shards tick in LOCKSTEP. Metric temporal operators (previous[I],
+// once[I], since[I]) change truth values with the clock alone, so a shard
+// that skipped a "quiet" transition would disagree with the unsharded
+// monitor about interval membership. An empty sub-batch is exactly a
+// clock tick for its shard.
+
+#ifndef RTIC_SHARD_ROUTER_H_
+#define RTIC_SHARD_ROUTER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "shard/partitioner.h"
+#include "storage/update_batch.h"
+
+namespace rtic {
+namespace shard {
+
+/// Splits `batch` into `partitioner.shard_count()` sub-batches, routing
+/// each insert/delete to the shard owning its tuple's partition key.
+/// Relative operation order within a table is preserved per shard. Fails
+/// (without partial output) on a table the partitioner does not know or
+/// an arity-mismatched tuple; callers validate batches against a shard
+/// database first for the better schema error message.
+Result<std::vector<UpdateBatch>> RouteBatch(const UpdateBatch& batch,
+                                            const Partitioner& partitioner);
+
+}  // namespace shard
+}  // namespace rtic
+
+#endif  // RTIC_SHARD_ROUTER_H_

@@ -1,0 +1,168 @@
+// ShardedMonitor: a MonitorLike that horizontally partitions one logical
+// monitor across N inner ConstraintMonitors ("shards").
+//
+// Each table declares a partition key column (default 0); the router
+// sends every tuple to shard StableValueHash(key) % N, and every shard
+// sees every timestamp (empty sub-batches are clock ticks — metric
+// temporal operators move with the clock, so shards must tick in
+// lockstep). Constraints are classified at registration (see
+// classifier.h): partition-local ones are registered on every shard and
+// checked against co-partitioned state only; everything else goes to the
+// lazily activated cross-shard coordinator, a full-stream inner monitor.
+// Per-shard verdicts are merged deterministically in registration order,
+// byte-identical to an unsharded ConstraintMonitor over the same history
+// (tests/sharded_monitor_test.cc proves this differentially).
+//
+// Durability: with MonitorOptions::wal_dir = <root>, shard k logs and
+// checkpoints under <root>/shard-<k> and the coordinator (if activated)
+// under <root>/shard-coord — N+1 independent WAL/checkpoint chains.
+// Recover() creates the directories, recovers every inner monitor, and
+// reconciles clocks: a crash inside ApplyUpdate can leave some shards
+// one transition ahead (each shard commits its own WAL; there is no
+// cross-shard atomic commit), in which case laggards are caught up with
+// a clock tick and the divergence is logged. Restrictions in durable
+// mode: cross-shard constraints must be registered before Recover()
+// (the coordinator's WAL cannot adopt state it never logged), and
+// replication_standby is rejected (ship each shard's directory
+// individually instead).
+//
+// Threading: MonitorOptions::num_threads > 1 fans ApplyUpdate across the
+// shards (and the coordinator) on a pool; each inner monitor runs its
+// own constraints serially (num_threads is forced to 1 inside). Results
+// are merged in registration order, so the parallel path is
+// byte-identical to the serial one.
+
+#ifndef RTIC_SHARD_SHARDED_MONITOR_H_
+#define RTIC_SHARD_SHARDED_MONITOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "monitor/monitor.h"
+#include "monitor/monitor_iface.h"
+#include "shard/classifier.h"
+#include "shard/coordinator.h"
+#include "shard/partitioner.h"
+
+namespace rtic {
+namespace shard {
+
+class ShardedMonitor : public MonitorLike {
+ public:
+  /// Validates the configuration (1 <= shard_count <= 1024, no
+  /// replication) and builds the shard fleet. `options` apply to every
+  /// shard except: wal_dir becomes `<wal_dir>/shard-<k>`, num_threads is
+  /// forced to 1 inside each shard (see header comment), and
+  /// replication_standby must be empty.
+  static Result<std::unique_ptr<ShardedMonitor>> Create(
+      std::size_t shard_count, MonitorOptions options = {});
+
+  ~ShardedMonitor() override = default;
+
+  ShardedMonitor(const ShardedMonitor&) = delete;
+  ShardedMonitor& operator=(const ShardedMonitor&) = delete;
+
+  // ---- MonitorLike ------------------------------------------------------
+
+  /// Creates the table on every shard, partitioned by column 0.
+  Status CreateTable(const std::string& name, Schema schema) override;
+
+  /// Parses, analyzes, classifies, and registers the constraint —
+  /// on every shard (partition-local) or on the coordinator
+  /// (cross-shard).
+  Status RegisterConstraint(const std::string& name,
+                            const std::string& text) override;
+
+  /// Durable mode only: recovers every shard (and the coordinator),
+  /// reconciling clocks after torn cross-shard writes. Merged per-
+  /// constraint violation counters are reconstructed as the max over
+  /// shards — a lower bound of the true merged count when one
+  /// transition's violations spanned shards (the coordinator's counters
+  /// are exact).
+  Result<wal::RecoveryStats> Recover() override;
+
+  /// Routes the batch, applies every sub-batch (plus the full batch to
+  /// the active coordinator) in lockstep, and merges the verdicts. The
+  /// batch is validated up front so an invalid batch touches no shard;
+  /// in durable mode a shard's WAL failure can still leave earlier
+  /// shards one transition ahead (reconciled by Recover()).
+  Result<std::vector<Violation>> ApplyUpdate(const UpdateBatch& batch) override;
+
+  Result<std::vector<Violation>> Tick(Timestamp t) override;
+
+  Timestamp current_time() const override { return current_time_; }
+  std::size_t transition_count() const override { return transition_count_; }
+  std::size_t total_violations() const override { return total_violations_; }
+  std::vector<std::string> ConstraintNames() const override;
+
+  /// Registration-order stats. Partition-local entries aggregate across
+  /// shards (times/storage sum, worst check is the max of maxes);
+  /// violations/transitions are the merged monitor-level counters.
+  std::vector<ConstraintStats> Stats() const override;
+
+  std::size_t TotalStorageRows() const override;
+
+  // ---- sharding surface -------------------------------------------------
+
+  /// CreateTable with an explicit partition key column.
+  Status CreateTablePartitioned(const std::string& name, Schema schema,
+                                std::size_t key_column);
+
+  /// Stops checking a constraint everywhere it was registered.
+  Status UnregisterConstraint(const std::string& name);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Shard k's inner monitor (tests and benchmarks inspect state).
+  const ConstraintMonitor& shard(std::size_t k) const { return *shards_[k]; }
+
+  /// True once a cross-shard constraint forced the coordinator up.
+  bool coordinator_active() const { return coordinator_.active(); }
+
+  /// How `name` classified at registration.
+  Result<Classification> ClassificationFor(const std::string& name) const;
+
+  /// Registered constraints that classified partition-local.
+  std::size_t PartitionLocalCount() const;
+
+  /// PartitionLocalCount() / registered count (1.0 when none registered —
+  /// an empty monitor needs no coordinator).
+  double PartitionLocalFraction() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Classification cls;
+    std::size_t transitions = 0;  // transitions since registration (merged)
+    std::size_t violations = 0;   // violated transitions (merged)
+  };
+
+  ShardedMonitor(MonitorOptions options, std::size_t shard_count);
+
+  bool durable() const { return !options_.wal_dir.empty(); }
+
+  /// Brings the coordinator up (first cross-shard registration), seeding
+  /// it from the shard databases when updates already ran (in-memory
+  /// mode only).
+  Status EnsureCoordinator();
+
+  MonitorOptions options_;  // wal_dir is the ROOT directory
+  Partitioner partitioner_;
+  std::vector<TableDef> tables_;
+  std::vector<std::unique_ptr<ConstraintMonitor>> shards_;
+  CrossShardCoordinator coordinator_;
+  std::unique_ptr<ThreadPool> pool_;  // non-null iff num_threads > 1
+  std::vector<Entry> entries_;        // registration order
+  Timestamp current_time_ = 0;
+  std::size_t transition_count_ = 0;
+  std::size_t total_violations_ = 0;
+  bool recovered_ = false;
+};
+
+}  // namespace shard
+}  // namespace rtic
+
+#endif  // RTIC_SHARD_SHARDED_MONITOR_H_

@@ -1,0 +1,254 @@
+// Shard classifier: verdict table over the paper-style constraint suites
+// (alarm, payroll, library — the nine constraints every workload generator
+// emits) plus the adversarial shapes that must NOT classify partition-local:
+// active-domain falsification, atoms keyed by different variables,
+// constants at key positions, exists-rooted formulas, re-bound key
+// variables, and domain-padded comparisons. The classifier is the safety
+// gate of the whole sharded monitor — a wrong kPartitionLocal verdict is a
+// silent correctness bug, so the cross-shard cases here are as load-bearing
+// as the local ones.
+
+#include "shard/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "shard/partitioner.h"
+#include "tests/test_util.h"
+#include "tl/analyzer.h"
+#include "tl/parser.h"
+#include "workload/generators.h"
+
+namespace rtic {
+namespace shard {
+namespace {
+
+using rtic::testing::IntSchema;
+using rtic::testing::Unwrap;
+
+// Classifies `text` against `catalog` with every table keyed on column 0.
+Classification ClassifyText(const std::string& text,
+                            const tl::PredicateCatalog& catalog) {
+  auto formula = Unwrap(tl::ParseFormula(text));
+  auto analysis = Unwrap(tl::Analyze(*formula, catalog));
+  Partitioner partitioner(4);
+  for (const auto& [table, schema] : catalog) {
+    RTIC_EXPECT_OK(partitioner.AddTable(table, schema, 0));
+  }
+  return Unwrap(Classify(*formula, analysis, partitioner));
+}
+
+tl::PredicateCatalog AlarmCatalog() {
+  return {{"Raise", IntSchema({"alarm"})},
+          {"Ack", IntSchema({"alarm"})},
+          {"Active", IntSchema({"alarm"})}};
+}
+
+tl::PredicateCatalog PayrollCatalog() {
+  return {{"Emp", IntSchema({"id", "salary"})},
+          {"Raise", IntSchema({"id"})}};
+}
+
+tl::PredicateCatalog LibraryCatalog() {
+  return {{"Member", IntSchema({"patron"})},
+          {"Loan", IntSchema({"patron", "book"})},
+          {"Out", IntSchema({"patron", "book"})}};
+}
+
+// The full verdict table: every constraint the three workload generators
+// emit (the paper-style E1-E9 suites) is partition-local under column-0
+// keys, keyed by the entity variable.
+TEST(ShardClassifierTest, PaperSuiteVerdictTable) {
+  struct Row {
+    const char* name;
+    std::string text;
+    tl::PredicateCatalog catalog;
+    const char* key_var;
+  };
+  workload::AlarmParams alarm;
+  workload::PayrollParams payroll;
+  workload::LibraryParams library;
+  const auto alarm_w = workload::MakeAlarmWorkload(alarm);
+  const auto payroll_w = workload::MakePayrollWorkload(payroll);
+  const auto library_w = workload::MakeLibraryWorkload(library);
+
+  std::vector<Row> rows;
+  for (const auto& [name, text] : alarm_w.constraints) {
+    rows.push_back({name.c_str(), text, AlarmCatalog(), "a"});
+  }
+  for (const auto& [name, text] : payroll_w.constraints) {
+    rows.push_back({name.c_str(), text, PayrollCatalog(), "e"});
+  }
+  for (const auto& [name, text] : library_w.constraints) {
+    rows.push_back({name.c_str(), text, LibraryCatalog(), "p"});
+  }
+  ASSERT_EQ(rows.size(), 9u);
+
+  std::size_t local = 0;
+  for (const Row& row : rows) {
+    SCOPED_TRACE(std::string(row.name) + ": " + row.text);
+    const Classification cls = ClassifyText(row.text, row.catalog);
+    EXPECT_EQ(cls.cls, ShardClass::kPartitionLocal) << cls.reason;
+    EXPECT_EQ(cls.key_var, row.key_var);
+    EXPECT_FALSE(cls.reason.empty());
+    if (cls.local()) ++local;
+  }
+  // The headline number of E16: the whole paper suite shards perfectly.
+  EXPECT_EQ(local, rows.size()) << "partition-local fraction " << local << "/"
+                                << rows.size();
+}
+
+TEST(ShardClassifierTest, NoAtomsIsLocal) {
+  const Classification cls = ClassifyText("1 <= 2", AlarmCatalog());
+  EXPECT_EQ(cls.cls, ShardClass::kPartitionLocal);
+  EXPECT_TRUE(cls.key_var.empty());
+}
+
+// `forall a: Active(a)` falsifies by complementing against the active
+// domain — a shard only sees its own slice of the domain, so per-shard
+// falsification would silently drop counterexamples. The analyzer emits NO
+// warning for this shape (its range-restriction pass only covers
+// exists-bound variables); the classifier's own domain-safety mirror must
+// catch it.
+TEST(ShardClassifierTest, BareAtomFalsificationIsCrossShard) {
+  const Classification cls =
+      ClassifyText("forall a: Active(a)", AlarmCatalog());
+  EXPECT_EQ(cls.cls, ShardClass::kCrossShard);
+  EXPECT_NE(cls.reason.find("active-domain"), std::string::npos)
+      << cls.reason;
+}
+
+// The consequent's variable is not bound by the antecedent, so evaluation
+// domain-pads the missing column — again warning-free, again unsound
+// per shard.
+TEST(ShardClassifierTest, DomainPaddedConsequentIsCrossShard) {
+  const Classification cls = ClassifyText(
+      "forall e, s, y: Emp(e, s) implies y >= 0", PayrollCatalog());
+  EXPECT_EQ(cls.cls, ShardClass::kCrossShard);
+  EXPECT_NE(cls.reason.find("active-domain"), std::string::npos)
+      << cls.reason;
+}
+
+TEST(ShardClassifierTest, ExistsRootedIsCrossShard) {
+  const Classification cls =
+      ClassifyText("exists a: Raise(a) and Ack(a)", AlarmCatalog());
+  EXPECT_EQ(cls.cls, ShardClass::kCrossShard);
+  EXPECT_NE(cls.reason.find("forall"), std::string::npos) << cls.reason;
+}
+
+// Loan keyed by p, Member keyed by m: tuples for one violation live on two
+// different shards.
+TEST(ShardClassifierTest, DifferingKeyVariablesIsCrossShard) {
+  const Classification cls = ClassifyText(
+      "forall p, b, m: Loan(p, b) and Member(m) implies p = m",
+      LibraryCatalog());
+  EXPECT_EQ(cls.cls, ShardClass::kCrossShard);
+}
+
+// A constant at the key position pins that atom to one shard while the
+// forall variable ranges over all of them.
+TEST(ShardClassifierTest, ConstantAtKeyPositionIsCrossShard) {
+  const Classification cls = ClassifyText(
+      "forall b: Loan(7, b) implies Member(7)", LibraryCatalog());
+  EXPECT_EQ(cls.cls, ShardClass::kCrossShard);
+}
+
+// The key variable re-quantified inside the body no longer names one
+// partition across all atoms.
+TEST(ShardClassifierTest, ReboundKeyVariableIsCrossShard) {
+  const Classification cls = ClassifyText(
+      "forall a: Ack(a) implies (exists a: Raise(a))", AlarmCatalog());
+  EXPECT_EQ(cls.cls, ShardClass::kCrossShard);
+}
+
+// Different tables keyed on different columns: Loan(p, b) keyed by column 1
+// (the book) cannot co-locate with Member(p) keyed by column 0.
+TEST(ShardClassifierTest, KeyColumnMismatchIsCrossShard) {
+  auto formula =
+      Unwrap(tl::ParseFormula("forall p, b: Loan(p, b) implies Member(p)"));
+  auto analysis = Unwrap(tl::Analyze(*formula, LibraryCatalog()));
+  Partitioner partitioner(4);
+  RTIC_EXPECT_OK(
+      partitioner.AddTable("Member", IntSchema({"patron"}), 0));
+  RTIC_EXPECT_OK(
+      partitioner.AddTable("Loan", IntSchema({"patron", "book"}), 1));
+  RTIC_EXPECT_OK(partitioner.AddTable("Out", IntSchema({"patron", "book"}), 0));
+  const Classification cls =
+      Unwrap(Classify(*formula, analysis, partitioner));
+  EXPECT_EQ(cls.cls, ShardClass::kCrossShard);
+}
+
+// ... but keying Loan AND Out by the book while Member stays patron-keyed
+// still fails; keying everything consistently by column 0 succeeds (the
+// verdict table above). This pins that the classifier consults the
+// partitioner rather than assuming column 0.
+TEST(ShardClassifierTest, RespectsDeclaredKeyColumns) {
+  auto formula = Unwrap(tl::ParseFormula(
+      "forall p, b: Out(p, b) implies Out(p, b) since[0, 30] Loan(p, b)"));
+  auto analysis = Unwrap(tl::Analyze(*formula, LibraryCatalog()));
+  Partitioner partitioner(4);
+  RTIC_EXPECT_OK(partitioner.AddTable("Member", IntSchema({"patron"}), 0));
+  RTIC_EXPECT_OK(
+      partitioner.AddTable("Loan", IntSchema({"patron", "book"}), 1));
+  RTIC_EXPECT_OK(
+      partitioner.AddTable("Out", IntSchema({"patron", "book"}), 1));
+  const Classification cls =
+      Unwrap(Classify(*formula, analysis, partitioner));
+  // Keyed by the book on both atoms: still one key variable, still local.
+  EXPECT_EQ(cls.cls, ShardClass::kPartitionLocal);
+  EXPECT_EQ(cls.key_var, "b");
+}
+
+TEST(ShardClassifierTest, UnknownTableFails) {
+  auto formula = Unwrap(tl::ParseFormula("forall a: Active(a) implies Active(a)"));
+  auto analysis = Unwrap(tl::Analyze(*formula, AlarmCatalog()));
+  Partitioner partitioner(2);  // no tables declared
+  auto result = Classify(*formula, analysis, partitioner);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ShardClassifierTest, CollectAtomsSyntaxOrder) {
+  auto formula = Unwrap(tl::ParseFormula(
+      "forall p, b: Loan(p, b) implies Member(p)"));
+  auto atoms = CollectAtoms(*formula);
+  ASSERT_EQ(atoms.size(), 2u);
+  EXPECT_EQ(atoms[0]->predicate(), "Loan");
+  EXPECT_EQ(atoms[1]->predicate(), "Member");
+}
+
+TEST(StableValueHashTest, TypeTagged) {
+  // Equal payload bits across types must not collide structurally.
+  EXPECT_NE(StableValueHash(Value::Int64(1)),
+            StableValueHash(Value::Double(1.0)));
+  EXPECT_NE(StableValueHash(Value::Int64(49)),
+            StableValueHash(Value::String("1")));
+  // Deterministic across calls (and, by construction, across processes).
+  EXPECT_EQ(StableValueHash(Value::String("alarm-17")),
+            StableValueHash(Value::String("alarm-17")));
+}
+
+TEST(PartitionerTest, RoutesByDeclaredKeyColumn) {
+  Partitioner partitioner(4);
+  RTIC_EXPECT_OK(
+      partitioner.AddTable("Loan", IntSchema({"patron", "book"}), 0));
+  const auto t = rtic::testing::T(rtic::testing::I(5), rtic::testing::I(9));
+  const std::size_t shard = Unwrap(partitioner.ShardOf("Loan", t));
+  EXPECT_EQ(shard, partitioner.ShardOfKey(Value::Int64(5)));
+  EXPECT_LT(shard, 4u);
+  // Redeclaration is refused: the mapping backs durable directories.
+  EXPECT_FALSE(
+      partitioner.AddTable("Loan", IntSchema({"patron", "book"}), 1).ok());
+  // Arity mismatch is caught.
+  EXPECT_FALSE(
+      partitioner.ShardOf("Loan", rtic::testing::T(rtic::testing::I(5))).ok());
+  EXPECT_FALSE(partitioner.ShardOf("Nope", t).ok());
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace rtic
