@@ -1,0 +1,24 @@
+// Process-wide heap-allocation counters for benchmarks that report
+// allocations-per-operation (E17). Linking alloc_counter.cc into a binary
+// replaces global operator new/delete with counting versions; these
+// functions then read the tallies. Binaries that do not link the TU must
+// not include this header.
+
+#ifndef RTIC_BENCH_ALLOC_COUNTER_H_
+#define RTIC_BENCH_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace rtic {
+namespace bench {
+
+/// Heap allocations (operator new / new[]) performed so far.
+std::uint64_t AllocCount();
+
+/// Bytes requested across those allocations.
+std::uint64_t AllocBytes();
+
+}  // namespace bench
+}  // namespace rtic
+
+#endif  // RTIC_BENCH_ALLOC_COUNTER_H_

@@ -1,0 +1,160 @@
+// E17 — hot-path overhaul: arena temporaries, interned tuples, cached join
+// indexes, and shared-subplan evaluation.
+//
+// Three series:
+//   * SubplanSharing/copies:N/shared:{0,1} — the E7 workload (N copies of
+//     the payroll constraint pair) with sharing off vs on. With sharing,
+//     duplicate constraints coalesce to one evaluation per transition, so
+//     per-update time stays near-flat in N instead of linear.
+//   * OverlapSharing — constraints that differ but share temporal
+//     subformulas: only the common nodes coalesce.
+//   * AllocationsPerUpdate — steady-state heap allocations and bytes per
+//     ApplyUpdate (global counting operator new; see alloc_counter.cc),
+//     the direct measure of the arena/interning work.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/alloc_counter.h"
+#include "bench/bench_util.h"
+
+namespace rtic {
+namespace {
+
+workload::Workload PayrollCopies(int copies) {
+  workload::PayrollParams params;
+  params.num_employees = 100;
+  params.length = 200 + 64;
+  params.update_prob = 0.9;
+  params.seed = 606;
+  workload::Workload w = workload::MakePayrollWorkload(params);
+  std::vector<std::pair<std::string, std::string>> base = w.constraints;
+  w.constraints.clear();
+  for (int c = 0; c < copies; ++c) {
+    for (const auto& [name, text] : base) {
+      w.constraints.emplace_back(name + "_" + std::to_string(c), text);
+    }
+  }
+  return w;
+}
+
+void BM_E17_SubplanSharing(benchmark::State& state) {
+  const int copies = static_cast<int>(state.range(0));
+  const bool shared = state.range(1) != 0;
+  workload::Workload w = PayrollCopies(copies);
+
+  MonitorOptions options;
+  options.shared_subplans = shared;
+  auto monitor = bench::MakeMonitor(w, std::move(options));
+  bench::FeedRange(monitor.get(), w, 0, 200);
+
+  std::size_t next = 200;
+  for (auto _ : state) {
+    if (next >= w.batches.size()) {
+      state.SkipWithError("stream exhausted");
+      break;
+    }
+    bench::CheckOk(monitor->ApplyUpdate(w.batches[next]), "ApplyUpdate");
+    ++next;
+  }
+  std::size_t coalesced = 0;
+  for (const ConstraintStats& s : monitor->Stats()) {
+    coalesced += s.shared_subplans;
+  }
+  state.counters["constraints"] =
+      static_cast<double>(monitor->ConstraintNames().size());
+  state.counters["coalesced"] = static_cast<double>(coalesced);
+}
+
+BENCHMARK(BM_E17_SubplanSharing)
+    ->ArgNames({"copies", "shared"})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Iterations(30)
+    ->Unit(benchmark::kMicrosecond);
+
+// Distinct constraints sharing temporal subformulas: every constraint keeps
+// its own verdict evaluation; only the temporal-node updates coalesce.
+void BM_E17_OverlapSharing(benchmark::State& state) {
+  const int variants = static_cast<int>(state.range(0));
+  const bool shared = state.range(1) != 0;
+
+  workload::PayrollParams params;
+  params.num_employees = 100;
+  params.length = 200 + 64;
+  params.update_prob = 0.9;
+  params.seed = 707;
+  workload::Workload w = workload::MakePayrollWorkload(params);
+  w.constraints.clear();
+  // Same "once[0, 50] Raise(e)" subplan under `variants` different salary
+  // thresholds.
+  for (int v = 0; v < variants; ++v) {
+    w.constraints.emplace_back(
+        "raise_floor_" + std::to_string(v),
+        "forall e, s: Emp(e, s) and once[0, 50] Raise(e) implies s >= " +
+            std::to_string(v));
+  }
+  MonitorOptions options;
+  options.shared_subplans = shared;
+  auto monitor = bench::MakeMonitor(w, std::move(options));
+  bench::FeedRange(monitor.get(), w, 0, 200);
+
+  std::size_t next = 200;
+  for (auto _ : state) {
+    if (next >= w.batches.size()) {
+      state.SkipWithError("stream exhausted");
+      break;
+    }
+    bench::CheckOk(monitor->ApplyUpdate(w.batches[next]), "ApplyUpdate");
+    ++next;
+  }
+  std::size_t coalesced = 0;
+  for (const ConstraintStats& s : monitor->Stats()) {
+    coalesced += s.shared_subplans;
+  }
+  state.counters["coalesced"] = static_cast<double>(coalesced);
+}
+
+BENCHMARK(BM_E17_OverlapSharing)
+    ->ArgNames({"variants", "shared"})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Iterations(30)
+    ->Unit(benchmark::kMicrosecond);
+
+// Steady-state allocation cost of one ApplyUpdate on the single-copy
+// payroll workload (the E7 copies:1 shape). The arena, the tuple pool, and
+// the cached join indexes exist to drive this toward zero.
+void BM_E17_AllocationsPerUpdate(benchmark::State& state) {
+  workload::Workload w = PayrollCopies(1);
+  auto monitor = bench::MakeMonitor(w, EngineKind::kIncremental);
+  bench::FeedRange(monitor.get(), w, 0, 200);
+
+  std::size_t next = 200;
+  std::uint64_t updates = 0;
+  const std::uint64_t allocs_before = bench::AllocCount();
+  const std::uint64_t bytes_before = bench::AllocBytes();
+  for (auto _ : state) {
+    if (next >= w.batches.size()) {
+      state.SkipWithError("stream exhausted");
+      break;
+    }
+    bench::CheckOk(monitor->ApplyUpdate(w.batches[next]), "ApplyUpdate");
+    ++next;
+    ++updates;
+  }
+  if (updates > 0) {
+    state.counters["allocs_per_update"] = static_cast<double>(
+        (bench::AllocCount() - allocs_before) / updates);
+    state.counters["bytes_per_update"] = static_cast<double>(
+        (bench::AllocBytes() - bytes_before) / updates);
+  }
+}
+
+BENCHMARK(BM_E17_AllocationsPerUpdate)
+    ->Iterations(30)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rtic

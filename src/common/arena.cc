@@ -1,0 +1,38 @@
+#include "common/arena.h"
+
+namespace rtic {
+
+void* Arena::Alloc(std::size_t bytes, std::size_t align) {
+  for (;;) {
+    if (block_ < blocks_.size()) {
+      Block& b = blocks_[block_];
+      std::size_t aligned = (used_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b.capacity) {
+        used_ = aligned + bytes;
+        return b.data.get() + aligned;
+      }
+      // Current block exhausted; move on (its tail stays unused until the
+      // next Reset()).
+      ++block_;
+      used_ = 0;
+      continue;
+    }
+    // Block alignment from new[] is max_align_t, so offset 0 satisfies any
+    // supported `align`.
+    std::size_t capacity = bytes > min_block_bytes_ ? bytes : min_block_bytes_;
+    Block b;
+    b.data = std::make_unique<char[]>(capacity);
+    b.capacity = capacity;
+    blocks_.push_back(std::move(b));
+    block_ = blocks_.size() - 1;
+    used_ = 0;
+  }
+}
+
+std::size_t Arena::capacity_bytes() const {
+  std::size_t n = 0;
+  for (const Block& b : blocks_) n += b.capacity;
+  return n;
+}
+
+}  // namespace rtic

@@ -1,0 +1,71 @@
+// Arena: a bump allocator for per-update temporaries on the check path.
+//
+// The evaluator and the relational operators need many short-lived scratch
+// arrays per transition (variable-position spans, value-pointer bindings,
+// probe buffers). Allocating each from the heap dominates the steady-state
+// profile; an arena turns them into pointer bumps. Blocks are retained
+// across Reset(), so after warm-up a steady-state transition performs no
+// heap allocation at all for arena-backed scratch.
+//
+// Only trivially destructible types may be placed in the arena — Reset()
+// runs no destructors (rethinkdb's scoped_malloc is the shape this
+// follows). Not thread-safe; each engine owns its own arena.
+
+#ifndef RTIC_COMMON_ARENA_H_
+#define RTIC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace rtic {
+
+/// Bump allocator with block reuse across Reset().
+class Arena {
+ public:
+  explicit Arena(std::size_t min_block_bytes = 16 * 1024)
+      : min_block_bytes_(min_block_bytes == 0 ? 1 : min_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Alloc(0, ...) returns a valid (dereferenceable-for-zero-length)
+  /// pointer.
+  void* Alloc(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  /// Typed span of `n` elements (uninitialized storage).
+  template <typename T>
+  T* AllocSpan(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is reclaimed without running destructors");
+    return static_cast<T*>(Alloc(n * sizeof(T), alignof(T)));
+  }
+
+  /// Makes every block available again. No destructors run; previously
+  /// returned pointers are invalidated. Blocks are kept, so a warmed arena
+  /// stops touching the heap.
+  void Reset() {
+    block_ = 0;
+    used_ = 0;
+  }
+
+  /// Total block capacity owned (the high-water mark across resets).
+  std::size_t capacity_bytes() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t capacity = 0;
+  };
+
+  std::size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;  // index of the block currently bumped
+  std::size_t used_ = 0;   // bytes consumed in blocks_[block_]
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_COMMON_ARENA_H_

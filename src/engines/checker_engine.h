@@ -25,7 +25,9 @@ namespace rtic {
 /// driven by at most one thread at a time. Distinct engine instances may
 /// run concurrently against the same `state`, which they must treat as
 /// strictly read-only; all of an engine's mutable state (aux relations,
-/// domain tracker, history copies) must be owned by the engine itself.
+/// domain tracker, history copies) must be owned by the engine itself, or —
+/// for incremental engines created with a SubplanRegistry — guarded by the
+/// lockstep sharing protocol documented in subplan_registry.h.
 class CheckerEngine {
  public:
   virtual ~CheckerEngine() = default;
@@ -44,6 +46,10 @@ class CheckerEngine {
   /// Rows of auxiliary/history storage the engine currently retains — the
   /// space measure of experiment E2.
   virtual std::size_t StorageRows() const = 0;
+
+  /// Number of subplan handles this engine shares with engines registered
+  /// earlier (see inc::SubplanRegistry). 0 for engines without sharing.
+  virtual std::size_t SharedSubplans() const { return 0; }
 
   /// Engine name for reports ("naive", "incremental", "active",
   /// "response").

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 #include <utility>
 
 #include "storage/codec.h"
@@ -12,6 +13,26 @@ namespace rtic {
 
 using tl::Formula;
 using tl::FormulaKind;
+
+namespace {
+
+// Sharing keys. Everything the per-transition result depends on besides the
+// transition stream itself must be part of the key: the registration epoch
+// (how many transitions the monitor had processed when this engine joined),
+// the pruning policy, the extra domain constants, and the canonical
+// subformula/constraint text (the printer includes interval bounds).
+std::string KeyPrefix(const IncrementalOptions& options) {
+  std::string prefix = std::to_string(options.registration_epoch) + "|" +
+                       std::to_string(static_cast<int>(options.pruning)) + "|";
+  for (const Value& v : options.extra_constants) {
+    prefix += v.ToString();
+    prefix += ",";
+  }
+  prefix += "|";
+  return prefix;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<IncrementalEngine>> IncrementalEngine::Create(
     const Formula& constraint, const tl::PredicateCatalog& catalog,
@@ -38,12 +59,42 @@ IncrementalEngine::IncrementalEngine(tl::FormulaPtr constraint,
       analysis_(std::move(analysis)),
       network_(std::move(network)),
       options_(std::move(options)) {
-  states_.resize(network_.nodes.size());
+  inc::SubplanRegistry* registry = options_.registry.get();
+  const std::string prefix = registry ? KeyPrefix(options_) : std::string();
+
+  states_.reserve(network_.nodes.size());
   for (std::size_t i = 0; i < network_.nodes.size(); ++i) {
-    states_[i].current = Relation(network_.nodes[i].columns);
-    if (network_.nodes[i].node->kind() == FormulaKind::kPrevious) {
-      states_[i].prev_body = Relation(network_.nodes[i].columns);
+    std::shared_ptr<inc::SharedNode> node;
+    bool was_shared = false;
+    if (registry) {
+      auto handle =
+          registry->AcquireNode(prefix + "node|" + network_.nodes[i].node->ToString());
+      node = std::move(handle.node);
+      was_shared = handle.shared;
+    } else {
+      node = std::make_shared<inc::SharedNode>();
     }
+    if (!was_shared) {
+      node->st.current = Relation(network_.nodes[i].columns);
+      if (network_.nodes[i].node->kind() == FormulaKind::kPrevious) {
+        node->st.prev_body = Relation(network_.nodes[i].columns);
+      }
+    } else {
+      ++shared_subplans_;
+    }
+    states_.push_back(std::move(node));
+  }
+
+  if (registry) {
+    auto domain_handle = registry->AcquireDomain(prefix + "domain");
+    domain_ = std::move(domain_handle.domain);
+    auto verdict_handle =
+        registry->AcquireVerdict(prefix + "verdict|" + constraint_->ToString());
+    verdict_ = std::move(verdict_handle.verdict);
+    if (verdict_handle.shared) ++shared_subplans_;
+  } else {
+    domain_ = std::make_shared<inc::SharedDomain>();
+    verdict_ = std::make_shared<inc::SharedVerdict>();
   }
 }
 
@@ -52,13 +103,14 @@ fo::EvalContext IncrementalEngine::ContextFor(const Database& state) {
   ctx.db = &state;
   ctx.analysis = &analysis_;
   ctx.extra_constants = &options_.extra_constants;
-  ctx.domain = &domain_;
+  ctx.domain = &domain_->tracker;
+  ctx.scratch = &scratch_;
   ctx.resolver = [this](const Formula& node) -> Result<Relation> {
     auto it = network_.index.find(&node);
     if (it == network_.index.end()) {
       return Status::Internal("temporal node missing from compiled network");
     }
-    return states_[it->second].current;
+    return states_[it->second]->st.current;  // O(1): shares the row storage
   };
   return ctx;
 }
@@ -66,7 +118,7 @@ fo::EvalContext IncrementalEngine::ContextFor(const Database& state) {
 Status IncrementalEngine::UpdateNode(std::size_t i, const Database& state,
                                      Timestamp t) {
   const inc::CompiledNode& cn = network_.nodes[i];
-  NodeState& ns = states_[i];
+  inc::NodeState& ns = states_[i]->st;
   fo::EvalContext ctx = ContextFor(state);
 
   // Under delta tracking, dirty bits are set by comparing each relation
@@ -112,13 +164,29 @@ Status IncrementalEngine::UpdateNode(std::size_t i, const Database& state,
       // holding for its valuation. New anchors need only the rhs now.
       Result<Relation> lhs_now = fo::Evaluate(cn.node->child(0), ctx);
       if (!lhs_now.ok()) return lhs_now.status();
+      // When the lhs binds exactly the node's columns, the projection is
+      // the identity and the anchor valuation can be probed directly
+      // (cached hash, shared payload — no per-entry allocation).
+      bool identity_proj = cn.lhs_projection.size() == cn.columns.size();
+      for (std::size_t c = 0; identity_proj && c < cn.lhs_projection.size();
+           ++c) {
+        if (cn.lhs_projection[c] != c) identity_proj = false;
+      }
+      std::vector<Value> proj;
       for (auto it = ns.anchors.begin(); it != ns.anchors.end();) {
-        std::vector<Value> proj;
-        proj.reserve(cn.lhs_projection.size());
-        for (std::size_t c : cn.lhs_projection) {
-          proj.push_back(it->first.at(c));
+        bool survives;
+        if (identity_proj) {
+          survives = lhs_now->Contains(it->first);
+        } else {
+          proj.clear();
+          proj.reserve(cn.lhs_projection.size());
+          for (std::size_t c : cn.lhs_projection) {
+            proj.push_back(it->first.at(c));
+          }
+          survives = lhs_now->Contains(Tuple(std::move(proj)));
+          proj = std::vector<Value>();
         }
-        if (lhs_now->Contains(Tuple(std::move(proj)))) {
+        if (survives) {
           ++it;
         } else {
           it = ns.anchors.erase(it);
@@ -162,15 +230,57 @@ Result<bool> IncrementalEngine::OnTransition(const Database& state,
         "timestamps must be strictly increasing: " + std::to_string(t) +
         " after " + std::to_string(prev_time_));
   }
-  domain_.Absorb(state);
-  for (std::size_t i = 0; i < network_.nodes.size(); ++i) {
-    RTIC_RETURN_IF_ERROR(UpdateNode(i, state, t));
+  scratch_.BeginUpdate();
+  // Lockstep sharing: every engine in the monitor processes the same
+  // transitions in the same order, so "who is first to k+1" elects the
+  // leader for each shared object; everyone else reuses the published
+  // result. Lock passage makes the leader's writes visible. (If a leader's
+  // evaluation errored mid-update, sharers could observe a partial state —
+  // unreachable in practice because registration validates constraints and
+  // the monitor checks timestamp monotonicity before fan-out; see
+  // subplan_registry.h.)
+  const std::uint64_t target = transitions_ + 1;
+
+  {
+    std::lock_guard<std::mutex> lock(domain_->mu);
+    if (domain_->absorbed_transitions < target) {
+      domain_->tracker.Absorb(state);
+      domain_->absorbed_transitions = target;
+    }
   }
-  RTIC_ASSIGN_OR_RETURN(Relation verdict,
-                        fo::Evaluate(*constraint_, ContextFor(state)));
+
+  for (std::size_t i = 0; i < network_.nodes.size(); ++i) {
+    inc::SharedNode& node = *states_[i];
+    std::lock_guard<std::mutex> lock(node.mu);
+    if (node.applied_transitions < target) {
+      RTIC_RETURN_IF_ERROR(UpdateNode(i, state, t));
+      node.applied_transitions = target;
+    }
+  }
+
+  bool holds;
+  {
+    inc::SharedVerdict& v = *verdict_;
+    std::lock_guard<std::mutex> lock(v.mu);
+    if (v.verdict_transitions < target) {
+      Result<Relation> verdict = fo::Evaluate(*constraint_, ContextFor(state));
+      if (verdict.ok()) {
+        v.status = Status::OK();
+        v.holds = verdict->AsBool();
+      } else {
+        v.status = verdict.status();
+        v.holds = false;
+      }
+      v.verdict_transitions = target;
+    }
+    if (!v.status.ok()) return v.status;
+    holds = v.holds;
+  }
+
   has_prev_ = true;
   prev_time_ = t;
-  return verdict.AsBool();
+  transitions_ = target;
+  return holds;
 }
 
 Result<Relation> IncrementalEngine::CurrentCounterexamples(
@@ -178,14 +288,29 @@ Result<Relation> IncrementalEngine::CurrentCounterexamples(
   if (!has_prev_) {
     return Status::FailedPrecondition("no transitions processed yet");
   }
-  return fo::ComputeCounterexamples(*constraint_, ContextFor(state));
+  inc::SharedVerdict& v = *verdict_;
+  std::lock_guard<std::mutex> lock(v.mu);
+  if (v.cex_transitions < transitions_) {
+    Result<Relation> cex =
+        fo::ComputeCounterexamples(*constraint_, ContextFor(state));
+    if (cex.ok()) {
+      v.cex_status = Status::OK();
+      v.cex = std::move(cex).value();
+    } else {
+      v.cex_status = cex.status();
+      v.cex = Relation();
+    }
+    v.cex_transitions = transitions_;
+  }
+  if (!v.cex_status.ok()) return v.cex_status;
+  return v.cex;  // O(1): shares the row storage
 }
 
 std::size_t IncrementalEngine::StorageRows() const {
   std::size_t n = AuxTimestampCount();
   for (std::size_t i = 0; i < network_.nodes.size(); ++i) {
     if (network_.nodes[i].node->kind() == FormulaKind::kPrevious) {
-      n += states_[i].prev_body.size();
+      n += states_[i]->st.prev_body.size();
     }
   }
   return n;
@@ -193,8 +318,8 @@ std::size_t IncrementalEngine::StorageRows() const {
 
 std::size_t IncrementalEngine::AuxTimestampCount() const {
   std::size_t n = 0;
-  for (const NodeState& ns : states_) {
-    for (const auto& [valuation, timestamps] : ns.anchors) {
+  for (const auto& node : states_) {
+    for (const auto& [valuation, timestamps] : node->st.anchors) {
       n += timestamps.size();
     }
   }
@@ -203,8 +328,31 @@ std::size_t IncrementalEngine::AuxTimestampCount() const {
 
 std::size_t IncrementalEngine::AuxValuationCount() const {
   std::size_t n = 0;
-  for (const NodeState& ns : states_) n += ns.anchors.size();
+  for (const auto& node : states_) n += node->st.anchors.size();
   return n;
+}
+
+void IncrementalEngine::DetachSharedState() {
+  // Fresh private wrappers with a copy of the current content; the
+  // registry's weak entries expire once the other sharers release theirs.
+  // The restored engine simply no longer shares (re-coalescing would
+  // require proving its state equals the live sharers', which a restore
+  // cannot).
+  std::vector<std::shared_ptr<inc::SharedNode>> fresh;
+  fresh.reserve(states_.size());
+  for (const auto& node : states_) {
+    auto copy = std::make_shared<inc::SharedNode>();
+    copy->st = node->st;
+    fresh.push_back(std::move(copy));
+  }
+  states_ = std::move(fresh);
+  auto domain = std::make_shared<inc::SharedDomain>();
+  domain->tracker = domain_->tracker;
+  domain_ = std::move(domain);
+  verdict_ = std::make_shared<inc::SharedVerdict>();
+  transitions_ = 0;
+  shared_subplans_ = 0;
+  scratch_.InvalidateDomain();
 }
 
 namespace {
@@ -214,7 +362,7 @@ constexpr char kCheckpointMagic[] = "RTICINC1";
 // absorbed since the last save, applied on top of the parent's state.
 constexpr char kDeltaMagic[] = "RTICINCD1";
 
-using AnchorMapT = std::unordered_map<Tuple, std::vector<Timestamp>, TupleHash>;
+using AnchorMapT = inc::NodeState::AnchorMap;
 
 void WriteRows(StateWriter* w, const Relation& rel) {
   w->WriteSize(rel.size());
@@ -279,13 +427,13 @@ Result<std::string> IncrementalEngine::SaveState() const {
   w.WriteInt(has_prev_ ? 1 : 0);
   w.WriteInt(prev_time_);
 
-  std::vector<Value> domain_values = domain_.AllValues();
+  std::vector<Value> domain_values = domain_->tracker.AllValues();
   w.WriteSize(domain_values.size());
   for (const Value& v : domain_values) w.WriteValue(v);
 
   w.WriteSize(states_.size());
   for (std::size_t i = 0; i < states_.size(); ++i) {
-    const NodeState& ns = states_[i];
+    const inc::NodeState& ns = states_[i]->st;
     w.WriteSize(i);
     WriteRows(&w, ns.current);
     WriteRows(&w, ns.prev_body);
@@ -322,12 +470,12 @@ Status IncrementalEngine::LoadState(const std::string& data) {
   if (node_count != static_cast<std::int64_t>(network_.nodes.size())) {
     return Status::InvalidArgument("checkpoint node count mismatch");
   }
-  std::vector<NodeState> restored(states_.size());
+  std::vector<inc::NodeState> restored(states_.size());
   for (std::int64_t n = 0; n < node_count; ++n) {
     RTIC_ASSIGN_OR_RETURN(std::int64_t idx, r.ReadInt());
     if (idx != n) return Status::InvalidArgument("checkpoint node order");
     const inc::CompiledNode& cn = network_.nodes[static_cast<std::size_t>(n)];
-    NodeState& ns = restored[static_cast<std::size_t>(n)];
+    inc::NodeState& ns = restored[static_cast<std::size_t>(n)];
 
     ns.current = Relation(cn.columns);
     RTIC_RETURN_IF_ERROR(ReadRowsInto(&r, &ns.current));
@@ -339,10 +487,16 @@ Status IncrementalEngine::LoadState(const std::string& data) {
     return Status::InvalidArgument("trailing bytes in checkpoint");
   }
 
-  states_ = std::move(restored);
-  domain_ = std::move(domain);
+  // Install into fresh private state: the sharing protocol assumes an
+  // uninterrupted lockstep history, which a restore breaks.
+  DetachSharedState();
+  for (std::size_t n = 0; n < restored.size(); ++n) {
+    states_[n]->st = std::move(restored[n]);
+  }
+  domain_->tracker = std::move(domain);
   has_prev_ = has_prev != 0;
   prev_time_ = prev_time;
+  scratch_.InvalidateDomain();
   MarkStateSaved();  // the restored state is the new delta baseline
   return Status::OK();
 }
@@ -352,8 +506,9 @@ bool IncrementalEngine::StateDirty() const {
   if (has_prev_ != saved_has_prev_ || prev_time_ != saved_prev_time_) {
     return true;
   }
-  if (domain_.additions().size() != domain_saved_count_) return true;
-  for (const NodeState& ns : states_) {
+  if (domain_->tracker.additions().size() != domain_saved_count_) return true;
+  for (const auto& node : states_) {
+    const inc::NodeState& ns = node->st;
     if (ns.current_dirty || ns.prev_body_dirty || ns.anchors_dirty) {
       return true;
     }
@@ -365,21 +520,21 @@ void IncrementalEngine::BeginDeltaTracking() {
   if (delta_tracking_) return;
   delta_tracking_ = true;
   // No baseline exists yet: everything is dirty until the first save.
-  for (NodeState& ns : states_) {
-    ns.current_dirty = true;
-    ns.prev_body_dirty = true;
-    ns.anchors_dirty = true;
+  for (const auto& node : states_) {
+    node->st.current_dirty = true;
+    node->st.prev_body_dirty = true;
+    node->st.anchors_dirty = true;
   }
   domain_saved_count_ = 0;
 }
 
 void IncrementalEngine::MarkStateSaved() {
-  for (NodeState& ns : states_) {
-    ns.current_dirty = false;
-    ns.prev_body_dirty = false;
-    ns.anchors_dirty = false;
+  for (const auto& node : states_) {
+    node->st.current_dirty = false;
+    node->st.prev_body_dirty = false;
+    node->st.anchors_dirty = false;
   }
-  domain_saved_count_ = domain_.additions().size();
+  domain_saved_count_ = domain_->tracker.additions().size();
   saved_has_prev_ = has_prev_;
   saved_prev_time_ = prev_time_;
 }
@@ -398,7 +553,7 @@ Result<std::string> IncrementalEngine::SaveStateDelta() const {
   // Domain values absorbed since the last save, in first-absorption order.
   // The parent's domain size is included so a delta applied to the wrong
   // parent state is rejected instead of silently diverging.
-  const std::vector<Value>& additions = domain_.additions();
+  const std::vector<Value>& additions = domain_->tracker.additions();
   w.WriteSize(domain_saved_count_);
   w.WriteSize(additions.size() - domain_saved_count_);
   for (std::size_t i = domain_saved_count_; i < additions.size(); ++i) {
@@ -407,14 +562,15 @@ Result<std::string> IncrementalEngine::SaveStateDelta() const {
 
   w.WriteSize(states_.size());
   std::size_t dirty_nodes = 0;
-  for (const NodeState& ns : states_) {
+  for (const auto& node : states_) {
+    const inc::NodeState& ns = node->st;
     if (ns.current_dirty || ns.prev_body_dirty || ns.anchors_dirty) {
       ++dirty_nodes;
     }
   }
   w.WriteSize(dirty_nodes);
   for (std::size_t i = 0; i < states_.size(); ++i) {
-    const NodeState& ns = states_[i];
+    const inc::NodeState& ns = states_[i]->st;
     const std::int64_t flags = (ns.current_dirty ? 1 : 0) |
                                (ns.prev_body_dirty ? 2 : 0) |
                                (ns.anchors_dirty ? 4 : 0);
@@ -445,11 +601,11 @@ Status IncrementalEngine::LoadStateDelta(const std::string& data) {
 
   RTIC_ASSIGN_OR_RETURN(std::int64_t domain_before, r.ReadInt());
   if (domain_before !=
-      static_cast<std::int64_t>(domain_.additions().size())) {
+      static_cast<std::int64_t>(domain_->tracker.additions().size())) {
     return Status::FailedPrecondition(
         "delta checkpoint chains to a different parent state (domain size " +
         std::to_string(domain_before) + " vs " +
-        std::to_string(domain_.additions().size()) + ")");
+        std::to_string(domain_->tracker.additions().size()) + ")");
   }
   RTIC_ASSIGN_OR_RETURN(std::int64_t domain_added, r.ReadInt());
   std::vector<Value> added_values;
@@ -509,9 +665,12 @@ Status IncrementalEngine::LoadStateDelta(const std::string& data) {
     return Status::InvalidArgument("trailing bytes in delta checkpoint");
   }
 
-  domain_.AbsorbValues(added_values);
+  // Detach before applying: a delta is not idempotent, and other sharers
+  // still read the shared relations it would overwrite.
+  DetachSharedState();
+  domain_->tracker.AbsorbValues(added_values);
   for (Entry& e : entries) {
-    NodeState& ns = states_[e.idx];
+    inc::NodeState& ns = states_[e.idx]->st;
     if (e.flags & 1) ns.current = std::move(e.current);
     if (e.flags & 2) ns.prev_body = std::move(e.prev_body);
     if (e.flags & 4) ns.anchors = std::move(e.anchors);

@@ -16,10 +16,18 @@
 // with temporal leaves resolved from those relations. Nothing depends on
 // the history's length — only on the current state, the previous auxiliary
 // state, and the two timestamps.
+//
+// When an IncrementalOptions::registry is supplied, the per-node state, the
+// domain tracker, and the whole-constraint verdict are interned by
+// canonical text (plus registration epoch / pruning / extra constants), so
+// engines whose constraints contain identical temporal subplans evaluate
+// each equivalence class once per transition and share the result. Verdicts
+// and checkpoints are byte-identical to the unshared path.
 
 #ifndef RTIC_ENGINES_INCREMENTAL_ENGINE_H_
 #define RTIC_ENGINES_INCREMENTAL_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +35,7 @@
 #include "engines/checker_engine.h"
 #include "engines/incremental/compiler.h"
 #include "engines/incremental/pruning.h"
+#include "engines/incremental/subplan_registry.h"
 #include "fo/eval.h"
 #include "tl/analyzer.h"
 #include "tl/ast.h"
@@ -40,6 +49,15 @@ struct IncrementalOptions {
 
   /// Extra constants contributing to every state's active domain.
   std::vector<Value> extra_constants;
+
+  /// When set, temporal-node state, domain tracking, and the constraint
+  /// verdict are interned here and shared with engines whose subplans
+  /// canonicalize to identical text at the same registration epoch.
+  std::shared_ptr<inc::SubplanRegistry> registry;
+
+  /// The monitor's transition count at registration time; part of every
+  /// sharing key, so only engines with coinciding state histories share.
+  std::uint64_t registration_epoch = 0;
 };
 
 /// Bounded-history-encoding checker.
@@ -55,6 +73,11 @@ class IncrementalEngine : public CheckerEngine {
   Result<Relation> CurrentCounterexamples(const Database& state) override;
   std::size_t StorageRows() const override;
   const char* name() const override { return "incremental"; }
+
+  /// How many shared-subplan handles (temporal nodes + verdict) this engine
+  /// coalesced with previously registered engines. 0 when sharing is off or
+  /// after a checkpoint restore detaches the engine.
+  std::size_t SharedSubplans() const override { return shared_subplans_; }
 
   /// Total anchor timestamps retained across all aux tables (space metric
   /// for E2/E6; StorageRows also counts previous-node relations).
@@ -74,13 +97,14 @@ class IncrementalEngine : public CheckerEngine {
   /// the encoding is bounded, the checkpoint is small regardless of how
   /// much history has been processed; together with the constraint text it
   /// is everything needed to resume monitoring after a restart, with no
-  /// history replay.
+  /// history replay. Shared state serializes exactly as if owned.
   Result<std::string> SaveState() const override;
 
   /// Restores a SaveState() checkpoint into an engine compiled from the
   /// SAME constraint (validated against the checkpoint). Replaces all
   /// current state; subsequent verdicts are identical to an uninterrupted
-  /// run.
+  /// run. Restoring detaches the engine from any shared-subplan state (the
+  /// sharing protocol assumes an uninterrupted lockstep history).
   Status LoadState(const std::string& data) override;
 
   // Delta checkpoints (see checker_engine.h for the protocol). Dirty
@@ -90,7 +114,9 @@ class IncrementalEngine : public CheckerEngine {
   // the domain values absorbed since then. The comparison bookkeeping
   // doubles per-transition anchor work, so it is off until
   // BeginDeltaTracking(); without it SaveStateDelta() refuses rather than
-  // guess.
+  // guess. LoadStateDelta also detaches from shared state first: a delta
+  // is not idempotent, so it must never apply to relations other sharers
+  // still read.
   bool StateDirty() const override;
   bool SupportsStateDelta() const override { return true; }
   void BeginDeltaTracking() override;
@@ -99,21 +125,7 @@ class IncrementalEngine : public CheckerEngine {
   void MarkStateSaved() override;
 
  private:
-  /// Anchor map: valuation tuple (node columns) -> ascending timestamps.
-  using AnchorMap =
-      std::unordered_map<Tuple, std::vector<Timestamp>, TupleHash>;
-
-  /// Mutable per-node runtime state, parallel to network_.nodes.
-  struct NodeState {
-    Relation current;    // satisfaction at the current state
-    Relation prev_body;  // previous-state body satisfaction (kPrevious)
-    AnchorMap anchors;   // anchor timestamps (kOnce / kSince)
-    // Dirty-since-MarkStateSaved bits, maintained only under
-    // BeginDeltaTracking().
-    bool current_dirty = false;
-    bool prev_body_dirty = false;
-    bool anchors_dirty = false;
-  };
+  using AnchorMap = inc::NodeState::AnchorMap;
 
   IncrementalEngine(tl::FormulaPtr constraint, tl::Analysis analysis,
                     inc::CompiledNetwork network, IncrementalOptions options);
@@ -121,12 +133,23 @@ class IncrementalEngine : public CheckerEngine {
   fo::EvalContext ContextFor(const Database& state);
   Status UpdateNode(std::size_t i, const Database& state, Timestamp t);
 
+  /// Replaces all shared handles with fresh private copies of the current
+  /// content (checkpoint restore breaks the lockstep sharing invariant).
+  void DetachSharedState();
+
   tl::FormulaPtr constraint_;
   tl::Analysis analysis_;
   inc::CompiledNetwork network_;
   IncrementalOptions options_;
-  std::vector<NodeState> states_;
-  DomainTracker domain_;  // history's active domain (quantification range)
+  // Per-node state, possibly shared with other engines; parallel to
+  // network_.nodes. Private engines still use the shared wrappers (with
+  // use-count 1) so the transition path is uniform.
+  std::vector<std::shared_ptr<inc::SharedNode>> states_;
+  std::shared_ptr<inc::SharedDomain> domain_;
+  std::shared_ptr<inc::SharedVerdict> verdict_;
+  std::uint64_t transitions_ = 0;  // lockstep counter (see subplan_registry.h)
+  std::size_t shared_subplans_ = 0;
+  fo::EvalScratch scratch_;
   bool has_prev_ = false;
   Timestamp prev_time_ = 0;
 

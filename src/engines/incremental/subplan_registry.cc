@@ -1,0 +1,48 @@
+#include "engines/incremental/subplan_registry.h"
+
+namespace rtic {
+namespace inc {
+
+namespace {
+
+// Weak-interning acquire: reuse the live entry for `key` if one exists,
+// otherwise create and remember a fresh one. Expired entries are replaced
+// in place, so the maps stay bounded by the number of live keys ever used.
+template <typename T>
+std::pair<std::shared_ptr<T>, bool> Acquire(
+    std::unordered_map<std::string, std::weak_ptr<T>>* map,
+    const std::string& key) {
+  auto it = map->find(key);
+  if (it != map->end()) {
+    if (std::shared_ptr<T> live = it->second.lock()) return {live, true};
+  }
+  auto fresh = std::make_shared<T>();
+  (*map)[key] = fresh;
+  return {fresh, false};
+}
+
+}  // namespace
+
+SubplanRegistry::NodeHandle SubplanRegistry::AcquireNode(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [node, shared] = Acquire(&nodes_, key);
+  return NodeHandle{std::move(node), shared};
+}
+
+SubplanRegistry::VerdictHandle SubplanRegistry::AcquireVerdict(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [verdict, shared] = Acquire(&verdicts_, key);
+  return VerdictHandle{std::move(verdict), shared};
+}
+
+SubplanRegistry::DomainHandle SubplanRegistry::AcquireDomain(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [domain, shared] = Acquire(&domains_, key);
+  return DomainHandle{std::move(domain), shared};
+}
+
+}  // namespace inc
+}  // namespace rtic

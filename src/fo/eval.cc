@@ -19,7 +19,8 @@ using tl::Term;
 
 class Evaluator {
  public:
-  explicit Evaluator(const EvalContext& ctx) : ctx_(ctx) {}
+  explicit Evaluator(const EvalContext& ctx)
+      : ctx_(ctx), scratch_(ctx.scratch) {}
 
   /// Satisfaction relation of `f` over its sorted free variables.
   Result<Relation> Eval(const Formula& f) {
@@ -96,7 +97,7 @@ class Evaluator {
         // falsify(a ∧ b) = falsify a ∪ falsify b (each extended).
         RTIC_ASSIGN_OR_RETURN(Relation l, BadSet(f.child(0)));
         RTIC_ASSIGN_OR_RETURN(Relation r, BadSet(f.child(1)));
-        std::vector<Column> target = ctx_.analysis->ColumnsFor(f);
+        const std::vector<Column>& target = ctx_.analysis->ColumnsFor(f);
         RTIC_ASSIGN_OR_RETURN(l, ExtendToColumns(std::move(l), target));
         RTIC_ASSIGN_OR_RETURN(r, ExtendToColumns(std::move(r), target));
         RTIC_ASSIGN_OR_RETURN(l, Canonicalize(std::move(l), f));
@@ -267,43 +268,117 @@ class Evaluator {
         "eventually[a, b] response)");
   }
 
-  Result<Relation> EvalAtom(const Formula& f) {
-    RTIC_ASSIGN_OR_RETURN(const Table* table,
-                          ctx_.db->GetTable(f.predicate()));
-    std::vector<Column> columns = ctx_.analysis->ColumnsFor(f);
-    Relation out(columns);
-
-    // First table position of each output variable.
-    std::vector<std::size_t> var_pos(columns.size());
+  /// Compiles the per-row work of an atom scan into position checks, done
+  /// once per node instead of once per row (the old code rebuilt a
+  /// name-keyed binding map for every scanned row).
+  static EvalScratch::AtomPlan BuildAtomPlan(
+      const Formula& f, const std::vector<Column>& columns) {
+    EvalScratch::AtomPlan plan;
+    // First table position of each variable name (atoms are narrow; linear
+    // scan beats a map here).
+    std::vector<std::pair<const std::string*, std::size_t>> first;
+    for (std::size_t i = 0; i < f.terms().size(); ++i) {
+      const Term& t = f.terms()[i];
+      if (t.is_constant()) {
+        plan.const_checks.emplace_back(i, &t.value());
+        continue;
+      }
+      bool seen = false;
+      for (const auto& [name, pos] : first) {
+        if (*name == t.name()) {
+          plan.dup_checks.emplace_back(pos, i);
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) first.emplace_back(&t.name(), i);
+    }
+    plan.var_pos.resize(columns.size(), 0);
     for (std::size_t c = 0; c < columns.size(); ++c) {
-      for (std::size_t i = 0; i < f.terms().size(); ++i) {
-        const Term& t = f.terms()[i];
-        if (t.is_variable() && t.name() == columns[c].name) {
-          var_pos[c] = i;
+      for (const auto& [name, pos] : first) {
+        if (*name == columns[c].name) {
+          plan.var_pos[c] = pos;
           break;
         }
       }
     }
+    plan.identity = plan.const_checks.empty() && plan.dup_checks.empty() &&
+                    plan.var_pos.size() == f.terms().size();
+    for (std::size_t c = 0; plan.identity && c < plan.var_pos.size(); ++c) {
+      if (plan.var_pos[c] != c) plan.identity = false;
+    }
+    return plan;
+  }
 
+  Result<Relation> EvalAtom(const Formula& f) {
+    RTIC_ASSIGN_OR_RETURN(const Table* table,
+                          ctx_.db->GetTable(f.predicate()));
+    // An atom's scan result is a pure function of the table content; the
+    // (id, version) pin keeps cached entries valid exactly as long as the
+    // table is untouched.
+    if (scratch_ != nullptr) {
+      auto hit = scratch_->atom_results.find(&f);
+      if (hit != scratch_->atom_results.end() &&
+          hit->second.table_id == table->id() &&
+          hit->second.table_version == table->version()) {
+        return hit->second.rel;
+      }
+    }
+    const std::vector<Column>& columns = ctx_.analysis->ColumnsFor(f);
+    Relation out(columns);
+
+    const EvalScratch::AtomPlan* plan;
+    EvalScratch::AtomPlan local_plan;
+    if (scratch_ != nullptr) {
+      auto it = scratch_->atom_plans.find(&f);
+      if (it == scratch_->atom_plans.end()) {
+        it = scratch_->atom_plans.emplace(&f, BuildAtomPlan(f, columns)).first;
+      }
+      plan = &it->second;
+    } else {
+      local_plan = BuildAtomPlan(f, columns);
+      plan = &local_plan;
+    }
+
+    const std::size_t n = columns.size();
     for (const Tuple& row : table->rows()) {
       bool match = true;
-      std::unordered_map<std::string, const Value*> binding;
-      for (std::size_t i = 0; i < f.terms().size() && match; ++i) {
-        const Term& t = f.terms()[i];
-        if (t.is_constant()) {
-          if (!(row.at(i) == t.value())) match = false;
-        } else {
-          auto [it, inserted] = binding.emplace(t.name(), &row.at(i));
-          if (!inserted && !(*it->second == row.at(i))) match = false;
+      for (const auto& [i, v] : plan->const_checks) {
+        if (!(row.at(i) == *v)) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        for (const auto& [i, j] : plan->dup_checks) {
+          if (!(row.at(i) == row.at(j))) {
+            match = false;
+            break;
+          }
         }
       }
       if (!match) continue;
-      std::vector<Value> vals;
-      vals.reserve(columns.size());
-      for (std::size_t c = 0; c < columns.size(); ++c) {
-        vals.push_back(row.at(var_pos[c]));
+      if (plan->identity) {
+        // Output row is the table row itself: share its payload.
+        out.InsertUnchecked(row);
+        continue;
       }
-      out.InsertUnchecked(Tuple(std::move(vals)));
+      if (scratch_ != nullptr) {
+        const Value** ptrs = scratch_->arena.AllocSpan<const Value*>(n);
+        for (std::size_t c = 0; c < n; ++c) ptrs[c] = &row.at(plan->var_pos[c]);
+        out.InsertUnchecked(scratch_->pool.Intern(ptrs, n));
+      } else {
+        std::vector<Value> vals;
+        vals.reserve(n);
+        for (std::size_t c = 0; c < n; ++c) {
+          vals.push_back(row.at(plan->var_pos[c]));
+        }
+        out.InsertUnchecked(Tuple(std::move(vals)));
+      }
+    }
+    if (scratch_ != nullptr) {
+      scratch_->atom_results[&f] =
+          EvalScratch::AtomResult{table->id(), table->version(), out};
     }
     return out;
   }
@@ -317,21 +392,27 @@ class Evaluator {
       return truth ? Relation::True() : Relation::False();
     }
     // Materialize over the (one or two) free variables, then filter.
-    std::vector<Column> columns = ctx_.analysis->ColumnsFor(f);
-    Relation domain = DomainRelation(columns);
+    Relation domain = DomainRelation(ctx_.analysis->ColumnsFor(f));
     return FilterByComparison(std::move(domain), f, negated);
   }
 
   Result<Relation> FilterByComparison(Relation rel, const Formula& cmp,
                                       bool negated) {
     Relation out(rel.columns());
+    if (rel.empty()) return out;
+    // Resolve term positions once, not per row.
+    const Term& ta = cmp.terms()[0];
+    const Term& tb = cmp.terms()[1];
+    const Value* const_a = ta.is_constant() ? &ta.value() : nullptr;
+    const Value* const_b = tb.is_constant() ? &tb.value() : nullptr;
+    std::size_t pos_a = 0;
+    std::size_t pos_b = 0;
+    if (const_a == nullptr) pos_a = *rel.IndexOf(ta.name());
+    if (const_b == nullptr) pos_b = *rel.IndexOf(tb.name());
     for (const Tuple& row : rel.rows()) {
-      auto value_of = [&](const Term& t) -> const Value& {
-        if (t.is_constant()) return t.value();
-        return row.at(*rel.IndexOf(t.name()));
-      };
-      RTIC_ASSIGN_OR_RETURN(int c, CompareValues(value_of(cmp.terms()[0]),
-                                                 value_of(cmp.terms()[1])));
+      const Value& va = const_a != nullptr ? *const_a : row.at(pos_a);
+      const Value& vb = const_b != nullptr ? *const_b : row.at(pos_b);
+      RTIC_ASSIGN_OR_RETURN(int c, CompareValues(va, vb));
       if (tl::EvalCmp(cmp.cmp_op(), c) != negated) out.InsertUnchecked(row);
     }
     return out;
@@ -409,7 +490,7 @@ class Evaluator {
   Result<Relation> EvalOr(const Formula& f) {
     RTIC_ASSIGN_OR_RETURN(Relation l, Eval(f.child(0)));
     RTIC_ASSIGN_OR_RETURN(Relation r, Eval(f.child(1)));
-    std::vector<Column> target = ctx_.analysis->ColumnsFor(f);
+    const std::vector<Column>& target = ctx_.analysis->ColumnsFor(f);
     RTIC_ASSIGN_OR_RETURN(l, ExtendToColumns(std::move(l), target));
     RTIC_ASSIGN_OR_RETURN(r, ExtendToColumns(std::move(r), target));
     RTIC_ASSIGN_OR_RETURN(l, Canonicalize(std::move(l), f));
@@ -420,23 +501,54 @@ class Evaluator {
   // ---- plumbing -----------------------------------------------------------
 
   const std::vector<Value>& Domain(ValueType type) {
+    // With a scratch and a tracker, domain values are cached across
+    // evaluations and invalidated by the tracker's version (its additions
+    // count — the tracker only ever grows).
+    if (scratch_ != nullptr && ctx_.domain != nullptr) {
+      std::uint64_t version = ctx_.domain->additions().size();
+      if (scratch_->domain_version != version) {
+        scratch_->domain_values.clear();
+        scratch_->domain_relations.clear();
+        scratch_->domain_version = version;
+      }
+      auto it = scratch_->domain_values.find(type);
+      if (it != scratch_->domain_values.end()) return it->second;
+      return scratch_->domain_values.emplace(type, ActiveDomain(ctx_, type))
+          .first->second;
+    }
     auto it = domain_cache_.find(type);
     if (it != domain_cache_.end()) return it->second;
     std::vector<Value> values = ActiveDomain(ctx_, type);
     return domain_cache_.emplace(type, std::move(values)).first->second;
   }
 
+  /// Single-column relation over the active domain of `type`, labeled
+  /// `name`. Materialized once per type per domain version in the scratch;
+  /// relabeling shares the row storage, so a cache hit is O(1).
+  Relation DomainColumn(const std::string& name, ValueType type) {
+    if (scratch_ != nullptr && ctx_.domain != nullptr) {
+      const std::vector<Value>& values = Domain(type);  // refreshes version
+      auto it = scratch_->domain_relations.find(type);
+      if (it == scratch_->domain_relations.end()) {
+        it = scratch_->domain_relations
+                 .emplace(type, ra::FromValues(name, type, values))
+                 .first;
+      }
+      return it->second.WithColumns({Column{name, type}});
+    }
+    return ra::FromValues(name, type, Domain(type));
+  }
+
   Relation DomainRelation(const std::vector<Column>& columns) {
     Relation out = Relation::True();
     for (const Column& col : columns) {
-      Relation d = ra::FromValues(col.name, col.type, Domain(col.type));
-      out = ra::CrossProduct(out, d).value();
+      out = ra::CrossProduct(out, DomainColumn(col.name, col.type)).value();
     }
     return out;
   }
 
   Result<Relation> Canonicalize(Relation rel, const Formula& node) {
-    std::vector<Column> want = ctx_.analysis->ColumnsFor(node);
+    const std::vector<Column>& want = ctx_.analysis->ColumnsFor(node);
     if (rel.columns().size() == want.size()) {
       bool same = true;
       for (std::size_t i = 0; i < want.size(); ++i) {
@@ -457,8 +569,8 @@ class Evaluator {
                                    const std::vector<Column>& target) {
     for (const Column& col : target) {
       if (rel.IndexOf(col.name).has_value()) continue;
-      Relation d = ra::FromValues(col.name, col.type, Domain(col.type));
-      RTIC_ASSIGN_OR_RETURN(rel, ra::CrossProduct(rel, d));
+      RTIC_ASSIGN_OR_RETURN(
+          rel, ra::CrossProduct(rel, DomainColumn(col.name, col.type)));
     }
     return rel;
   }
@@ -471,6 +583,7 @@ class Evaluator {
   }
 
   const EvalContext& ctx_;
+  EvalScratch* scratch_;
   std::map<ValueType, std::vector<Value>> domain_cache_;
 };
 

@@ -21,15 +21,21 @@
 #ifndef RTIC_FO_EVAL_H_
 #define RTIC_FO_EVAL_H_
 
+#include <cstdint>
 #include <functional>
+#include <limits>
+#include <map>
+#include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/result.h"
 #include "ra/relation.h"
 #include "storage/database.h"
 #include "storage/domain_tracker.h"
 #include "tl/analyzer.h"
 #include "tl/ast.h"
+#include "types/intern.h"
 
 namespace rtic {
 namespace fo {
@@ -38,6 +44,67 @@ namespace fo {
 /// The relation's columns must be exactly Analysis::ColumnsFor(node).
 using TemporalResolver =
     std::function<Result<Relation>(const tl::Formula& node)>;
+
+/// Reusable evaluation caches for an engine that evaluates the same formula
+/// tree against an evolving history. Optional: evaluation without one is
+/// identical, just slower. Not thread-safe; one scratch per engine.
+struct EvalScratch {
+  /// Compiled scan plan for one atom, keyed by the formula node (valid for
+  /// the lifetime of the engine's formula tree).
+  struct AtomPlan {
+    std::vector<std::size_t> var_pos;  // table position per output column
+    // term position -> constant it must equal (pointer into the formula)
+    std::vector<std::pair<std::size_t, const Value*>> const_checks;
+    // repeated variable: (first position, later position) must agree
+    std::vector<std::pair<std::size_t, std::size_t>> dup_checks;
+    bool identity = false;  // output row is the table row verbatim
+  };
+  std::map<const tl::Formula*, AtomPlan> atom_plans;
+
+  /// Per-type active-domain values, valid while `domain_version` equals the
+  /// tracker's additions() count.
+  std::uint64_t domain_version = std::numeric_limits<std::uint64_t>::max();
+  std::map<ValueType, std::vector<Value>> domain_values;
+
+  /// Materialized single-column domain relations, one per value type, under
+  /// the same version discipline as `domain_values`. Consumers relabel the
+  /// column via Relation::WithColumns (shares the row storage), so a domain
+  /// extension costs O(1) instead of re-materializing every value.
+  std::map<ValueType, Relation> domain_relations;
+
+  /// Atom evaluation results keyed by the atom node, each pinned to the
+  /// scanned table's (id, version). A hit requires that exact content, so
+  /// entries self-validate: they survive across transitions while the table
+  /// is untouched and miss as soon as it changes (steady-state updates that
+  /// touch one table re-scan only that table's atoms).
+  struct AtomResult {
+    std::uint64_t table_id = 0;
+    std::uint64_t table_version = 0;
+    Relation rel;
+  };
+  std::map<const tl::Formula*, AtomResult> atom_results;
+
+  /// Interned hot rows: atom-scan outputs share one payload across
+  /// transitions, so set/anchor-map lookups hit Tuple's pointer fast path.
+  TuplePool pool;
+
+  /// Per-update temporaries (value-pointer spans). The owning engine resets
+  /// it at transition boundaries.
+  Arena arena;
+
+  /// Call at the top of each transition: drops per-update temporaries.
+  /// (The atom cache self-validates via table versions and is kept.)
+  void BeginUpdate() { arena.Reset(); }
+
+  /// Call after restoring engine state from a checkpoint: the restored
+  /// tracker can reuse a version number for different contents. Plans, the
+  /// pool, and the atom cache are content-addressed and stay valid.
+  void InvalidateDomain() {
+    domain_version = std::numeric_limits<std::uint64_t>::max();
+    domain_values.clear();
+    domain_relations.clear();
+  }
+};
 
 /// Everything an evaluation needs besides the formula itself.
 struct EvalContext {
@@ -58,6 +125,9 @@ struct EvalContext {
 
   /// Additional constants contributing to the active domain. May be null.
   const std::vector<Value>* extra_constants = nullptr;
+
+  /// Optional reusable caches (see EvalScratch). May be null.
+  EvalScratch* scratch = nullptr;
 };
 
 /// Evaluates `formula` under `ctx`. The result's columns are

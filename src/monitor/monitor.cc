@@ -158,6 +158,15 @@ Status ConstraintMonitor::RegisterConstraintFormula(
       IncrementalOptions opts;
       opts.pruning = options_.pruning;
       opts.extra_constants = options_.domain_constants;
+      if (options_.shared_subplans) {
+        if (subplan_registry_ == nullptr) {
+          subplan_registry_ = std::make_shared<inc::SubplanRegistry>();
+        }
+        opts.registry = subplan_registry_;
+        // Only engines registered at the same transition count have seen
+        // the same history, so the epoch is part of every sharing key.
+        opts.registration_epoch = transition_count_;
+      }
       RTIC_ASSIGN_OR_RETURN(
           reg->engine, IncrementalEngine::Create(formula, catalog, opts));
       break;
@@ -541,6 +550,7 @@ std::vector<ConstraintStats> ConstraintMonitor::Stats() const {
     s.max_check_micros = c->max_check_micros;
     s.last_check_micros = c->last_check_micros;
     s.storage_rows = c->engine->StorageRows();
+    s.shared_subplans = c->engine->SharedSubplans();
     out.push_back(std::move(s));
   }
   return out;

@@ -42,6 +42,10 @@ class SegmentShipper;
 class Transport;
 }  // namespace replication
 
+namespace inc {
+class SubplanRegistry;
+}  // namespace inc
+
 /// Which checking strategy newly registered constraints use.
 enum class EngineKind {
   kIncremental,  // bounded history encoding (default; the paper's method)
@@ -62,6 +66,13 @@ struct MonitorOptions {
   /// Extra constants always part of the active domain (useful when a
   /// constraint must quantify over values not yet stored anywhere).
   std::vector<Value> domain_constants;
+
+  /// Share temporal-subplan state across incremental engines whose
+  /// subformulas canonicalize to identical text (and whose histories
+  /// coincide — same registration epoch). Each shared equivalence class is
+  /// evaluated once per transition; verdicts and checkpoints are
+  /// byte-identical to the unshared path (see inc::SubplanRegistry).
+  bool shared_subplans = true;
 
   /// Maximum counterexample rows reported per violation.
   std::size_t max_witnesses = 10;
@@ -313,6 +324,9 @@ class ConstraintMonitor : public MonitorLike {
   std::size_t transition_count_ = 0;
   std::size_t total_violations_ = 0;
   std::vector<std::unique_ptr<Registered>> constraints_;
+  // Cross-constraint subplan sharing (non-null iff options_.shared_subplans
+  // and the engine kind is incremental).
+  std::shared_ptr<inc::SubplanRegistry> subplan_registry_;
   std::unique_ptr<ThreadPool> pool_;  // non-null iff num_threads > 1
   std::unique_ptr<wal::RecoveryManager> recovery_;  // non-null once durable
   bool recovering_ = false;  // Recover() is replaying through ApplyUpdate

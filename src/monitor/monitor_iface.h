@@ -35,6 +35,9 @@ struct ConstraintStats {
   std::int64_t max_check_micros = 0;    // worst single check
   std::int64_t last_check_micros = 0;   // most recent check's wall time
   std::size_t storage_rows = 0;     // aux/history rows currently retained
+  std::size_t shared_subplans = 0;  // subplan handles coalesced with earlier
+                                    // constraints (incremental engines with
+                                    // sharing enabled; 0 otherwise)
 
   /// Mean per-state check time in microseconds (0 before any state).
   double MeanCheckMicros() const {

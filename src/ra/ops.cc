@@ -35,21 +35,21 @@ Result<JoinPlan> PlanJoin(const Relation& a, const Relation& b) {
   return plan;
 }
 
-Tuple ExtractKey(const Tuple& row, const std::vector<std::size_t>& positions) {
-  std::vector<Value> vals;
-  vals.reserve(positions.size());
-  for (std::size_t p : positions) vals.push_back(row.at(p));
-  return Tuple(std::move(vals));
+/// Element-wise key equality for an index-probe hit (bucket hashes collide).
+bool KeyEquals(const Tuple& a, const std::vector<std::size_t>& a_key,
+               const Tuple& b, const std::vector<std::size_t>& b_key) {
+  for (std::size_t i = 0; i < a_key.size(); ++i) {
+    if (a.at(a_key[i]) != b.at(b_key[i])) return false;
+  }
+  return true;
 }
 
-/// Hash index: join key -> rows of b.
-std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> BuildIndex(
-    const Relation& b, const std::vector<std::size_t>& key) {
-  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
-  for (const Tuple& row : b.rows()) {
-    index[ExtractKey(row, key)].push_back(&row);
+/// True iff `positions` is 0, 1, ..., n-1 (reordering would be a no-op).
+bool IsIdentity(const std::vector<std::size_t>& positions) {
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (positions[i] != i) return false;
   }
-  return index;
+  return true;
 }
 
 /// Maps b's column order onto a's order for Union/Difference/Intersect.
@@ -85,20 +85,58 @@ Tuple Reorder(const Tuple& row, const std::vector<std::size_t>& positions) {
   return Tuple(std::move(vals));
 }
 
+/// True when the join key is the full arity of both sides in identical
+/// order: the probe row IS the key, so b's row set answers membership
+/// directly and no index build is needed.
+bool FullRowKey(const Relation& a, const Relation& b, const JoinPlan& plan) {
+  return plan.a_key.size() == a.arity() && a.arity() == b.arity() &&
+         IsIdentity(plan.a_key) && IsIdentity(plan.b_key);
+}
+
+/// "Does any b-row agree with `arow` on the join key?" via b's cached index.
+bool HasKeyMatch(const Tuple& arow, const JoinPlan& plan,
+                 const Relation::Index& index) {
+  auto it = index.buckets.find(HashTupleKey(arow, plan.a_key));
+  if (it == index.buckets.end()) return false;
+  for (const Tuple* brow : it->second) {
+    if (KeyEquals(arow, plan.a_key, *brow, plan.b_key)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Result<Relation> NaturalJoin(const Relation& a, const Relation& b) {
   RTIC_ASSIGN_OR_RETURN(JoinPlan plan, PlanJoin(a, b));
+  // Zero-column sides are booleans: TRUE is the join identity, FALSE
+  // annihilates. Returning the other operand outright shares its rows.
+  if (a.arity() == 0) return a.AsBool() ? b : Relation(b.columns());
+  if (b.arity() == 0) return b.AsBool() ? a : Relation(a.columns());
+
   std::vector<Column> out_cols = a.columns();
   for (std::size_t j : plan.b_rest) out_cols.push_back(b.columns()[j]);
   Relation out(std::move(out_cols));
+  if (a.empty() || b.empty()) return out;
 
-  // Iterate the smaller side against an index on the larger when keys exist.
-  auto index = BuildIndex(b, plan.b_key);
+  if (plan.b_rest.empty() && FullRowKey(a, b, plan)) {
+    // Same-schema join is an intersection; probe b's row set directly.
+    for (const Tuple& arow : a.rows()) {
+      if (b.Contains(arow)) out.InsertUnchecked(arow);
+    }
+    return out;
+  }
+
+  const Relation::Index& index = b.GetIndex(plan.b_key);
   for (const Tuple& arow : a.rows()) {
-    auto it = index.find(ExtractKey(arow, plan.a_key));
-    if (it == index.end()) continue;
+    auto it = index.buckets.find(HashTupleKey(arow, plan.a_key));
+    if (it == index.buckets.end()) continue;
     for (const Tuple* brow : it->second) {
+      if (!KeyEquals(arow, plan.a_key, *brow, plan.b_key)) continue;
+      if (plan.b_rest.empty()) {
+        // b adds no columns: the output row is arow itself (shared payload).
+        out.InsertUnchecked(arow);
+        break;
+      }
       std::vector<Value> vals = arow.values();
       vals.reserve(vals.size() + plan.b_rest.size());
       for (std::size_t j : plan.b_rest) vals.push_back(brow->at(j));
@@ -110,15 +148,18 @@ Result<Relation> NaturalJoin(const Relation& a, const Relation& b) {
 
 Result<Relation> AntiJoin(const Relation& a, const Relation& b) {
   RTIC_ASSIGN_OR_RETURN(JoinPlan plan, PlanJoin(a, b));
+  if (b.empty()) return a;
   Relation out(a.columns());
-  std::unordered_set<Tuple, TupleHash> keys;
-  for (const Tuple& brow : b.rows()) {
-    keys.insert(ExtractKey(brow, plan.b_key));
-  }
-  for (const Tuple& arow : a.rows()) {
-    if (keys.find(ExtractKey(arow, plan.a_key)) == keys.end()) {
-      out.InsertUnchecked(arow);
+  if (a.empty()) return out;
+  if (FullRowKey(a, b, plan)) {
+    for (const Tuple& arow : a.rows()) {
+      if (!b.Contains(arow)) out.InsertUnchecked(arow);
     }
+    return out;
+  }
+  const Relation::Index& index = b.GetIndex(plan.b_key);
+  for (const Tuple& arow : a.rows()) {
+    if (!HasKeyMatch(arow, plan, index)) out.InsertUnchecked(arow);
   }
   return out;
 }
@@ -126,31 +167,46 @@ Result<Relation> AntiJoin(const Relation& a, const Relation& b) {
 Result<Relation> SemiJoin(const Relation& a, const Relation& b) {
   RTIC_ASSIGN_OR_RETURN(JoinPlan plan, PlanJoin(a, b));
   Relation out(a.columns());
-  std::unordered_set<Tuple, TupleHash> keys;
-  for (const Tuple& brow : b.rows()) {
-    keys.insert(ExtractKey(brow, plan.b_key));
-  }
-  for (const Tuple& arow : a.rows()) {
-    if (keys.find(ExtractKey(arow, plan.a_key)) != keys.end()) {
-      out.InsertUnchecked(arow);
+  if (a.empty() || b.empty()) return out;
+  if (FullRowKey(a, b, plan)) {
+    for (const Tuple& arow : a.rows()) {
+      if (b.Contains(arow)) out.InsertUnchecked(arow);
     }
+    return out;
+  }
+  const Relation::Index& index = b.GetIndex(plan.b_key);
+  for (const Tuple& arow : a.rows()) {
+    if (HasKeyMatch(arow, plan, index)) out.InsertUnchecked(arow);
   }
   return out;
 }
 
 Result<Relation> Union(const Relation& a, const Relation& b) {
   RTIC_ASSIGN_OR_RETURN(std::vector<std::size_t> b_pos, AlignColumns(a, b));
-  Relation out(a.columns());
-  for (const Tuple& row : a.rows()) out.InsertUnchecked(row);
-  for (const Tuple& row : b.rows()) out.InsertUnchecked(Reorder(row, b_pos));
+  if (b.empty()) return a;
+  bool identity = IsIdentity(b_pos);
+  if (a.empty() && identity) return b;
+  Relation out = a;  // shares a's rows until the first insert detaches
+  for (const Tuple& row : b.rows()) {
+    out.InsertUnchecked(identity ? row : Reorder(row, b_pos));
+  }
   return out;
 }
 
 Result<Relation> Difference(const Relation& a, const Relation& b) {
   RTIC_ASSIGN_OR_RETURN(std::vector<std::size_t> b_pos, AlignColumns(a, b));
-  std::unordered_set<Tuple, TupleHash> b_rows;
-  for (const Tuple& row : b.rows()) b_rows.insert(Reorder(row, b_pos));
+  if (b.empty()) return a;
   Relation out(a.columns());
+  if (a.empty()) return out;
+  if (IsIdentity(b_pos)) {
+    for (const Tuple& row : a.rows()) {
+      if (!b.Contains(row)) out.InsertUnchecked(row);
+    }
+    return out;
+  }
+  std::unordered_set<Tuple, TupleHash> b_rows;
+  b_rows.reserve(b.size());
+  for (const Tuple& row : b.rows()) b_rows.insert(Reorder(row, b_pos));
   for (const Tuple& row : a.rows()) {
     if (b_rows.find(row) == b_rows.end()) out.InsertUnchecked(row);
   }
@@ -159,9 +215,17 @@ Result<Relation> Difference(const Relation& a, const Relation& b) {
 
 Result<Relation> Intersect(const Relation& a, const Relation& b) {
   RTIC_ASSIGN_OR_RETURN(std::vector<std::size_t> b_pos, AlignColumns(a, b));
-  std::unordered_set<Tuple, TupleHash> b_rows;
-  for (const Tuple& row : b.rows()) b_rows.insert(Reorder(row, b_pos));
   Relation out(a.columns());
+  if (a.empty() || b.empty()) return out;
+  if (IsIdentity(b_pos)) {
+    for (const Tuple& row : a.rows()) {
+      if (b.Contains(row)) out.InsertUnchecked(row);
+    }
+    return out;
+  }
+  std::unordered_set<Tuple, TupleHash> b_rows;
+  b_rows.reserve(b.size());
+  for (const Tuple& row : b.rows()) b_rows.insert(Reorder(row, b_pos));
   for (const Tuple& row : a.rows()) {
     if (b_rows.find(row) != b_rows.end()) out.InsertUnchecked(row);
   }
@@ -181,6 +245,8 @@ Result<Relation> Project(const Relation& a,
     positions.push_back(*i);
     out_cols.push_back(a.columns()[*i]);
   }
+  // Projecting onto all columns in order is the identity.
+  if (positions.size() == a.arity() && IsIdentity(positions)) return a;
   RTIC_ASSIGN_OR_RETURN(Relation out, Relation::Make(std::move(out_cols)));
   for (const Tuple& row : a.rows()) {
     out.InsertUnchecked(Reorder(row, positions));
@@ -196,8 +262,8 @@ Result<Relation> Rename(const Relation& a,
     if (it != mapping.end()) col.name = it->second;
   }
   RTIC_ASSIGN_OR_RETURN(Relation out, Relation::Make(std::move(out_cols)));
-  for (const Tuple& row : a.rows()) out.InsertUnchecked(row);
-  return out;
+  // Per-position types are unchanged, so the row storage can be shared.
+  return a.WithColumns(out.columns());
 }
 
 Relation Select(const Relation& a,

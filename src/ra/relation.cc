@@ -3,7 +3,42 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/hash.h"
+
 namespace rtic {
+
+std::size_t HashTupleKey(const Tuple& t,
+                         const std::vector<std::size_t>& positions) {
+  std::size_t seed = positions.size();
+  for (std::size_t p : positions) {
+    std::size_t h = t.at(p).Hash();
+    HashCombine(&seed, h);
+  }
+  return seed;
+}
+
+const std::unordered_set<Tuple, TupleHash>& Relation::EmptyRows() {
+  static const std::unordered_set<Tuple, TupleHash> kEmpty;
+  return kEmpty;
+}
+
+const Relation::Index& Relation::EmptyIndex() {
+  static const Index kEmpty;
+  return kEmpty;
+}
+
+Relation::Rep& Relation::MutableRep() {
+  if (!rep_) {
+    rep_ = std::make_shared<Rep>();
+  } else if (rep_.use_count() > 1) {
+    // Copy-on-write detach: rows are copied (sharing tuple payloads);
+    // cached indexes stay with the old storage.
+    auto fresh = std::make_shared<Rep>();
+    fresh->rows = rep_->rows;
+    rep_ = std::move(fresh);
+  }
+  return *rep_;
+}
 
 Result<Relation> Relation::Make(std::vector<Column> columns) {
   std::unordered_set<std::string> seen;
@@ -17,7 +52,7 @@ Result<Relation> Relation::Make(std::vector<Column> columns) {
 
 Relation Relation::True() {
   Relation r;
-  r.rows_.insert(Tuple{});
+  r.InsertUnchecked(Tuple{});
   return r;
 }
 
@@ -48,12 +83,43 @@ Status Relation::Insert(Tuple row) {
           columns_[i].name + " has wrong type");
     }
   }
-  rows_.insert(std::move(row));
+  InsertUnchecked(std::move(row));
   return Status::OK();
 }
 
+void Relation::InsertUnchecked(Tuple row) {
+  Rep& rep = MutableRep();
+  auto r = rep.rows.insert(std::move(row));
+  if (r.second && !rep.indexes.empty()) {
+    // Maintain cached indexes incrementally; unordered_set nodes are stable,
+    // so the stored pointer stays valid across later inserts.
+    const Tuple& stored = *r.first;
+    for (const auto& idx : rep.indexes) {
+      idx->buckets[HashTupleKey(stored, idx->key)].push_back(&stored);
+    }
+  }
+}
+
+const Relation::Index& Relation::GetIndex(
+    const std::vector<std::size_t>& key) const {
+  if (!rep_) return EmptyIndex();
+  std::lock_guard<std::mutex> lock(rep_->mu);
+  for (const auto& idx : rep_->indexes) {
+    if (idx->key == key) return *idx;
+  }
+  auto idx = std::make_unique<Index>();
+  idx->key = key;
+  idx->buckets.reserve(rep_->rows.size());
+  for (const Tuple& row : rep_->rows) {
+    idx->buckets[HashTupleKey(row, key)].push_back(&row);
+  }
+  rep_->indexes.push_back(std::move(idx));
+  return *rep_->indexes.back();
+}
+
 std::vector<Tuple> Relation::SortedRows() const {
-  std::vector<Tuple> out(rows_.begin(), rows_.end());
+  const auto& rows_set = rows();
+  std::vector<Tuple> out(rows_set.begin(), rows_set.end());
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -63,7 +129,8 @@ bool Relation::operator==(const Relation& o) const {
   for (std::size_t i = 0; i < columns_.size(); ++i) {
     if (!(columns_[i] == o.columns_[i])) return false;
   }
-  return rows_ == o.rows_;
+  if (rep_ == o.rep_) return true;
+  return rows() == o.rows();
 }
 
 std::string Relation::ToString() const {

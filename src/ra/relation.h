@@ -5,11 +5,20 @@
 // Zero-column relations encode booleans: the empty relation is FALSE and the
 // relation containing the single empty tuple is TRUE. Closed formulas
 // evaluate to one of these two.
+//
+// Row storage is copy-on-write: copying a Relation is O(columns), and the
+// copies share one row set until one of them is mutated. Join indexes built
+// by GetIndex are cached on the shared row storage, so a relation that is
+// repeatedly joined on the same key (auxiliary state across transitions)
+// pays for the index once and maintains it incrementally on insert.
 
 #ifndef RTIC_RA_RELATION_H_
 #define RTIC_RA_RELATION_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -19,9 +28,22 @@
 
 namespace rtic {
 
+/// Hash of the values of `t` at `positions`. This is the probe hash used on
+/// both sides of an index lookup; Relation::Index buckets are keyed by it.
+std::size_t HashTupleKey(const Tuple& t,
+                         const std::vector<std::size_t>& positions);
+
 /// Named-column row set under set semantics.
 class Relation {
  public:
+  /// Hash index over a subset of columns: key hash -> rows whose key columns
+  /// hash to it. Buckets are keyed by hash only, so probes must verify key
+  /// equality element-wise (collisions are possible).
+  struct Index {
+    std::vector<std::size_t> key;
+    std::unordered_map<std::size_t, std::vector<const Tuple*>> buckets;
+  };
+
   /// Empty relation with no columns (boolean FALSE).
   Relation() = default;
 
@@ -47,23 +69,42 @@ class Relation {
   /// Column names in order.
   std::vector<std::string> ColumnNames() const;
 
-  std::size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  std::size_t size() const { return rep_ ? rep_->rows.size() : 0; }
+  bool empty() const { return !rep_ || rep_->rows.empty(); }
 
   /// For zero-column relations: boolean reading. For others: "non-empty".
-  bool AsBool() const { return !rows_.empty(); }
+  bool AsBool() const { return !empty(); }
 
   /// Adds a row after arity/type checking.
   Status Insert(Tuple row);
 
   /// Adds a row without checking (hot path; caller guarantees conformance).
-  void InsertUnchecked(Tuple row) { rows_.insert(std::move(row)); }
+  void InsertUnchecked(Tuple row);
 
   bool Contains(const Tuple& row) const {
-    return rows_.find(row) != rows_.end();
+    return rep_ && rep_->rows.find(row) != rep_->rows.end();
   }
 
-  const std::unordered_set<Tuple, TupleHash>& rows() const { return rows_; }
+  const std::unordered_set<Tuple, TupleHash>& rows() const {
+    return rep_ ? rep_->rows : EmptyRows();
+  }
+
+  /// Returns a relation sharing this relation's rows under different column
+  /// labels. Caller guarantees per-position types are unchanged (rename /
+  /// canonicalization only).
+  Relation WithColumns(std::vector<Column> columns) const {
+    Relation out(std::move(columns));
+    out.rep_ = rep_;
+    return out;
+  }
+
+  /// Lazily built, cached hash index on the given key column positions.
+  /// Safe to call from multiple readers concurrently (the cache is guarded);
+  /// must not race with inserts into the same row storage — the engine
+  /// contract already forbids mutating a relation another thread reads. The
+  /// returned reference stays valid while any Relation sharing this row
+  /// storage is alive; Tuple pointers in buckets point into the row set.
+  const Index& GetIndex(const std::vector<std::size_t>& key) const;
 
   /// Rows in sorted order (deterministic output for tests and reports).
   std::vector<Tuple> SortedRows() const;
@@ -75,8 +116,20 @@ class Relation {
   std::string ToString() const;
 
  private:
+  struct Rep {
+    std::unordered_set<Tuple, TupleHash> rows;
+    mutable std::mutex mu;  // guards `indexes` (lazy build under readers)
+    mutable std::vector<std::unique_ptr<Index>> indexes;
+  };
+
+  static const std::unordered_set<Tuple, TupleHash>& EmptyRows();
+  static const Index& EmptyIndex();
+
+  /// Detaches from shared row storage before mutation (copy-on-write).
+  Rep& MutableRep();
+
   std::vector<Column> columns_;
-  std::unordered_set<Tuple, TupleHash> rows_;
+  std::shared_ptr<Rep> rep_;  // null => no rows
 };
 
 }  // namespace rtic

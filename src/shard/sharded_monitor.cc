@@ -373,8 +373,15 @@ std::vector<ConstraintStats> ShardedMonitor::Stats() const {
         s.total_check_micros += it->second.total_check_micros;
         s.max_check_micros =
             std::max(s.max_check_micros, it->second.max_check_micros);
-        s.last_check_micros += it->second.last_check_micros;
+        // Shard checks run concurrently, so the transition's wall time is
+        // the slowest shard's — summing would mix per-shard wall times into
+        // a number no single check ever took (and disagree with
+        // max_check_micros, which already takes the max).
+        s.last_check_micros =
+            std::max(s.last_check_micros, it->second.last_check_micros);
         s.storage_rows += it->second.storage_rows;
+        s.shared_subplans =
+            std::max(s.shared_subplans, it->second.shared_subplans);
       }
     } else {
       auto it = coord_stats.find(e.name);
@@ -383,6 +390,7 @@ std::vector<ConstraintStats> ShardedMonitor::Stats() const {
         s.max_check_micros = it->second.max_check_micros;
         s.last_check_micros = it->second.last_check_micros;
         s.storage_rows = it->second.storage_rows;
+        s.shared_subplans = it->second.shared_subplans;
       }
     }
     out.push_back(std::move(s));

@@ -9,9 +9,14 @@ void DomainTracker::Add(const Value& v) {
 void DomainTracker::Absorb(const Database& db) {
   for (const std::string& name : db.TableNames()) {
     const Table* table = db.GetTable(name).value();
+    auto it = absorbed_versions_.find(table->id());
+    if (it != absorbed_versions_.end() && it->second == table->version()) {
+      continue;  // content unchanged since the last absorb
+    }
     for (const Tuple& row : table->rows()) {
       for (const Value& v : row.values()) Add(v);
     }
+    absorbed_versions_[table->id()] = table->version();
   }
 }
 

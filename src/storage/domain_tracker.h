@@ -15,7 +15,9 @@
 #ifndef RTIC_STORAGE_DOMAIN_TRACKER_H_
 #define RTIC_STORAGE_DOMAIN_TRACKER_H_
 
+#include <cstdint>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "storage/database.h"
@@ -32,7 +34,9 @@ namespace rtic {
 /// thread driving its engine.
 class DomainTracker {
  public:
-  /// Adds every value occurring in `db`.
+  /// Adds every value occurring in `db`. Tables whose (id, version) pair is
+  /// unchanged since a prior Absorb are skipped — their values are already
+  /// tracked, and the domain only grows.
   void Absorb(const Database& db);
 
   /// Adds explicit values (formula constants, registered domain values).
@@ -61,6 +65,8 @@ class DomainTracker {
 
   std::set<Value> values_;
   std::vector<Value> additions_;  // values_ in first-absorption order
+  // Last absorbed version per table id: the skip check for Absorb.
+  std::unordered_map<std::uint64_t, std::uint64_t> absorbed_versions_;
 };
 
 }  // namespace rtic

@@ -1,9 +1,15 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
 namespace rtic {
+
+std::uint64_t Table::NextId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Result<bool> Table::Insert(Tuple tuple) {
   if (!tuple.Matches(schema_)) {
@@ -11,10 +17,16 @@ Result<bool> Table::Insert(Tuple tuple) {
                                    " does not match schema " +
                                    schema_.ToString() + " of table " + name_);
   }
-  return rows_.insert(std::move(tuple)).second;
+  bool inserted = rows_.insert(std::move(tuple)).second;
+  if (inserted) ++version_;
+  return inserted;
 }
 
-bool Table::Erase(const Tuple& tuple) { return rows_.erase(tuple) > 0; }
+bool Table::Erase(const Tuple& tuple) {
+  bool erased = rows_.erase(tuple) > 0;
+  if (erased) ++version_;
+  return erased;
+}
 
 bool Table::Contains(const Tuple& tuple) const {
   return rows_.find(tuple) != rows_.end();

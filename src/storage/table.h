@@ -3,6 +3,7 @@
 #ifndef RTIC_STORAGE_TABLE_H_
 #define RTIC_STORAGE_TABLE_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_set>
 
@@ -14,14 +15,39 @@ namespace rtic {
 
 /// A named, typed relation. Set semantics: inserting an existing tuple or
 /// erasing a missing one is a no-op (reported via the bool return).
+///
+/// Every Table carries a process-unique `id` and a `version` that bumps on
+/// each content change; (id, version) identifies one exact table content,
+/// which lets evaluator caches and the domain tracker skip work for tables
+/// that have not changed since they last looked. A copy gets a fresh id
+/// (it is a distinct object that will diverge); a move keeps the id.
 class Table {
  public:
-  Table() = default;
+  Table() : id_(NextId()) {}
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)), schema_(std::move(schema)), id_(NextId()) {}
+
+  Table(const Table& o)
+      : name_(o.name_), schema_(o.schema_), rows_(o.rows_), id_(NextId()) {}
+  Table& operator=(const Table& o) {
+    name_ = o.name_;
+    schema_ = o.schema_;
+    rows_ = o.rows_;
+    id_ = NextId();
+    version_ = 0;
+    return *this;
+  }
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
+
+  /// Process-unique identity of this table object (fresh on copy).
+  std::uint64_t id() const { return id_; }
+
+  /// Bumped on every content change; (id, version) pins one exact content.
+  std::uint64_t version() const { return version_; }
 
   std::size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
@@ -37,7 +63,10 @@ class Table {
   bool Contains(const Tuple& tuple) const;
 
   /// Removes all rows.
-  void Clear() { rows_.clear(); }
+  void Clear() {
+    if (!rows_.empty()) ++version_;
+    rows_.clear();
+  }
 
   /// Row iteration (unspecified order).
   const std::unordered_set<Tuple, TupleHash>& rows() const { return rows_; }
@@ -50,9 +79,13 @@ class Table {
   std::string ToString() const;
 
  private:
+  static std::uint64_t NextId();
+
   std::string name_;
   Schema schema_;
   std::unordered_set<Tuple, TupleHash> rows_;
+  std::uint64_t id_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace rtic

@@ -328,12 +328,11 @@ const std::vector<std::string>& Analysis::FreeVars(const Formula& node) const {
   return it->second;
 }
 
-std::vector<Column> Analysis::ColumnsFor(const Formula& node) const {
-  std::vector<Column> out;
-  for (const std::string& v : FreeVars(node)) {
-    out.push_back(Column{v, var_types_.at(v)});
-  }
-  return out;
+const std::vector<Column>& Analysis::ColumnsFor(const Formula& node) const {
+  static const std::vector<Column> kEmpty;
+  auto it = columns_.find(&node);
+  if (it == columns_.end()) return kEmpty;
+  return it->second;
 }
 
 Result<Analysis> Analyze(const Formula& root,
@@ -345,6 +344,14 @@ Result<Analysis> Analyze(const Formula& root,
   analysis.var_types_ = std::move(impl.var_types_);
   analysis.constants_ = std::move(impl.constants_);
   analysis.warnings_ = std::move(impl.warnings_);
+  for (const auto& [node, vars] : analysis.free_vars_) {
+    std::vector<Column> cols;
+    cols.reserve(vars.size());
+    for (const std::string& v : vars) {
+      cols.push_back(Column{v, analysis.var_types_.at(v)});
+    }
+    analysis.columns_.emplace(node, std::move(cols));
+  }
   return analysis;
 }
 

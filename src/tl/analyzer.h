@@ -38,8 +38,9 @@ class Analysis {
 
   /// Free variables of `node` as typed columns, in sorted-name order — the
   /// column layout every evaluator uses for this node's satisfaction
-  /// relation.
-  std::vector<Column> ColumnsFor(const Formula& node) const;
+  /// relation. Precomputed per node at analysis time (hot path: evaluators
+  /// ask for this on every visit).
+  const std::vector<Column>& ColumnsFor(const Formula& node) const;
 
   /// The inferred type of every variable name in the constraint.
   const std::map<std::string, ValueType>& var_types() const {
@@ -61,6 +62,7 @@ class Analysis {
                                   const PredicateCatalog& catalog);
 
   std::map<const Formula*, std::vector<std::string>> free_vars_;
+  std::map<const Formula*, std::vector<Column>> columns_;
   std::map<std::string, ValueType> var_types_;
   std::vector<Value> constants_;
   std::vector<std::string> warnings_;

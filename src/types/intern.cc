@@ -1,0 +1,70 @@
+#include "types/intern.h"
+
+#include "common/hash.h"
+
+namespace rtic {
+
+namespace {
+
+// Must mirror Tuple::Hash exactly (including the 0 -> 1 bias) so the pool
+// can probe by hash without materializing a Tuple first.
+std::size_t HashSpan(const Value* const* vals, std::size_t n) {
+  std::size_t seed = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t h = vals[i]->Hash();
+    HashCombine(&seed, h);
+  }
+  if (seed == 0) seed = 1;
+  return seed;
+}
+
+bool SpanEquals(const Tuple& t, const Value* const* vals, std::size_t n) {
+  if (t.size() != n) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (t.at(i) != *vals[i]) return false;
+  }
+  return true;
+}
+
+Tuple MakeTuple(const Value* const* vals, std::size_t n) {
+  std::vector<Value> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) values.push_back(*vals[i]);
+  return Tuple(std::move(values));
+}
+
+}  // namespace
+
+Tuple TuplePool::Intern(const Value* const* vals, std::size_t n) {
+  std::size_t h = HashSpan(vals, n);
+  auto it = buckets_.find(h);
+  if (it != buckets_.end()) {
+    for (const Tuple& t : it->second) {
+      if (SpanEquals(t, vals, n)) return t;
+    }
+  }
+  Tuple fresh = MakeTuple(vals, n);
+  fresh.rep_->hash.store(h, std::memory_order_relaxed);
+  if (size_ < kMaxEntries) {
+    buckets_[h].push_back(fresh);
+    ++size_;
+  }
+  return fresh;
+}
+
+Tuple TuplePool::Intern(const Tuple& t) {
+  std::size_t h = t.Hash();
+  auto it = buckets_.find(h);
+  if (it != buckets_.end()) {
+    for (const Tuple& cand : it->second) {
+      if (cand == t) return cand;
+    }
+  }
+  if (size_ < kMaxEntries) {
+    buckets_[h].push_back(t);
+    ++size_;
+  }
+  return t;
+}
+
+}  // namespace rtic

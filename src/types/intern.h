@@ -1,0 +1,57 @@
+// TuplePool: hash-consing for hot-path tuples.
+//
+// The evaluator materializes the same bound rows over and over (every
+// transition re-derives largely the same auxiliary relations). Interning
+// maps each distinct value sequence to one shared Tuple payload, so
+// downstream equality checks hit Tuple's pointer fast path and hashing hits
+// the cached hash, and the per-row vector<Value> allocation is paid once
+// per distinct row instead of once per derivation.
+//
+// Not thread-safe; each engine/evaluator owns its own pool (the interned
+// Tuples themselves are immutable and safe to share).
+
+#ifndef RTIC_TYPES_INTERN_H_
+#define RTIC_TYPES_INTERN_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace rtic {
+
+/// Interns tuples built from spans of Value pointers (the natural shape of
+/// an atom-match binding: pointers into the scanned row plus constants).
+class TuplePool {
+ public:
+  TuplePool() = default;
+  TuplePool(const TuplePool&) = delete;
+  TuplePool& operator=(const TuplePool&) = delete;
+
+  /// Returns a Tuple whose values are `*vals[0], ..., *vals[n-1]`. Repeated
+  /// calls with equal value sequences return Tuples sharing one payload.
+  /// Over the size cap the pool stops growing and simply constructs a fresh
+  /// tuple, so adversarial cardinalities degrade to the uninterned cost.
+  Tuple Intern(const Value* const* vals, std::size_t n);
+
+  /// Convenience overload for already-materialized rows.
+  Tuple Intern(const Tuple& t);
+
+  std::size_t size() const { return size_; }
+
+ private:
+  // Capacity bound: past this many distinct tuples, interning is unlikely to
+  // pay for itself and we avoid unbounded growth.
+  static constexpr std::size_t kMaxEntries = std::size_t{1} << 20;
+
+  // Buckets keyed by the tuple hash; each bucket holds the interned tuples
+  // with that hash (collisions are rare but must be handled).
+  std::unordered_map<std::size_t, std::vector<Tuple>> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rtic
+
+#endif  // RTIC_TYPES_INTERN_H_

@@ -4,38 +4,53 @@
 
 namespace rtic {
 
+const std::shared_ptr<const Tuple::Rep>& Tuple::EmptyRep() {
+  static const std::shared_ptr<const Rep> kEmpty =
+      std::make_shared<const Rep>(std::vector<Value>{});
+  return kEmpty;
+}
+
 bool Tuple::operator<(const Tuple& o) const {
-  std::size_t n = std::min(values_.size(), o.values_.size());
+  if (rep_ == o.rep_) return false;
+  const std::vector<Value>& a = rep_->values;
+  const std::vector<Value>& b = o.rep_->values;
+  std::size_t n = std::min(a.size(), b.size());
   for (std::size_t i = 0; i < n; ++i) {
-    if (values_[i] < o.values_[i]) return true;
-    if (o.values_[i] < values_[i]) return false;
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
   }
-  return values_.size() < o.values_.size();
+  return a.size() < b.size();
 }
 
 std::size_t Tuple::Hash() const {
-  std::size_t seed = values_.size();
-  for (const Value& v : values_) {
+  std::size_t cached = rep_->hash.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  std::size_t seed = rep_->values.size();
+  for (const Value& v : rep_->values) {
     std::size_t h = v.Hash();
     HashCombine(&seed, h);
   }
+  if (seed == 0) seed = 1;  // keep 0 as the "not computed" sentinel
+  rep_->hash.store(seed, std::memory_order_relaxed);
   return seed;
 }
 
 std::string Tuple::ToString() const {
+  const std::vector<Value>& vals = rep_->values;
   std::string out = "(";
-  for (std::size_t i = 0; i < values_.size(); ++i) {
+  for (std::size_t i = 0; i < vals.size(); ++i) {
     if (i > 0) out += ", ";
-    out += values_[i].ToString();
+    out += vals[i].ToString();
   }
   out += ")";
   return out;
 }
 
 bool Tuple::Matches(const Schema& schema) const {
-  if (values_.size() != schema.size()) return false;
-  for (std::size_t i = 0; i < values_.size(); ++i) {
-    if (values_[i].type() != schema.column(i).type) return false;
+  const std::vector<Value>& vals = rep_->values;
+  if (vals.size() != schema.size()) return false;
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    if (vals[i].type() != schema.column(i).type) return false;
   }
   return true;
 }

@@ -39,11 +39,14 @@ double Value::AsNumeric() const {
 }
 
 bool Value::operator<(const Value& o) const {
+  AssertInitialized();
+  o.AssertInitialized();
   if (data_.index() != o.data_.index()) return data_.index() < o.data_.index();
   return data_ < o.data_;
 }
 
 std::size_t Value::Hash() const {
+  AssertInitialized();
   std::size_t seed = data_.index();
   switch (type()) {
     case ValueType::kInt64:
@@ -79,6 +82,8 @@ std::string Value::ToString() const {
 }
 
 Result<int> CompareValues(const Value& a, const Value& b) {
+  a.AssertInitialized();
+  b.AssertInitialized();
   if (a.type() == b.type()) {
     if (a == b) return 0;
     return a < b ? -1 : 1;

@@ -4,6 +4,7 @@
 #ifndef RTIC_TYPES_VALUE_H_
 #define RTIC_TYPES_VALUE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -29,8 +30,16 @@ bool IsNumeric(ValueType type);
 /// heterogeneous sets of values have a total order.
 class Value {
  public:
-  /// Default-constructs int64 0 (needed by containers; avoid relying on it).
-  Value() : data_(std::int64_t{0}) {}
+  /// Default-constructs int64 0. Containers and deferred-initialization
+  /// members (e.g. a variable Term's unused constant slot) need this, but a
+  /// default-constructed Value carries no real datum: in debug builds it is
+  /// poisoned, and comparing or hashing it asserts. Assign a factory-built
+  /// Value before use.
+  Value() : data_(std::int64_t{0}) {
+#ifndef NDEBUG
+    default_init_ = true;
+#endif
+  }
 
   static Value Int64(std::int64_t v) { return Value(Payload(v)); }
   static Value Double(double v) { return Value(Payload(v)); }
@@ -49,8 +58,23 @@ class Value {
   /// Numeric view: int64 widened to double. Requires IsNumeric(type()).
   double AsNumeric() const;
 
+  /// True in debug builds iff this Value came from the default constructor
+  /// (and was never overwritten by a factory-built one). Always false in
+  /// release builds.
+  bool is_default_initialized() const {
+#ifndef NDEBUG
+    return default_init_;
+#else
+    return false;
+#endif
+  }
+
   /// Exact, type-sensitive equality (Int64(1) != Double(1.0)).
-  bool operator==(const Value& o) const { return data_ == o.data_; }
+  bool operator==(const Value& o) const {
+    AssertInitialized();
+    o.AssertInitialized();
+    return data_ == o.data_;
+  }
   bool operator!=(const Value& o) const { return !(*this == o); }
 
   /// Total order: by type tag first, then payload.
@@ -66,7 +90,20 @@ class Value {
   using Payload = std::variant<std::int64_t, double, std::string, bool>;
   explicit Value(Payload p) : data_(std::move(p)) {}
 
+  /// Debug guard: a default-constructed Value must not reach comparisons or
+  /// hashing (it would silently behave as int64 0).
+  void AssertInitialized() const {
+    assert(!is_default_initialized() &&
+           "default-constructed Value used in comparison/hash; build it "
+           "with Value::Int64/Double/String/Bool first");
+  }
+
+  friend Result<int> CompareValues(const Value& a, const Value& b);
+
   Payload data_;
+#ifndef NDEBUG
+  bool default_init_ = false;
+#endif
 };
 
 /// std::hash adapter for unordered containers.

@@ -223,6 +223,148 @@ TEST(WorkloadDifferentialTest, LibraryStreamAllVariantsAgree) {
                           "library seed=9002");
 }
 
+// ---- shared-subplan differentials ------------------------------------------
+
+/// A P/Q/R monitor with several named constraints and configurable
+/// subplan sharing.
+std::unique_ptr<ConstraintMonitor> MakeSharingMonitor(
+    const std::vector<std::pair<std::string, std::string>>& constraints,
+    bool shared_subplans, std::size_t num_threads) {
+  MonitorOptions options;
+  options.shared_subplans = shared_subplans;
+  options.num_threads = num_threads;
+  options.max_witnesses = 1000000;
+  auto monitor = std::make_unique<ConstraintMonitor>(options);
+  EXPECT_TRUE(monitor->CreateTable("P", IntSchema({"a"})).ok());
+  EXPECT_TRUE(monitor->CreateTable("Q", IntSchema({"a"})).ok());
+  EXPECT_TRUE(monitor->CreateTable("R", IntSchema({"a", "b"})).ok());
+  for (const auto& [name, text] : constraints) {
+    Status s = monitor->RegisterConstraint(name, text);
+    EXPECT_TRUE(s.ok()) << name << ": " << s.ToString();
+  }
+  return monitor;
+}
+
+class SharedSubplanFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Duplicate constraints: the same formula registered under three names.
+// With sharing the duplicates coalesce down to one evaluation per
+// transition; reports AND full-monitor checkpoints must stay byte-identical
+// to the unshared monitor, in both serial and parallel fan-out.
+TEST_P(SharedSubplanFuzzTest, DuplicateConstraintsByteIdentical) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  FormulaPtr constraint = RandomConstraint(&rng);
+  const std::string text = constraint->ToString();
+  const std::string trace = "seed=" + std::to_string(seed) +
+                            " constraint: " + text;
+  SCOPED_TRACE(trace);
+  const std::vector<std::pair<std::string, std::string>> registered = {
+      {"c1", text}, {"c2", text}, {"c3", text}};
+
+  auto unshared = MakeSharingMonitor(registered, false, 1);
+  auto shared_serial = MakeSharingMonitor(registered, true, 1);
+  auto shared_parallel = MakeSharingMonitor(registered, true, 8);
+
+  // Exact duplicates coalesce at least the verdict for every engine after
+  // the first (temporal nodes add more).
+  const std::vector<ConstraintStats> stats = shared_serial->Stats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].shared_subplans, 0u) << trace;
+  EXPECT_GE(stats[1].shared_subplans, 1u) << trace;
+  EXPECT_GE(stats[2].shared_subplans, 1u) << trace;
+  for (const ConstraintStats& s : unshared->Stats()) {
+    EXPECT_EQ(s.shared_subplans, 0u) << trace;
+  }
+
+  Timestamp t = 0;
+  for (int step = 0; step < 12; ++step) {
+    t += rng.UniformInt(1, 3);
+    UpdateBatch batch = RandomDelta(&rng, t);
+    auto v_unshared = Unwrap(unshared->ApplyUpdate(batch));
+    auto v_serial = Unwrap(shared_serial->ApplyUpdate(batch));
+    auto v_parallel = Unwrap(shared_parallel->ApplyUpdate(batch));
+    ASSERT_EQ(Render(v_unshared), Render(v_serial))
+        << trace << " shared/serial diverges at t=" << t;
+    ASSERT_EQ(Render(v_unshared), Render(v_parallel))
+        << trace << " shared/parallel diverges at t=" << t;
+  }
+
+  // Checkpoints serialize shared state as if owned: byte-identical blobs.
+  const std::string blob_unshared = Unwrap(unshared->SaveState());
+  const std::string blob_shared = Unwrap(shared_serial->SaveState());
+  ASSERT_EQ(blob_unshared, blob_shared) << trace;
+
+  // A restore detaches engines from shared state; verdicts must still
+  // match the unshared monitor afterwards.
+  RTIC_ASSERT_OK(shared_serial->LoadState(blob_shared));
+  for (const ConstraintStats& s : shared_serial->Stats()) {
+    EXPECT_EQ(s.shared_subplans, 0u)
+        << trace << " restore must detach " << s.name;
+  }
+  for (int step = 0; step < 6; ++step) {
+    t += rng.UniformInt(1, 3);
+    UpdateBatch batch = RandomDelta(&rng, t);
+    auto v_unshared = Unwrap(unshared->ApplyUpdate(batch));
+    auto v_serial = Unwrap(shared_serial->ApplyUpdate(batch));
+    ASSERT_EQ(Render(v_unshared), Render(v_serial))
+        << trace << " post-restore diverges at t=" << t;
+  }
+}
+
+// Distinct constraints with a common temporal subformula: only the
+// subformula's state coalesces (no verdict sharing), and unregistering the
+// engine that first acquired the shared node (the usual per-transition
+// leader) must leave the survivor's verdicts intact.
+TEST_P(SharedSubplanFuzzTest, OverlappingSubformulasAgree) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::string trace = "seed=" + std::to_string(seed);
+  SCOPED_TRACE(trace);
+  // Both constraints contain the subplans "once[0, 5] Q(a)" and
+  // "previous P(a)"; the surrounding formulas differ.
+  const std::vector<std::pair<std::string, std::string>> registered = {
+      {"lhs_p", "forall a: P(a) implies once[0, 5] Q(a) or previous P(a)"},
+      {"lhs_r",
+       "forall a, b: R(a, b) implies once[0, 5] Q(a) or previous P(a)"}};
+
+  auto unshared = MakeSharingMonitor(registered, false, 1);
+  auto shared = MakeSharingMonitor(registered, true, 8);
+
+  const std::vector<ConstraintStats> stats = shared->Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].shared_subplans, 0u);
+  // The second engine coalesces both temporal nodes but not the verdict.
+  EXPECT_EQ(stats[1].shared_subplans, 2u);
+
+  Timestamp t = 0;
+  for (int step = 0; step < 12; ++step) {
+    t += rng.UniformInt(1, 3);
+    UpdateBatch batch = RandomDelta(&rng, t);
+    auto v_unshared = Unwrap(unshared->ApplyUpdate(batch));
+    auto v_shared = Unwrap(shared->ApplyUpdate(batch));
+    ASSERT_EQ(Render(v_unshared), Render(v_shared))
+        << trace << " diverges at t=" << t;
+  }
+
+  // Drop the first-registered constraint on both sides; the shared node
+  // must keep advancing for the survivor.
+  RTIC_ASSERT_OK(unshared->UnregisterConstraint("lhs_p"));
+  RTIC_ASSERT_OK(shared->UnregisterConstraint("lhs_p"));
+  for (int step = 0; step < 8; ++step) {
+    t += rng.UniformInt(1, 3);
+    UpdateBatch batch = RandomDelta(&rng, t);
+    auto v_unshared = Unwrap(unshared->ApplyUpdate(batch));
+    auto v_shared = Unwrap(shared->ApplyUpdate(batch));
+    ASSERT_EQ(Render(v_unshared), Render(v_shared))
+        << trace << " post-unregister diverges at t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedSubplanFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
 // ---- erroring engines --------------------------------------------------------
 
 /// Holds on every transition except call number `fail_at`, which errors.

@@ -251,6 +251,78 @@ TEST_P(MonitorTest, UnregisterStopsChecking) {
       monitor.RegisterConstraint("never", "forall a: P(a) implies false"));
 }
 
+// The shared-subplan pass must coalesce known-identical temporal subplans
+// across constraints and report the count through ConstraintStats.
+TEST(MonitorSharingTest, CoalescesKnownIdenticalSubplans) {
+  MonitorOptions options;  // shared_subplans defaults to true
+  ConstraintMonitor monitor(options);
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(monitor.CreateTable("Q", IntSchema({"a"})));
+  // Both constraints contain the identical subplan "once[0, 5] Q(a)"; the
+  // second also duplicates the first's "previous P(a)".
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "c1", "forall a: P(a) implies once[0, 5] Q(a) or previous P(a)"));
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "c2", "forall a: Q(a) implies once[0, 5] Q(a) or previous P(a)"));
+  // An exact duplicate of c1 additionally coalesces the verdict.
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "c3", "forall a: P(a) implies once[0, 5] Q(a) or previous P(a)"));
+
+  const std::vector<ConstraintStats> stats = monitor.Stats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].shared_subplans, 0u);  // first acquirer owns everything
+  EXPECT_EQ(stats[1].shared_subplans, 2u);  // once + previous nodes
+  EXPECT_EQ(stats[2].shared_subplans, 3u);  // both nodes + the verdict
+
+  // Sharing stays correct through actual transitions.
+  UpdateBatch b1(1);
+  b1.Insert("P", T(I(1)));
+  EXPECT_EQ(Unwrap(monitor.ApplyUpdate(b1)).size(), 2u);  // c1 and c3
+  UpdateBatch b2(2);
+  b2.Insert("Q", T(I(1)));
+  EXPECT_TRUE(Unwrap(monitor.ApplyUpdate(b2)).empty());
+}
+
+TEST(MonitorSharingTest, SharingOffKeepsEnginesPrivate) {
+  MonitorOptions options;
+  options.shared_subplans = false;
+  ConstraintMonitor monitor(options);
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "c1", "forall a: P(a) implies once[0, 5] P(a)"));
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "c2", "forall a: P(a) implies once[0, 5] P(a)"));
+  for (const ConstraintStats& s : monitor.Stats()) {
+    EXPECT_EQ(s.shared_subplans, 0u) << s.name;
+  }
+}
+
+// Constraints registered mid-stream have seen a shorter history, so they
+// must NOT coalesce with engines registered at an earlier epoch — their
+// auxiliary state legitimately differs.
+TEST(MonitorSharingTest, LateRegistrationDoesNotCoalesce) {
+  ConstraintMonitor monitor;
+  RTIC_ASSERT_OK(monitor.CreateTable("P", IntSchema({"a"})));
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "early", "forall a: P(a) implies once[0, 100] P(a)"));
+  UpdateBatch b1(1);
+  b1.Insert("P", T(I(1)));
+  EXPECT_TRUE(Unwrap(monitor.ApplyUpdate(b1)).empty());
+
+  RTIC_ASSERT_OK(monitor.RegisterConstraint(
+      "late", "forall a: P(a) implies once[0, 100] P(a)"));
+  const std::vector<ConstraintStats> stats = monitor.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[1].shared_subplans, 0u) << "late registrant must not "
+                                             "coalesce across epochs";
+
+  // Both engines keep checking independently after the late registration.
+  UpdateBatch b2(2);
+  b2.Delete("P", T(I(1)));
+  b2.Insert("P", T(I(2)));
+  EXPECT_TRUE(Unwrap(monitor.ApplyUpdate(b2)).empty());
+}
+
 TEST(MonitorOptionsTest, EngineKindNames) {
   EXPECT_STREQ(EngineKindToString(EngineKind::kIncremental), "incremental");
   EXPECT_STREQ(EngineKindToString(EngineKind::kNaive), "naive");

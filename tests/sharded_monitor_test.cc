@@ -388,6 +388,28 @@ TEST(ShardedMonitorTest, StatsAggregateAcrossShards) {
   EXPECT_EQ(sharded->TotalStorageRows(), reference->TotalStorageRows());
 }
 
+// Regression test: last_check_micros is a wall time, and shard checks run
+// concurrently, so the aggregate must be the max across shards — never the
+// sum. The old summing aggregation could report a "last check" larger than
+// the worst check ever measured (max_check_micros), an impossible reading;
+// the invariant below can never trip with the max aggregation.
+TEST(ShardedMonitorTest, LastCheckMicrosNeverExceedsMax) {
+  workload::PayrollParams params;
+  params.length = 60;
+  params.num_employees = 200;  // enough per-shard work for nonzero timings
+  const auto w = workload::MakePayrollWorkload(params);
+
+  auto sharded = Unwrap(ShardedMonitor::Create(4));
+  SetupWorkload(sharded.get(), w);
+  for (const UpdateBatch& batch : w.batches) {
+    (void)Unwrap(sharded->ApplyUpdate(batch));
+    for (const ConstraintStats& s : sharded->Stats()) {
+      ASSERT_LE(s.last_check_micros, s.max_check_micros) << s.name;
+      ASSERT_LE(s.max_check_micros, s.total_check_micros) << s.name;
+    }
+  }
+}
+
 // ---- server integration --------------------------------------------------
 
 TEST(ShardedServerTest, HelloShardCountRoundTrip) {

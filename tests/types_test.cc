@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "tests/test_util.h"
+#include "types/intern.h"
 #include "types/schema.h"
 #include "types/tuple.h"
 #include "types/value.h"
@@ -158,6 +159,120 @@ TEST(TupleTest, ToString) {
   EXPECT_EQ(T(I(1), S("a")).ToString(), "(1, 'a')");
   EXPECT_EQ(Tuple{}.ToString(), "()");
 }
+
+// ---- Tuple copy-on-write ---------------------------------------------------
+
+TEST(TupleCowTest, CopiesShareStorage) {
+  Tuple a = T(I(1), S("x"));
+  Tuple b = a;  // O(1): bumps the shared refcount
+  EXPECT_EQ(&a.at(0), &b.at(0));
+  EXPECT_EQ(a, b);
+}
+
+TEST(TupleCowTest, HashIsCachedAndStable) {
+  Tuple a = T(I(7), S("abc"), B(true));
+  const std::size_t h = TupleHash{}(a);
+  EXPECT_EQ(TupleHash{}(a), h);
+  Tuple b = a;
+  EXPECT_EQ(TupleHash{}(b), h);  // the cache rides along with the rep
+  // A structurally equal but independently built tuple hashes the same.
+  EXPECT_EQ(TupleHash{}(T(I(7), S("abc"), B(true))), h);
+}
+
+TEST(TupleCowTest, EqualityShortcutsDoNotChangeSemantics) {
+  Tuple a = T(I(1), I(2));
+  Tuple same_rep = a;
+  Tuple equal = T(I(1), I(2));
+  Tuple differs = T(I(1), I(3));
+  EXPECT_EQ(a, same_rep);
+  EXPECT_EQ(a, equal);
+  EXPECT_NE(a, differs);
+  // Force both hashes into the cache, then compare again: the
+  // different-cached-hash shortcut must agree with elementwise equality.
+  (void)TupleHash{}(a);
+  (void)TupleHash{}(differs);
+  (void)TupleHash{}(equal);
+  EXPECT_EQ(a, equal);
+  EXPECT_NE(a, differs);
+}
+
+TEST(TupleCowTest, DefaultTupleIsEmpty) {
+  Tuple t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t, Tuple{});
+  EXPECT_EQ(TupleHash{}(t), TupleHash{}(Tuple{}));
+}
+
+// ---- TuplePool -------------------------------------------------------------
+
+TEST(TuplePoolTest, InterningDeduplicates) {
+  TuplePool pool;
+  Tuple a = pool.Intern(T(I(1), S("x")));
+  Tuple b = pool.Intern(T(I(1), S("x")));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(&a.at(0), &b.at(0));  // same rep: equality is pointer-cheap
+  EXPECT_EQ(pool.size(), 1u);
+  Tuple c = pool.Intern(T(I(1), S("y")));
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(TuplePoolTest, SpanInterningMatchesTupleInterning) {
+  TuplePool pool;
+  const Value v0 = I(42);
+  const Value v1 = S("k");
+  const Value* span[] = {&v0, &v1};
+  Tuple a = pool.Intern(span, 2);
+  Tuple b = pool.Intern(T(I(42), S("k")));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(&a.at(0), &b.at(0));
+  EXPECT_EQ(pool.size(), 1u);
+  // Interned tuples carry a precomputed hash equal to the ordinary one.
+  EXPECT_EQ(TupleHash{}(a), TupleHash{}(T(I(42), S("k"))));
+}
+
+TEST(TuplePoolTest, EmptyTuple) {
+  TuplePool pool;
+  Tuple a = pool.Intern(nullptr, 0);
+  EXPECT_EQ(a, Tuple{});
+  EXPECT_EQ(TupleHash{}(a), TupleHash{}(Tuple{}));
+}
+
+TEST(TuplePoolTest, SurvivesUseInUnorderedSet) {
+  TuplePool pool;
+  std::unordered_set<Tuple, TupleHash> set;
+  for (int i = 0; i < 100; ++i) {
+    set.insert(pool.Intern(T(I(i % 10), I(i % 7))));
+  }
+  EXPECT_EQ(set.size(), 70u);  // 10 x 7 distinct pairs
+  EXPECT_LE(pool.size(), 70u);
+}
+
+// ---- Default-Value sentinel ------------------------------------------------
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(ValueSentinelDeathTest, ComparingDefaultConstructedValueAsserts) {
+  // A default-constructed Value is a placeholder, not Int64(0); using one
+  // in comparison or hashing is a latent bug the debug build traps.
+  EXPECT_DEATH(
+      {
+        Value v;
+        Value w = Value::Int64(0);
+        bool eq = (v == w);
+        (void)eq;
+      },
+      "default-constructed Value");
+}
+
+TEST(ValueSentinelDeathTest, HashingDefaultConstructedValueAsserts) {
+  EXPECT_DEATH(
+      {
+        Value v;
+        (void)v.Hash();
+      },
+      "default-constructed Value");
+}
+#endif  // !NDEBUG && GTEST_HAS_DEATH_TEST
 
 // Parameterized sweep: hashing and ordering are consistent for every type.
 class ValueRoundTripTest : public ::testing::TestWithParam<Value> {};
