@@ -1,0 +1,188 @@
+// E18 — columnar anchor store: steady-state once/since transition cost as a
+// function of LIVE valuation count.
+//
+// The former representation pruned every valuation and rebuilt the node's
+// current relation from scratch on every transition — O(live state) — so
+// steady-state cost grew with how much state was merely alive. The columnar
+// store (dictionary + timestamp arena + expiry/maturity wheel) visits only
+// the slots that were mutated or whose wheel deadline arrived — O(changed).
+//
+// Series:
+//   * ColumnarTransition/live:N/churn:C — one store transition appending C
+//     anchors among N live valuations (window [0, 1e9], lo = 0: nothing
+//     expires during the run, the adversarial shape for the old layout).
+//     Reports allocations per transition.
+//   * MapTransition/live:N/churn:C — the SAME work on the pre-columnar
+//     representation, replayed literally: unordered_map append, prune every
+//     entry, rebuild the current relation from scratch.
+//   * EngineSteadyState/live:N — end-to-end IncrementalEngine transitions
+//     with N live anchors and a small churn set, the shape E2/E6 measure.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/alloc_counter.h"
+#include "bench/bench_util.h"
+#include "common/interval.h"
+#include "engines/incremental/anchor_store.h"
+#include "engines/incremental/engine.h"
+#include "engines/incremental/pruning.h"
+#include "ra/relation.h"
+#include "storage/database.h"
+#include "tl/parser.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace rtic {
+namespace {
+
+std::vector<Column> ValCols() {
+  return {Column{"a", ValueType::kInt64}};
+}
+
+Tuple Val(std::int64_t i) { return Tuple{Value::Int64(i)}; }
+
+// No expiry, no maturity: every transition's work should be the churn set.
+const TimeInterval kWideWindow(0, 1'000'000'000);
+
+void BM_E18_ColumnarTransition(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t churn = state.range(1);
+
+  inc::AnchorStore store;
+  store.Configure(kWideWindow, PruningPolicy::kFull);
+  Relation current(ValCols());
+  Timestamp t = 1;
+  for (std::int64_t i = 0; i < n; ++i) store.Append(Val(i), t);
+  store.Advance(t, &current);
+
+  std::int64_t next = 0;
+  std::uint64_t transitions = 0;
+  const std::uint64_t allocs_before = bench::AllocCount();
+  for (auto _ : state) {
+    ++t;
+    for (std::int64_t c = 0; c < churn; ++c) {
+      store.Append(Val(next++ % n), t);
+    }
+    inc::AnchorStore::Delta delta = store.Advance(t, &current);
+    benchmark::DoNotOptimize(delta);
+    ++transitions;
+  }
+  state.counters["live"] = static_cast<double>(store.valuations());
+  state.counters["current_rows"] = static_cast<double>(current.size());
+  if (transitions > 0) {
+    state.counters["allocs_per_transition"] = static_cast<double>(
+        (bench::AllocCount() - allocs_before) / transitions);
+  }
+}
+
+BENCHMARK(BM_E18_ColumnarTransition)
+    ->ArgNames({"live", "churn"})
+    ->Args({1'000, 64})
+    ->Args({10'000, 64})
+    ->Args({100'000, 64})
+    ->Args({10'000, 1'250})
+    ->Args({100'000, 12'500})
+    ->Unit(benchmark::kMicrosecond);
+
+// The pre-columnar per-transition tail, replayed literally: append into the
+// map, prune EVERY valuation, rebuild the current relation from scratch.
+void BM_E18_MapTransition(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t churn = state.range(1);
+
+  std::unordered_map<Tuple, std::vector<Timestamp>, TupleHash> anchors;
+  Relation current(ValCols());
+  Timestamp t = 1;
+  for (std::int64_t i = 0; i < n; ++i) anchors[Val(i)].push_back(t);
+
+  std::int64_t next = 0;
+  for (auto _ : state) {
+    ++t;
+    for (std::int64_t c = 0; c < churn; ++c) {
+      anchors[Val(next++ % n)].push_back(t);
+    }
+    Relation fresh(ValCols());
+    for (auto it = anchors.begin(); it != anchors.end();) {
+      PruneTimestamps(&it->second, t, kWideWindow, PruningPolicy::kFull);
+      if (it->second.empty()) {
+        it = anchors.erase(it);
+        continue;
+      }
+      if (AnyInWindow(it->second, t, kWideWindow)) {
+        fresh.InsertUnchecked(it->first);
+      }
+      ++it;
+    }
+    current = std::move(fresh);
+    benchmark::DoNotOptimize(current);
+  }
+  state.counters["live"] = static_cast<double>(anchors.size());
+  state.counters["current_rows"] = static_cast<double>(current.size());
+}
+
+BENCHMARK(BM_E18_MapTransition)
+    ->ArgNames({"live", "churn"})
+    ->Args({1'000, 64})
+    ->Args({10'000, 64})
+    ->Args({100'000, 64})
+    ->Args({10'000, 1'250})
+    ->Args({100'000, 12'500})
+    ->Unit(benchmark::kMicrosecond);
+
+// End-to-end: an incremental engine holding N live anchors processes
+// transitions that touch only a 64-valuation churn set.
+void BM_E18_EngineSteadyState(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::string text =
+      "forall a: P(a) implies once[0, 1000000000] Q(a)";
+  tl::PredicateCatalog catalog;
+  catalog["P"] = Schema({Column{"a", ValueType::kInt64}});
+  catalog["Q"] = Schema({Column{"a", ValueType::kInt64}});
+  tl::FormulaPtr formula =
+      bench::CheckOk(tl::ParseFormula(text), "parse");
+  auto engine = bench::CheckOk(
+      IncrementalEngine::Create(*formula, catalog), "create");
+
+  Database bulk;
+  bench::CheckOk(bulk.CreateTable("P", catalog["P"]), "table P");
+  bench::CheckOk(bulk.CreateTable("Q", catalog["Q"]), "table Q");
+  Table* q = bench::CheckOk(bulk.GetMutableTable("Q"), "Q");
+  for (std::int64_t i = 0; i < n; ++i) {
+    bench::CheckOk(q->Insert(Val(i)).status(), "insert");
+  }
+  Timestamp t = 1;
+  bench::CheckOk(engine->OnTransition(bulk, t).status(), "bulk transition");
+
+  Database hot;
+  bench::CheckOk(hot.CreateTable("P", catalog["P"]), "table P");
+  bench::CheckOk(hot.CreateTable("Q", catalog["Q"]), "table Q");
+  Table* hq = bench::CheckOk(hot.GetMutableTable("Q"), "Q");
+  for (std::int64_t i = 0; i < 64 && i < n; ++i) {
+    bench::CheckOk(hq->Insert(Val(i)).status(), "insert");
+  }
+
+  for (auto _ : state) {
+    ++t;
+    bool holds =
+        bench::CheckOk(engine->OnTransition(hot, t), "transition");
+    benchmark::DoNotOptimize(holds);
+  }
+  state.counters["aux_valuations"] =
+      static_cast<double>(engine->AuxValuationCount());
+  state.counters["aux_anchors"] =
+      static_cast<double>(engine->AuxTimestampCount());
+}
+
+BENCHMARK(BM_E18_EngineSteadyState)
+    ->ArgNames({"live"})
+    ->Args({1'000})
+    ->Args({10'000})
+    ->Args({100'000})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rtic

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Repo-wide verification: the tier-1 suite, an AddressSanitizer pass over
 # the unit, fuzz, and fault ctest labels, an ASan+UBSan pass over the
-# checkpoint and shard labels plus a bench_e13_checkpoint smoke (the
-# codec and delta-chain paths do the bit-level byte banging most likely
-# to trip UB; the shard label's merge paths shuffle Violation vectors
-# across monitors), a ThreadSanitizer pass over the parallel, fault,
-# replication, server, and shard labels (group commit, the crash
+# checkpoint, shard, and anchor labels plus a bench_e13_checkpoint smoke
+# (the codec and delta-chain paths do the bit-level byte banging most
+# likely to trip UB; the shard label's merge paths shuffle Violation
+# vectors across monitors; the anchor label hammers the columnar store's
+# span arithmetic), a ThreadSanitizer pass over the parallel, fault,
+# replication, server, shard, and anchor labels (group commit, the crash
 # matrices, the background shipper thread, the multi-session TCP server,
-# and the sharded monitor's fan-out pool are the concurrency-heavy
-# paths), and a perf-regression gate over the two newest BENCH_*.json
+# the sharded monitor's fan-out pool, and the shared-subplan lockstep
+# protocol are the concurrency-heavy paths), and a perf-regression gate
+# over the two newest BENCH_*.json
 # files from scripts/bench.sh (skipped until two runs exist).
 #
 #   scripts/check.sh           # full run (tier-1 + asan + asan+ubsan + tsan)
@@ -98,17 +100,17 @@ cmake -B build-asan -S . -DRTIC_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" -L 'unit|fuzz|fault')
 
-echo "== asan+ubsan: checkpoint + shard labels + bench_e13 smoke (build-asan-ubsan/) =="
+echo "== asan+ubsan: checkpoint + shard + anchor labels + bench_e13 smoke (build-asan-ubsan/) =="
 cmake -B build-asan-ubsan -S . -DRTIC_SANITIZE=address+undefined >/dev/null
 cmake --build build-asan-ubsan -j "$JOBS"
-(cd build-asan-ubsan && ctest --output-on-failure -j "$JOBS" -L 'checkpoint|shard')
+(cd build-asan-ubsan && ctest --output-on-failure -j "$JOBS" -L 'checkpoint|shard|anchor')
 # A 30-second cap keeps the smoke cheap: one small-state full-vs-delta pair
 # is enough to drive the codec, the delta writer, and chain recovery under
 # both sanitizers. Codec or chain regressions fail fast here.
 timeout 30 ./build-asan-ubsan/bench/bench_e13_checkpoint \
   --benchmark_filter='state:1000'
 
-echo "== tsan: parallel + fault + replication + server + shard labels (build-tsan/) =="
+echo "== tsan: parallel + fault + replication + server + shard + anchor labels (build-tsan/) =="
 cmake -B build-tsan -S . -DRTIC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # TSan slows the exhaustive crash matrices ~10x; subsample their fault
@@ -117,6 +119,6 @@ cmake --build build-tsan -j "$JOBS"
 # tier-1 run above.
 (cd build-tsan && RTIC_MATRIX_STRIDE=7 \
   ctest --output-on-failure -j "$JOBS" \
-  -L 'parallel|fault|replication|server|shard')
+  -L 'parallel|fault|replication|server|shard|anchor')
 
 echo "== ok =="

@@ -47,6 +47,14 @@ class CheckerEngine {
   /// space measure of experiment E2.
   virtual std::size_t StorageRows() const = 0;
 
+  /// Distinct valuations across the engine's temporal auxiliary tables.
+  /// 0 for engines without such tables (naive, response).
+  virtual std::size_t AuxValuationCount() const { return 0; }
+
+  /// Anchor timestamps retained across the engine's temporal auxiliary
+  /// tables (the bounded-history space measure). 0 when not applicable.
+  virtual std::size_t AuxTimestampCount() const { return 0; }
+
   /// Number of subplan handles this engine shares with engines registered
   /// earlier (see inc::SubplanRegistry). 0 for engines without sharing.
   virtual std::size_t SharedSubplans() const { return 0; }

@@ -78,8 +78,13 @@ IncrementalEngine::IncrementalEngine(tl::FormulaPtr constraint,
       node->st.current = Relation(network_.nodes[i].columns);
       if (network_.nodes[i].node->kind() == FormulaKind::kPrevious) {
         node->st.prev_body = Relation(network_.nodes[i].columns);
+      } else {
+        ConfigureNodeStore(i, &node->st.anchors);
       }
     } else {
+      // Store configuration is a pure function of the sharing key (the
+      // policy and interval are part of it), so the first acquirer already
+      // configured it consistently.
       ++shared_subplans_;
     }
     states_.push_back(std::move(node));
@@ -95,6 +100,22 @@ IncrementalEngine::IncrementalEngine(tl::FormulaPtr constraint,
   } else {
     domain_ = std::make_shared<inc::SharedDomain>();
     verdict_ = std::make_shared<inc::SharedVerdict>();
+  }
+}
+
+void IncrementalEngine::ConfigureNodeStore(std::size_t i,
+                                           inc::AnchorStore* store) const {
+  const inc::CompiledNode& cn = network_.nodes[i];
+  store->Configure(cn.node->interval(), options_.pruning);
+  if (cn.node->kind() == FormulaKind::kSince) {
+    // When the lhs binds exactly the node's columns, the projection is the
+    // identity and anchor valuations can be probed directly (cached hash,
+    // shared payload — no per-entry allocation).
+    bool identity = cn.lhs_projection.size() == cn.columns.size();
+    for (std::size_t c = 0; identity && c < cn.lhs_projection.size(); ++c) {
+      if (cn.lhs_projection[c] != c) identity = false;
+    }
+    store->ConfigureSince(cn.lhs_projection, identity);
   }
 }
 
@@ -121,26 +142,22 @@ Status IncrementalEngine::UpdateNode(std::size_t i, const Database& state,
   inc::NodeState& ns = states_[i]->st;
   fo::EvalContext ctx = ContextFor(state);
 
-  // Under delta tracking, dirty bits are set by comparing each relation
-  // against its pre-transition snapshot. Mutation-based tracking would
-  // over-report (and, worse, could never be trusted to under-report): an
-  // anchor appended this transition and pruned away in the same pass leaves
-  // the map exactly as it was. No path below reads ns.current before
-  // overwriting it (a node's body only resolves strictly earlier nodes),
-  // so the old relation can be moved out.
-  Relation old_current = std::move(ns.current);
-  AnchorMap anchors_before;
-  if (delta_tracking_) anchors_before = ns.anchors;
-
   switch (cn.node->kind()) {
     case FormulaKind::kPrevious: {
       // Current satisfaction: the body held at the previous state and the
-      // clock gap lies in the interval.
+      // clock gap lies in the interval. Dirty bits come from comparing
+      // against the pre-transition snapshot (cheap here: the compare hits
+      // the shared-storage shortcut whenever nothing changed). No path
+      // below reads ns.current before overwriting it (a node's body only
+      // resolves strictly earlier nodes), so the old relation can be moved
+      // out.
+      Relation old_current = std::move(ns.current);
       if (has_prev_ && cn.node->interval().Contains(t - prev_time_)) {
         ns.current = ns.prev_body;
       } else {
         ns.current = Relation(cn.columns);
       }
+      ++ns.current_version;  // conservative: content may be unchanged
       // Remember the body's satisfaction *now* for the next transition.
       Result<Relation> body_now = fo::Evaluate(cn.node->child(0), ctx);
       if (!body_now.ok()) return body_now.status();
@@ -154,9 +171,7 @@ Status IncrementalEngine::UpdateNode(std::size_t i, const Database& state,
     case FormulaKind::kOnce: {
       Result<Relation> body_now = fo::Evaluate(cn.node->child(0), ctx);
       if (!body_now.ok()) return body_now.status();
-      for (const Tuple& row : body_now->rows()) {
-        ns.anchors[row].push_back(t);
-      }
+      for (const Tuple& row : body_now->rows()) ns.anchors.Append(row, t);
       break;
     }
     case FormulaKind::kSince: {
@@ -164,61 +179,28 @@ Status IncrementalEngine::UpdateNode(std::size_t i, const Database& state,
       // holding for its valuation. New anchors need only the rhs now.
       Result<Relation> lhs_now = fo::Evaluate(cn.node->child(0), ctx);
       if (!lhs_now.ok()) return lhs_now.status();
-      // When the lhs binds exactly the node's columns, the projection is
-      // the identity and the anchor valuation can be probed directly
-      // (cached hash, shared payload — no per-entry allocation).
-      bool identity_proj = cn.lhs_projection.size() == cn.columns.size();
-      for (std::size_t c = 0; identity_proj && c < cn.lhs_projection.size();
-           ++c) {
-        if (cn.lhs_projection[c] != c) identity_proj = false;
-      }
-      std::vector<Value> proj;
-      for (auto it = ns.anchors.begin(); it != ns.anchors.end();) {
-        bool survives;
-        if (identity_proj) {
-          survives = lhs_now->Contains(it->first);
-        } else {
-          proj.clear();
-          proj.reserve(cn.lhs_projection.size());
-          for (std::size_t c : cn.lhs_projection) {
-            proj.push_back(it->first.at(c));
-          }
-          survives = lhs_now->Contains(Tuple(std::move(proj)));
-          proj = std::vector<Value>();
-        }
-        if (survives) {
-          ++it;
-        } else {
-          it = ns.anchors.erase(it);
-        }
-      }
+      ns.anchors.FilterSurvivors(*lhs_now, &ns.current);
       Result<Relation> rhs_now = fo::Evaluate(cn.node->child(1), ctx);
       if (!rhs_now.ok()) return rhs_now.status();
-      for (const Tuple& row : rhs_now->rows()) {
-        ns.anchors[row].push_back(t);
-      }
+      for (const Tuple& row : rhs_now->rows()) ns.anchors.Append(row, t);
       break;
     }
     default:
       return Status::Internal("UpdateNode on non-temporal node");
   }
 
-  // Shared once/since tail: prune anchors and publish the current relation.
-  ns.current = Relation(cn.columns);
-  for (auto it = ns.anchors.begin(); it != ns.anchors.end();) {
-    PruneTimestamps(&it->second, t, cn.node->interval(), options_.pruning);
-    if (it->second.empty()) {
-      it = ns.anchors.erase(it);
-      continue;
-    }
-    if (AnyInWindow(it->second, t, cn.node->interval())) {
-      ns.current.InsertUnchecked(it->first);
-    }
-    ++it;
-  }
-  if (delta_tracking_) {
-    if (!(ns.current == old_current)) ns.current_dirty = true;
-    if (!(ns.anchors == anchors_before)) ns.anchors_dirty = true;
+  // Shared once/since tail: the store visits the slots mutated above plus
+  // those whose expiry/maturity deadline arrived, prunes their spans, and
+  // applies membership insert/erase deltas to ns.current in place — so the
+  // published relation keeps its row storage (and cached join indexes)
+  // across transitions. The store's mutation flags fire only on actual
+  // content changes, so the dirty bits below agree with the old
+  // compare-against-snapshot while costing O(changed), not O(live state).
+  inc::AnchorStore::Delta delta = ns.anchors.Advance(t, &ns.current);
+  if (delta.anchors_changed) ns.anchors_dirty = true;
+  if (delta.current_changed) {
+    ns.current_dirty = true;
+    ++ns.current_version;
   }
   return Status::OK();
 }
@@ -317,18 +299,15 @@ std::size_t IncrementalEngine::StorageRows() const {
 }
 
 std::size_t IncrementalEngine::AuxTimestampCount() const {
+  // O(nodes): the stores maintain their counts.
   std::size_t n = 0;
-  for (const auto& node : states_) {
-    for (const auto& [valuation, timestamps] : node->st.anchors) {
-      n += timestamps.size();
-    }
-  }
+  for (const auto& node : states_) n += node->st.anchors.timestamps();
   return n;
 }
 
 std::size_t IncrementalEngine::AuxValuationCount() const {
   std::size_t n = 0;
-  for (const auto& node : states_) n += node->st.anchors.size();
+  for (const auto& node : states_) n += node->st.anchors.valuations();
   return n;
 }
 
@@ -362,8 +341,6 @@ constexpr char kCheckpointMagic[] = "RTICINC1";
 // absorbed since the last save, applied on top of the parent's state.
 constexpr char kDeltaMagic[] = "RTICINCD1";
 
-using AnchorMapT = inc::NodeState::AnchorMap;
-
 void WriteRows(StateWriter* w, const Relation& rel) {
   w->WriteSize(rel.size());
   for (const Tuple& row : rel.SortedRows()) w->WriteTuple(row);
@@ -374,46 +351,6 @@ Status ReadRowsInto(StateReader* r, Relation* rel) {
   for (std::int64_t i = 0; i < rows; ++i) {
     RTIC_ASSIGN_OR_RETURN(Tuple row, r->ReadTuple());
     RTIC_RETURN_IF_ERROR(rel->Insert(std::move(row)));
-  }
-  return Status::OK();
-}
-
-// The anchor map is unordered; serialize entries sorted by valuation so
-// equal states always checkpoint to identical bytes, regardless of the
-// insertion history that produced them (live run vs. restore + replay).
-void WriteAnchors(StateWriter* w, const AnchorMapT& anchors) {
-  std::vector<const AnchorMapT::value_type*> sorted;
-  sorted.reserve(anchors.size());
-  for (const auto& entry : anchors) sorted.push_back(&entry);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
-  w->WriteSize(sorted.size());
-  for (const auto* entry : sorted) {
-    w->WriteTuple(entry->first);
-    w->WriteSize(entry->second.size());
-    for (Timestamp ts : entry->second) w->WriteInt(ts);
-  }
-}
-
-Status ReadAnchorsInto(StateReader* r, AnchorMapT* anchors) {
-  RTIC_ASSIGN_OR_RETURN(std::int64_t anchor_count, r->ReadInt());
-  for (std::int64_t i = 0; i < anchor_count; ++i) {
-    RTIC_ASSIGN_OR_RETURN(Tuple valuation, r->ReadTuple());
-    RTIC_ASSIGN_OR_RETURN(std::int64_t ts_count, r->ReadInt());
-    std::vector<Timestamp> timestamps;
-    timestamps.reserve(static_cast<std::size_t>(std::max<std::int64_t>(
-        0, ts_count)));
-    Timestamp last = std::numeric_limits<Timestamp>::min();
-    for (std::int64_t k = 0; k < ts_count; ++k) {
-      RTIC_ASSIGN_OR_RETURN(Timestamp ts, r->ReadInt());
-      if (ts <= last) {
-        return Status::InvalidArgument(
-            "checkpoint anchor timestamps not ascending");
-      }
-      last = ts;
-      timestamps.push_back(ts);
-    }
-    anchors->emplace(std::move(valuation), std::move(timestamps));
   }
   return Status::OK();
 }
@@ -437,7 +374,10 @@ Result<std::string> IncrementalEngine::SaveState() const {
     w.WriteSize(i);
     WriteRows(&w, ns.current);
     WriteRows(&w, ns.prev_body);
-    WriteAnchors(&w, ns.anchors);
+    // Sorted by valuation (EncodeSorted), so equal states checkpoint to
+    // identical bytes regardless of the slot history that produced them —
+    // and byte-identical to the former sorted anchor-map encoding.
+    ns.anchors.EncodeSorted(&w);
   }
   return w.str();
 }
@@ -481,7 +421,8 @@ Status IncrementalEngine::LoadState(const std::string& data) {
     RTIC_RETURN_IF_ERROR(ReadRowsInto(&r, &ns.current));
     ns.prev_body = Relation(cn.columns);
     RTIC_RETURN_IF_ERROR(ReadRowsInto(&r, &ns.prev_body));
-    RTIC_RETURN_IF_ERROR(ReadAnchorsInto(&r, &ns.anchors));
+    ConfigureNodeStore(static_cast<std::size_t>(n), &ns.anchors);
+    RTIC_RETURN_IF_ERROR(ns.anchors.DecodeReplace(&r));
   }
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in checkpoint");
@@ -496,6 +437,12 @@ Status IncrementalEngine::LoadState(const std::string& data) {
   domain_->tracker = std::move(domain);
   has_prev_ = has_prev != 0;
   prev_time_ = prev_time;
+  // The checkpointed tables are canonical at prev_time_ (the saver pruned
+  // them there), so rebuilding membership flags and wheel deadlines at the
+  // same instant reproduces the saver's derived state exactly.
+  for (const auto& node : states_) {
+    node->st.anchors.Rehydrate(prev_time_, node->st.current);
+  }
   scratch_.InvalidateDomain();
   MarkStateSaved();  // the restored state is the new delta baseline
   return Status::OK();
@@ -579,7 +526,7 @@ Result<std::string> IncrementalEngine::SaveStateDelta() const {
     w.WriteInt(flags);
     if (flags & 1) WriteRows(&w, ns.current);
     if (flags & 2) WriteRows(&w, ns.prev_body);
-    if (flags & 4) WriteAnchors(&w, ns.anchors);
+    if (flags & 4) ns.anchors.EncodeSorted(&w);
   }
   return w.str();
 }
@@ -631,7 +578,7 @@ Status IncrementalEngine::LoadStateDelta(const std::string& data) {
     std::int64_t flags = 0;
     Relation current;
     Relation prev_body;
-    AnchorMap anchors;
+    inc::AnchorStore anchors;
   };
   std::vector<Entry> entries;
   std::int64_t prev_idx = -1;
@@ -657,7 +604,8 @@ Status IncrementalEngine::LoadStateDelta(const std::string& data) {
       RTIC_RETURN_IF_ERROR(ReadRowsInto(&r, &e.prev_body));
     }
     if (e.flags & 4) {
-      RTIC_RETURN_IF_ERROR(ReadAnchorsInto(&r, &e.anchors));
+      ConfigureNodeStore(e.idx, &e.anchors);
+      RTIC_RETURN_IF_ERROR(e.anchors.DecodeReplace(&r));
     }
     entries.push_back(std::move(e));
   }
@@ -671,12 +619,29 @@ Status IncrementalEngine::LoadStateDelta(const std::string& data) {
   domain_->tracker.AbsorbValues(added_values);
   for (Entry& e : entries) {
     inc::NodeState& ns = states_[e.idx]->st;
-    if (e.flags & 1) ns.current = std::move(e.current);
+    if (e.flags & 1) {
+      ns.current = std::move(e.current);
+      ++ns.current_version;
+    }
     if (e.flags & 2) ns.prev_body = std::move(e.prev_body);
     if (e.flags & 4) ns.anchors = std::move(e.anchors);
   }
   has_prev_ = has_prev != 0;
   prev_time_ = prev_time;
+  // Re-derive store state for the nodes the delta touched. A replaced
+  // anchor table was canonical at the delta's save time (= prev_time_), so
+  // rebuilding its wheel there is exact. A node whose `current` changed but
+  // whose anchors did not keeps its queued absolute deadlines — they alone
+  // describe its pending prune events — and only refreshes its membership
+  // flags against the new relation. Untouched nodes change nothing.
+  for (const Entry& e : entries) {
+    inc::NodeState& ns = states_[e.idx]->st;
+    if (e.flags & 4) {
+      ns.anchors.Rehydrate(prev_time_, ns.current);
+    } else if (e.flags & 1) {
+      ns.anchors.ResetMembership(ns.current);
+    }
+  }
   MarkStateSaved();  // the chained state is the new delta baseline
   return Status::OK();
 }

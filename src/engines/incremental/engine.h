@@ -80,11 +80,12 @@ class IncrementalEngine : public CheckerEngine {
   std::size_t SharedSubplans() const override { return shared_subplans_; }
 
   /// Total anchor timestamps retained across all aux tables (space metric
-  /// for E2/E6; StorageRows also counts previous-node relations).
-  std::size_t AuxTimestampCount() const;
+  /// for E2/E6; StorageRows also counts previous-node relations). O(nodes):
+  /// the columnar stores maintain their counts.
+  std::size_t AuxTimestampCount() const override;
 
   /// Number of distinct valuations retained across all aux tables.
-  std::size_t AuxValuationCount() const;
+  std::size_t AuxValuationCount() const override;
 
   /// The compiled network (introspection for tests and DESIGN docs).
   const inc::CompiledNetwork& network() const { return network_; }
@@ -109,12 +110,13 @@ class IncrementalEngine : public CheckerEngine {
 
   // Delta checkpoints (see checker_engine.h for the protocol). Dirty
   // tracking is per node and per relation — `current`, `prev_body`, and the
-  // anchor map each carry their own bit — so a delta serializes only the
-  // relations that actually changed since the last MarkStateSaved(), plus
-  // the domain values absorbed since then. The comparison bookkeeping
-  // doubles per-transition anchor work, so it is off until
-  // BeginDeltaTracking(); without it SaveStateDelta() refuses rather than
-  // guess. LoadStateDelta also detaches from shared state first: a delta
+  // anchor table each carry their own bit. For once/since nodes the bits
+  // are driven by the anchor store's exact mutation flags (free — no
+  // snapshot-and-compare), so a delta serializes only the relations that
+  // actually changed since the last MarkStateSaved(), plus the domain
+  // values absorbed since then. SaveStateDelta() still refuses before
+  // BeginDeltaTracking(): without a baseline there is nothing to delta
+  // against. LoadStateDelta also detaches from shared state first: a delta
   // is not idempotent, so it must never apply to relations other sharers
   // still read.
   bool StateDirty() const override;
@@ -125,13 +127,15 @@ class IncrementalEngine : public CheckerEngine {
   void MarkStateSaved() override;
 
  private:
-  using AnchorMap = inc::NodeState::AnchorMap;
-
   IncrementalEngine(tl::FormulaPtr constraint, tl::Analysis analysis,
                     inc::CompiledNetwork network, IncrementalOptions options);
 
   fo::EvalContext ContextFor(const Database& state);
   Status UpdateNode(std::size_t i, const Database& state, Timestamp t);
+
+  /// Applies node i's interval / pruning policy / survivor projection to an
+  /// anchor store (a fresh node's, or one staged from a checkpoint).
+  void ConfigureNodeStore(std::size_t i, inc::AnchorStore* store) const;
 
   /// Replaces all shared handles with fresh private copies of the current
   /// content (checkpoint restore breaks the lockstep sharing invariant).

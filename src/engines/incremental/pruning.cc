@@ -4,43 +4,62 @@
 
 namespace rtic {
 
-void PruneTimestamps(std::vector<Timestamp>* timestamps, Timestamp now,
-                     const TimeInterval& interval, PruningPolicy policy) {
-  std::vector<Timestamp>& ts = *timestamps;
+SpanPrune PruneSpan(const Timestamp* ts, std::size_t len, Timestamp now,
+                    const TimeInterval& interval, PruningPolicy policy) {
+  SpanPrune out;
+  const Timestamp* end = ts + len;
 
   // Expiry: drop anchors strictly older than the window (finite b only).
+  const Timestamp* alive = ts;
   if (!interval.unbounded()) {
-    auto first_alive = std::lower_bound(ts.begin(), ts.end(),
-                                        now - interval.hi());
-    ts.erase(ts.begin(), first_alive);
+    alive = std::lower_bound(ts, end, now - interval.hi());
   }
-  if (policy == PruningPolicy::kExpiryOnly || ts.size() <= 1) return;
+  out.drop_front = static_cast<std::size_t>(alive - ts);
+  out.keep = static_cast<std::size_t>(end - alive);
+  if (policy == PruningPolicy::kExpiryOnly || out.keep <= 1) return out;
 
   if (interval.unbounded()) {
     // The earliest anchor dominates all later ones.
-    ts.erase(ts.begin() + 1, ts.end());
-    return;
+    out.keep = 1;
+    return out;
   }
 
   // Dominance: keep only the newest mature anchor (age >= lo) plus every
   // immature anchor. Ascending order => mature anchors form a prefix.
-  auto first_immature = std::upper_bound(ts.begin(), ts.end(),
-                                         now - interval.lo());
-  if (first_immature - ts.begin() >= 2) {
-    // Keep the last mature element only: erase [begin, first_immature - 1).
-    ts.erase(ts.begin(), first_immature - 1);
+  const Timestamp* first_immature =
+      std::upper_bound(alive, end, now - interval.lo());
+  std::size_t mature = static_cast<std::size_t>(first_immature - alive);
+  if (mature >= 2) {
+    // Keep the last mature element only: drop [alive, first_immature - 1).
+    out.drop_front += mature - 1;
+    out.keep -= mature - 1;
   }
+  return out;
 }
 
-bool AnyInWindow(const std::vector<Timestamp>& timestamps, Timestamp now,
-                 const TimeInterval& interval) {
+void PruneTimestamps(std::vector<Timestamp>* timestamps, Timestamp now,
+                     const TimeInterval& interval, PruningPolicy policy) {
+  std::vector<Timestamp>& ts = *timestamps;
+  SpanPrune p = PruneSpan(ts.data(), ts.size(), now, interval, policy);
+  ts.erase(ts.begin() + static_cast<std::ptrdiff_t>(p.drop_front + p.keep),
+           ts.end());
+  ts.erase(ts.begin(), ts.begin() + static_cast<std::ptrdiff_t>(p.drop_front));
+}
+
+bool AnyInWindowSpan(const Timestamp* ts, std::size_t len, Timestamp now,
+                     const TimeInterval& interval) {
   // Window of admissible anchors: [now - hi, now - lo].
   Timestamp lo_bound =
       interval.unbounded() ? std::numeric_limits<Timestamp>::min()
                            : now - interval.hi();
   Timestamp hi_bound = now - interval.lo();
-  auto it = std::lower_bound(timestamps.begin(), timestamps.end(), lo_bound);
-  return it != timestamps.end() && *it <= hi_bound;
+  const Timestamp* it = std::lower_bound(ts, ts + len, lo_bound);
+  return it != ts + len && *it <= hi_bound;
+}
+
+bool AnyInWindow(const std::vector<Timestamp>& timestamps, Timestamp now,
+                 const TimeInterval& interval) {
+  return AnyInWindowSpan(timestamps.data(), timestamps.size(), now, interval);
 }
 
 }  // namespace rtic

@@ -39,10 +39,32 @@ enum class PruningPolicy {
 void PruneTimestamps(std::vector<Timestamp>* timestamps, Timestamp now,
                      const TimeInterval& interval, PruningPolicy policy);
 
+/// Result of pruning an ascending run viewed in place: every prune under
+/// every policy removes a (possibly empty) prefix and, for the
+/// unbounded-upper-bound dominance case, truncates to a one-element run —
+/// so the survivors are always the contiguous slice
+/// [drop_front, drop_front + keep). This is what lets the columnar anchor
+/// store (anchor_store.h) prune a span by adjusting offsets without moving
+/// any timestamps.
+struct SpanPrune {
+  std::size_t drop_front = 0;  // elements removed from the front
+  std::size_t keep = 0;        // surviving run length
+};
+
+/// Computes PruneTimestamps' effect on the ascending run ts[0..len) without
+/// materializing a vector. PruneTimestamps is implemented on top of this,
+/// so the two can never disagree.
+SpanPrune PruneSpan(const Timestamp* ts, std::size_t len, Timestamp now,
+                    const TimeInterval& interval, PruningPolicy policy);
+
 /// True iff some anchor lies in the query window [now-hi, now-lo].
 /// `timestamps` must be ascending.
 bool AnyInWindow(const std::vector<Timestamp>& timestamps, Timestamp now,
                  const TimeInterval& interval);
+
+/// Span form of AnyInWindow over the ascending run ts[0..len).
+bool AnyInWindowSpan(const Timestamp* ts, std::size_t len, Timestamp now,
+                     const TimeInterval& interval);
 
 }  // namespace rtic
 

@@ -34,6 +34,7 @@
 
 #include "common/interval.h"
 #include "common/result.h"
+#include "engines/incremental/anchor_store.h"
 #include "ra/relation.h"
 #include "storage/domain_tracker.h"
 #include "types/tuple.h"
@@ -44,14 +45,15 @@ namespace inc {
 /// Mutable runtime state of one temporal node (parallel to the compiled
 /// network). See IncrementalEngine for the encoding per operator kind.
 struct NodeState {
-  /// Anchor map: valuation tuple (node columns) -> ascending timestamps.
-  using AnchorMap =
-      std::unordered_map<Tuple, std::vector<Timestamp>, TupleHash>;
-
-  Relation current;    // satisfaction at the current state
-  Relation prev_body;  // previous-state body satisfaction (kPrevious)
-  AnchorMap anchors;   // anchor timestamps (kOnce / kSince)
-  // Dirty-since-MarkStateSaved bits, maintained only under delta tracking.
+  Relation current;     // satisfaction at the current state
+  Relation prev_body;   // previous-state body satisfaction (kPrevious)
+  AnchorStore anchors;  // columnar anchor table (kOnce / kSince)
+  /// Bumped whenever `current`'s content changes (exact for once/since,
+  /// where publication is delta-driven; conservative for previous nodes).
+  /// Cheap change detection for observers holding a stale copy.
+  std::uint64_t current_version = 0;
+  // Dirty-since-MarkStateSaved bits; set by mutation, cleared by
+  // MarkStateSaved.
   bool current_dirty = false;
   bool prev_body_dirty = false;
   bool anchors_dirty = false;

@@ -551,6 +551,8 @@ std::vector<ConstraintStats> ConstraintMonitor::Stats() const {
     s.last_check_micros = c->last_check_micros;
     s.storage_rows = c->engine->StorageRows();
     s.shared_subplans = c->engine->SharedSubplans();
+    s.aux_valuations = c->engine->AuxValuationCount();
+    s.aux_anchors = c->engine->AuxTimestampCount();
     out.push_back(std::move(s));
   }
   return out;

@@ -38,6 +38,10 @@ struct ConstraintStats {
   std::size_t shared_subplans = 0;  // subplan handles coalesced with earlier
                                     // constraints (incremental engines with
                                     // sharing enabled; 0 otherwise)
+  std::size_t aux_valuations = 0;   // distinct valuations in temporal aux
+                                    // tables (0 for engines without them)
+  std::size_t aux_anchors = 0;      // anchor timestamps retained in temporal
+                                    // aux tables (bounded-history measure)
 
   /// Mean per-state check time in microseconds (0 before any state).
   double MeanCheckMicros() const {

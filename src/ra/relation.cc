@@ -100,6 +100,30 @@ void Relation::InsertUnchecked(Tuple row) {
   }
 }
 
+bool Relation::Erase(const Tuple& row) {
+  if (!rep_ || rep_->rows.find(row) == rep_->rows.end()) return false;
+  Rep& rep = MutableRep();  // may detach; re-find in the (possibly new) rep
+  auto it = rep.rows.find(row);
+  if (!rep.indexes.empty()) {
+    const Tuple* stored = &*it;
+    for (const auto& idx : rep.indexes) {
+      auto bucket = idx->buckets.find(HashTupleKey(*stored, idx->key));
+      if (bucket == idx->buckets.end()) continue;
+      auto& ptrs = bucket->second;
+      for (std::size_t i = 0; i < ptrs.size(); ++i) {
+        if (ptrs[i] == stored) {
+          ptrs[i] = ptrs.back();
+          ptrs.pop_back();
+          break;
+        }
+      }
+      if (ptrs.empty()) idx->buckets.erase(bucket);
+    }
+  }
+  rep.rows.erase(it);
+  return true;
+}
+
 const Relation::Index& Relation::GetIndex(
     const std::vector<std::size_t>& key) const {
   if (!rep_) return EmptyIndex();

@@ -81,9 +81,23 @@ class Relation {
   /// Adds a row without checking (hot path; caller guarantees conformance).
   void InsertUnchecked(Tuple row);
 
+  /// Removes a row if present; returns whether it was. Cached indexes are
+  /// maintained incrementally (the erased row's pointer is dropped from its
+  /// buckets), so long-lived relations mutated by insert/erase deltas — the
+  /// incremental engine's published `current` relations — keep their join
+  /// indexes hot instead of rebuilding them per transition.
+  bool Erase(const Tuple& row);
+
   bool Contains(const Tuple& row) const {
     return rep_ && rep_->rows.find(row) != rep_->rows.end();
   }
+
+  /// Identity of the shared row storage: two Relations with equal non-null
+  /// identities hold the same row set (copy-on-write guarantees a shared
+  /// Rep is never mutated in place). Holding a Relation copy pins the
+  /// identity — the pointer cannot be reused while the copy is alive. Null
+  /// for rowless relations.
+  const void* RowIdentity() const { return rep_.get(); }
 
   const std::unordered_set<Tuple, TupleHash>& rows() const {
     return rep_ ? rep_->rows : EmptyRows();

@@ -109,6 +109,8 @@ std::string EncodeStatsReply(const MonitorLike& monitor) {
     c.transitions = s.transitions;
     c.violations = s.violations;
     c.storage_rows = s.storage_rows;
+    c.aux_valuations = s.aux_valuations;
+    c.aux_anchors = s.aux_anchors;
     reply.constraints.push_back(std::move(c));
   }
   return Encode(MessageType::kStats, 0, "", EncodeStatsPayload(reply));
@@ -207,6 +209,8 @@ std::string EncodeStatsPayload(const StatsReply& stats) {
     w.WriteSize(c.transitions);
     w.WriteSize(c.violations);
     w.WriteSize(c.storage_rows);
+    w.WriteSize(c.aux_valuations);
+    w.WriteSize(c.aux_anchors);
   }
   return w.str();
 }
@@ -231,6 +235,10 @@ Result<StatsReply> DecodeStatsPayload(std::string_view payload) {
     c.violations = cv;
     RTIC_ASSIGN_OR_RETURN(std::size_t cs, ReadCount(&r, "storage row"));
     c.storage_rows = cs;
+    RTIC_ASSIGN_OR_RETURN(std::size_t av, ReadCount(&r, "aux valuation"));
+    c.aux_valuations = av;
+    RTIC_ASSIGN_OR_RETURN(std::size_t aa, ReadCount(&r, "aux anchor"));
+    c.aux_anchors = aa;
     stats.constraints.push_back(std::move(c));
   }
   if (!r.AtEnd()) return BadPayload("trailing bytes after stats");

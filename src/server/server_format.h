@@ -144,6 +144,8 @@ struct StatsReply {
     std::uint64_t transitions = 0;
     std::uint64_t violations = 0;
     std::uint64_t storage_rows = 0;
+    std::uint64_t aux_valuations = 0;
+    std::uint64_t aux_anchors = 0;
   };
   std::vector<ConstraintCounters> constraints;
 };

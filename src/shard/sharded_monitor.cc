@@ -382,6 +382,10 @@ std::vector<ConstraintStats> ShardedMonitor::Stats() const {
         s.storage_rows += it->second.storage_rows;
         s.shared_subplans =
             std::max(s.shared_subplans, it->second.shared_subplans);
+        // Each shard's aux tables cover its own key partition; the
+        // constraint's totals are their sums.
+        s.aux_valuations += it->second.aux_valuations;
+        s.aux_anchors += it->second.aux_anchors;
       }
     } else {
       auto it = coord_stats.find(e.name);
@@ -391,6 +395,8 @@ std::vector<ConstraintStats> ShardedMonitor::Stats() const {
         s.last_check_micros = it->second.last_check_micros;
         s.storage_rows = it->second.storage_rows;
         s.shared_subplans = it->second.shared_subplans;
+        s.aux_valuations = it->second.aux_valuations;
+        s.aux_anchors = it->second.aux_anchors;
       }
     }
     out.push_back(std::move(s));

@@ -217,7 +217,7 @@ TEST(ServerFormatTest, PayloadCodecsRoundTripAndRejectDamage) {
   stats.transition_count = 12;
   stats.current_time = 99;
   stats.total_violations = 3;
-  stats.constraints.push_back({"no_pay_cut", 12, 3, 7});
+  stats.constraints.push_back({"no_pay_cut", 12, 3, 7, 4, 6});
   StatsReply round = Unwrap(DecodeStatsPayload(EncodeStatsPayload(stats)));
   EXPECT_EQ(round.transition_count, 12u);
   EXPECT_EQ(round.current_time, 99);
@@ -225,6 +225,8 @@ TEST(ServerFormatTest, PayloadCodecsRoundTripAndRejectDamage) {
   ASSERT_EQ(round.constraints.size(), 1u);
   EXPECT_EQ(round.constraints[0].name, "no_pay_cut");
   EXPECT_EQ(round.constraints[0].storage_rows, 7u);
+  EXPECT_EQ(round.constraints[0].aux_valuations, 4u);
+  EXPECT_EQ(round.constraints[0].aux_anchors, 6u);
 
   // Schema: bad column type rejected.
   StateWriter w;
