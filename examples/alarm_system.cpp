@@ -13,20 +13,26 @@
 // this checking history-less.
 
 #include <cstdio>
+#include <utility>
 
 #include "monitor/monitor.h"
-#include "workload/generators.h"
+#include "workload/scenarios.h"
 
 int main() {
-  rtic::workload::AlarmParams params;
-  params.num_alarms = 20;
-  params.length = 150;
-  params.deadline = 10;
-  params.raise_prob = 0.5;
-  params.late_prob = 0.15;
-  params.seed = 2026;
-  rtic::workload::Workload workload =
-      rtic::workload::MakeAlarmWorkload(params);
+  // Built through the scenario registry (the same path scenario_runner and
+  // the bench harness use), so this example can never drift from the
+  // generators. `scenario_runner describe alarm` lists the dials.
+  auto made = rtic::workload::MakeScenario("alarm", {{"num_alarms", 20},
+                                                     {"length", 150},
+                                                     {"deadline", 10},
+                                                     {"raise_prob", 0.5},
+                                                     {"late_prob", 0.15},
+                                                     {"seed", 2026}});
+  if (!made.ok()) {
+    std::printf("MakeScenario: %s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  rtic::workload::Workload workload = std::move(*made);
 
   rtic::MonitorOptions options;
   options.engine = rtic::EngineKind::kIncremental;

@@ -5,10 +5,11 @@
 // flag the same states.
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "monitor/monitor.h"
-#include "workload/generators.h"
+#include "workload/scenarios.h"
 
 namespace {
 
@@ -42,14 +43,19 @@ std::vector<rtic::Timestamp> ViolationTimes(rtic::EngineKind kind,
 }  // namespace
 
 int main() {
-  rtic::workload::PayrollParams params;
-  params.num_employees = 40;
-  params.length = 200;
-  params.cut_prob = 0.06;
-  params.early_raise_prob = 0.05;
-  params.seed = 7;
-  rtic::workload::Workload workload =
-      rtic::workload::MakePayrollWorkload(params);
+  // Built through the scenario registry so the example can never drift
+  // from the generators; see `scenario_runner describe payroll`.
+  auto made = rtic::workload::MakeScenario("payroll",
+                                           {{"num_employees", 40},
+                                            {"length", 200},
+                                            {"cut_prob", 0.06},
+                                            {"early_raise_prob", 0.05},
+                                            {"seed", 7}});
+  if (!made.ok()) {
+    std::printf("MakeScenario: %s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  rtic::workload::Workload workload = std::move(*made);
 
   std::printf("constraints under audit:\n");
   for (const auto& [name, text] : workload.constraints) {

@@ -1,0 +1,302 @@
+// scenario_runner: the scenario registry on the command line. Lists the
+// workload families, runs one against an in-process monitor, or load-tests
+// one through the open-loop driver — against the library API, a
+// self-hosted in-process RTIC server, or a live server address.
+//
+//   scenario_runner list
+//   scenario_runner describe <scenario>
+//   scenario_runner run <scenario> [dial=value ...] [--engine=incremental|naive|active]
+//   scenario_runner drive <scenario> [dial=value ...] [--rate=R]
+//                   [--arrival=poisson|bursty] [--connections=N]
+//                   [--target=library|self-server|HOST:PORT] [--seed=S]
+//
+// Every command printed in docs/SCENARIOS.md is exercised by
+// scripts/check.sh; keep the two in sync.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/driver.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using rtic::ConstraintMonitor;
+using rtic::EngineKind;
+using rtic::MonitorOptions;
+using rtic::Result;
+using rtic::Status;
+using rtic::UpdateBatch;
+using rtic::Violation;
+using rtic::server::RticClient;
+using rtic::server::RticServer;
+using rtic::server::ServerOptions;
+using rtic::workload::AllScenarios;
+using rtic::workload::ArrivalKind;
+using rtic::workload::ClientTarget;
+using rtic::workload::Dial;
+using rtic::workload::DriverOptions;
+using rtic::workload::DriverReport;
+using rtic::workload::DriveTarget;
+using rtic::workload::FindScenario;
+using rtic::workload::MakeScenario;
+using rtic::workload::MonitorTarget;
+using rtic::workload::RunOpenLoop;
+using rtic::workload::ScenarioInfo;
+using rtic::workload::Workload;
+
+int Usage() {
+  std::printf(
+      "usage:\n"
+      "  scenario_runner list\n"
+      "  scenario_runner describe <scenario>\n"
+      "  scenario_runner run <scenario> [dial=value ...] "
+      "[--engine=incremental|naive|active]\n"
+      "  scenario_runner drive <scenario> [dial=value ...] [--rate=R]\n"
+      "                  [--arrival=poisson|bursty] [--connections=N]\n"
+      "                  [--target=library|self-server|HOST:PORT] "
+      "[--seed=S] [--no-pace]\n");
+  return 2;
+}
+
+int Fail(const Status& s) {
+  std::printf("error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+struct Args {
+  std::string scenario;
+  std::map<std::string, double> dials;
+  std::map<std::string, std::string> flags;  // --key=value, sans dashes
+};
+
+bool ParseArgs(int argc, char** argv, int first, Args* out) {
+  if (first >= argc) return false;
+  out->scenario = argv[first];
+  for (int i = first + 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      std::size_t eq = body.find('=');
+      if (eq == std::string::npos) {
+        out->flags[body] = "";
+      } else {
+        out->flags[body.substr(0, eq)] = body.substr(eq + 1);
+      }
+      continue;
+    }
+    std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::printf("unparsable argument '%s' (want dial=value or --flag)\n",
+                  arg.c_str());
+      return false;
+    }
+    out->dials[arg.substr(0, eq)] = std::atof(arg.c_str() + eq + 1);
+  }
+  return true;
+}
+
+int List() {
+  std::printf("%-10s %s\n", "scenario", "summary");
+  for (const ScenarioInfo& info : AllScenarios()) {
+    std::printf("%-10s %s\n", info.name.c_str(), info.summary.c_str());
+  }
+  return 0;
+}
+
+int Describe(const std::string& name) {
+  const ScenarioInfo* info = FindScenario(name);
+  if (info == nullptr) {
+    return Fail(Status::InvalidArgument("unknown scenario '" + name + "'"));
+  }
+  std::printf("%s — %s\n\ndials:\n", info->name.c_str(),
+              info->summary.c_str());
+  for (const Dial& d : info->dials) {
+    std::printf("  %-24s %-10g %s%s\n", d.name.c_str(), d.value,
+                d.doc.c_str(), d.violation_dial ? " [violation dial]" : "");
+  }
+  Result<Workload> w = MakeScenario(name, {{"length", 1}});
+  if (!w.ok()) return Fail(w.status());
+  std::printf("\ntables:\n");
+  for (const auto& [table, schema] : w->schema) {
+    std::printf("  %-16s %s\n", table.c_str(), schema.ToString().c_str());
+  }
+  std::printf("\nconstraints:\n");
+  for (const auto& [cname, text] : w->constraints) {
+    std::printf("  %-26s %s\n", cname.c_str(), text.c_str());
+  }
+  return 0;
+}
+
+int Run(const Args& args) {
+  EngineKind engine = EngineKind::kIncremental;
+  auto flag = args.flags.find("engine");
+  if (flag != args.flags.end()) {
+    if (flag->second == "naive") {
+      engine = EngineKind::kNaive;
+    } else if (flag->second == "active") {
+      engine = EngineKind::kActive;
+    } else if (flag->second != "incremental") {
+      return Fail(Status::InvalidArgument("unknown engine " + flag->second));
+    }
+  }
+  Result<Workload> w = MakeScenario(args.scenario, args.dials);
+  if (!w.ok()) return Fail(w.status());
+
+  MonitorOptions options;
+  options.engine = engine;
+  ConstraintMonitor monitor(options);
+  for (const auto& [name, schema] : w->schema) {
+    Status s = monitor.CreateTable(name, schema);
+    if (!s.ok()) return Fail(s);
+  }
+  for (const auto& [name, text] : w->constraints) {
+    Status s = monitor.RegisterConstraint(name, text);
+    if (!s.ok()) return Fail(s);
+    std::printf("registered %-26s %s\n", name.c_str(), text.c_str());
+  }
+  std::printf("\nrunning %zu transitions...\n\n", w->batches.size());
+  for (const UpdateBatch& batch : w->batches) {
+    auto verdict = monitor.ApplyUpdate(batch);
+    if (!verdict.ok()) return Fail(verdict.status());
+    for (const Violation& v : *verdict) {
+      std::printf("  %s\n", v.ToString().c_str());
+    }
+  }
+  std::printf("\nper-constraint stats:\n");
+  for (const auto& stats : monitor.Stats()) {
+    std::printf("  %s\n", stats.ToString().c_str());
+  }
+  std::printf(
+      "\nsummary: %zu transitions, %zu violations, %zu aux rows, final "
+      "clock %lld\n",
+      monitor.transition_count(), monitor.total_violations(),
+      monitor.TotalStorageRows(),
+      static_cast<long long>(monitor.current_time()));
+  return 0;
+}
+
+int Drive(const Args& args) {
+  Result<Workload> w = MakeScenario(args.scenario, args.dials);
+  if (!w.ok()) return Fail(w.status());
+
+  DriverOptions options;
+  auto flag = [&](const char* key) -> const std::string* {
+    auto it = args.flags.find(key);
+    return it == args.flags.end() ? nullptr : &it->second;
+  };
+  if (const std::string* rate = flag("rate")) {
+    options.rate_per_sec = std::atof(rate->c_str());
+  }
+  if (const std::string* seed = flag("seed")) {
+    options.seed = static_cast<std::uint64_t>(std::atoll(seed->c_str()));
+  }
+  if (const std::string* arrival = flag("arrival")) {
+    if (*arrival == "bursty") {
+      options.arrival = ArrivalKind::kBursty;
+    } else if (*arrival != "poisson") {
+      return Fail(Status::InvalidArgument("unknown arrival " + *arrival));
+    }
+  }
+  if (const std::string* connections = flag("connections")) {
+    options.connections =
+        static_cast<std::size_t>(std::atoll(connections->c_str()));
+  }
+  if (flag("no-pace") != nullptr) options.pace = false;
+
+  std::string target = "library";
+  if (const std::string* t = flag("target")) target = *t;
+
+  std::printf("driving %s: %zu batches, %s arrivals at %.0f/s, target %s\n",
+              args.scenario.c_str(), w->batches.size(),
+              options.arrival == ArrivalKind::kBursty ? "bursty" : "poisson",
+              options.rate_per_sec, target.c_str());
+
+  Result<DriverReport> report = Status::Internal("unreached");
+  if (target == "library") {
+    if (options.connections > 1) {
+      return Fail(Status::InvalidArgument(
+          "--target=library drives one in-process monitor; use a server "
+          "target for --connections"));
+    }
+    ConstraintMonitor monitor((MonitorOptions()));
+    MonitorTarget library(&monitor);
+    Status s = library.Install(*w);
+    if (!s.ok()) return Fail(s);
+    report = RunOpenLoop(*w, &library, options);
+  } else {
+    std::unique_ptr<RticServer> self;
+    std::string address = target;
+    if (target == "self-server") {
+      auto server = RticServer::Start(ServerOptions{});
+      if (!server.ok()) return Fail(server.status());
+      self = std::move(*server);
+      address = self->address();
+      std::printf("self-hosted server at %s\n", address.c_str());
+    }
+    const std::string tenant = "scenario-" + args.scenario;
+    if (options.connections > 1) options.server_timestamps = true;
+
+    // Install once, then drive over N sessions.
+    auto setup = RticClient::Connect(address, tenant);
+    if (!setup.ok()) return Fail(setup.status());
+    ClientTarget install((*setup).get());
+    Status s = install.Install(*w);
+    if (!s.ok()) return Fail(s);
+
+    struct OwningTarget : DriveTarget {
+      explicit OwningTarget(std::unique_ptr<RticClient> c)
+          : client(std::move(c)), target(client.get()) {}
+      Status Install(const Workload& workload) override {
+        return target.Install(workload);
+      }
+      Result<rtic::workload::DriveOutcome> Apply(
+          const UpdateBatch& b) override {
+        return target.Apply(b);
+      }
+      std::unique_ptr<RticClient> client;
+      ClientTarget target;
+    };
+    auto factory = [&]() -> Result<std::unique_ptr<DriveTarget>> {
+      auto client = RticClient::Connect(address, tenant);
+      if (!client.ok()) return client.status();
+      return std::unique_ptr<DriveTarget>(
+          new OwningTarget(std::move(*client)));
+    };
+    report = RunOpenLoop(*w, factory, options);
+    if (report.ok()) {
+      auto stats = (*setup)->GetStats();
+      if (stats.ok()) {
+        std::printf("server stats: %llu transitions, %llu violations\n",
+                    static_cast<unsigned long long>(stats->transition_count),
+                    static_cast<unsigned long long>(stats->total_violations));
+      }
+    }
+    (*setup)->Close();
+    if (self != nullptr) self->Stop();
+  }
+  if (!report.ok()) return Fail(report.status());
+  std::printf("report: %s\n", report->ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "list") return List();
+  Args args;
+  if (!ParseArgs(argc, argv, 2, &args)) return Usage();
+  if (command == "describe") return Describe(args.scenario);
+  if (command == "run") return Run(args);
+  if (command == "drive") return Drive(args);
+  return Usage();
+}

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Repo-wide verification: the tier-1 suite, an AddressSanitizer pass over
-# the unit, fuzz, and fault ctest labels, an ASan+UBSan pass over the
-# checkpoint, shard, and anchor labels plus a bench_e13_checkpoint smoke
+# Repo-wide verification: the tier-1 suite, a cookbook smoke running every
+# scenario_runner command printed in docs/SCENARIOS.md, an AddressSanitizer
+# pass over the unit, fuzz, and fault ctest labels, an ASan+UBSan pass over
+# the checkpoint, shard, anchor, and workload labels plus a
+# bench_e13_checkpoint smoke
 # (the codec and delta-chain paths do the bit-level byte banging most
 # likely to trip UB; the shard label's merge paths shuffle Violation
 # vectors across monitors; the anchor label hammers the columnar store's
-# span arithmetic), a ThreadSanitizer pass over the parallel, fault,
+# span arithmetic; the workload label sweeps the scenario generators and
+# the open-loop driver), a ThreadSanitizer pass over the parallel, fault,
 # replication, server, shard, and anchor labels (group commit, the crash
 # matrices, the background shipper thread, the multi-session TCP server,
 # the sharded monitor's fan-out pool, and the shared-subplan lockstep
@@ -32,6 +35,25 @@ echo "== tier-1: configure + build + full ctest (build/) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
+
+# Cookbook smoke: the exact scenario_runner invocations printed in
+# docs/SCENARIOS.md, so every copy-paste command in the cookbook is known
+# to run. Keep this list and the doc in sync (same flags, same dials).
+echo "== cookbook smoke: docs/SCENARIOS.md commands =="
+SR=./build/examples/scenario_runner
+cookbook() { echo "  $*"; "$@" >/dev/null; }
+cookbook "$SR" list
+for s in alarm payroll library freshness commit; do
+  cookbook "$SR" describe "$s"
+done
+cookbook "$SR" run alarm late_prob=0.3
+cookbook "$SR" run payroll --engine=naive
+cookbook "$SR" run library nonmember_prob=0.2
+cookbook "$SR" run freshness stale_prob=0.2 num_sensors=10
+cookbook "$SR" run commit late_decide_prob=0.3 --engine=active
+cookbook "$SR" drive freshness --rate=4000
+cookbook "$SR" drive commit --target=self-server --rate=4000 --connections=4
+cookbook "$SR" drive freshness --target=self-server --arrival=bursty --rate=2000
 
 # Perf-regression gate: compare the two newest BENCH_*.json snapshots
 # (scripts/bench.sh writes one per run). Deliberately generous — only a
@@ -100,10 +122,10 @@ cmake -B build-asan -S . -DRTIC_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS" -L 'unit|fuzz|fault')
 
-echo "== asan+ubsan: checkpoint + shard + anchor labels + bench_e13 smoke (build-asan-ubsan/) =="
+echo "== asan+ubsan: checkpoint + shard + anchor + workload labels + bench_e13 smoke (build-asan-ubsan/) =="
 cmake -B build-asan-ubsan -S . -DRTIC_SANITIZE=address+undefined >/dev/null
 cmake --build build-asan-ubsan -j "$JOBS"
-(cd build-asan-ubsan && ctest --output-on-failure -j "$JOBS" -L 'checkpoint|shard|anchor')
+(cd build-asan-ubsan && ctest --output-on-failure -j "$JOBS" -L 'checkpoint|shard|anchor|workload')
 # A 30-second cap keeps the smoke cheap: one small-state full-vs-delta pair
 # is enough to drive the codec, the delta writer, and chain recovery under
 # both sanitizers. Codec or chain regressions fail fast here.

@@ -1,0 +1,272 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace rtic {
+namespace workload {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  if (sorted_in_place->empty()) return 0.0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_in_place->size() - 1) + 0.5);
+  return (*sorted_in_place)[std::min(idx, sorted_in_place->size() - 1)];
+}
+
+/// Per-connection tallies, merged after the join.
+struct WorkerTally {
+  std::size_t offered = 0;
+  std::size_t accepted = 0;
+  std::size_t overloaded = 0;
+  std::size_t violations = 0;
+  std::size_t violating_batches = 0;
+  std::vector<double> apply_micros;
+  std::vector<double> detect_micros;
+  Status error = Status::OK();
+};
+
+void DriveIndices(const Workload& workload, const std::vector<double>& schedule,
+                  const std::vector<std::size_t>& indices, DriveTarget* target,
+                  const DriverOptions& options, Clock::time_point start,
+                  WorkerTally* tally, std::vector<std::string>* transcript) {
+  for (std::size_t i : indices) {
+    if (options.pace) {
+      auto due = start + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(schedule[i]));
+      std::this_thread::sleep_until(due);
+    }
+    const UpdateBatch* batch = &workload.batches[i];
+    UpdateBatch reassigned(0);
+    if (options.server_timestamps) {
+      // Timestamp 0 asks the server to assign current_time + 1; required
+      // when interleaved connections would break the workload's
+      // pre-assigned monotone timestamps.
+      reassigned = *batch;
+      reassigned.set_timestamp(0);
+      batch = &reassigned;
+    }
+    auto before = Clock::now();
+    Result<DriveOutcome> outcome = target->Apply(*batch);
+    auto after = Clock::now();
+    ++tally->offered;
+    if (!outcome.ok()) {
+      tally->error = outcome.status();
+      return;
+    }
+    double micros =
+        std::chrono::duration<double, std::micro>(after - before).count();
+    tally->apply_micros.push_back(micros);
+    if (outcome->overloaded) {
+      ++tally->overloaded;
+      continue;
+    }
+    ++tally->accepted;
+    if (!outcome->violations.empty()) {
+      ++tally->violating_batches;
+      tally->violations += outcome->violations.size();
+      tally->detect_micros.push_back(micros);
+      if (transcript != nullptr) {
+        for (const Violation& v : outcome->violations) {
+          transcript->push_back(v.ToString());
+        }
+      }
+    }
+  }
+}
+
+Result<DriverReport> RunOverTargets(const Workload& workload,
+                                    const std::vector<DriveTarget*>& targets,
+                                    const DriverOptions& options) {
+  if (targets.empty()) {
+    return Status::InvalidArgument("driver needs at least one connection");
+  }
+  if (targets.size() > 1 && !options.server_timestamps) {
+    return Status::InvalidArgument(
+        "multi-connection driving requires server_timestamps: interleaved "
+        "sends cannot carry the workload's pre-assigned timestamps");
+  }
+  std::vector<double> schedule =
+      ArrivalSchedule(workload.batches.size(), options);
+  std::vector<std::vector<std::size_t>> assignment(targets.size());
+  for (std::size_t i = 0; i < workload.batches.size(); ++i) {
+    assignment[i % targets.size()].push_back(i);
+  }
+
+  const bool capture =
+      targets.size() == 1 && options.record_transcript;
+  DriverReport report;
+  std::vector<WorkerTally> tallies(targets.size());
+  auto start = Clock::now();
+  if (targets.size() == 1) {
+    DriveIndices(workload, schedule, assignment[0], targets[0], options, start,
+                 &tallies[0], capture ? &report.transcript : nullptr);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(targets.size());
+    for (std::size_t c = 0; c < targets.size(); ++c) {
+      threads.emplace_back(DriveIndices, std::cref(workload),
+                           std::cref(schedule), std::cref(assignment[c]),
+                           targets[c], std::cref(options), start, &tallies[c],
+                           nullptr);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  auto end = Clock::now();
+
+  std::vector<double> apply_micros;
+  std::vector<double> detect_micros;
+  for (WorkerTally& t : tallies) {
+    if (!t.error.ok()) return t.error;
+    report.offered += t.offered;
+    report.accepted += t.accepted;
+    report.overloaded += t.overloaded;
+    report.violations += t.violations;
+    report.violating_batches += t.violating_batches;
+    apply_micros.insert(apply_micros.end(), t.apply_micros.begin(),
+                        t.apply_micros.end());
+    detect_micros.insert(detect_micros.end(), t.detect_micros.begin(),
+                         t.detect_micros.end());
+  }
+  report.elapsed_seconds =
+      std::chrono::duration<double>(end - start).count();
+  if (report.elapsed_seconds > 0) {
+    report.accepted_per_sec =
+        static_cast<double>(report.accepted) / report.elapsed_seconds;
+  }
+  report.apply_p50_micros = Percentile(&apply_micros, 0.50);
+  report.apply_p99_micros = Percentile(&apply_micros, 0.99);
+  report.detect_p50_micros = Percentile(&detect_micros, 0.50);
+  report.detect_p99_micros = Percentile(&detect_micros, 0.99);
+  return report;
+}
+
+}  // namespace
+
+std::string DriverReport::ToString() const {
+  std::ostringstream os;
+  os << "offered=" << offered << " accepted=" << accepted
+     << " overloaded=" << overloaded << " violations=" << violations << " ("
+     << violating_batches << " batches)"
+     << " elapsed=" << elapsed_seconds << "s"
+     << " accepted/s=" << accepted_per_sec << " apply_p50=" << apply_p50_micros
+     << "us apply_p99=" << apply_p99_micros
+     << "us detect_p50=" << detect_p50_micros << "us";
+  return os.str();
+}
+
+Status MonitorTarget::Install(const Workload& workload) {
+  for (const auto& [name, schema] : workload.schema) {
+    RTIC_RETURN_IF_ERROR(monitor_->CreateTable(name, schema));
+  }
+  for (const auto& [name, text] : workload.constraints) {
+    RTIC_RETURN_IF_ERROR(monitor_->RegisterConstraint(name, text));
+  }
+  return Status::OK();
+}
+
+Result<DriveOutcome> MonitorTarget::Apply(const UpdateBatch& batch) {
+  auto violations = monitor_->ApplyUpdate(batch);
+  if (!violations.ok()) return violations.status();
+  DriveOutcome outcome;
+  outcome.violations = std::move(*violations);
+  return outcome;
+}
+
+Status ClientTarget::Install(const Workload& workload) {
+  for (const auto& [name, schema] : workload.schema) {
+    RTIC_RETURN_IF_ERROR(client_->CreateTable(name, schema));
+  }
+  for (const auto& [name, text] : workload.constraints) {
+    RTIC_RETURN_IF_ERROR(client_->RegisterConstraint(name, text));
+  }
+  return Status::OK();
+}
+
+Result<DriveOutcome> ClientTarget::Apply(const UpdateBatch& batch) {
+  auto applied = client_->Apply(batch);
+  if (!applied.ok()) return applied.status();
+  DriveOutcome outcome;
+  outcome.overloaded = applied->overloaded;
+  outcome.violations = std::move(applied->violations);
+  return outcome;
+}
+
+std::vector<double> ArrivalSchedule(std::size_t n,
+                                    const DriverOptions& options) {
+  std::vector<double> schedule;
+  schedule.reserve(n);
+  Rng rng(options.seed);
+  const double rate = std::max(1e-9, options.rate_per_sec);
+  // Inverse-CDF exponential sampling keeps the schedule platform-identical
+  // (Rng::UniformDouble is deterministic in the seed).
+  auto exponential = [&rng](double mean) {
+    return -std::log(1.0 - rng.UniformDouble()) * mean;
+  };
+  if (options.arrival == ArrivalKind::kPoisson) {
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      t += exponential(1.0 / rate);
+      schedule.push_back(t);
+    }
+    return schedule;
+  }
+  // Bursty on/off: exponential phase lengths; arrivals accrue only during
+  // on-phases at a rate elevated so the long-run average stays rate_per_sec.
+  const double on_mean = std::max(1e-6, options.burst_on_seconds);
+  const double off_mean = std::max(0.0, options.burst_off_seconds);
+  const double on_rate = rate * (on_mean + off_mean) / on_mean;
+  double t = 0.0;
+  double on_left = exponential(on_mean);
+  for (std::size_t i = 0; i < n; ++i) {
+    double gap = exponential(1.0 / on_rate);
+    while (gap > on_left) {
+      gap -= on_left;
+      t += on_left;
+      if (off_mean > 0) t += exponential(off_mean);
+      on_left = exponential(on_mean);
+    }
+    t += gap;
+    on_left -= gap;
+    schedule.push_back(t);
+  }
+  return schedule;
+}
+
+Result<DriverReport> RunOpenLoop(const Workload& workload, DriveTarget* target,
+                                 const DriverOptions& options) {
+  if (options.connections > 1) {
+    return Status::InvalidArgument(
+        "single-target RunOpenLoop drives one connection; use the "
+        "TargetFactory overload for connections > 1");
+  }
+  return RunOverTargets(workload, {target}, options);
+}
+
+Result<DriverReport> RunOpenLoop(const Workload& workload,
+                                 const TargetFactory& factory,
+                                 const DriverOptions& options) {
+  std::size_t connections = std::max<std::size_t>(1, options.connections);
+  std::vector<std::unique_ptr<DriveTarget>> owned;
+  std::vector<DriveTarget*> targets;
+  for (std::size_t c = 0; c < connections; ++c) {
+    auto target = factory();
+    if (!target.ok()) return target.status();
+    targets.push_back(target->get());
+    owned.push_back(std::move(*target));
+  }
+  return RunOverTargets(workload, targets, options);
+}
+
+}  // namespace workload
+}  // namespace rtic

@@ -1,0 +1,143 @@
+// Open-loop load driver: replays a Workload's batch stream against a
+// checking back-end on a deterministic arrival schedule (Poisson or
+// bursty-on/off inter-arrival times from a seeded PRNG), recording
+// accepted/overloaded/violation counters and per-apply latencies. The
+// back-end is either an in-process MonitorLike (library path) or a live
+// RTIC server session via RticClient (server path) — both behind the
+// DriveTarget interface, so every scenario in the registry doubles as a
+// reusable load test.
+//
+// Determinism: the arrival schedule and the batch order depend only on the
+// workload and DriverOptions::seed. With one connection and pacing off, a
+// driver run over a MonitorTarget produces a violation transcript
+// byte-identical to applying the batches directly (the test suite checks
+// this per scenario family).
+
+#ifndef RTIC_WORKLOAD_DRIVER_H_
+#define RTIC_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "monitor/monitor_iface.h"
+#include "server/client.h"
+#include "workload/generators.h"
+
+namespace rtic {
+namespace workload {
+
+enum class ArrivalKind {
+  kPoisson,  // exponential inter-arrival times at rate_per_sec
+  kBursty,   // on/off phases; arrivals only during on-phases, at a rate
+             // elevated so the long-run average is still rate_per_sec
+};
+
+struct DriverOptions {
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  double rate_per_sec = 2000.0;    // mean offered arrival rate
+  double burst_on_seconds = 0.05;  // bursty: mean on-phase length
+  double burst_off_seconds = 0.05;  // bursty: mean off-phase length
+  std::size_t connections = 1;  // concurrent sessions (server path); batch i
+                                // goes to connection i % connections
+  bool pace = true;  // false: ignore the schedule's wall-clock component and
+                     // fire back-to-back (used by tests)
+  bool server_timestamps = false;  // send timestamp 0 so the server assigns
+                                   // current_time + 1 (required when
+                                   // connections > 1 interleave sends)
+  bool record_transcript = true;  // capture Violation::ToString() lines
+                                  // (single-connection runs only)
+  std::uint64_t seed = 42;
+};
+
+/// Counters and latency digests from one driver run. An open-loop driver
+/// never retries: an OVERLOADED verdict counts the batch and moves on.
+struct DriverReport {
+  std::size_t offered = 0;     // batches sent
+  std::size_t accepted = 0;    // admitted and checked
+  std::size_t overloaded = 0;  // refused by admission control
+  std::size_t violations = 0;  // violation reports across accepted batches
+  std::size_t violating_batches = 0;
+  double elapsed_seconds = 0.0;
+  double accepted_per_sec = 0.0;
+  double apply_p50_micros = 0.0;   // per-apply round-trip latency
+  double apply_p99_micros = 0.0;
+  double detect_p50_micros = 0.0;  // latency of applies that reported
+  double detect_p99_micros = 0.0;  // violations (detection latency)
+
+  /// Violation::ToString() lines in apply order (single-connection runs
+  /// with record_transcript; empty otherwise).
+  std::vector<std::string> transcript;
+
+  std::string ToString() const;
+};
+
+/// One apply against a checking back-end.
+struct DriveOutcome {
+  bool overloaded = false;
+  std::vector<Violation> violations;
+};
+
+/// A checking back-end the driver can load.
+class DriveTarget {
+ public:
+  virtual ~DriveTarget() = default;
+
+  /// Creates the workload's tables and registers its constraints.
+  virtual Status Install(const Workload& workload) = 0;
+
+  virtual Result<DriveOutcome> Apply(const UpdateBatch& batch) = 0;
+};
+
+/// Library path: drives an in-process monitor (never overloaded).
+class MonitorTarget final : public DriveTarget {
+ public:
+  explicit MonitorTarget(MonitorLike* monitor) : monitor_(monitor) {}
+
+  Status Install(const Workload& workload) override;
+  Result<DriveOutcome> Apply(const UpdateBatch& batch) override;
+
+ private:
+  MonitorLike* monitor_;
+};
+
+/// Server path: drives one RTICSRV1 session.
+class ClientTarget final : public DriveTarget {
+ public:
+  explicit ClientTarget(server::RticClient* client) : client_(client) {}
+
+  Status Install(const Workload& workload) override;
+  Result<DriveOutcome> Apply(const UpdateBatch& batch) override;
+
+ private:
+  server::RticClient* client_;
+};
+
+/// The deterministic arrival schedule: n offsets in seconds from run start,
+/// non-decreasing, depending only on `options` (arrival kind, rate, seed).
+std::vector<double> ArrivalSchedule(std::size_t n,
+                                    const DriverOptions& options);
+
+/// Drives the workload's batches through one target on the arrival
+/// schedule. The caller installs schemas/constraints first (Install); the
+/// driver only applies batches.
+Result<DriverReport> RunOpenLoop(const Workload& workload, DriveTarget* target,
+                                 const DriverOptions& options);
+
+/// Multi-connection variant: the factory is called options.connections
+/// times (e.g. one RticClient per connection); batch i goes to connection
+/// i % connections, each connection pacing its own arrivals. Requires
+/// server_timestamps (interleaved sends cannot carry the workload's
+/// pre-assigned monotone timestamps).
+using TargetFactory = std::function<Result<std::unique_ptr<DriveTarget>>()>;
+Result<DriverReport> RunOpenLoop(const Workload& workload,
+                                 const TargetFactory& factory,
+                                 const DriverOptions& options);
+
+}  // namespace workload
+}  // namespace rtic
+
+#endif  // RTIC_WORKLOAD_DRIVER_H_

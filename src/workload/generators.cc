@@ -238,5 +238,223 @@ Workload MakeLibraryWorkload(const LibraryParams& params) {
   return w;
 }
 
+Workload MakeFreshnessWorkload(const FreshnessParams& params) {
+  Workload w;
+  w.schema["Sensor"] = IntSchema1("sensor");
+  w.schema["Publish"] = IntSchema1("sensor");
+  w.schema["Serving"] = IntSchema1("sensor");
+  w.schema["Decommissioned"] = IntSchema1("sensor");
+
+  const std::string v = std::to_string(params.validity);
+  w.constraints = {
+      // A served reading must have been refreshed within the validity
+      // interval: some Publish in the last `validity` time units.
+      {"no_stale_reads",
+       "forall s: Serving(s) implies once[0, " + v + "] Publish(s)"},
+      // Only registered sensors may be served.
+      {"serving_registered", "forall s: Serving(s) implies Sensor(s)"},
+      // Retirement requires a full quiet interval: no Publish anywhere in
+      // the last `validity` time units at (and after) decommission time.
+      {"decommission_quiesced",
+       "forall s: Decommissioned(s) implies historically[0, " + v +
+           "] not Publish(s)"},
+  };
+
+  Rng rng(params.seed);
+  EventClearer events;
+  Timestamp now = 0;
+  // The on-time refresh gap stays short of `validity` by `max_gap` so the
+  // state-granularity overshoot (a refresh fires at the first state at or
+  // past its due time) can never push a fresh sensor over the window.
+  const Timestamp ontime_max =
+      std::max<Timestamp>(1, params.validity - params.max_gap);
+  struct Sensor {
+    Timestamp last_pub = 0;
+    Timestamp next_due = 0;
+    bool draining = false;
+    bool retired = false;
+  };
+  std::vector<Sensor> sensors(static_cast<std::size_t>(params.num_sensors));
+
+  // Both delay candidates are always drawn so the RNG stream is identical
+  // across dial settings; raising `stale_prob` only flips which candidate
+  // is used, making the violation count monotone in the dial.
+  auto schedule_refresh = [&](Sensor* s) {
+    bool late = rng.UniformDouble() < params.stale_prob;
+    Timestamp ontime = rng.UniformInt(1, ontime_max);
+    Timestamp overdue =
+        rng.UniformInt(params.validity + 1, 2 * params.validity);
+    s->next_due = now + (late ? overdue : ontime);
+  };
+
+  for (std::size_t i = 0; i < params.length; ++i) {
+    now += rng.UniformInt(1, std::max<Timestamp>(1, params.max_gap));
+    UpdateBatch batch(now);
+    events.ClearInto(&batch);
+
+    if (i == 0) {
+      for (int s = 0; s < params.num_sensors; ++s) {
+        batch.Insert("Sensor", T1(s));
+        batch.Insert("Serving", T1(s));
+        events.Emit(&batch, "Publish", T1(s));
+        sensors[s].last_pub = now;
+        schedule_refresh(&sensors[s]);
+      }
+      w.batches.push_back(std::move(batch));
+      continue;
+    }
+
+    for (int s = 0; s < params.num_sensors; ++s) {
+      Sensor& sensor = sensors[s];
+      if (sensor.retired) continue;
+      if (sensor.draining) {
+        // Quiesced: the last reading aged out of the validity window.
+        if (now - sensor.last_pub > params.validity) {
+          batch.Insert("Decommissioned", T1(s));
+          sensor.retired = true;
+        }
+        continue;
+      }
+      if (sensor.next_due <= now) {
+        events.Emit(&batch, "Publish", T1(s));
+        sensor.last_pub = now;
+        schedule_refresh(&sensor);
+      }
+    }
+
+    // Possibly start draining one live sensor. An early decommission
+    // retires it immediately, while its reading is still inside the
+    // validity window — a guaranteed `decommission_quiesced` violation.
+    if (rng.Bernoulli(params.decommission_prob)) {
+      std::vector<int> live;
+      for (int s = 0; s < params.num_sensors; ++s) {
+        if (!sensors[s].draining && !sensors[s].retired) live.push_back(s);
+      }
+      bool early = rng.UniformDouble() < params.early_decommission_prob;
+      if (!live.empty()) {
+        int s = live[rng.Uniform(live.size())];
+        batch.Delete("Serving", T1(s));
+        sensors[s].draining = true;
+        if (early) {
+          batch.Insert("Decommissioned", T1(s));
+          sensors[s].retired = true;
+        }
+      }
+    }
+    w.batches.push_back(std::move(batch));
+  }
+  return w;
+}
+
+Workload MakeCommitProtocolWorkload(const CommitParams& params) {
+  Workload w;
+  w.schema["Begin"] = IntSchema1("txn");
+  w.schema["Vote"] = IntSchema2("txn", "part");
+  w.schema["Decide"] = IntSchema1("txn");
+  w.schema["Pending"] = IntSchema1("txn");
+  w.schema["Part"] = IntSchema1("part");
+
+  const std::string w1 = std::to_string(params.vote_window);
+  const std::string w2 = std::to_string(params.decide_window);
+  const std::string total =
+      std::to_string(params.vote_window + params.decide_window);
+  w.constraints = {
+      // Every vote lands within w1 of its transaction's Begin.
+      {"vote_in_window",
+       "forall t, p: Vote(t, p) implies once[0, " + w1 + "] Begin(t)"},
+      // The decision lands within w2 of the most recent vote: at decide
+      // time, some vote is at most w2 old.
+      {"decide_follows_last_vote",
+       "forall t: Decide(t) implies once[0, " + w2 +
+           "] (exists p: Vote(t, p))"},
+      // Every participant voted before the decision, inside the end-to-end
+      // window w1 + w2.
+      {"decide_has_all_votes",
+       "forall t, p: Decide(t) and Part(p) implies once[0, " + total +
+           "] Vote(t, p)"},
+      // A transaction may stay pending at most w1 + w2 after its Begin.
+      {"pending_expires",
+       "forall t: Pending(t) implies Pending(t) since[0, " + total +
+           "] Begin(t)"},
+      // The same end-to-end deadline stated future-first (response
+      // constraint with delayed verdicts).
+      {"begin_gets_decision",
+       "forall t: Begin(t) implies eventually[0, " + total + "] Decide(t)"},
+  };
+
+  Rng rng(params.seed);
+  EventClearer events;
+  Timestamp now = 0;
+  const Timestamp vote_ontime_max =
+      std::max<Timestamp>(1, params.vote_window - params.max_gap);
+  const Timestamp decide_ontime_max =
+      std::max<Timestamp>(1, params.decide_window - params.max_gap);
+  struct Txn {
+    std::map<int, Timestamp> vote_due;  // participant -> due time
+    Timestamp decide_due = -1;          // set once the last vote fires
+  };
+  std::map<std::int64_t, Txn> inflight;
+  std::int64_t next_txn = 0;
+
+  for (std::size_t i = 0; i < params.length; ++i) {
+    now += rng.UniformInt(1, std::max<Timestamp>(1, params.max_gap));
+    UpdateBatch batch(now);
+    events.ClearInto(&batch);
+
+    if (i == 0) {
+      for (int p = 0; p < params.num_participants; ++p) {
+        batch.Insert("Part", T1(p));
+      }
+    }
+
+    // Advance in-flight transactions (in id order, for determinism).
+    std::vector<std::int64_t> decided;
+    for (auto& [txn, state] : inflight) {
+      std::vector<int> voting;
+      for (const auto& [p, due] : state.vote_due) {
+        if (due <= now) voting.push_back(p);
+      }
+      for (int p : voting) {
+        events.Emit(&batch, "Vote", T2(txn, p));
+        state.vote_due.erase(p);
+      }
+      if (!voting.empty() && state.vote_due.empty()) {
+        // Last vote just fired: schedule the decision relative to it. Both
+        // candidates are drawn unconditionally (see schedule_refresh in the
+        // freshness generator) so dials stay monotone.
+        bool late = rng.UniformDouble() < params.late_decide_prob;
+        Timestamp ontime = rng.UniformInt(1, decide_ontime_max);
+        Timestamp overdue =
+            rng.UniformInt(params.decide_window + 1, 2 * params.decide_window);
+        state.decide_due = now + (late ? overdue : ontime);
+      }
+      if (state.decide_due >= 0 && state.decide_due <= now) {
+        events.Emit(&batch, "Decide", T1(txn));
+        batch.Delete("Pending", T1(txn));
+        decided.push_back(txn);
+      }
+    }
+    for (std::int64_t txn : decided) inflight.erase(txn);
+
+    // Possibly open a new transaction.
+    if (rng.Bernoulli(params.begin_prob)) {
+      std::int64_t txn = next_txn++;
+      events.Emit(&batch, "Begin", T1(txn));
+      batch.Insert("Pending", T1(txn));
+      Txn state;
+      for (int p = 0; p < params.num_participants; ++p) {
+        bool late = rng.UniformDouble() < params.late_vote_prob;
+        Timestamp ontime = rng.UniformInt(1, vote_ontime_max);
+        Timestamp overdue =
+            rng.UniformInt(params.vote_window + 1, 2 * params.vote_window);
+        state.vote_due[p] = now + (late ? overdue : ontime);
+      }
+      inflight[txn] = std::move(state);
+    }
+    w.batches.push_back(std::move(batch));
+  }
+  return w;
+}
+
 }  // namespace workload
 }  // namespace rtic

@@ -77,6 +77,43 @@ struct LibraryParams {
 };
 Workload MakeLibraryWorkload(const LibraryParams& params);
 
+/// Sensor freshness farm (validity intervals): sensors publish readings
+/// (event Publish); a derived cache serves every published sensor (state
+/// Serving) and must never serve a reading older than `validity` time
+/// units. Retiring a sensor (state Decommissioned) requires a full quiet
+/// interval first. `stale_prob` delays refreshes past the validity window;
+/// `early_decommission_prob` retires sensors that are still fresh.
+struct FreshnessParams {
+  int num_sensors = 40;
+  std::size_t length = 200;
+  Timestamp validity = 12;        // a published reading is valid this long
+  double stale_prob = 0.04;       // violation: refresh arrives past validity
+  double decommission_prob = 0.02;  // chance per state a sensor starts drain
+  double early_decommission_prob = 0.05;  // violation: retire while fresh
+  Timestamp max_gap = 3;          // clock gap per transition in [1, max_gap]
+  std::uint64_t seed = 42;
+};
+Workload MakeFreshnessWorkload(const FreshnessParams& params);
+
+/// Commit-protocol traces (real-time commit deadlines): a coordinator opens
+/// a transaction (event Begin, state Pending); each of `num_participants`
+/// participants (state Part) must vote (event Vote) within `vote_window`,
+/// and the coordinator must decide (event Decide) within `decide_window` of
+/// the last vote. `late_vote_prob` / `late_decide_prob` inject deadline
+/// misses.
+struct CommitParams {
+  int num_participants = 3;
+  std::size_t length = 200;
+  double begin_prob = 0.35;       // chance a new transaction begins per state
+  Timestamp vote_window = 12;     // w1: Begin -> every Vote
+  Timestamp decide_window = 12;   // w2: last Vote -> Decide
+  double late_vote_prob = 0.03;   // violation: a vote misses w1
+  double late_decide_prob = 0.03;  // violation: the decision misses w2
+  Timestamp max_gap = 3;
+  std::uint64_t seed = 42;
+};
+Workload MakeCommitProtocolWorkload(const CommitParams& params);
+
 }  // namespace workload
 }  // namespace rtic
 

@@ -1,0 +1,261 @@
+#include "workload/scenarios.h"
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace rtic {
+namespace workload {
+
+namespace {
+
+struct Family {
+  ScenarioInfo info;
+  std::function<Workload(const std::map<std::string, double>&)> build;
+};
+
+double Get(const std::map<std::string, double>& dials, const char* key) {
+  return dials.at(key);
+}
+
+std::int64_t GetInt(const std::map<std::string, double>& dials,
+                    const char* key) {
+  return static_cast<std::int64_t>(dials.at(key));
+}
+
+// Dial defaults are read off default-constructed param structs so the
+// registry can never drift from the generator headers.
+Family AlarmFamily() {
+  AlarmParams d;
+  Family f;
+  f.info.name = "alarm";
+  f.info.summary =
+      "alarm/ack fleet: raised alarms must be acknowledged within a "
+      "deadline";
+  f.info.dials = {
+      {"num_alarms", static_cast<double>(d.num_alarms), "alarm id space"},
+      {"length", static_cast<double>(d.length), "number of transitions"},
+      {"deadline", static_cast<double>(d.deadline),
+       "ack deadline (constraint window)"},
+      {"raise_prob", d.raise_prob, "chance a new alarm is raised per state"},
+      {"late_prob", d.late_prob, "chance an ack overruns the deadline", true},
+      {"max_gap", static_cast<double>(d.max_gap),
+       "clock gap per transition in [1, max_gap]"},
+      {"seed", static_cast<double>(d.seed), "PRNG seed"},
+  };
+  f.build = [](const std::map<std::string, double>& v) {
+    AlarmParams p;
+    p.num_alarms = static_cast<int>(GetInt(v, "num_alarms"));
+    p.length = static_cast<std::size_t>(GetInt(v, "length"));
+    p.deadline = GetInt(v, "deadline");
+    p.raise_prob = Get(v, "raise_prob");
+    p.late_prob = Get(v, "late_prob");
+    p.max_gap = GetInt(v, "max_gap");
+    p.seed = static_cast<std::uint64_t>(GetInt(v, "seed"));
+    return MakeAlarmWorkload(p);
+  };
+  return f;
+}
+
+Family PayrollFamily() {
+  PayrollParams d;
+  Family f;
+  f.info.name = "payroll";
+  f.info.summary =
+      "salary ledger: pay never decreases, raises keep a minimum spacing";
+  f.info.dials = {
+      {"num_employees", static_cast<double>(d.num_employees),
+       "employee id space"},
+      {"length", static_cast<double>(d.length), "number of transitions"},
+      {"update_prob", d.update_prob, "chance a salary changes per state"},
+      {"cut_prob", d.cut_prob, "chance a change is a pay cut", true},
+      {"early_raise_prob", d.early_raise_prob,
+       "chance a raise ignores the spacing window", true},
+      {"raise_window", static_cast<double>(d.raise_window),
+       "minimum spacing between raises"},
+      {"max_gap", static_cast<double>(d.max_gap),
+       "clock gap per transition in [1, max_gap]"},
+      {"seed", static_cast<double>(d.seed), "PRNG seed"},
+  };
+  f.build = [](const std::map<std::string, double>& v) {
+    PayrollParams p;
+    p.num_employees = static_cast<int>(GetInt(v, "num_employees"));
+    p.length = static_cast<std::size_t>(GetInt(v, "length"));
+    p.update_prob = Get(v, "update_prob");
+    p.cut_prob = Get(v, "cut_prob");
+    p.early_raise_prob = Get(v, "early_raise_prob");
+    p.raise_window = GetInt(v, "raise_window");
+    p.max_gap = GetInt(v, "max_gap");
+    p.seed = static_cast<std::uint64_t>(GetInt(v, "seed"));
+    return MakePayrollWorkload(p);
+  };
+  return f;
+}
+
+Family LibraryFamily() {
+  LibraryParams d;
+  Family f;
+  f.info.name = "library";
+  f.info.summary =
+      "circulation ledger: members-only loans, return deadlines, reloan "
+      "spacing";
+  f.info.dials = {
+      {"num_patrons", static_cast<double>(d.num_patrons), "patron id space"},
+      {"num_books", static_cast<double>(d.num_books), "book id space"},
+      {"length", static_cast<double>(d.length), "number of transitions"},
+      {"loan_prob", d.loan_prob, "chance of a loan per state"},
+      {"nonmember_prob", d.nonmember_prob,
+       "chance a loan goes to a non-member", true},
+      {"late_return_prob", d.late_return_prob,
+       "chance a return misses the 30-unit deadline", true},
+      {"reloan_window", static_cast<double>(d.reloan_window),
+       "minimum spacing before the same pair re-borrows"},
+      {"max_gap", static_cast<double>(d.max_gap),
+       "clock gap per transition in [1, max_gap]"},
+      {"seed", static_cast<double>(d.seed), "PRNG seed"},
+  };
+  f.build = [](const std::map<std::string, double>& v) {
+    LibraryParams p;
+    p.num_patrons = static_cast<int>(GetInt(v, "num_patrons"));
+    p.num_books = static_cast<int>(GetInt(v, "num_books"));
+    p.length = static_cast<std::size_t>(GetInt(v, "length"));
+    p.loan_prob = Get(v, "loan_prob");
+    p.nonmember_prob = Get(v, "nonmember_prob");
+    p.late_return_prob = Get(v, "late_return_prob");
+    p.reloan_window = GetInt(v, "reloan_window");
+    p.max_gap = GetInt(v, "max_gap");
+    p.seed = static_cast<std::uint64_t>(GetInt(v, "seed"));
+    return MakeLibraryWorkload(p);
+  };
+  return f;
+}
+
+Family FreshnessFamily() {
+  FreshnessParams d;
+  Family f;
+  f.info.name = "freshness";
+  f.info.summary =
+      "sensor farm: served readings expire unless refreshed within a "
+      "validity interval";
+  f.info.dials = {
+      {"num_sensors", static_cast<double>(d.num_sensors), "sensor id space"},
+      {"length", static_cast<double>(d.length), "number of transitions"},
+      {"validity", static_cast<double>(d.validity),
+       "a published reading is valid this long"},
+      {"stale_prob", d.stale_prob,
+       "chance a refresh arrives past the validity window", true},
+      {"decommission_prob", d.decommission_prob,
+       "chance per state a sensor starts draining"},
+      {"early_decommission_prob", d.early_decommission_prob,
+       "chance a draining sensor retires while still fresh", true},
+      {"max_gap", static_cast<double>(d.max_gap),
+       "clock gap per transition in [1, max_gap]"},
+      {"seed", static_cast<double>(d.seed), "PRNG seed"},
+  };
+  f.build = [](const std::map<std::string, double>& v) {
+    FreshnessParams p;
+    p.num_sensors = static_cast<int>(GetInt(v, "num_sensors"));
+    p.length = static_cast<std::size_t>(GetInt(v, "length"));
+    p.validity = GetInt(v, "validity");
+    p.stale_prob = Get(v, "stale_prob");
+    p.decommission_prob = Get(v, "decommission_prob");
+    p.early_decommission_prob = Get(v, "early_decommission_prob");
+    p.max_gap = GetInt(v, "max_gap");
+    p.seed = static_cast<std::uint64_t>(GetInt(v, "seed"));
+    return MakeFreshnessWorkload(p);
+  };
+  return f;
+}
+
+Family CommitFamily() {
+  CommitParams d;
+  Family f;
+  f.info.name = "commit";
+  f.info.summary =
+      "commit protocol: participants vote within w1, the coordinator "
+      "decides within w2 of the last vote";
+  f.info.dials = {
+      {"num_participants", static_cast<double>(d.num_participants),
+       "participants per transaction"},
+      {"length", static_cast<double>(d.length), "number of transitions"},
+      {"begin_prob", d.begin_prob,
+       "chance a new transaction begins per state"},
+      {"vote_window", static_cast<double>(d.vote_window),
+       "w1: Begin -> every Vote"},
+      {"decide_window", static_cast<double>(d.decide_window),
+       "w2: last Vote -> Decide"},
+      {"late_vote_prob", d.late_vote_prob, "chance a vote misses w1", true},
+      {"late_decide_prob", d.late_decide_prob,
+       "chance the decision misses w2", true},
+      {"max_gap", static_cast<double>(d.max_gap),
+       "clock gap per transition in [1, max_gap]"},
+      {"seed", static_cast<double>(d.seed), "PRNG seed"},
+  };
+  f.build = [](const std::map<std::string, double>& v) {
+    CommitParams p;
+    p.num_participants = static_cast<int>(GetInt(v, "num_participants"));
+    p.length = static_cast<std::size_t>(GetInt(v, "length"));
+    p.begin_prob = Get(v, "begin_prob");
+    p.vote_window = GetInt(v, "vote_window");
+    p.decide_window = GetInt(v, "decide_window");
+    p.late_vote_prob = Get(v, "late_vote_prob");
+    p.late_decide_prob = Get(v, "late_decide_prob");
+    p.max_gap = GetInt(v, "max_gap");
+    p.seed = static_cast<std::uint64_t>(GetInt(v, "seed"));
+    return MakeCommitProtocolWorkload(p);
+  };
+  return f;
+}
+
+const std::vector<Family>& Families() {
+  static const std::vector<Family>* families = new std::vector<Family>{
+      AlarmFamily(), PayrollFamily(), LibraryFamily(), FreshnessFamily(),
+      CommitFamily()};
+  return *families;
+}
+
+}  // namespace
+
+const std::vector<ScenarioInfo>& AllScenarios() {
+  static const std::vector<ScenarioInfo>* infos = [] {
+    auto* v = new std::vector<ScenarioInfo>();
+    for (const Family& f : Families()) v->push_back(f.info);
+    return v;
+  }();
+  return *infos;
+}
+
+const ScenarioInfo* FindScenario(const std::string& name) {
+  for (const ScenarioInfo& info : AllScenarios()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+Result<Workload> MakeScenario(const std::string& name,
+                              const std::map<std::string, double>& overrides) {
+  for (const Family& f : Families()) {
+    if (f.info.name != name) continue;
+    std::map<std::string, double> dials;
+    for (const Dial& d : f.info.dials) dials[d.name] = d.value;
+    for (const auto& [key, value] : overrides) {
+      auto it = dials.find(key);
+      if (it == dials.end()) {
+        return Status::InvalidArgument("scenario '" + name +
+                                       "' has no dial named '" + key + "'");
+      }
+      it->second = value;
+    }
+    return f.build(dials);
+  }
+  std::string known;
+  for (const ScenarioInfo& info : AllScenarios()) {
+    if (!known.empty()) known += ", ";
+    known += info.name;
+  }
+  return Status::InvalidArgument("unknown scenario '" + name +
+                                 "' (known: " + known + ")");
+}
+
+}  // namespace workload
+}  // namespace rtic

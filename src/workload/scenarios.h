@@ -1,0 +1,54 @@
+// Scenario registry: every workload family published under a stable name
+// with a dial table (numeric knobs with defaults and documentation). The
+// registry is the single entry point used by examples/scenario_runner, the
+// scenario test battery, and bench_e19 — docs/SCENARIOS.md documents each
+// family and is normative for the names listed here.
+
+#ifndef RTIC_WORKLOAD_SCENARIOS_H_
+#define RTIC_WORKLOAD_SCENARIOS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/generators.h"
+
+namespace rtic {
+namespace workload {
+
+/// One tunable knob of a scenario family. Every dial is numeric (integral
+/// dials are passed as doubles and truncated); `violation_dial` marks the
+/// knobs that inject constraint violations — setting all of them to zero
+/// yields a violation-free history, a property the test suite checks for
+/// every family.
+struct Dial {
+  std::string name;
+  double value;  // the family default
+  std::string doc;
+  bool violation_dial = false;
+};
+
+/// A registered scenario family.
+struct ScenarioInfo {
+  std::string name;     // stable registry key, e.g. "freshness"
+  std::string summary;  // one-line description
+  std::vector<Dial> dials;
+};
+
+/// All registered families, in registry order.
+const std::vector<ScenarioInfo>& AllScenarios();
+
+/// Looks up a family by name; nullptr when unknown.
+const ScenarioInfo* FindScenario(const std::string& name);
+
+/// Builds a workload from a family name and dial overrides. Unknown names
+/// and unknown dial keys are InvalidArgument.
+Result<Workload> MakeScenario(
+    const std::string& name,
+    const std::map<std::string, double>& overrides = {});
+
+}  // namespace workload
+}  // namespace rtic
+
+#endif  // RTIC_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,215 @@
+// Open-loop driver tests (the `workload` ctest label): deterministic
+// arrival schedules, driver-vs-direct byte identity over the library path,
+// and a live server round-trip whose violation transcript matches the
+// library run line for line.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "tests/test_util.h"
+#include "workload/driver.h"
+#include "workload/scenarios.h"
+
+namespace rtic {
+namespace {
+
+using server::RticClient;
+using server::RticServer;
+using server::ServerOptions;
+using testing::Unwrap;
+using workload::AllScenarios;
+using workload::ArrivalKind;
+using workload::ArrivalSchedule;
+using workload::ClientTarget;
+using workload::DriverOptions;
+using workload::DriverReport;
+using workload::DriveTarget;
+using workload::MakeScenario;
+using workload::MonitorTarget;
+using workload::RunOpenLoop;
+using workload::ScenarioInfo;
+using workload::Workload;
+
+DriverOptions Unpaced() {
+  DriverOptions options;
+  options.pace = false;
+  return options;
+}
+
+TEST(ArrivalScheduleTest, DeterministicAndNonDecreasing) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kBursty}) {
+    DriverOptions options;
+    options.arrival = kind;
+    options.rate_per_sec = 1000;
+    std::vector<double> a = ArrivalSchedule(500, options);
+    std::vector<double> b = ArrivalSchedule(500, options);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    EXPECT_GT(a.front(), 0.0);
+    options.seed = 7;
+    EXPECT_NE(ArrivalSchedule(500, options), a);
+  }
+}
+
+TEST(ArrivalScheduleTest, PoissonMeanTracksTheRate) {
+  DriverOptions options;
+  options.rate_per_sec = 2000;
+  std::vector<double> s = ArrivalSchedule(4000, options);
+  // 4000 arrivals at 2000/s should take about 2 seconds.
+  EXPECT_GT(s.back(), 1.5);
+  EXPECT_LT(s.back(), 2.5);
+}
+
+TEST(ArrivalScheduleTest, BurstyKeepsTheLongRunRate) {
+  DriverOptions options;
+  options.arrival = ArrivalKind::kBursty;
+  options.rate_per_sec = 2000;
+  std::vector<double> s = ArrivalSchedule(4000, options);
+  // On/off duty-cycling compresses arrivals into bursts but preserves the
+  // long-run average rate.
+  EXPECT_GT(s.back(), 1.2);
+  EXPECT_LT(s.back(), 3.0);
+}
+
+// The acceptance check the tentpole names: driving a workload through the
+// open-loop driver produces a violation transcript byte-identical to
+// applying the batches directly, for every registered family.
+TEST(DriverTest, DriverMatchesDirectApplyByteForByte) {
+  for (const ScenarioInfo& info : AllScenarios()) {
+    Workload w = Unwrap(MakeScenario(info.name, {{"length", 80}}));
+
+    // Direct path.
+    ConstraintMonitor direct((MonitorOptions()));
+    std::vector<std::string> expected;
+    for (const auto& [name, schema] : w.schema) {
+      RTIC_ASSERT_OK(direct.CreateTable(name, schema));
+    }
+    for (const auto& [name, text] : w.constraints) {
+      RTIC_ASSERT_OK(direct.RegisterConstraint(name, text));
+    }
+    for (const UpdateBatch& batch : w.batches) {
+      for (const Violation& v : Unwrap(direct.ApplyUpdate(batch))) {
+        expected.push_back(v.ToString());
+      }
+    }
+
+    // Driver path.
+    ConstraintMonitor driven((MonitorOptions()));
+    MonitorTarget target(&driven);
+    RTIC_ASSERT_OK(target.Install(w));
+    DriverReport report = Unwrap(RunOpenLoop(w, &target, Unpaced()));
+
+    EXPECT_EQ(report.offered, w.batches.size()) << info.name;
+    EXPECT_EQ(report.accepted, w.batches.size()) << info.name;
+    EXPECT_EQ(report.overloaded, 0u) << info.name;
+    EXPECT_EQ(report.transcript, expected) << info.name;
+    EXPECT_EQ(report.violations, expected.size()) << info.name;
+  }
+}
+
+TEST(DriverTest, ServerRoundTripMatchesLibraryRun) {
+  for (const char* name : {"freshness", "commit"}) {
+    Workload w = Unwrap(MakeScenario(name, {{"length", 60}}));
+
+    // Library path.
+    ConstraintMonitor monitor((MonitorOptions()));
+    MonitorTarget library(&monitor);
+    RTIC_ASSERT_OK(library.Install(w));
+    DriverReport expected = Unwrap(RunOpenLoop(w, &library, Unpaced()));
+
+    // Server path: one session, explicit workload timestamps.
+    auto server = Unwrap(RticServer::Start(ServerOptions{}));
+    auto client = Unwrap(RticClient::Connect(server->address(), name));
+    ClientTarget remote(client.get());
+    RTIC_ASSERT_OK(remote.Install(w));
+    DriverReport actual = Unwrap(RunOpenLoop(w, &remote, Unpaced()));
+
+    EXPECT_EQ(actual.transcript, expected.transcript) << name;
+    EXPECT_EQ(actual.accepted, w.batches.size()) << name;
+    EXPECT_EQ(actual.overloaded, 0u) << name;
+
+    // The server really processed every batch.
+    auto stats = Unwrap(client->GetStats());
+    EXPECT_EQ(stats.transition_count, w.batches.size()) << name;
+    EXPECT_EQ(stats.total_violations, expected.violations) << name;
+    client->Close();
+    server->Stop();
+  }
+}
+
+TEST(DriverTest, MultiConnectionDrivesEveryBatch) {
+  Workload w = Unwrap(MakeScenario("freshness", {{"length", 120}}));
+  auto server = Unwrap(RticServer::Start(ServerOptions{}));
+
+  DriverOptions options = Unpaced();
+  options.connections = 4;
+  options.server_timestamps = true;  // interleaved sends: server assigns
+  auto factory = [&]() -> Result<std::unique_ptr<DriveTarget>> {
+    auto client = RticClient::Connect(server->address(), "fleet");
+    if (!client.ok()) return client.status();
+    struct OwningTarget : DriveTarget {
+      explicit OwningTarget(std::unique_ptr<RticClient> c)
+          : client(std::move(c)), target(client.get()) {}
+      Status Install(const Workload& workload) override {
+        return target.Install(workload);
+      }
+      Result<workload::DriveOutcome> Apply(const UpdateBatch& b) override {
+        return target.Apply(b);
+      }
+      std::unique_ptr<RticClient> client;
+      ClientTarget target;
+    };
+    return std::unique_ptr<DriveTarget>(
+        new OwningTarget(std::move(*client)));
+  };
+
+  // Install once through a setup session.
+  auto setup = Unwrap(RticClient::Connect(server->address(), "fleet"));
+  ClientTarget install(setup.get());
+  RTIC_ASSERT_OK(install.Install(w));
+
+  DriverReport report = Unwrap(RunOpenLoop(w, factory, options));
+  EXPECT_EQ(report.offered, w.batches.size());
+  EXPECT_EQ(report.accepted + report.overloaded, report.offered);
+
+  // Accepted work is never lost: the tenant committed exactly the accepted
+  // transitions.
+  auto stats = Unwrap(setup->GetStats());
+  EXPECT_EQ(stats.transition_count, report.accepted);
+  setup->Close();
+  server->Stop();
+}
+
+TEST(DriverTest, MultiConnectionRequiresServerTimestamps) {
+  Workload w = Unwrap(MakeScenario("alarm", {{"length", 10}}));
+  DriverOptions options = Unpaced();
+  options.connections = 2;
+  auto factory = [&]() -> Result<std::unique_ptr<DriveTarget>> {
+    return Status::Internal("factory should not be the failing check");
+  };
+  Result<DriverReport> r = RunOpenLoop(w, factory, options);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DriverTest, ReportCountersAreConsistent) {
+  Workload w = Unwrap(MakeScenario("commit", {{"length", 60}}));
+  ConstraintMonitor monitor((MonitorOptions()));
+  MonitorTarget target(&monitor);
+  RTIC_ASSERT_OK(target.Install(w));
+  DriverReport report = Unwrap(RunOpenLoop(w, &target, Unpaced()));
+  EXPECT_EQ(report.accepted, w.batches.size());
+  EXPECT_EQ(report.violations, monitor.total_violations());
+  EXPECT_GE(report.apply_p99_micros, report.apply_p50_micros);
+  EXPECT_GT(report.elapsed_seconds, 0.0);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+}  // namespace
+}  // namespace rtic

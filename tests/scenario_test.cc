@@ -1,0 +1,300 @@
+// Scenario-registry property battery (the `workload` ctest label): every
+// registered family is deterministic in its seed, violation-free when all
+// violation dials are zero, monotone in its violation dials, timestamped
+// strictly increasingly, registrable on a fresh monitor, and checked
+// identically by the naive and incremental engines. docs/SCENARIOS.md
+// documents the same families; the registry here is its source of truth.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.h"
+#include "tests/test_util.h"
+#include "workload/scenarios.h"
+
+namespace rtic {
+namespace {
+
+using testing::Unwrap;
+using workload::AllScenarios;
+using workload::Dial;
+using workload::FindScenario;
+using workload::MakeScenario;
+using workload::ScenarioInfo;
+using workload::Workload;
+
+/// Overrides that zero every violation dial (and shorten the run).
+std::map<std::string, double> CleanDials(const ScenarioInfo& info,
+                                         double length) {
+  std::map<std::string, double> overrides{{"length", length}};
+  for (const Dial& d : info.dials) {
+    if (d.violation_dial) overrides[d.name] = 0.0;
+  }
+  return overrides;
+}
+
+/// Runs a workload through a fresh monitor; returns the full violation
+/// transcript (one ToString line per violation, in order).
+std::vector<std::string> RunTranscript(const Workload& w, EngineKind kind) {
+  MonitorOptions options;
+  options.engine = kind;
+  ConstraintMonitor monitor(options);
+  for (const auto& [name, schema] : w.schema) {
+    RTIC_EXPECT_OK(monitor.CreateTable(name, schema));
+  }
+  for (const auto& [name, text] : w.constraints) {
+    Status s = monitor.RegisterConstraint(name, text);
+    EXPECT_TRUE(s.ok()) << name << ": " << s.ToString();
+  }
+  std::vector<std::string> transcript;
+  for (const UpdateBatch& batch : w.batches) {
+    auto v = monitor.ApplyUpdate(batch);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    if (!v.ok()) break;
+    for (const Violation& violation : *v) {
+      transcript.push_back(violation.ToString());
+    }
+  }
+  return transcript;
+}
+
+std::size_t RunViolations(const Workload& w, EngineKind kind) {
+  return RunTranscript(w, kind).size();
+}
+
+/// Total counterexample witnesses across the run — finer-grained than the
+/// per-(constraint, state) report count, so dial effects don't saturate.
+std::size_t RunWitnesses(const Workload& w) {
+  MonitorOptions options;
+  ConstraintMonitor monitor(options);
+  for (const auto& [name, schema] : w.schema) {
+    RTIC_EXPECT_OK(monitor.CreateTable(name, schema));
+  }
+  for (const auto& [name, text] : w.constraints) {
+    RTIC_EXPECT_OK(monitor.RegisterConstraint(name, text));
+  }
+  std::size_t witnesses = 0;
+  for (const UpdateBatch& batch : w.batches) {
+    auto v = monitor.ApplyUpdate(batch);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    if (!v.ok()) break;
+    for (const Violation& violation : *v) {
+      witnesses += violation.witnesses.size();
+    }
+  }
+  return witnesses;
+}
+
+TEST(ScenarioRegistryTest, ListsAllFiveFamilies) {
+  std::vector<std::string> names;
+  for (const ScenarioInfo& info : AllScenarios()) names.push_back(info.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alarm", "payroll", "library",
+                                             "freshness", "commit"}));
+  for (const ScenarioInfo& info : AllScenarios()) {
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+    EXPECT_FALSE(info.dials.empty()) << info.name;
+    bool has_violation_dial = false;
+    for (const Dial& d : info.dials) {
+      EXPECT_FALSE(d.doc.empty()) << info.name << "." << d.name;
+      has_violation_dial = has_violation_dial || d.violation_dial;
+    }
+    EXPECT_TRUE(has_violation_dial) << info.name;
+  }
+}
+
+TEST(ScenarioRegistryTest, UnknownNamesAndDialsAreRejected) {
+  EXPECT_FALSE(MakeScenario("parking").ok());
+  EXPECT_FALSE(MakeScenario("freshness", {{"no_such_dial", 1.0}}).ok());
+  EXPECT_EQ(FindScenario("nope"), nullptr);
+  ASSERT_NE(FindScenario("commit"), nullptr);
+}
+
+TEST(ScenarioRegistryTest, DeterministicAcrossRuns) {
+  for (const ScenarioInfo& info : AllScenarios()) {
+    Workload a = Unwrap(MakeScenario(info.name, {{"length", 60}}));
+    Workload b = Unwrap(MakeScenario(info.name, {{"length", 60}}));
+    ASSERT_EQ(a.batches.size(), b.batches.size()) << info.name;
+    for (std::size_t i = 0; i < a.batches.size(); ++i) {
+      EXPECT_EQ(a.batches[i].ToString(), b.batches[i].ToString())
+          << info.name << " batch " << i;
+    }
+    Workload c = Unwrap(MakeScenario(info.name, {{"length", 60}, {"seed", 7}}));
+    bool differs = false;
+    for (std::size_t i = 0; i < std::min(a.batches.size(), c.batches.size());
+         ++i) {
+      if (a.batches[i].ToString() != c.batches[i].ToString()) {
+        differs = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(differs) << info.name << ": seed should change the stream";
+  }
+}
+
+TEST(ScenarioRegistryTest, TimestampsStrictlyIncrease) {
+  for (const ScenarioInfo& info : AllScenarios()) {
+    Workload w = Unwrap(MakeScenario(info.name));
+    EXPECT_EQ(w.batches.size(), 200u) << info.name;
+    Timestamp prev = -1;
+    for (const UpdateBatch& b : w.batches) {
+      EXPECT_GT(b.timestamp(), prev) << info.name;
+      prev = b.timestamp();
+    }
+  }
+}
+
+TEST(ScenarioRegistryTest, RegistersOnFreshMonitor) {
+  for (const ScenarioInfo& info : AllScenarios()) {
+    Workload w = Unwrap(MakeScenario(info.name, {{"length", 1}}));
+    ConstraintMonitor monitor((MonitorOptions()));
+    for (const auto& [name, schema] : w.schema) {
+      RTIC_EXPECT_OK(monitor.CreateTable(name, schema));
+    }
+    for (const auto& [name, text] : w.constraints) {
+      Status s = monitor.RegisterConstraint(name, text);
+      EXPECT_TRUE(s.ok()) << info.name << "/" << name << ": " << s.ToString();
+    }
+    EXPECT_EQ(monitor.ConstraintNames().size(), w.constraints.size())
+        << info.name;
+  }
+}
+
+TEST(ScenarioRegistryTest, ZeroDialsMeanZeroViolationsOnEveryFamily) {
+  for (const ScenarioInfo& info : AllScenarios()) {
+    Workload w = Unwrap(MakeScenario(info.name, CleanDials(info, 120)));
+    EXPECT_EQ(RunViolations(w, EngineKind::kIncremental), 0u) << info.name;
+  }
+}
+
+TEST(ScenarioRegistryTest, EveryViolationDialInjectsViolations) {
+  for (const ScenarioInfo& info : AllScenarios()) {
+    for (const Dial& d : info.dials) {
+      if (!d.violation_dial) continue;
+      std::map<std::string, double> overrides = CleanDials(info, 150);
+      overrides[d.name] = 0.6;
+      Workload w = Unwrap(MakeScenario(info.name, overrides));
+      EXPECT_GT(RunViolations(w, EngineKind::kIncremental), 0u)
+          << info.name << "." << d.name;
+    }
+  }
+}
+
+// The freshness and commit generators draw every delay candidate whether or
+// not it is used, so two runs at different dial values share one RNG stream
+// and the set of late events only grows with the dial.
+TEST(ScenarioRegistryTest, ViolationDialsAreMonotone) {
+  struct Case {
+    const char* scenario;
+    const char* dial;
+    const char* size_dial;  // shrunk so one violation per state cannot
+    double size;            // saturate the count and flatten the curve
+  };
+  for (const Case& c : {Case{"freshness", "stale_prob", "num_sensors", 5},
+                        Case{"commit", "late_vote_prob", "begin_prob", 0.25},
+                        Case{"commit", "late_decide_prob", "begin_prob",
+                             0.25}}) {
+    const ScenarioInfo* info = FindScenario(c.scenario);
+    ASSERT_NE(info, nullptr);
+    std::size_t prev = 0;
+    bool first = true;
+    for (double level : {0.0, 0.3, 0.8}) {
+      std::map<std::string, double> overrides = CleanDials(*info, 150);
+      overrides[c.size_dial] = c.size;
+      overrides[c.dial] = level;
+      std::size_t count =
+          RunWitnesses(Unwrap(MakeScenario(c.scenario, overrides)));
+      if (first) {
+        EXPECT_EQ(count, 0u) << c.scenario << "." << c.dial;
+      } else {
+        EXPECT_GE(count, prev) << c.scenario << "." << c.dial << " at "
+                               << level;
+      }
+      prev = count;
+      first = false;
+    }
+    EXPECT_GT(prev, 0u) << c.scenario << "." << c.dial;
+  }
+}
+
+// The differential the whole suite leans on: for every family, at default
+// (violating) dials, the naive and incremental engines produce identical
+// violation transcripts, byte for byte.
+TEST(ScenarioDifferentialTest, NaiveMatchesIncrementalPerFamily) {
+  for (const ScenarioInfo& info : AllScenarios()) {
+    Workload w = Unwrap(MakeScenario(info.name, {{"length", 80}}));
+    std::vector<std::string> inc = RunTranscript(w, EngineKind::kIncremental);
+    std::vector<std::string> naive = RunTranscript(w, EngineKind::kNaive);
+    EXPECT_EQ(inc, naive) << info.name;
+  }
+}
+
+TEST(ScenarioDifferentialTest, ActiveMatchesIncrementalOnNewFamilies) {
+  for (const char* name : {"freshness", "commit"}) {
+    Workload w = Unwrap(MakeScenario(name, {{"length", 80}}));
+    std::vector<std::string> inc = RunTranscript(w, EngineKind::kIncremental);
+    std::vector<std::string> active = RunTranscript(w, EngineKind::kActive);
+    EXPECT_EQ(inc, active) << name;
+  }
+}
+
+// Violation signatures: the dial that was turned is the constraint that
+// fires (docs/SCENARIOS.md documents these signatures).
+TEST(ScenarioSignatureTest, FreshnessDialsHitTheirConstraints) {
+  const ScenarioInfo* info = FindScenario("freshness");
+  ASSERT_NE(info, nullptr);
+
+  std::map<std::string, double> stale = CleanDials(*info, 150);
+  stale["stale_prob"] = 0.5;
+  for (const std::string& line :
+       RunTranscript(Unwrap(MakeScenario("freshness", stale)),
+                     EngineKind::kIncremental)) {
+    EXPECT_NE(line.find("no_stale_reads"), std::string::npos) << line;
+  }
+
+  std::map<std::string, double> early = CleanDials(*info, 150);
+  early["early_decommission_prob"] = 1.0;
+  early["decommission_prob"] = 0.2;
+  for (const std::string& line :
+       RunTranscript(Unwrap(MakeScenario("freshness", early)),
+                     EngineKind::kIncremental)) {
+    EXPECT_NE(line.find("decommission_quiesced"), std::string::npos) << line;
+  }
+}
+
+TEST(ScenarioSignatureTest, CommitLateVotesHitVoteWindow) {
+  const ScenarioInfo* info = FindScenario("commit");
+  ASSERT_NE(info, nullptr);
+  std::map<std::string, double> late = CleanDials(*info, 150);
+  late["late_vote_prob"] = 0.5;
+  std::vector<std::string> transcript = RunTranscript(
+      Unwrap(MakeScenario("commit", late)), EngineKind::kIncremental);
+  ASSERT_FALSE(transcript.empty());
+  bool saw_vote_window = false;
+  for (const std::string& line : transcript) {
+    saw_vote_window =
+        saw_vote_window || line.find("vote_in_window") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_vote_window);
+}
+
+TEST(ScenarioSignatureTest, CommitLateDecisionsHitDecideDeadline) {
+  const ScenarioInfo* info = FindScenario("commit");
+  ASSERT_NE(info, nullptr);
+  std::map<std::string, double> late = CleanDials(*info, 150);
+  late["late_decide_prob"] = 0.5;
+  std::vector<std::string> transcript = RunTranscript(
+      Unwrap(MakeScenario("commit", late)), EngineKind::kIncremental);
+  ASSERT_FALSE(transcript.empty());
+  bool saw_decide = false;
+  for (const std::string& line : transcript) {
+    saw_decide = saw_decide ||
+                 line.find("decide_follows_last_vote") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_decide);
+}
+
+}  // namespace
+}  // namespace rtic
